@@ -1,0 +1,314 @@
+#include "bench_common.h"
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "data/synthetic.h"
+#include "graph/adjacency.h"
+#include "models/arima.h"
+
+namespace enhancenet {
+namespace bench {
+namespace {
+
+bool EnvSet(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+struct DataScale {
+  int64_t traffic_sensors;
+  int64_t traffic_days;
+  int64_t weather_stations;
+  int64_t weather_days;
+  int64_t stride;
+};
+
+DataScale ScaleFor(Mode mode) {
+  switch (mode) {
+    case Mode::kQuick:
+      return {10, 2, 9, 10, 24};
+    case Mode::kDefault:
+      return {32, 10, 36, 60, 8};
+    case Mode::kFull:
+      return {182, 28, 36, 365, 1};
+  }
+  return {};
+}
+
+bool IsRnnFamily(const std::string& name) {
+  return name.find("RNN") != std::string::npos || name == "LSTM" ||
+         name == "DCRNN";
+}
+
+void PrintStatsCells(const train::ErrorStats& stats) {
+  std::printf(" %7.2f %7.2f %7.2f |", stats.mae, stats.mape, stats.rmse);
+}
+
+}  // namespace
+
+Mode ModeFromEnv() {
+  if (EnvSet("ENHANCENET_QUICK")) return Mode::kQuick;
+  if (EnvSet("ENHANCENET_FULL")) return Mode::kFull;
+  return Mode::kDefault;
+}
+
+const char* ModeName(Mode mode) {
+  switch (mode) {
+    case Mode::kQuick:
+      return "quick";
+    case Mode::kDefault:
+      return "default";
+    case Mode::kFull:
+      return "full (paper-scale)";
+  }
+  return "?";
+}
+
+PreparedData PrepareDataset(const std::string& name, Mode mode) {
+  const DataScale scale = ScaleFor(mode);
+  PreparedData out;
+  if (name == "EB") {
+    out.raw = data::MakeEbLike(scale.traffic_sensors, scale.traffic_days,
+                               /*seed=*/17);
+  } else if (name == "LA") {
+    out.raw = data::MakeLaLike(scale.traffic_sensors + 4, scale.traffic_days,
+                               /*seed=*/29);
+  } else if (name == "US") {
+    out.raw = data::MakeUsLike(scale.weather_stations, scale.weather_days,
+                               /*seed=*/43);
+  } else {
+    ENHANCENET_CHECK(false) << "unknown dataset " << name;
+  }
+  const data::Splits splits =
+      data::ChronologicalSplits(out.raw.num_steps());
+  out.scaler.Fit(out.raw.series, 0, splits.train_end);
+  const Tensor scaled = out.scaler.Transform(out.raw.series);
+  out.adjacency = graph::GaussianKernelAdjacency(out.raw.distances);
+
+  const int64_t history = 12;
+  const int64_t horizon = 12;
+  out.train = std::make_unique<data::WindowDataset>(
+      scaled, out.raw.series, out.raw.target_channel, 0, splits.train_end,
+      history, horizon, scale.stride);
+  // Validation/test use a smaller stride so horizon statistics are stable.
+  const int64_t eval_stride = std::max<int64_t>(1, scale.stride / 2);
+  out.val = std::make_unique<data::WindowDataset>(
+      scaled, out.raw.series, out.raw.target_channel, splits.train_end,
+      splits.val_end, history, horizon, eval_stride);
+  out.test = std::make_unique<data::WindowDataset>(
+      scaled, out.raw.series, out.raw.target_channel, splits.val_end,
+      splits.total, history, horizon, eval_stride);
+  return out;
+}
+
+models::ModelSizing SizingForMode(Mode mode) {
+  models::ModelSizing sizing;
+  switch (mode) {
+    case Mode::kQuick:
+      sizing.rnn_hidden = 8;
+      sizing.rnn_hidden_dfgn = 6;
+      sizing.tcn_channels = 6;
+      sizing.tcn_channels_dfgn = 6;
+      sizing.skip_channels = 8;
+      sizing.end_channels = 12;
+      sizing.memory_dim = 8;
+      break;
+    case Mode::kDefault:
+      // Keeps the paper's 4:1 naive-vs-DFGN hidden ratio so the Table I/II
+      // parameter-count shape (D- variants smaller) is preserved at
+      // CPU scale.
+      sizing.rnn_hidden = 32;
+      sizing.rnn_hidden_dfgn = 14;
+      sizing.tcn_channels = 24;
+      sizing.tcn_channels_dfgn = 12;
+      sizing.skip_channels = 24;
+      sizing.end_channels = 48;
+      sizing.memory_dim = 16;
+      break;
+    case Mode::kFull:
+      // Paper Sec. VI-A values.
+      sizing.rnn_hidden = 64;
+      sizing.rnn_hidden_dfgn = 16;
+      sizing.tcn_channels = 32;
+      sizing.tcn_channels_dfgn = 16;
+      sizing.skip_channels = 32;
+      sizing.end_channels = 64;
+      sizing.memory_dim = 16;
+      break;
+  }
+  return sizing;
+}
+
+train::TrainerConfig TrainerConfigFor(const std::string& model_name,
+                                      Mode mode) {
+  train::TrainerConfig config;
+  const bool rnn = IsRnnFamily(model_name);
+  // Paper: RNN models use Adam @0.01 with /10 step decay and scheduled
+  // sampling; TCN models use a fixed 0.001.
+  config.learning_rate = rnn ? 0.01f : 0.001f;
+  config.use_step_decay = rnn;
+  config.use_scheduled_sampling = rnn;
+  switch (mode) {
+    case Mode::kQuick:
+      config.epochs = 1;
+      config.batch_size = 8;
+      break;
+    case Mode::kDefault:
+      config.epochs = 5;
+      config.batch_size = 8;
+      config.scheduled_sampling_tau = 10.0f;
+      break;
+    case Mode::kFull:
+      config.epochs = rnn ? 100 : 100;
+      config.batch_size = 16;
+      config.patience = 12;
+      config.min_delta = 1e-4;
+      break;
+  }
+  return config;
+}
+
+ModelRun RunNeuralModel(const std::string& model_name, PreparedData& dataset,
+                        const std::string& dataset_name, Mode mode) {
+  Rng rng(0x5EED0000u ^ std::hash<std::string>{}(model_name + dataset_name));
+  auto model = models::MakeModel(model_name, dataset.raw.num_entities(),
+                                 dataset.raw.num_channels(),
+                                 dataset.adjacency, SizingForMode(mode), rng);
+  train::Trainer trainer(model.get(), &dataset.scaler,
+                         dataset.raw.target_channel,
+                         TrainerConfigFor(model_name, mode));
+  train::TrainResult trained =
+      trainer.Train(*dataset.train, *dataset.val, rng);
+
+  train::MetricAccumulator acc(12);
+  trainer.Evaluate(*dataset.test, &acc, rng);
+
+  ModelRun run;
+  run.model = model_name;
+  run.dataset = dataset_name;
+  run.num_params = model->NumParameters();
+  run.train_seconds_per_epoch = trained.mean_epoch_seconds;
+  run.predict_millis = trainer.MeasurePredictMillis(*dataset.test, 5, rng);
+  run.horizon3 = acc.AtHorizon(2);
+  run.horizon6 = acc.AtHorizon(5);
+  run.horizon12 = acc.AtHorizon(11);
+  run.overall = acc.Overall();
+  run.per_window_mae = acc.per_window_mae();
+  return run;
+}
+
+ModelRun RunArima(PreparedData& dataset, const std::string& dataset_name) {
+  const int64_t n = dataset.raw.num_entities();
+  const int64_t t_total = dataset.raw.num_steps();
+  const int64_t channels = dataset.raw.num_channels();
+  const int64_t target = dataset.raw.target_channel;
+  const data::Splits splits = data::ChronologicalSplits(t_total);
+
+  // Per-entity target series over the training range.
+  Tensor train_series({n, splits.train_end});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t t = 0; t < splits.train_end; ++t) {
+      train_series.at({i, t}) =
+          dataset.raw.series.data()[(i * t_total + t) * channels + target];
+    }
+  }
+  models::ArimaModel arima;
+  const Status status = arima.Fit(train_series);
+  ENHANCENET_CHECK(status.ok()) << status.ToString();
+
+  // Evaluate on the same test windows the neural models use, reading raw
+  // target histories directly (ARIMA is scale-free).
+  train::MetricAccumulator acc(12);
+  Stopwatch predict_timer;
+  int64_t predictions = 0;
+  for (const auto& indices : dataset.test->SequentialBatches(8)) {
+    const data::Batch batch = dataset.test->MakeBatch(indices);
+    const int64_t batch_size = batch.x.size(0);
+    Tensor pred({batch_size, n, 12});
+    for (int64_t b = 0; b < batch_size; ++b) {
+      Tensor history({n, 12});
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t h = 0; h < 12; ++h) {
+          const float scaled = batch.x.at({b, i, h, target});
+          history.at({i, h}) =
+              scaled * dataset.scaler.stddev(target) +
+              dataset.scaler.mean(target);
+        }
+      }
+      Tensor forecast = arima.Forecast(history, 12);
+      std::copy(forecast.data(), forecast.data() + n * 12,
+                pred.data() + b * n * 12);
+      ++predictions;
+    }
+    acc.Add(pred, batch.y_raw);
+  }
+  const double total_ms = predict_timer.ElapsedMillis();
+
+  ModelRun run;
+  run.model = "ARIMA";
+  run.dataset = dataset_name;
+  // p AR + q MA + mean + variance per entity.
+  run.num_params = n * (3 + 1 + 2);
+  run.train_seconds_per_epoch = 0.0;
+  run.predict_millis = predictions > 0 ? total_ms / predictions : 0.0;
+  run.horizon3 = acc.AtHorizon(2);
+  run.horizon6 = acc.AtHorizon(5);
+  run.horizon12 = acc.AtHorizon(11);
+  run.overall = acc.Overall();
+  run.per_window_mae = acc.per_window_mae();
+  return run;
+}
+
+void PrintTableBlock(const std::string& title,
+                     const std::vector<ModelRun>& runs) {
+  std::printf("\n=== %s ===\n", title.c_str());
+  std::printf("%-12s | %-23s | %-23s | %-23s | %9s\n", "", "15 min (h=3)",
+              "30 min (h=6)", "60 min (h=12)", "");
+  std::printf("%-12s |  %6s  %6s  %6s |  %6s  %6s  %6s |  %6s  %6s  %6s | %9s\n",
+              "Model", "MAE", "MAPE", "RMSE", "MAE", "MAPE", "RMSE", "MAE",
+              "MAPE", "RMSE", "# Para");
+  std::printf("-------------+-------------------------+-----------------------"
+              "--+-------------------------+----------\n");
+  for (const ModelRun& run : runs) {
+    std::printf("%-12s |", run.model.c_str());
+    PrintStatsCells(run.horizon3);
+    PrintStatsCells(run.horizon6);
+    PrintStatsCells(run.horizon12);
+    std::printf(" %9lld\n", static_cast<long long>(run.num_params));
+  }
+}
+
+void AppendRunsCsv(const std::string& path,
+                   const std::vector<ModelRun>& runs) {
+  struct stat st;
+  const bool exists = ::stat(path.c_str(), &st) == 0;
+  std::ofstream file(path, std::ios::app);
+  if (!file.is_open()) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  if (!exists) {
+    file << "dataset,model,horizon,mae,mape,rmse,params,"
+            "train_s_per_epoch,predict_ms\n";
+  }
+  for (const ModelRun& run : runs) {
+    const std::pair<int, const train::ErrorStats*> horizons[] = {
+        {3, &run.horizon3}, {6, &run.horizon6}, {12, &run.horizon12}};
+    for (const auto& [h, stats] : horizons) {
+      file << run.dataset << ',' << run.model << ',' << h << ','
+           << stats->mae << ',' << stats->mape << ',' << stats->rmse << ','
+           << run.num_params << ',' << run.train_seconds_per_epoch << ','
+           << run.predict_millis << '\n';
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace enhancenet

@@ -1,0 +1,83 @@
+#ifndef ENHANCENET_BENCH_BENCH_COMMON_H_
+#define ENHANCENET_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "models/model_factory.h"
+#include "train/metrics.h"
+#include "train/trainer.h"
+
+namespace enhancenet {
+namespace bench {
+
+/// Scale of a benchmark run, selected by environment variable:
+///   ENHANCENET_QUICK=1 -> kQuick (smoke test, seconds per table)
+///   default            -> kDefault (single-CPU-core scale, minutes)
+///   ENHANCENET_FULL=1  -> kFull (paper-scale entity counts, hours)
+enum class Mode { kQuick, kDefault, kFull };
+
+Mode ModeFromEnv();
+const char* ModeName(Mode mode);
+
+/// A dataset with everything a model run needs: scaling fitted on the train
+/// split, distance-kernel adjacency, and train/val/test window sets.
+struct PreparedData {
+  data::CtsData raw;
+  data::StandardScaler scaler;
+  Tensor adjacency;
+  std::unique_ptr<data::WindowDataset> train;
+  std::unique_ptr<data::WindowDataset> val;
+  std::unique_ptr<data::WindowDataset> test;
+};
+
+/// Builds one of the paper's three datasets ("EB", "LA", "US") at the given
+/// mode's scale.
+PreparedData PrepareDataset(const std::string& name, Mode mode);
+
+/// Uniform model sizing for the mode (paper sizes under kFull).
+models::ModelSizing SizingForMode(Mode mode);
+
+/// The paper's training recipe for a model family at this scale. RNN-family
+/// models use Adam @0.01 with step decay and scheduled sampling; TCN-family
+/// models use fixed 0.001 (Sec. VI-A).
+train::TrainerConfig TrainerConfigFor(const std::string& model_name,
+                                      Mode mode);
+
+/// Outcome of training + evaluating one model on one dataset.
+struct ModelRun {
+  std::string model;
+  std::string dataset;
+  int64_t num_params = 0;
+  double train_seconds_per_epoch = 0.0;
+  double predict_millis = 0.0;
+  train::ErrorStats horizon3;   // 3rd step
+  train::ErrorStats horizon6;   // 6th step
+  train::ErrorStats horizon12;  // 12th step
+  train::ErrorStats overall;
+  std::vector<double> per_window_mae;  // test windows, for t-tests
+};
+
+/// Trains `model_name` on `dataset` with the mode's recipe and evaluates on
+/// the test split. Deterministic per (model, dataset, mode).
+ModelRun RunNeuralModel(const std::string& model_name, PreparedData& dataset,
+                        const std::string& dataset_name, Mode mode);
+
+/// The ARIMA baseline follows a different (non-neural, per-series) path.
+ModelRun RunArima(PreparedData& dataset, const std::string& dataset_name);
+
+/// Renders one paper-style table block for a dataset: one row per run with
+/// MAE/MAPE/RMSE at 15/30/60-minute horizons and the parameter count.
+void PrintTableBlock(const std::string& title,
+                     const std::vector<ModelRun>& runs);
+
+/// Appends rows to a CSV file next to the binary (one line per run+horizon);
+/// creates the file with a header if needed.
+void AppendRunsCsv(const std::string& path, const std::vector<ModelRun>& runs);
+
+}  // namespace bench
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,138 @@
+// Reproduces Figure 11: sensor locations coloured by memory cluster. Trains
+// the same D-TCN as bench_fig10, clusters the learned memories, and plots
+// the sensors on the road map with their cluster letter, plus a quantitative
+// check of the paper's qualitative claims:
+//  (1) sensors in the same memory cluster lie along the same highway
+//      segment (cluster purity w.r.t. highway distance), and
+//  (2) some geographically-close sensor pairs land in different clusters
+//      (nearby but distinct temporal patterns).
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "analysis/kmeans.h"
+#include "bench_common.h"
+#include "models/tcn_model.h"
+#include "train/trainer.h"
+
+using namespace enhancenet;
+
+int main() {
+  const bench::Mode mode = bench::ModeFromEnv();
+  std::printf("Figure 11 reproduction — Entity locations by memory cluster "
+              "(mode: %s)\n",
+              bench::ModeName(mode));
+
+  bench::PreparedData dataset = bench::PrepareDataset("LA", mode);
+  const int64_t n = dataset.raw.num_entities();
+
+  Rng rng(0xF160000);  // same seed as bench_fig10 -> same trained model
+  models::ModelSizing sizing = bench::SizingForMode(mode);
+  auto model = models::MakeModel("D-TCN", n, dataset.raw.num_channels(),
+                                 dataset.adjacency, sizing, rng);
+  train::Trainer trainer(model.get(), &dataset.scaler,
+                         dataset.raw.target_channel,
+                         bench::TrainerConfigFor("D-TCN", mode));
+  std::printf("training D-TCN ...\n");
+  std::fflush(stdout);
+  trainer.Train(*dataset.train, *dataset.val, rng);
+
+  const auto* tcn = dynamic_cast<models::TcnModel*>(model.get());
+  const Tensor memories = tcn->entity_memories().Clone();
+  Rng cluster_rng(0xF1611);
+  const int num_clusters = std::min<int>(4, static_cast<int>(n));
+  const analysis::KmeansResult clusters =
+      analysis::Kmeans(memories, num_clusters, cluster_rng);
+
+  // ASCII map of sensor locations, glyph = memory cluster.
+  const Tensor& locations = dataset.raw.locations;
+  constexpr int kWidth = 68;
+  constexpr int kHeight = 26;
+  std::vector<std::string> canvas(kHeight, std::string(kWidth, '.'));
+  float min_x = locations.at({0, 0});
+  float max_x = min_x;
+  float min_y = locations.at({0, 1});
+  float max_y = min_y;
+  for (int64_t i = 0; i < n; ++i) {
+    min_x = std::min(min_x, locations.at({i, 0}));
+    max_x = std::max(max_x, locations.at({i, 0}));
+    min_y = std::min(min_y, locations.at({i, 1}));
+    max_y = std::max(max_y, locations.at({i, 1}));
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const int col = static_cast<int>((locations.at({i, 0}) - min_x) /
+                                     (max_x - min_x + 1e-9f) * (kWidth - 1));
+    const int row = static_cast<int>((locations.at({i, 1}) - min_y) /
+                                     (max_y - min_y + 1e-9f) * (kHeight - 1));
+    canvas[static_cast<size_t>(row)][static_cast<size_t>(col)] =
+        static_cast<char>('A' + clusters.assignments[static_cast<size_t>(i)]);
+  }
+  std::printf("\nsensor map (letter = memory cluster; rows of equal letters "
+              "= highway segments):\n");
+  for (const std::string& line : canvas) std::printf("  %s\n", line.c_str());
+
+  std::FILE* csv = std::fopen("fig11_locations.csv", "w");
+  if (csv != nullptr) {
+    std::fprintf(csv, "sensor,x,y,cluster\n");
+    for (int64_t i = 0; i < n; ++i) {
+      std::fprintf(csv, "%lld,%f,%f,%d\n", (long long)i, locations.at({i, 0}),
+                   locations.at({i, 1}),
+                   clusters.assignments[static_cast<size_t>(i)]);
+    }
+    std::fclose(csv);
+  }
+
+  // Claim (1): within-cluster road distance < global average road distance.
+  const Tensor& dist = dataset.raw.distances;
+  double within = 0.0;
+  int64_t within_count = 0;
+  double overall = 0.0;
+  int64_t overall_count = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      overall += dist.at({i, j});
+      ++overall_count;
+      if (clusters.assignments[static_cast<size_t>(i)] ==
+          clusters.assignments[static_cast<size_t>(j)]) {
+        within += dist.at({i, j});
+        ++within_count;
+      }
+    }
+  }
+  const double within_mean = within / std::max<int64_t>(within_count, 1);
+  const double overall_mean = overall / std::max<int64_t>(overall_count, 1);
+  std::printf("\nmean road distance within memory clusters: %.2f km\n",
+              within_mean);
+  std::printf("mean road distance across all pairs:        %.2f km\n",
+              overall_mean);
+  std::printf("=> clusters %s with highway segments\n",
+              within_mean < overall_mean ? "ALIGN" : "do NOT align");
+
+  // Claim (2): geographically-nearby pairs that fall in different clusters.
+  int64_t near_pairs = 0;
+  int64_t near_split = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      const float dx = locations.at({i, 0}) - locations.at({j, 0});
+      const float dy = locations.at({i, 1}) - locations.at({j, 1});
+      if (std::sqrt(dx * dx + dy * dy) < 2.0f) {
+        ++near_pairs;
+        if (clusters.assignments[static_cast<size_t>(i)] !=
+            clusters.assignments[static_cast<size_t>(j)]) {
+          ++near_split;
+        }
+      }
+    }
+  }
+  std::printf("geographically-near pairs (<2km): %lld, of which %lld are in "
+              "different memory clusters\n",
+              (long long)near_pairs, (long long)near_split);
+  std::printf("=> nearby sensors with distinct temporal patterns %s\n",
+              near_split > 0 ? "exist (paper's red/black observation)"
+                             : "not observed at this scale");
+  std::printf("CSV written to fig11_locations.csv\n");
+  return 0;
+}

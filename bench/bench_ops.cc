@@ -1,0 +1,125 @@
+// Micro-benchmarks of the substrate operations that dominate training cost,
+// plus the two ablations called out in DESIGN.md:
+//  * batched-GEMM entity filters vs. a naive per-entity loop (design
+//    decision 2);
+//  * DFGN filter generation vs. a full per-entity filter lookup of the same
+//    logical size (design decision 3 — generation cost is what Table V's
+//    "D-" training overhead comes from).
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "core/damgn.h"
+#include "core/dfgn.h"
+#include "graph/adjacency.h"
+#include "graph/graph_conv.h"
+#include "tensor/tensor_ops.h"
+
+namespace enhancenet {
+namespace {
+
+namespace ag = ::enhancenet::autograd;
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BatchGemmEntityFilters(benchmark::State& state) {
+  // The fundamental D-RNN operation: per-entity filters as one bmm.
+  const int64_t entities = state.range(0);
+  const int64_t rows = 8;   // batch
+  const int64_t c_in = 17;  // C + C'
+  const int64_t c_out = 32;
+  Rng rng(1);
+  Tensor x = Tensor::Randn({entities, rows, c_in}, rng);
+  Tensor w = Tensor::Randn({entities, c_in, c_out}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::BatchMatMul(x, w));
+  }
+}
+BENCHMARK(BM_BatchGemmEntityFilters)->Arg(32)->Arg(128)->Arg(207);
+
+void BM_PerEntityLoopFilters(benchmark::State& state) {
+  // Ablation baseline: the same computation as a per-entity GEMM loop.
+  const int64_t entities = state.range(0);
+  const int64_t rows = 8;
+  const int64_t c_in = 17;
+  const int64_t c_out = 32;
+  Rng rng(1);
+  Tensor x = Tensor::Randn({entities, rows, c_in}, rng);
+  Tensor w = Tensor::Randn({entities, c_in, c_out}, rng);
+  for (auto _ : state) {
+    for (int64_t e = 0; e < entities; ++e) {
+      Tensor xe = ops::Slice(x, 0, e, 1).Reshape({rows, c_in});
+      Tensor we = ops::Slice(w, 0, e, 1).Reshape({c_in, c_out});
+      benchmark::DoNotOptimize(ops::MatMul(xe, we));
+    }
+  }
+}
+BENCHMARK(BM_PerEntityLoopFilters)->Arg(32)->Arg(128)->Arg(207);
+
+void BM_GraphConvStatic(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor dist = Tensor::RandUniform({n, n}, rng, 0.1f, 10.0f);
+  Tensor adjacency = graph::GaussianKernelAdjacency(dist);
+  ag::Variable adj = ag::Variable::Leaf(graph::RowNormalize(adjacency), false);
+  ag::Variable x = ag::Variable::Leaf(Tensor::Randn({8, n, 32}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::ApplyAdjacency(adj, x));
+  }
+}
+BENCHMARK(BM_GraphConvStatic)->Arg(32)->Arg(128)->Arg(207);
+
+void BM_DfgnGenerate(benchmark::State& state) {
+  // Generating GRU filters for N entities: o = 3 * mixed_in * C'.
+  const int64_t entities = state.range(0);
+  Rng rng(1);
+  core::Dfgn dfgn(/*memory_dim=*/16, /*hidden1=*/16, /*hidden2=*/4,
+                  /*output_size=*/3 * 85 * 16, rng);
+  ag::Variable memory =
+      ag::Variable::Leaf(Tensor::Randn({entities, 16}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dfgn.Generate(memory));
+  }
+}
+BENCHMARK(BM_DfgnGenerate)->Arg(32)->Arg(128)->Arg(207);
+
+void BM_FullFilterBankCopy(benchmark::State& state) {
+  // Ablation baseline for DFGN: materializing a straightforward-method
+  // filter bank of the same logical size (N x o floats).
+  const int64_t entities = state.range(0);
+  Rng rng(1);
+  Tensor bank = Tensor::Randn({entities, 3 * 85 * 16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bank.Clone());
+  }
+}
+BENCHMARK(BM_FullFilterBankCopy)->Arg(32)->Arg(128)->Arg(207);
+
+void BM_DamgnCombined(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor dist = Tensor::RandUniform({n, n}, rng, 0.1f, 10.0f);
+  Tensor adjacency = graph::GaussianKernelAdjacency(dist);
+  core::Damgn damgn(adjacency, n, /*in_channels=*/1, /*mem_dim=*/10,
+                    /*embed_dim=*/8, rng);
+  ag::Variable x = ag::Variable::Leaf(Tensor::Randn({8, n, 1}, rng), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(damgn.Combined(x));
+  }
+}
+BENCHMARK(BM_DamgnCombined)->Arg(32)->Arg(128)->Arg(207);
+
+}  // namespace
+}  // namespace enhancenet
+
+BENCHMARK_MAIN();

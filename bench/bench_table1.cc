@@ -1,0 +1,46 @@
+// Reproduces Table I: effect of DFGN on capturing distinct temporal
+// dynamics. For each dataset (EB, LA, US) it trains the two base models that
+// capture temporal dynamics only — RNN (GRU encoder-decoder) and TCN
+// (WaveNet) — and their DFGN-enhanced variants D-RNN and D-TCN, reporting
+// MAE/MAPE/RMSE at the 3rd/6th/12th horizon plus the parameter count.
+//
+// Expected shape (paper Sec. VI-B1): D-RNN < RNN and D-TCN < TCN on all
+// metrics, with far fewer parameters (the D- variants run a smaller hidden
+// size, as in the paper).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace enhancenet;
+
+int main() {
+  const bench::Mode mode = bench::ModeFromEnv();
+  std::printf("Table I reproduction — Effect of DFGN (mode: %s)\n",
+              bench::ModeName(mode));
+
+  const char* datasets[] = {"EB", "LA", "US"};
+  const char* models[] = {"RNN", "D-RNN", "TCN", "D-TCN"};
+  for (const char* dataset_name : datasets) {
+    bench::PreparedData dataset = bench::PrepareDataset(dataset_name, mode);
+    std::printf("\n[%s] N=%lld T=%lld C=%lld, windows train/val/test = "
+                "%lld/%lld/%lld\n",
+                dataset_name, (long long)dataset.raw.num_entities(),
+                (long long)dataset.raw.num_steps(),
+                (long long)dataset.raw.num_channels(),
+                (long long)dataset.train->num_windows(),
+                (long long)dataset.val->num_windows(),
+                (long long)dataset.test->num_windows());
+    std::vector<bench::ModelRun> runs;
+    for (const char* model : models) {
+      std::printf("  training %-6s ...\n", model);
+      std::fflush(stdout);
+      runs.push_back(
+          bench::RunNeuralModel(model, dataset, dataset_name, mode));
+    }
+    bench::PrintTableBlock(std::string("Table I — ") + dataset_name, runs);
+    bench::AppendRunsCsv("table1_results.csv", runs);
+  }
+  std::printf("\nCSV written to table1_results.csv\n");
+  return 0;
+}

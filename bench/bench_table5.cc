@@ -1,0 +1,51 @@
+// Reproduces Table V: runtime of all twelve framework models — average
+// training seconds per epoch ("T (s)") and average milliseconds to predict
+// the next 12 timestamps for one window ("P (ms)").
+//
+// Expected shape (paper Sec. VI-B4): "D-" variants train slower than their
+// bases (extra DFGN passes; the penalty is larger for D-TCN, which runs one
+// DFGN per layer, than for D-RNN); "DA-" variants train only slightly
+// slower; prediction latencies stay in the same ballpark across variants.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace enhancenet;
+
+int main() {
+  const bench::Mode mode = bench::ModeFromEnv();
+  std::printf("Table V reproduction — Runtime (mode: %s)\n",
+              bench::ModeName(mode));
+
+  // The paper does not pin Table V to a dataset; LA (the richest traffic
+  // set) is used here.
+  bench::PreparedData dataset = bench::PrepareDataset("LA", mode);
+  std::printf("[LA] N=%lld, train windows = %lld\n",
+              (long long)dataset.raw.num_entities(),
+              (long long)dataset.train->num_windows());
+
+  const char* models[] = {"RNN",     "D-RNN",   "GRNN",    "D-GRNN",
+                          "DA-GRNN", "D-DA-GRNN", "TCN",   "D-TCN",
+                          "GTCN",    "D-GTCN",  "DA-GTCN", "D-DA-GTCN"};
+  std::printf("\n%-12s | %9s | %9s\n", "Model", "T (s)", "P (ms)");
+  std::printf("-------------+-----------+----------\n");
+  std::FILE* csv = std::fopen("table5_results.csv", "w");
+  if (csv != nullptr) {
+    std::fprintf(csv, "model,train_s_per_epoch,predict_ms\n");
+  }
+  for (const char* model : models) {
+    const bench::ModelRun run =
+        bench::RunNeuralModel(model, dataset, "LA", mode);
+    std::printf("%-12s | %9.2f | %9.2f\n", model,
+                run.train_seconds_per_epoch, run.predict_millis);
+    std::fflush(stdout);
+    if (csv != nullptr) {
+      std::fprintf(csv, "%s,%f,%f\n", model, run.train_seconds_per_epoch,
+                   run.predict_millis);
+    }
+  }
+  if (csv != nullptr) std::fclose(csv);
+  std::printf("\nCSV written to table5_results.csv\n");
+  return 0;
+}

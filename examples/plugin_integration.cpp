@@ -1,0 +1,150 @@
+// Using the EnhanceNet plugins directly — the paper's central promise is
+// that DFGN and DAMGN are *generic plugins*, not parts of one monolithic
+// model. This example builds a deliberately simple custom forecaster (one
+// graph-convolutional GRU layer + linear head, not part of the model zoo)
+// and wires both plugins into it by hand:
+//
+//   1. an EntityMemoryBank shared by the model,
+//   2. a DFGN-backed EnhanceGruCell (entity-specific filters), and
+//   3. a Damgn supplying dynamic supports to the cell at every step.
+//
+// It then checks the λ-initialization property from Sec. V-B: before
+// training, the DAMGN-combined adjacency equals the static one, so the
+// enhanced model starts exactly as expressive as its base.
+//
+//   ./build/examples/plugin_integration
+
+#include <cstdio>
+
+#include "autograd/ops.h"
+#include "core/damgn.h"
+#include "core/enhance_gru_cell.h"
+#include "core/entity_memory.h"
+#include "data/synthetic.h"
+#include "graph/adjacency.h"
+#include "nn/linear.h"
+#include "optim/optimizer.h"
+#include "tensor/tensor_ops.h"
+
+using namespace enhancenet;
+namespace ag = enhancenet::autograd;
+
+/// A minimal custom forecaster with both plugins attached.
+class MyEnhancedForecaster : public nn::Module {
+ public:
+  MyEnhancedForecaster(int64_t n, Tensor adjacency, Rng& rng)
+      : memory_(n, /*memory_dim=*/8, rng),
+        damgn_(std::move(adjacency), n, /*in_channels=*/1, /*mem_dim=*/4,
+               /*embed_dim=*/4, rng),
+        cell_(MakeCellConfig(n), &memory_.memory(), rng),
+        head_(kHidden, 1, rng) {
+    RegisterSubmodule("memory", &memory_);
+    RegisterSubmodule("damgn", &damgn_);
+    RegisterSubmodule("cell", &cell_);
+    RegisterSubmodule("head", &head_);
+  }
+
+  /// x: [B,N,H,1] -> one-step-ahead prediction [B,N,1].
+  ag::Variable Forward(const Tensor& x) {
+    const int64_t batch = x.size(0);
+    const int64_t n = x.size(1);
+    const int64_t history = x.size(2);
+    ag::Variable input = ag::Variable::Leaf(x, false);
+    ag::Variable h =
+        ag::Variable::Leaf(Tensor::Zeros({batch, n, kHidden}), false);
+    for (int64_t t = 0; t < history; ++t) {
+      ag::Variable x_t = ag::Reshape(ag::Slice(input, 2, t, 1), {batch, n, 1});
+      // The correlation plugin: dynamic supports from this step's signal.
+      const auto supports =
+          damgn_.CombinedSupports(x_t, /*max_hops=*/1, /*bidirectional=*/true);
+      // The temporal plugin lives inside the cell (DFGN-generated filters).
+      h = cell_.Forward(x_t, h, supports);
+    }
+    return head_.Forward(h);
+  }
+
+  const core::Damgn& damgn() const { return damgn_; }
+
+ private:
+  static constexpr int64_t kHidden = 8;
+
+  static core::GruCellConfig MakeCellConfig(int64_t n) {
+    core::GruCellConfig config;
+    config.num_entities = n;
+    config.in_channels = 1;
+    config.hidden = kHidden;
+    config.num_supports = 2;  // A' and A'ᵀ
+    config.use_dfgn = true;
+    config.dfgn_hidden1 = 8;
+    config.dfgn_hidden2 = 4;
+    return config;
+  }
+
+  core::EntityMemoryBank memory_;
+  core::Damgn damgn_;
+  core::EnhanceGruCell cell_;
+  nn::Linear head_;
+};
+
+int main() {
+  data::CtsData traffic = data::MakeEbLike(/*num_sensors=*/12,
+                                           /*num_days=*/2);
+  const Tensor adjacency =
+      graph::GaussianKernelAdjacency(traffic.distances);
+  Rng rng(7);
+  MyEnhancedForecaster model(traffic.num_entities(), adjacency, rng);
+  std::printf("custom enhanced forecaster: %lld trainable parameters\n",
+              (long long)model.NumParameters());
+
+  // Property check (Sec. V-B): at initialization λ=(1,0,0), so the combined
+  // adjacency equals the row-normalized static one.
+  Rng probe_rng(8);
+  Tensor probe = Tensor::Randn({1, traffic.num_entities(), 1}, probe_rng);
+  Tensor combined =
+      model.damgn().Combined(ag::Variable::Leaf(probe, false)).data();
+  const Tensor expected = graph::RowNormalize(adjacency);
+  const bool reduces = ops::AllClose(
+      combined.Reshape({traffic.num_entities(), traffic.num_entities()}),
+      expected, 1e-5f, 1e-5f);
+  std::printf("untrained DAMGN reduces to static graph convolution: %s\n",
+              reduces ? "yes" : "NO (bug!)");
+
+  // A few steps of one-step-ahead training to show everything is trainable.
+  const int64_t n = traffic.num_entities();
+  const int64_t t_total = traffic.num_steps();
+  optim::Adam adam(model.Parameters(), 0.01f);
+  Rng batch_rng(9);
+  for (int step = 0; step < 30; ++step) {
+    // Sample 4 random windows of 12 steps + 1 target.
+    Tensor x({4, n, 12, 1});
+    Tensor y({4, n, 1});
+    for (int64_t b = 0; b < 4; ++b) {
+      const int64_t anchor =
+          12 + static_cast<int64_t>(
+                   batch_rng.UniformInt(static_cast<uint64_t>(t_total - 13)));
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t h = 0; h < 12; ++h) {
+          x.at({b, i, h, 0}) =
+              traffic.series.at({i, anchor - 12 + h, 0}) / 70.0f;
+        }
+        y.at({b, i, 0}) = traffic.series.at({i, anchor, 0}) / 70.0f;
+      }
+    }
+    ag::Variable pred = model.Forward(x);
+    ag::Variable loss = ag::MeanAll(
+        ag::Square(ag::Sub(pred, ag::Variable::Leaf(y, false))));
+    model.ZeroGrad();
+    loss.Backward();
+    adam.Step();
+    if (step % 10 == 0 || step == 29) {
+      std::printf("step %2d  mse=%.5f\n", step, loss.data().item());
+    }
+  }
+  std::printf("\nafter training, learned mixing: lambda_A=%.3f "
+              "lambda_B=%.3f lambda_C=%.3f\n",
+              model.damgn().lambda_a(), model.damgn().lambda_b(),
+              model.damgn().lambda_c());
+  std::printf("(non-zero lambda_B / lambda_C means the plugins picked up "
+              "correlations the static graph missed)\n");
+  return 0;
+}

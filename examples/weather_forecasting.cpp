@@ -1,0 +1,112 @@
+// Multi-attribute weather forecasting on the US-like dataset (36 stations,
+// 6 channels, hourly). Demonstrates:
+//  * the C > 1 input path (temperature predicted from all six channels),
+//  * the classical ARIMA baseline next to a neural model, and
+//  * per-horizon error growth (3h / 6h / 12h ahead, like Table III's US rows).
+//
+//   ./build/examples/weather_forecasting
+
+#include <cstdio>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "graph/adjacency.h"
+#include "models/arima.h"
+#include "models/model_factory.h"
+#include "train/trainer.h"
+
+using namespace enhancenet;
+
+int main() {
+  data::CtsData weather = data::MakeUsLike(/*num_stations=*/25,
+                                           /*num_days=*/45);
+  const data::Splits splits = data::ChronologicalSplits(weather.num_steps());
+  std::printf("US-like weather: %lld stations, %lld hourly steps, "
+              "%lld channels (target: temperature)\n",
+              (long long)weather.num_entities(),
+              (long long)weather.num_steps(),
+              (long long)weather.num_channels());
+
+  data::StandardScaler scaler;
+  scaler.Fit(weather.series, 0, splits.train_end);
+  const Tensor scaled = scaler.Transform(weather.series);
+  const Tensor adjacency = graph::GaussianKernelAdjacency(weather.distances);
+
+  data::WindowDataset train(scaled, weather.series, 0, 0, splits.train_end,
+                            12, 12, /*stride=*/2);
+  data::WindowDataset val(scaled, weather.series, 0, splits.train_end,
+                          splits.val_end, 12, 12, 2);
+  data::WindowDataset test(scaled, weather.series, 0, splits.val_end,
+                           splits.total, 12, 12, 2);
+
+  // --- ARIMA(3,1,1) per station, Kalman-filter forecasts ------------------
+  const int64_t n = weather.num_entities();
+  const int64_t t_total = weather.num_steps();
+  const int64_t channels = weather.num_channels();
+  Tensor arima_train({n, splits.train_end});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t t = 0; t < splits.train_end; ++t) {
+      arima_train.at({i, t}) =
+          weather.series.data()[(i * t_total + t) * channels];
+    }
+  }
+  models::ArimaModel arima;
+  const Status fit = arima.Fit(arima_train);
+  std::printf("ARIMA fit: %s\n", fit.ToString().c_str());
+
+  train::MetricAccumulator arima_acc(12);
+  for (const auto& indices : test.SequentialBatches(8)) {
+    const data::Batch batch = test.MakeBatch(indices);
+    const int64_t batch_size = batch.x.size(0);
+    Tensor pred({batch_size, n, 12});
+    for (int64_t b = 0; b < batch_size; ++b) {
+      Tensor history({n, 12});
+      for (int64_t i = 0; i < n; ++i) {
+        for (int64_t h = 0; h < 12; ++h) {
+          history.at({i, h}) =
+              batch.x.at({b, i, h, 0}) * scaler.stddev(0) + scaler.mean(0);
+        }
+      }
+      Tensor forecast = arima.Forecast(history, 12);
+      std::copy(forecast.data(), forecast.data() + n * 12,
+                pred.data() + b * n * 12);
+    }
+    arima_acc.Add(pred, batch.y_raw);
+  }
+
+  // --- D-DA-GTCN (the paper's best TCN-family model) ----------------------
+  models::ModelSizing sizing;
+  sizing.tcn_channels = 16;
+  sizing.tcn_channels_dfgn = 8;
+  Rng rng(301);
+  auto model = models::MakeModel("D-DA-GTCN", n, channels, adjacency, sizing,
+                                 rng);
+  train::TrainerConfig tc;
+  tc.epochs = 3;
+  tc.batch_size = 8;
+  tc.learning_rate = 0.001f;
+  tc.use_step_decay = false;
+  tc.use_scheduled_sampling = false;
+  train::Trainer trainer(model.get(), &scaler, 0, tc);
+  std::printf("training D-DA-GTCN (%lld params) ...\n",
+              (long long)model->NumParameters());
+  trainer.Train(train, val, rng);
+  train::MetricAccumulator neural_acc(12);
+  trainer.Evaluate(test, &neural_acc, rng);
+
+  std::printf("\n%-12s | %-16s | %-16s | %-16s\n", "model", "3h (MAE/RMSE)",
+              "6h (MAE/RMSE)", "12h (MAE/RMSE)");
+  auto row = [](const char* name, const train::MetricAccumulator& acc) {
+    std::printf("%-12s |", name);
+    for (int64_t h : {2, 5, 11}) {
+      const auto stats = acc.AtHorizon(h);
+      std::printf("    %5.2f / %5.2f |", stats.mae, stats.rmse);
+    }
+    std::printf("\n");
+  };
+  row("ARIMA", arima_acc);
+  row("D-DA-GTCN", neural_acc);
+  std::printf("\n(Kelvin units; deep model should win, and the gap should "
+              "widen with horizon.)\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "analysis/heatmap.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace analysis {
+
+std::string RenderAsciiHeatmap(const Tensor& matrix) {
+  ENHANCENET_CHECK_EQ(matrix.dim(), 2);
+  const int64_t rows = matrix.size(0);
+  const int64_t cols = matrix.size(1);
+  const float* p = matrix.data();
+  float lo = p[0];
+  float hi = p[0];
+  for (int64_t i = 0; i < matrix.numel(); ++i) {
+    lo = std::min(lo, p[i]);
+    hi = std::max(hi, p[i]);
+  }
+  const float range = std::max(hi - lo, 1e-12f);
+  static constexpr char kGlyphs[] = " .:-=+*#%@";
+  constexpr int kLevels = static_cast<int>(sizeof(kGlyphs)) - 2;
+
+  std::ostringstream out;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      const float v = (p[r * cols + c] - lo) / range;
+      const int level = std::clamp(
+          static_cast<int>(v * static_cast<float>(kLevels)), 0, kLevels);
+      out << kGlyphs[level];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteCsv(const std::string& path, const Tensor& matrix) {
+  if (matrix.dim() > 2) {
+    return Status::InvalidArgument("WriteCsv expects rank <= 2");
+  }
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  const int64_t rows = matrix.dim() == 2 ? matrix.size(0) : 1;
+  const int64_t cols =
+      matrix.dim() == 2 ? matrix.size(1)
+                        : (matrix.dim() == 1 ? matrix.size(0) : 1);
+  const float* p = matrix.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (c > 0) file << ',';
+      file << p[r * cols + c];
+    }
+    file << '\n';
+  }
+  if (!file.good()) {
+    return Status::Internal("write to " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace analysis
+}  // namespace enhancenet

@@ -1,0 +1,23 @@
+#ifndef ENHANCENET_ANALYSIS_HEATMAP_H_
+#define ENHANCENET_ANALYSIS_HEATMAP_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace enhancenet {
+namespace analysis {
+
+/// Renders a [R, C] matrix as an ASCII heatmap (one glyph per cell, darker
+/// glyph = larger value, row-range normalized over the whole matrix). Used
+/// by bench_fig12 to show the learned adjacency matrices in the terminal.
+std::string RenderAsciiHeatmap(const Tensor& matrix);
+
+/// Writes a matrix (rank 1 or 2) as CSV. Rank-3+ tensors are rejected.
+Status WriteCsv(const std::string& path, const Tensor& matrix);
+
+}  // namespace analysis
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_ANALYSIS_HEATMAP_H_

@@ -1,0 +1,113 @@
+#include "analysis/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace analysis {
+namespace {
+
+double SquaredDistance(const float* a, const float* b, int64_t d) {
+  double sq = 0.0;
+  for (int64_t k = 0; k < d; ++k) {
+    const double diff = static_cast<double>(a[k]) - b[k];
+    sq += diff * diff;
+  }
+  return sq;
+}
+
+}  // namespace
+
+KmeansResult Kmeans(const Tensor& points, int k, Rng& rng,
+                    int max_iterations) {
+  ENHANCENET_CHECK_EQ(points.dim(), 2);
+  const int64_t n = points.size(0);
+  const int64_t d = points.size(1);
+  ENHANCENET_CHECK(k >= 1 && k <= n) << "k=" << k << " n=" << n;
+  const float* p = points.data();
+
+  // k-means++ seeding.
+  Tensor centroids({k, d});
+  std::vector<double> min_dist(static_cast<size_t>(n),
+                               std::numeric_limits<double>::infinity());
+  {
+    const int64_t first = static_cast<int64_t>(
+        rng.UniformInt(static_cast<uint64_t>(n)));
+    std::copy(p + first * d, p + (first + 1) * d, centroids.data());
+    for (int c = 1; c < k; ++c) {
+      double total = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        const double sq =
+            SquaredDistance(p + i * d, centroids.data() + (c - 1) * d, d);
+        min_dist[static_cast<size_t>(i)] =
+            std::min(min_dist[static_cast<size_t>(i)], sq);
+        total += min_dist[static_cast<size_t>(i)];
+      }
+      double r = rng.Uniform() * total;
+      int64_t chosen = n - 1;
+      for (int64_t i = 0; i < n; ++i) {
+        r -= min_dist[static_cast<size_t>(i)];
+        if (r <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+      std::copy(p + chosen * d, p + (chosen + 1) * d,
+                centroids.data() + c * d);
+    }
+  }
+
+  KmeansResult result;
+  result.assignments.assign(static_cast<size_t>(n), 0);
+  float* c = centroids.data();
+  std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+  std::vector<double> sums(static_cast<size_t>(k * d), 0.0);
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    bool changed = false;
+    result.inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      int best_cluster = 0;
+      for (int cluster = 0; cluster < k; ++cluster) {
+        const double sq = SquaredDistance(p + i * d, c + cluster * d, d);
+        if (sq < best) {
+          best = sq;
+          best_cluster = cluster;
+        }
+      }
+      if (result.assignments[static_cast<size_t>(i)] != best_cluster) {
+        result.assignments[static_cast<size_t>(i)] = best_cluster;
+        changed = true;
+      }
+      result.inertia += best;
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+
+    std::fill(counts.begin(), counts.end(), 0);
+    std::fill(sums.begin(), sums.end(), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int cluster = result.assignments[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(cluster)];
+      for (int64_t dim = 0; dim < d; ++dim) {
+        sums[static_cast<size_t>(cluster * d + dim)] += p[i * d + dim];
+      }
+    }
+    for (int cluster = 0; cluster < k; ++cluster) {
+      if (counts[static_cast<size_t>(cluster)] == 0) continue;  // keep old
+      for (int64_t dim = 0; dim < d; ++dim) {
+        c[cluster * d + dim] = static_cast<float>(
+            sums[static_cast<size_t>(cluster * d + dim)] /
+            static_cast<double>(counts[static_cast<size_t>(cluster)]));
+      }
+    }
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace analysis
+}  // namespace enhancenet

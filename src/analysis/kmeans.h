@@ -1,0 +1,28 @@
+#ifndef ENHANCENET_ANALYSIS_KMEANS_H_
+#define ENHANCENET_ANALYSIS_KMEANS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace enhancenet {
+namespace analysis {
+
+/// Result of a k-means clustering run.
+struct KmeansResult {
+  Tensor centroids;              // [K, D]
+  std::vector<int> assignments;  // size N, values in [0, K)
+  double inertia = 0.0;          // sum of squared distances to centroids
+  int iterations = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. Used to group entity memories
+/// into the colour clusters of Figures 10–11. Deterministic given `rng`.
+KmeansResult Kmeans(const Tensor& points, int k, Rng& rng,
+                    int max_iterations = 100);
+
+}  // namespace analysis
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_ANALYSIS_KMEANS_H_

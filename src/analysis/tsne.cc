@@ -1,0 +1,177 @@
+#include "analysis/tsne.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace analysis {
+namespace {
+
+/// Squared Euclidean distances between all row pairs of [N, D].
+std::vector<double> PairwiseSquaredDistances(const Tensor& points) {
+  const int64_t n = points.size(0);
+  const int64_t d = points.size(1);
+  const float* p = points.data();
+  std::vector<double> dist(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double sq = 0.0;
+      for (int64_t k = 0; k < d; ++k) {
+        const double diff = static_cast<double>(p[i * d + k]) - p[j * d + k];
+        sq += diff * diff;
+      }
+      dist[static_cast<size_t>(i * n + j)] = sq;
+      dist[static_cast<size_t>(j * n + i)] = sq;
+    }
+  }
+  return dist;
+}
+
+}  // namespace
+
+Tensor Tsne(const Tensor& points, const TsneConfig& config) {
+  ENHANCENET_CHECK_EQ(points.dim(), 2);
+  const int64_t n = points.size(0);
+  ENHANCENET_CHECK_GT(static_cast<double>(n), 3.0 * config.perplexity)
+      << "need n > 3*perplexity";
+  const int64_t out_dims = config.out_dims;
+
+  const std::vector<double> dist = PairwiseSquaredDistances(points);
+
+  // Per-point precision (beta) via binary search for the target perplexity.
+  const double target_entropy = std::log(config.perplexity);
+  std::vector<double> p_cond(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double beta = 1.0;
+    double beta_lo = 0.0;
+    double beta_hi = std::numeric_limits<double>::infinity();
+    for (int iter = 0; iter < 60; ++iter) {
+      double sum = 0.0;
+      double weighted = 0.0;
+      for (int64_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double pij =
+            std::exp(-beta * dist[static_cast<size_t>(i * n + j)]);
+        p_cond[static_cast<size_t>(i * n + j)] = pij;
+        sum += pij;
+        weighted += pij * dist[static_cast<size_t>(i * n + j)];
+      }
+      sum = std::max(sum, 1e-300);
+      const double entropy = std::log(sum) + beta * weighted / sum;
+      const double diff = entropy - target_entropy;
+      if (std::fabs(diff) < 1e-5) break;
+      if (diff > 0) {
+        beta_lo = beta;
+        beta = std::isinf(beta_hi) ? beta * 2.0 : (beta + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta + beta_lo) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      if (j != i) sum += p_cond[static_cast<size_t>(i * n + j)];
+    }
+    sum = std::max(sum, 1e-300);
+    for (int64_t j = 0; j < n; ++j) {
+      if (j != i) p_cond[static_cast<size_t>(i * n + j)] /= sum;
+    }
+  }
+
+  // Symmetrized joint probabilities with early exaggeration.
+  std::vector<double> p_joint(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      p_joint[static_cast<size_t>(i * n + j)] =
+          std::max((p_cond[static_cast<size_t>(i * n + j)] +
+                    p_cond[static_cast<size_t>(j * n + i)]) /
+                       (2.0 * static_cast<double>(n)),
+                   1e-12);
+    }
+  }
+
+  // Gradient descent on the low-dimensional embedding.
+  Rng rng(config.seed);
+  std::vector<double> y(static_cast<size_t>(n * out_dims));
+  for (auto& v : y) v = rng.Normal(0.0, 1e-2);
+  std::vector<double> velocity(y.size(), 0.0);
+  std::vector<double> gains(y.size(), 1.0);
+  std::vector<double> q(static_cast<size_t>(n * n), 0.0);
+  std::vector<double> grad(y.size(), 0.0);
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < config.exaggeration_iters ? config.early_exaggeration : 1.0;
+    // Student-t affinities in the embedding.
+    double q_sum = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        double sq = 0.0;
+        for (int64_t k = 0; k < out_dims; ++k) {
+          const double diff = y[static_cast<size_t>(i * out_dims + k)] -
+                              y[static_cast<size_t>(j * out_dims + k)];
+          sq += diff * diff;
+        }
+        const double affinity = 1.0 / (1.0 + sq);
+        q[static_cast<size_t>(i * n + j)] = affinity;
+        q[static_cast<size_t>(j * n + i)] = affinity;
+        q_sum += 2.0 * affinity;
+      }
+    }
+    q_sum = std::max(q_sum, 1e-300);
+
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double affinity = q[static_cast<size_t>(i * n + j)];
+        const double qij = std::max(affinity / q_sum, 1e-12);
+        const double mult =
+            4.0 *
+            (exaggeration * p_joint[static_cast<size_t>(i * n + j)] - qij) *
+            affinity;
+        for (int64_t k = 0; k < out_dims; ++k) {
+          grad[static_cast<size_t>(i * out_dims + k)] +=
+              mult * (y[static_cast<size_t>(i * out_dims + k)] -
+                      y[static_cast<size_t>(j * out_dims + k)]);
+        }
+      }
+    }
+
+    const double momentum = iter < config.momentum_switch_iter
+                                ? config.momentum_initial
+                                : config.momentum_final;
+    for (size_t idx = 0; idx < y.size(); ++idx) {
+      // Adaptive gains as in the reference implementation.
+      const bool same_sign = (grad[idx] > 0.0) == (velocity[idx] > 0.0);
+      gains[idx] = same_sign ? std::max(gains[idx] * 0.8, 0.01)
+                             : gains[idx] + 0.2;
+      velocity[idx] = momentum * velocity[idx] -
+                      config.learning_rate * gains[idx] * grad[idx];
+      y[idx] += velocity[idx];
+    }
+    // Re-center.
+    for (int64_t k = 0; k < out_dims; ++k) {
+      double mean = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        mean += y[static_cast<size_t>(i * out_dims + k)];
+      }
+      mean /= static_cast<double>(n);
+      for (int64_t i = 0; i < n; ++i) {
+        y[static_cast<size_t>(i * out_dims + k)] -= mean;
+      }
+    }
+  }
+
+  Tensor out({n, out_dims});
+  for (int64_t i = 0; i < n * out_dims; ++i) {
+    out.data()[i] = static_cast<float>(y[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+}  // namespace analysis
+}  // namespace enhancenet

@@ -1,0 +1,32 @@
+#ifndef ENHANCENET_ANALYSIS_TSNE_H_
+#define ENHANCENET_ANALYSIS_TSNE_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace enhancenet {
+namespace analysis {
+
+/// Parameters of the exact t-SNE embedding (van der Maaten & Hinton, 2008),
+/// used to visualize the learned entity memories (Figure 10).
+struct TsneConfig {
+  int64_t out_dims = 2;
+  double perplexity = 10.0;
+  int iterations = 500;
+  double learning_rate = 100.0;
+  double momentum_initial = 0.5;
+  double momentum_final = 0.8;
+  int momentum_switch_iter = 120;
+  double early_exaggeration = 4.0;
+  int exaggeration_iters = 100;
+  uint64_t seed = 1;
+};
+
+/// Embeds `points` [N, D] into [N, out_dims] with exact (O(N²)) t-SNE.
+/// Deterministic given the config seed. N must exceed 3·perplexity.
+Tensor Tsne(const Tensor& points, const TsneConfig& config = TsneConfig());
+
+}  // namespace analysis
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_ANALYSIS_TSNE_H_

@@ -1,0 +1,325 @@
+#include "autograd/ops.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace enhancenet {
+namespace autograd {
+namespace {
+
+bool AnyRequiresGrad(const std::vector<Variable>& inputs) {
+  for (const Variable& v : inputs) {
+    if (v.requires_grad()) return true;
+  }
+  return false;
+}
+
+/// Builds the result variable for an op. If no input requires grad, the
+/// result is a detached constant and `backward` is dropped (no graph growth
+/// during evaluation). Otherwise the closure is stored and the parents are
+/// linked for the topological sweep.
+Variable MakeResult(Tensor out, const char* op_name,
+                    std::vector<Variable> inputs,
+                    std::function<void(const Tensor&)> backward) {
+  if (!AnyRequiresGrad(inputs)) {
+    return Variable::Leaf(std::move(out), /*requires_grad=*/false);
+  }
+  auto node = std::make_shared<Node>();
+  node->data = std::move(out);
+  node->requires_grad = true;
+  node->is_leaf = false;
+  node->op_name = op_name;
+  node->parents.reserve(inputs.size());
+  for (const Variable& v : inputs) node->parents.push_back(v.node());
+  node->backward_fn = std::move(backward);
+  return Variable::FromNode(std::move(node));
+}
+
+/// Accumulates `g` into `v` only when it participates in differentiation.
+void MaybeAccumulate(Variable v, const Tensor& g) {
+  if (v.requires_grad()) v.AccumulateGrad(g);
+}
+
+/// Reduces a broadcast gradient back to the operand's shape and accumulates.
+void AccumulateBroadcast(Variable v, const Tensor& g) {
+  if (!v.requires_grad()) return;
+  if (g.shape() == v.shape()) {
+    v.AccumulateGrad(g);
+  } else {
+    v.AccumulateGrad(ops::ReduceToShape(g, v.shape()));
+  }
+}
+
+/// Expands `g` (with `axis` kept as size 1) back to `full` by broadcasting.
+Tensor ExpandAlong(const Tensor& g, const Shape& full) {
+  return ops::Add(Tensor::Zeros(full), g);
+}
+
+}  // namespace
+
+Variable Add(const Variable& a, const Variable& b) {
+  Tensor out = ops::Add(a.data(), b.data());
+  return MakeResult(std::move(out), "add", {a, b},
+                    [a, b](const Tensor& g) {
+                      AccumulateBroadcast(a, g);
+                      AccumulateBroadcast(b, g);
+                    });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  Tensor out = ops::Sub(a.data(), b.data());
+  return MakeResult(std::move(out), "sub", {a, b},
+                    [a, b](const Tensor& g) {
+                      AccumulateBroadcast(a, g);
+                      AccumulateBroadcast(b, ops::Neg(g));
+                    });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  Tensor out = ops::Mul(a.data(), b.data());
+  return MakeResult(std::move(out), "mul", {a, b},
+                    [a, b](const Tensor& g) {
+                      AccumulateBroadcast(a, ops::Mul(g, b.data()));
+                      AccumulateBroadcast(b, ops::Mul(g, a.data()));
+                    });
+}
+
+Variable Neg(const Variable& v) {
+  return MakeResult(ops::Neg(v.data()), "neg", {v}, [v](const Tensor& g) {
+    MaybeAccumulate(v, ops::Neg(g));
+  });
+}
+
+Variable Abs(const Variable& v) {
+  Tensor sign = ops::Sign(v.data());
+  return MakeResult(ops::Abs(v.data()), "abs", {v},
+                    [v, sign](const Tensor& g) {
+                      MaybeAccumulate(v, ops::Mul(g, sign));
+                    });
+}
+
+Variable Sigmoid(const Variable& v) {
+  Tensor y = ops::Sigmoid(v.data());
+  return MakeResult(y, "sigmoid", {v}, [v, y](const Tensor& g) {
+    // dy/dx = y (1 - y)
+    Tensor one_minus = ops::AddScalar(ops::Neg(y), 1.0f);
+    MaybeAccumulate(v, ops::Mul(g, ops::Mul(y, one_minus)));
+  });
+}
+
+Variable Tanh(const Variable& v) {
+  Tensor y = ops::Tanh(v.data());
+  return MakeResult(y, "tanh", {v}, [v, y](const Tensor& g) {
+    // dy/dx = 1 - y^2
+    Tensor d = ops::AddScalar(ops::Neg(ops::Square(y)), 1.0f);
+    MaybeAccumulate(v, ops::Mul(g, d));
+  });
+}
+
+Variable Relu(const Variable& v) {
+  Tensor mask = ops::ReluMask(v.data());
+  return MakeResult(ops::Relu(v.data()), "relu", {v},
+                    [v, mask](const Tensor& g) {
+                      MaybeAccumulate(v, ops::Mul(g, mask));
+                    });
+}
+
+Variable Exp(const Variable& v) {
+  Tensor y = ops::Exp(v.data());
+  return MakeResult(y, "exp", {v}, [v, y](const Tensor& g) {
+    MaybeAccumulate(v, ops::Mul(g, y));
+  });
+}
+
+Variable Log(const Variable& v) {
+  Tensor x = v.data();
+  return MakeResult(ops::Log(x), "log", {v}, [v, x](const Tensor& g) {
+    MaybeAccumulate(v, ops::Div(g, x));
+  });
+}
+
+Variable Sqrt(const Variable& v) {
+  Tensor y = ops::Sqrt(v.data());
+  return MakeResult(y, "sqrt", {v}, [v, y](const Tensor& g) {
+    // dy/dx = 0.5 / y
+    MaybeAccumulate(v, ops::Div(ops::MulScalar(g, 0.5f), y));
+  });
+}
+
+Variable Square(const Variable& v) {
+  Tensor x = v.data();
+  return MakeResult(ops::Square(x), "square", {v}, [v, x](const Tensor& g) {
+    MaybeAccumulate(v, ops::Mul(g, ops::MulScalar(x, 2.0f)));
+  });
+}
+
+Variable AddScalar(const Variable& v, float s) {
+  return MakeResult(ops::AddScalar(v.data(), s), "add_scalar", {v},
+                    [v](const Tensor& g) { MaybeAccumulate(v, g); });
+}
+
+Variable MulScalar(const Variable& v, float s) {
+  return MakeResult(ops::MulScalar(v.data(), s), "mul_scalar", {v},
+                    [v, s](const Tensor& g) {
+                      MaybeAccumulate(v, ops::MulScalar(g, s));
+                    });
+}
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  Tensor out = ops::MatMul(a.data(), b.data());
+  return MakeResult(std::move(out), "matmul", {a, b},
+                    [a, b](const Tensor& g) {
+                      if (a.requires_grad()) {
+                        a.AccumulateGrad(ops::Gemm(g, b.data(), false, true));
+                      }
+                      if (b.requires_grad()) {
+                        b.AccumulateGrad(ops::Gemm(a.data(), g, true, false));
+                      }
+                    });
+}
+
+Variable BatchMatMul(const Variable& a, const Variable& b) {
+  Tensor out = ops::BatchMatMul(a.data(), b.data());
+  return MakeResult(std::move(out), "bmm", {a, b}, [a, b](const Tensor& g) {
+    if (a.requires_grad()) {
+      a.AccumulateGrad(ops::BatchGemm(g, b.data(), false, true));
+    }
+    if (b.requires_grad()) {
+      b.AccumulateGrad(ops::BatchGemm(a.data(), g, true, false));
+    }
+  });
+}
+
+Variable Transpose(const Variable& v, int64_t d0, int64_t d1) {
+  return MakeResult(ops::Transpose(v.data(), d0, d1), "transpose", {v},
+                    [v, d0, d1](const Tensor& g) {
+                      MaybeAccumulate(v, ops::Transpose(g, d0, d1));
+                    });
+}
+
+Variable Reshape(const Variable& v, Shape new_shape) {
+  Shape old_shape = v.shape();
+  Tensor out = v.data().Reshape(std::move(new_shape)).Clone();
+  return MakeResult(std::move(out), "reshape", {v},
+                    [v, old_shape](const Tensor& g) {
+                      MaybeAccumulate(v, g.Reshape(old_shape).Clone());
+                    });
+}
+
+Variable Concat(const std::vector<Variable>& parts, int64_t axis) {
+  ENHANCENET_CHECK(!parts.empty());
+  std::vector<Tensor> tensors;
+  tensors.reserve(parts.size());
+  for (const Variable& p : parts) tensors.push_back(p.data());
+  Tensor out = ops::Concat(tensors, axis);
+  const int64_t resolved_axis = axis < 0 ? axis + parts[0].data().dim() : axis;
+  return MakeResult(
+      std::move(out), "concat", parts,
+      [parts, resolved_axis](const Tensor& g) {
+        int64_t offset = 0;
+        for (const Variable& p : parts) {
+          const int64_t len = p.size(resolved_axis);
+          if (p.requires_grad()) {
+            p.AccumulateGrad(ops::Slice(g, resolved_axis, offset, len));
+          }
+          offset += len;
+        }
+      });
+}
+
+Variable Slice(const Variable& v, int64_t axis, int64_t start, int64_t length) {
+  const int64_t resolved_axis = axis < 0 ? axis + v.data().dim() : axis;
+  const int64_t total = v.size(resolved_axis);
+  Tensor out = ops::Slice(v.data(), resolved_axis, start, length);
+  return MakeResult(std::move(out), "slice", {v},
+                    [v, resolved_axis, start, length, total](const Tensor& g) {
+                      MaybeAccumulate(
+                          v, ops::PadAxis(g, resolved_axis, start,
+                                          total - start - length));
+                    });
+}
+
+Variable PadAxis(const Variable& v, int64_t axis, int64_t before,
+                 int64_t after) {
+  const int64_t resolved_axis = axis < 0 ? axis + v.data().dim() : axis;
+  const int64_t len = v.size(resolved_axis);
+  Tensor out = ops::PadAxis(v.data(), resolved_axis, before, after);
+  return MakeResult(std::move(out), "pad", {v},
+                    [v, resolved_axis, before, len](const Tensor& g) {
+                      MaybeAccumulate(
+                          v, ops::Slice(g, resolved_axis, before, len));
+                    });
+}
+
+Variable SumAll(const Variable& v) {
+  Shape in_shape = v.shape();
+  return MakeResult(ops::SumAll(v.data()), "sum_all", {v},
+                    [v, in_shape](const Tensor& g) {
+                      MaybeAccumulate(v, Tensor::Full(in_shape, g.item()));
+                    });
+}
+
+Variable MeanAll(const Variable& v) {
+  Shape in_shape = v.shape();
+  const float scale = 1.0f / static_cast<float>(v.numel());
+  return MakeResult(ops::MeanAll(v.data()), "mean_all", {v},
+                    [v, in_shape, scale](const Tensor& g) {
+                      MaybeAccumulate(v,
+                                      Tensor::Full(in_shape, g.item() * scale));
+                    });
+}
+
+Variable Sum(const Variable& v, int64_t axis, bool keepdim) {
+  const int64_t resolved_axis = axis < 0 ? axis + v.data().dim() : axis;
+  Shape in_shape = v.shape();
+  Tensor out = ops::Sum(v.data(), resolved_axis, keepdim);
+  return MakeResult(std::move(out), "sum", {v},
+                    [v, in_shape, resolved_axis, keepdim](const Tensor& g) {
+                      if (!v.requires_grad()) return;
+                      Tensor gk = g;
+                      if (!keepdim) {
+                        Shape kshape = in_shape;
+                        kshape[static_cast<size_t>(resolved_axis)] = 1;
+                        gk = g.Reshape(kshape);
+                      }
+                      v.AccumulateGrad(ExpandAlong(gk, in_shape));
+                    });
+}
+
+Variable Mean(const Variable& v, int64_t axis, bool keepdim) {
+  const int64_t resolved_axis = axis < 0 ? axis + v.data().dim() : axis;
+  const float scale = 1.0f / static_cast<float>(v.size(resolved_axis));
+  return MulScalar(Sum(v, resolved_axis, keepdim), scale);
+}
+
+Variable SoftmaxLastDim(const Variable& v) {
+  Tensor y = ops::SoftmaxLastDim(v.data());
+  return MakeResult(y, "softmax", {v}, [v, y](const Tensor& g) {
+    if (!v.requires_grad()) return;
+    // dx = y * (g - sum(g * y, last, keepdim))
+    Tensor gy = ops::Mul(g, y);
+    Tensor s = ops::Sum(gy, -1, /*keepdim=*/true);
+    v.AccumulateGrad(ops::Mul(y, ops::Sub(g, s)));
+  });
+}
+
+Variable Dropout(const Variable& v, float p, bool training, Rng& rng) {
+  ENHANCENET_CHECK(p >= 0.0f && p < 1.0f) << "dropout p=" << p;
+  if (!training || p == 0.0f) return v;
+  Tensor mask(v.shape());
+  const float keep_scale = 1.0f / (1.0f - p);
+  float* m = mask.data();
+  for (int64_t i = 0; i < mask.numel(); ++i) {
+    m[i] = (rng.Uniform() < p) ? 0.0f : keep_scale;
+  }
+  Tensor out = ops::Mul(v.data(), mask);
+  return MakeResult(std::move(out), "dropout", {v},
+                    [v, mask](const Tensor& g) {
+                      MaybeAccumulate(v, ops::Mul(g, mask));
+                    });
+}
+
+}  // namespace autograd
+}  // namespace enhancenet

@@ -1,0 +1,66 @@
+#ifndef ENHANCENET_AUTOGRAD_OPS_H_
+#define ENHANCENET_AUTOGRAD_OPS_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "common/rng.h"
+
+namespace enhancenet {
+namespace autograd {
+
+// Differentiable operations on Variables. Each returns a new Variable; if no
+// input requires a gradient, the result is a detached leaf (no graph is
+// recorded). Shapes follow the semantics of the corresponding kernels in
+// tensor/tensor_ops.h.
+
+// --- elementwise binary (broadcasting) -------------------------------------
+Variable Add(const Variable& a, const Variable& b);
+Variable Sub(const Variable& a, const Variable& b);
+Variable Mul(const Variable& a, const Variable& b);
+
+// --- elementwise unary -------------------------------------------------------
+Variable Neg(const Variable& v);
+Variable Abs(const Variable& v);
+Variable Sigmoid(const Variable& v);
+Variable Tanh(const Variable& v);
+Variable Relu(const Variable& v);
+Variable Exp(const Variable& v);
+Variable Log(const Variable& v);
+Variable Sqrt(const Variable& v);
+Variable Square(const Variable& v);
+
+// --- scalar ------------------------------------------------------------------
+Variable AddScalar(const Variable& v, float s);
+Variable MulScalar(const Variable& v, float s);
+
+// --- linear algebra ----------------------------------------------------------
+/// C[M,N] = A[M,K] * B[K,N].
+Variable MatMul(const Variable& a, const Variable& b);
+/// C[B,M,N] = A[B,M,K] * B[B,K,N].
+Variable BatchMatMul(const Variable& a, const Variable& b);
+
+// --- movement ----------------------------------------------------------------
+Variable Transpose(const Variable& v, int64_t d0, int64_t d1);
+Variable Reshape(const Variable& v, Shape new_shape);
+Variable Concat(const std::vector<Variable>& parts, int64_t axis);
+Variable Slice(const Variable& v, int64_t axis, int64_t start, int64_t length);
+Variable PadAxis(const Variable& v, int64_t axis, int64_t before,
+                 int64_t after);
+
+// --- reductions / normalization ----------------------------------------------
+Variable SumAll(const Variable& v);
+Variable MeanAll(const Variable& v);
+Variable Sum(const Variable& v, int64_t axis, bool keepdim);
+Variable Mean(const Variable& v, int64_t axis, bool keepdim);
+Variable SoftmaxLastDim(const Variable& v);
+
+// --- regularization ----------------------------------------------------------
+/// Inverted dropout: zeroes elements with probability p and scales the rest
+/// by 1/(1-p). Identity when !training or p == 0.
+Variable Dropout(const Variable& v, float p, bool training, Rng& rng);
+
+}  // namespace autograd
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_AUTOGRAD_OPS_H_

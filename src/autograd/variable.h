@@ -1,0 +1,96 @@
+#ifndef ENHANCENET_AUTOGRAD_VARIABLE_H_
+#define ENHANCENET_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace enhancenet {
+namespace autograd {
+
+/// A node in the dynamic (define-by-run) computation graph.
+/// Users interact with Variable; Node is an implementation detail shared by
+/// the op library in ops.h.
+struct Node {
+  Tensor data;
+  Tensor grad;  // valid only when grad_defined
+  bool grad_defined = false;
+  bool requires_grad = false;
+  bool is_leaf = true;
+  const char* op_name = "leaf";
+  /// Parents in the graph (inputs of the op that produced this node).
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Propagates `grad_out` (d loss / d this) into the parents' grads.
+  /// Empty for leaves.
+  std::function<void(const Tensor& grad_out)> backward_fn;
+};
+
+/// Value-semantic handle to a computation-graph node, in the spirit of
+/// torch.Tensor with requires_grad. Copies share the node.
+///
+/// Typical use:
+///   Variable w = Variable::Leaf(Tensor::Randn({4, 4}, rng), true);
+///   Variable loss = MeanAll(Square(MatMul(x, w)));
+///   loss.Backward();
+///   ... w.grad() now holds d loss / d w ...
+class Variable {
+ public:
+  /// A null handle; defined() is false.
+  Variable() = default;
+
+  /// Wraps `data` as a graph leaf.
+  explicit Variable(Tensor data, bool requires_grad = false);
+
+  /// Named factory for readability at call sites.
+  static Variable Leaf(Tensor data, bool requires_grad);
+
+  /// Internal: wraps an op-produced node.
+  static Variable FromNode(std::shared_ptr<Node> node);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& data() const;
+  /// Mutable access to the underlying values; used by optimizers to apply
+  /// parameter updates in place.
+  Tensor& mutable_data();
+
+  const Shape& shape() const { return data().shape(); }
+  int64_t size(int64_t d) const { return data().size(d); }
+  int64_t numel() const { return data().numel(); }
+
+  bool requires_grad() const;
+  void set_requires_grad(bool requires_grad);
+
+  /// True once a gradient has been accumulated into this node.
+  bool has_grad() const;
+  /// The accumulated gradient; CHECK-fails unless has_grad().
+  const Tensor& grad() const;
+  /// Mutable gradient access (used by gradient clipping).
+  Tensor& mutable_grad();
+  /// Drops the accumulated gradient (if any).
+  void ZeroGrad();
+
+  /// Adds `g` into this node's gradient buffer (allocating it on first use).
+  /// const because it mutates the shared node, not the handle.
+  void AccumulateGrad(const Tensor& g) const;
+
+  /// Runs reverse-mode differentiation from this (scalar) variable: seeds
+  /// d self/d self = 1 and propagates through the graph in reverse
+  /// topological order. CHECK-fails if this variable is not a single element.
+  void Backward();
+
+  /// Returns a leaf variable sharing this data but cut off from the graph.
+  Variable Detach() const;
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+}  // namespace autograd
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_AUTOGRAD_VARIABLE_H_

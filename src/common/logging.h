@@ -1,0 +1,56 @@
+#ifndef ENHANCENET_COMMON_LOGGING_H_
+#define ENHANCENET_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace enhancenet {
+namespace internal_logging {
+
+/// Accumulates a failure message and aborts the process on destruction.
+/// Used by the CHECK macros below; never instantiate directly.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+  [[noreturn]] ~CheckFailure() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace enhancenet
+
+/// Aborts with a message when `condition` is false. For programmer errors
+/// (violated invariants, shape mismatches); user-facing fallible operations
+/// return Status instead. Additional context can be streamed:
+///   ENHANCENET_CHECK(a == b) << "a=" << a;
+#define ENHANCENET_CHECK(condition)                                        \
+  if (condition) {                                                         \
+  } else /* NOLINT */                                                      \
+    ::enhancenet::internal_logging::CheckFailure(__FILE__, __LINE__,       \
+                                                 #condition)              \
+        .stream()
+
+#define ENHANCENET_CHECK_EQ(a, b) \
+  ENHANCENET_CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define ENHANCENET_CHECK_NE(a, b) \
+  ENHANCENET_CHECK((a) != (b)) << " (" << (a) << " vs " << (b) << ") "
+#define ENHANCENET_CHECK_LT(a, b) \
+  ENHANCENET_CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define ENHANCENET_CHECK_LE(a, b) \
+  ENHANCENET_CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define ENHANCENET_CHECK_GT(a, b) \
+  ENHANCENET_CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define ENHANCENET_CHECK_GE(a, b) \
+  ENHANCENET_CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+#endif  // ENHANCENET_COMMON_LOGGING_H_

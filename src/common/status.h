@@ -1,0 +1,68 @@
+#ifndef ENHANCENET_COMMON_STATUS_H_
+#define ENHANCENET_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace enhancenet {
+
+/// Error categories for fallible, user-facing operations. Programmer errors
+/// (shape mismatches inside the tensor library, violated invariants) use the
+/// CHECK macros in logging.h instead and abort.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// A lightweight success-or-error result, modelled after absl::Status /
+/// rocksdb::Status. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "INVALID_ARGUMENT: bad horizon".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller.
+#define ENHANCENET_RETURN_IF_ERROR(expr)              \
+  do {                                                \
+    ::enhancenet::Status _status = (expr);            \
+    if (!_status.ok()) return _status;                \
+  } while (0)
+
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_COMMON_STATUS_H_

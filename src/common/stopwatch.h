@@ -1,0 +1,32 @@
+#ifndef ENHANCENET_COMMON_STOPWATCH_H_
+#define ENHANCENET_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace enhancenet {
+
+/// Wall-clock stopwatch used by the Trainer and the runtime benchmarks
+/// (Table V).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start time to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_COMMON_STOPWATCH_H_

@@ -1,0 +1,89 @@
+#include "core/damgn.h"
+
+#include "common/logging.h"
+#include "graph/adjacency.h"
+#include "nn/init.h"
+
+namespace enhancenet {
+namespace core {
+
+namespace ag = ::enhancenet::autograd;
+
+Damgn::Damgn(Tensor static_adjacency, int64_t num_entities,
+             int64_t in_channels, int64_t mem_dim, int64_t embed_dim, Rng& rng)
+    : num_entities_(num_entities),
+      in_channels_(in_channels),
+      theta_(in_channels, embed_dim, rng, /*bias=*/false),
+      phi_(in_channels, embed_dim, rng, /*bias=*/false) {
+  ENHANCENET_CHECK_EQ(static_adjacency.dim(), 2);
+  ENHANCENET_CHECK_EQ(static_adjacency.size(0), num_entities);
+  ENHANCENET_CHECK_EQ(static_adjacency.size(1), num_entities);
+  static_adj_ = ag::Variable::Leaf(graph::RowNormalize(static_adjacency),
+                                   /*requires_grad=*/false);
+  b1_ = RegisterParameter("b1",
+                          nn::GlorotUniform({num_entities, mem_dim}, rng));
+  b2_ = RegisterParameter("b2",
+                          nn::GlorotUniform({num_entities, mem_dim}, rng));
+  RegisterSubmodule("theta", &theta_);
+  RegisterSubmodule("phi", &phi_);
+  // λ_A = 1, λ_B = λ_C = 0: the enhanced graph convolution starts out
+  // identical to the base one and learns to deviate.
+  lambda_a_ = RegisterParameter("lambda_a", Tensor::Scalar(1.0f));
+  lambda_b_ = RegisterParameter("lambda_b", Tensor::Scalar(0.0f));
+  lambda_c_ = RegisterParameter("lambda_c", Tensor::Scalar(0.0f));
+}
+
+ag::Variable Damgn::AdaptiveB() const {
+  // B = softmax(ReLU(B₁ B₂ᵀ))                        (Equation 15)
+  ag::Variable scores =
+      ag::MatMul(b1_, ag::Transpose(b2_, 0, 1));  // [N, N]
+  return ag::SoftmaxLastDim(ag::Relu(scores));
+}
+
+ag::Variable Damgn::DynamicC(const ag::Variable& x) const {
+  ENHANCENET_CHECK_EQ(x.data().dim(), 3);
+  ENHANCENET_CHECK_EQ(x.size(1), num_entities_);
+  ENHANCENET_CHECK_EQ(x.size(2), in_channels_);
+  // C[i,j] = exp(θ(x_i)ᵀ φ(x_j)) / Σ_j exp(θ(x_i)ᵀ φ(x_j))   (Equation 16)
+  ag::Variable e_src = theta_.Forward(x);  // [B, N, e]
+  ag::Variable e_dst = phi_.Forward(x);    // [B, N, e]
+  ag::Variable scores =
+      ag::BatchMatMul(e_src, ag::Transpose(e_dst, 1, 2));  // [B, N, N]
+  return ag::SoftmaxLastDim(scores);
+}
+
+ag::Variable Damgn::Combined(const ag::Variable& x) const {
+  // A' = λ_A·A + λ_B·B + λ_C·C_t                       (Equation 13)
+  ag::Variable static_part = ag::Add(ag::Mul(lambda_a_, static_adj_),
+                                     ag::Mul(lambda_b_, AdaptiveB()));
+  ag::Variable dynamic_part = ag::Mul(lambda_c_, DynamicC(x));  // [B, N, N]
+  return ag::Add(dynamic_part, static_part);  // broadcast over batch
+}
+
+std::vector<ag::Variable> Damgn::CombinedSupports(const ag::Variable& x,
+                                                  int max_hops,
+                                                  bool bidirectional) const {
+  ENHANCENET_CHECK_GE(max_hops, 1);
+  std::vector<ag::Variable> supports;
+  const ag::Variable combined = Combined(x);
+  supports.push_back(combined);
+  ag::Variable power = combined;
+  for (int hop = 2; hop <= max_hops; ++hop) {
+    // (A')ᵏ replaces Aᵏ for k-hop neighbourhoods (Sec. V-A).
+    power = ag::BatchMatMul(power, combined);
+    supports.push_back(power);
+  }
+  if (bidirectional) {
+    const ag::Variable transposed = ag::Transpose(combined, 1, 2);
+    supports.push_back(transposed);
+    ag::Variable tpower = transposed;
+    for (int hop = 2; hop <= max_hops; ++hop) {
+      tpower = ag::BatchMatMul(tpower, transposed);
+      supports.push_back(tpower);
+    }
+  }
+  return supports;
+}
+
+}  // namespace core
+}  // namespace enhancenet

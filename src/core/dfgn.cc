@@ -1,0 +1,58 @@
+#include "core/dfgn.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace core {
+
+namespace ag = ::enhancenet::autograd;
+
+Dfgn::Dfgn(int64_t memory_dim, int64_t hidden1, int64_t hidden2,
+           int64_t output_size, Rng& rng)
+    : memory_dim_(memory_dim),
+      output_size_(output_size),
+      fc1_(memory_dim, hidden1, rng, /*bias=*/false),
+      fc2_(hidden1, hidden2, rng, /*bias=*/false),
+      head_(hidden2, output_size, rng, /*bias=*/false) {
+  RegisterSubmodule("fc1", &fc1_);
+  RegisterSubmodule("fc2", &fc2_);
+  RegisterSubmodule("head", &head_);
+}
+
+ag::Variable Dfgn::Generate(const ag::Variable& memory) const {
+  ENHANCENET_CHECK_EQ(memory.size(-1), memory_dim_);
+  ag::Variable h = ag::Relu(fc1_.Forward(memory));
+  h = ag::Relu(fc2_.Forward(h));
+  return head_.Forward(h);
+}
+
+void Dfgn::CalibrateGeneratedScale(const ag::Variable& memory, int64_t fan_in,
+                                   int64_t fan_out) {
+  ENHANCENET_CHECK_GT(fan_in, 0);
+  ENHANCENET_CHECK_GT(fan_out, 0);
+  const Tensor generated = Generate(memory).data();
+  double sum = 0.0;
+  double sq = 0.0;
+  const float* p = generated.data();
+  for (int64_t i = 0; i < generated.numel(); ++i) {
+    sum += p[i];
+    sq += static_cast<double>(p[i]) * p[i];
+  }
+  const double n = static_cast<double>(generated.numel());
+  const double mean = sum / n;
+  const double std = std::sqrt(std::max(sq / n - mean * mean, 1e-30));
+  // Glorot-uniform std for a direct [fan_in, fan_out] weight.
+  const double target =
+      std::sqrt(2.0 / static_cast<double>(fan_in + fan_out));
+  const float gain = static_cast<float>(target / std);
+  // One parameter owns the output scale: the head weights.
+  auto params = head_.Parameters();
+  ENHANCENET_CHECK_EQ(params.size(), 1u);
+  float* w = params[0].mutable_data().data();
+  for (int64_t i = 0; i < params[0].numel(); ++i) w[i] *= gain;
+}
+
+}  // namespace core
+}  // namespace enhancenet

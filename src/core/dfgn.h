@@ -1,0 +1,55 @@
+#ifndef ENHANCENET_CORE_DFGN_H_
+#define ENHANCENET_CORE_DFGN_H_
+
+#include "autograd/ops.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace enhancenet {
+namespace core {
+
+/// Distinct Filter Generation Network (Sec. IV-C, Figure 6).
+///
+/// A small feed-forward network, shared by all entities, that maps each
+/// entity's memory vector M⁽ⁱ⁾ ∈ R^m to that entity's filters:
+///
+///   W⁽ⁱ⁾ = DFGN(M⁽ⁱ⁾) = Head(ReLU(FC₂(ReLU(FC₁(M⁽ⁱ⁾)))))
+///
+/// The trunk is m → n₁ → n₂ with ReLU activations; the head is a linear map
+/// n₂ → o where o is the flattened filter size required by the consumer
+/// (o = 3C'(C+C') for a GRU unit, o = C'·C·K per TCN layer). Parameter count
+/// is m·n₁ + n₁·n₂ + n₂·o (+ the N·m memories owned by EntityMemoryBank),
+/// matching the closed-form analysis of Sec. IV-C.
+class Dfgn : public nn::Module {
+ public:
+  /// `output_size` is o above. Bias-free linears keep the count identical to
+  /// the paper's formula.
+  Dfgn(int64_t memory_dim, int64_t hidden1, int64_t hidden2,
+       int64_t output_size, Rng& rng);
+
+  /// memory: [N, m] -> generated filters [N, o].
+  autograd::Variable Generate(const autograd::Variable& memory) const;
+
+  /// Rescales the head weights (in place, once, at construction time) so
+  /// that the filters generated from the *initial* memories have the same
+  /// standard deviation Glorot initialization would give a [fan_in, fan_out]
+  /// weight directly. Without this the generated filters start orders of
+  /// magnitude too small (three stacked small linears shrink the scale) and
+  /// the enhanced models train far slower than their bases.
+  void CalibrateGeneratedScale(const autograd::Variable& memory,
+                               int64_t fan_in, int64_t fan_out);
+
+  int64_t output_size() const { return output_size_; }
+
+ private:
+  int64_t memory_dim_;
+  int64_t output_size_;
+  nn::Linear fc1_;
+  nn::Linear fc2_;
+  nn::Linear head_;
+};
+
+}  // namespace core
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_CORE_DFGN_H_

@@ -1,0 +1,111 @@
+#ifndef ENHANCENET_CORE_ENHANCE_GRU_CELL_H_
+#define ENHANCENET_CORE_ENHANCE_GRU_CELL_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "core/dfgn.h"
+#include "nn/module.h"
+
+namespace enhancenet {
+namespace core {
+
+/// Configuration of an EnhanceGruCell.
+struct GruCellConfig {
+  int64_t num_entities = 0;
+  int64_t in_channels = 0;   // C of this cell's per-step input
+  int64_t hidden = 0;        // C'
+  /// Number of adjacency supports passed to Forward (0 disables graph
+  /// convolution; the identity term is always present).
+  int64_t num_supports = 0;
+  /// Entity-specific filters via DFGN instead of shared filters.
+  bool use_dfgn = false;
+  int64_t dfgn_hidden1 = 16;  // n₁
+  int64_t dfgn_hidden2 = 4;   // n₂
+};
+
+/// GRU cell covering the paper's whole RNN-family design space.
+///
+/// The fundamental operation W·x + U·h of Equations 3–5 is realized as a
+/// single channel-mixing transform applied to the concatenation [x ‖ h]
+/// (and [x ‖ r⊙h] for the candidate state). Three orthogonal switches:
+///
+///  * num_supports = 0      -> plain GRU (RNN / D-RNN)
+///  * num_supports > 0      -> matmul replaced by graph convolution over the
+///                             supplied supports (Sec. V-C1: GRNN family)
+///  * use_dfgn = false      -> shared, entity-invariant filters (Fig. 4a)
+///  * use_dfgn = true       -> filters generated per entity by a DFGN from
+///                             the shared memory bank (Fig. 4b/4c)
+///
+/// Dynamic supports (from DAMGN) and static supports are interchangeable:
+/// Forward accepts [N,N] or [B,N,N] matrices.
+class EnhanceGruCell : public nn::Module {
+ public:
+  /// The cell's per-entity filter banks for one forward pass. Generating
+  /// them is decoupled from the step computation so a recurrent model can
+  /// generate once per sequence instead of once per step — the filters only
+  /// depend on the memories, not on the step inputs.
+  struct Filters {
+    autograd::Variable w_ru;  // [N, mixed_in, 2C'] or [mixed_in, 2C'] shared
+    autograd::Variable w_c;   // [N, mixed_in, C']  or [mixed_in, C']
+  };
+
+  /// `memory` is the model-wide entity memory bank ([N, m] Variable); it is
+  /// borrowed and must outlive the cell. Required iff config.use_dfgn.
+  EnhanceGruCell(const GruCellConfig& config, const autograd::Variable* memory,
+                 Rng& rng);
+
+  /// Produces this pass's filters (runs the DFGN, or returns the shared
+  /// weights). Call once per sequence and reuse across steps.
+  Filters GenerateFilters() const;
+
+  /// x: [B,N,C], h: [B,N,C'], supports: config.num_supports matrices
+  /// ([N,N] or [B,N,N]). Returns the new hidden state [B,N,C'].
+  autograd::Variable Forward(const autograd::Variable& x,
+                             const autograd::Variable& h,
+                             const std::vector<autograd::Variable>& supports,
+                             const Filters& filters) const;
+
+  /// Convenience overload that generates filters internally (single-step
+  /// uses; recurrent models should hoist GenerateFilters()).
+  autograd::Variable Forward(
+      const autograd::Variable& x, const autograd::Variable& h,
+      const std::vector<autograd::Variable>& supports) const {
+    return Forward(x, h, supports, GenerateFilters());
+  }
+
+  const GruCellConfig& config() const { return config_; }
+
+ private:
+  /// Channel-mixing transform: mixed [B,N,Cin] -> [B,N,Cout], either via the
+  /// shared weight or the per-entity generated bank.
+  autograd::Variable Transform(const autograd::Variable& mixed,
+                               const autograd::Variable& weight,
+                               const autograd::Variable& bias,
+                               int64_t in_dim, int64_t out_dim) const;
+
+  GruCellConfig config_;
+  const autograd::Variable* memory_;  // borrowed; null unless use_dfgn
+
+  // Input widths of the two transforms after support mixing.
+  int64_t mixed_in_;  // (1 + S) * (C + C')
+
+  // Shared-filter path.
+  autograd::Variable w_ru_;  // [mixed_in, 2C']
+  autograd::Variable w_c_;   // [mixed_in, C']
+
+  // DFGN path: one generator emits both filter banks, as the paper's DFGN
+  // outputs all six GRU filters at once (Sec. IV-C1).
+  std::unique_ptr<Dfgn> dfgn_;
+
+  // Gate biases are shared across entities in both paths (the paper's
+  // parameter analysis counts only the W/U filters).
+  autograd::Variable b_ru_;  // [2C']
+  autograd::Variable b_c_;   // [C']
+};
+
+}  // namespace core
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_CORE_ENHANCE_GRU_CELL_H_

@@ -1,0 +1,40 @@
+#ifndef ENHANCENET_CORE_ENTITY_MEMORY_H_
+#define ENHANCENET_CORE_ENTITY_MEMORY_H_
+
+#include "nn/init.h"
+#include "nn/module.h"
+
+namespace enhancenet {
+namespace core {
+
+/// The per-entity learnable memory bank M ∈ R^{N×m} of Sec. IV-C.
+///
+/// Memories are randomly initialized from a uniform distribution (as in the
+/// paper's experimental setup) and trained end-to-end: backpropagation
+/// through the DFGN shapes each entity's memory so that it encodes that
+/// entity's temporal dynamics. A model owns exactly one bank, shared by
+/// every DFGN attached to the model.
+class EntityMemoryBank : public nn::Module {
+ public:
+  EntityMemoryBank(int64_t num_entities, int64_t memory_dim, Rng& rng)
+      : num_entities_(num_entities), memory_dim_(memory_dim) {
+    memory_ = RegisterParameter(
+        "memory", nn::UniformInit({num_entities, memory_dim}, rng));
+  }
+
+  /// The [N, m] memory matrix as a trainable Variable.
+  const autograd::Variable& memory() const { return memory_; }
+
+  int64_t num_entities() const { return num_entities_; }
+  int64_t memory_dim() const { return memory_dim_; }
+
+ private:
+  int64_t num_entities_;
+  int64_t memory_dim_;
+  autograd::Variable memory_;
+};
+
+}  // namespace core
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_CORE_ENTITY_MEMORY_H_

@@ -1,0 +1,192 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace data {
+
+Splits ChronologicalSplits(int64_t total_steps, double train_frac,
+                           double val_frac) {
+  ENHANCENET_CHECK_GT(total_steps, 0);
+  ENHANCENET_CHECK(train_frac > 0 && val_frac >= 0 &&
+                   train_frac + val_frac < 1.0)
+      << "bad split fractions";
+  Splits s;
+  s.total = total_steps;
+  s.train_end = static_cast<int64_t>(std::llround(total_steps * train_frac));
+  s.val_end = static_cast<int64_t>(
+      std::llround(total_steps * (train_frac + val_frac)));
+  s.train_end = std::clamp<int64_t>(s.train_end, 1, total_steps - 2);
+  s.val_end = std::clamp<int64_t>(s.val_end, s.train_end + 1, total_steps - 1);
+  return s;
+}
+
+void StandardScaler::Fit(const Tensor& series, int64_t t_begin,
+                         int64_t t_end) {
+  ENHANCENET_CHECK_EQ(series.dim(), 3);
+  ENHANCENET_CHECK(0 <= t_begin && t_begin < t_end && t_end <= series.size(1));
+  const int64_t n = series.size(0);
+  const int64_t t_total = series.size(1);
+  const int64_t c = series.size(2);
+  means_.assign(static_cast<size_t>(c), 0.0f);
+  stds_.assign(static_cast<size_t>(c), 1.0f);
+  const float* p = series.data();
+  for (int64_t ch = 0; ch < c; ++ch) {
+    double sum = 0.0;
+    double sq = 0.0;
+    int64_t count = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t t = t_begin; t < t_end; ++t) {
+        const double v = p[(i * t_total + t) * c + ch];
+        sum += v;
+        sq += v * v;
+        ++count;
+      }
+    }
+    const double mean = sum / static_cast<double>(count);
+    const double var =
+        std::max(sq / static_cast<double>(count) - mean * mean, 1e-12);
+    means_[static_cast<size_t>(ch)] = static_cast<float>(mean);
+    stds_[static_cast<size_t>(ch)] = static_cast<float>(std::sqrt(var));
+  }
+}
+
+Tensor StandardScaler::Transform(const Tensor& series) const {
+  ENHANCENET_CHECK_EQ(series.dim(), 3);
+  ENHANCENET_CHECK_EQ(series.size(2), num_channels());
+  Tensor out = series.Clone();
+  float* p = out.data();
+  const int64_t c = series.size(2);
+  const int64_t rows = series.numel() / c;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t ch = 0; ch < c; ++ch) {
+      float& v = p[r * c + ch];
+      v = (v - means_[static_cast<size_t>(ch)]) /
+          stds_[static_cast<size_t>(ch)];
+    }
+  }
+  return out;
+}
+
+Tensor StandardScaler::InverseTarget(const Tensor& scaled,
+                                     int64_t target_channel) const {
+  ENHANCENET_CHECK(target_channel >= 0 && target_channel < num_channels());
+  const float mean = means_[static_cast<size_t>(target_channel)];
+  const float sd = stds_[static_cast<size_t>(target_channel)];
+  Tensor out = scaled.Clone();
+  float* p = out.data();
+  for (int64_t i = 0; i < out.numel(); ++i) p[i] = p[i] * sd + mean;
+  return out;
+}
+
+float StandardScaler::mean(int64_t channel) const {
+  ENHANCENET_CHECK(channel >= 0 && channel < num_channels());
+  return means_[static_cast<size_t>(channel)];
+}
+
+float StandardScaler::stddev(int64_t channel) const {
+  ENHANCENET_CHECK(channel >= 0 && channel < num_channels());
+  return stds_[static_cast<size_t>(channel)];
+}
+
+WindowDataset::WindowDataset(Tensor scaled_series, Tensor raw_series,
+                             int64_t target_channel, int64_t t_begin,
+                             int64_t t_end, int64_t history, int64_t horizon,
+                             int64_t stride)
+    : scaled_(std::move(scaled_series)),
+      raw_(std::move(raw_series)),
+      target_channel_(target_channel),
+      history_(history),
+      horizon_(horizon) {
+  ENHANCENET_CHECK_EQ(scaled_.dim(), 3);
+  ENHANCENET_CHECK(scaled_.shape() == raw_.shape());
+  ENHANCENET_CHECK(history >= 1 && horizon >= 1 && stride >= 1);
+  ENHANCENET_CHECK(0 <= t_begin && t_end <= scaled_.size(1));
+  // Anchor t: inputs [t-H+1, t], outputs [t+1, t+F], all inside the range.
+  for (int64_t t = t_begin + history - 1; t + horizon < t_end; t += stride) {
+    anchors_.push_back(t);
+  }
+}
+
+Batch WindowDataset::MakeBatch(const std::vector<int64_t>& indices) const {
+  ENHANCENET_CHECK(!indices.empty());
+  const int64_t batch = static_cast<int64_t>(indices.size());
+  const int64_t n = scaled_.size(0);
+  const int64_t t_total = scaled_.size(1);
+  const int64_t c = scaled_.size(2);
+
+  Batch out;
+  out.x = Tensor({batch, n, history_, c});
+  out.y_scaled = Tensor({batch, n, horizon_});
+  out.y_raw = Tensor({batch, n, horizon_});
+
+  const float* ps = scaled_.data();
+  const float* pr = raw_.data();
+  float* px = out.x.data();
+  float* pys = out.y_scaled.data();
+  float* pyr = out.y_raw.data();
+
+  for (int64_t b = 0; b < batch; ++b) {
+    const int64_t idx = indices[static_cast<size_t>(b)];
+    ENHANCENET_CHECK(idx >= 0 && idx < num_windows());
+    const int64_t anchor = anchors_[static_cast<size_t>(idx)];
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t h = 0; h < history_; ++h) {
+        const int64_t t = anchor - history_ + 1 + h;
+        const float* src = ps + (i * t_total + t) * c;
+        float* dst = px + ((b * n + i) * history_ + h) * c;
+        std::copy(src, src + c, dst);
+      }
+      for (int64_t f = 0; f < horizon_; ++f) {
+        const int64_t t = anchor + 1 + f;
+        pys[(b * n + i) * horizon_ + f] =
+            ps[(i * t_total + t) * c + target_channel_];
+        pyr[(b * n + i) * horizon_ + f] =
+            pr[(i * t_total + t) * c + target_channel_];
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> WindowDataset::AllIndices() const {
+  std::vector<int64_t> idx(static_cast<size_t>(num_windows()));
+  for (int64_t i = 0; i < num_windows(); ++i) idx[static_cast<size_t>(i)] = i;
+  return idx;
+}
+
+std::vector<std::vector<int64_t>> WindowDataset::ShuffledBatches(
+    int64_t batch_size, Rng& rng) const {
+  ENHANCENET_CHECK_GT(batch_size, 0);
+  std::vector<int64_t> idx = AllIndices();
+  // Fisher–Yates with our deterministic Rng.
+  for (int64_t i = static_cast<int64_t>(idx.size()) - 1; i > 0; --i) {
+    const int64_t j =
+        static_cast<int64_t>(rng.UniformInt(static_cast<uint64_t>(i + 1)));
+    std::swap(idx[static_cast<size_t>(i)], idx[static_cast<size_t>(j)]);
+  }
+  std::vector<std::vector<int64_t>> batches;
+  for (size_t start = 0; start < idx.size(); start += batch_size) {
+    const size_t end = std::min(idx.size(), start + batch_size);
+    batches.emplace_back(idx.begin() + start, idx.begin() + end);
+  }
+  return batches;
+}
+
+std::vector<std::vector<int64_t>> WindowDataset::SequentialBatches(
+    int64_t batch_size) const {
+  ENHANCENET_CHECK_GT(batch_size, 0);
+  std::vector<int64_t> idx = AllIndices();
+  std::vector<std::vector<int64_t>> batches;
+  for (size_t start = 0; start < idx.size(); start += batch_size) {
+    const size_t end = std::min(idx.size(), start + batch_size);
+    batches.emplace_back(idx.begin() + start, idx.begin() + end);
+  }
+  return batches;
+}
+
+}  // namespace data
+}  // namespace enhancenet

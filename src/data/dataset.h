@@ -1,0 +1,122 @@
+#ifndef ENHANCENET_DATA_DATASET_H_
+#define ENHANCENET_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace enhancenet {
+namespace data {
+
+/// A correlated time series dataset: N entities observed over T timestamps
+/// with C attributes each (Sec. III-A), plus the side information needed to
+/// build the distance-based adjacency matrix and the location plots.
+struct CtsData {
+  std::string name;
+  Tensor series;     // [N, T, C] raw (unscaled) attribute values
+  Tensor distances;  // [N, N] pairwise distances (may be asymmetric)
+  Tensor locations;  // [N, 2] coordinates, for Figure 11
+  int64_t target_channel = 0;
+  int64_t steps_per_day = 288;
+
+  int64_t num_entities() const { return series.size(0); }
+  int64_t num_steps() const { return series.size(1); }
+  int64_t num_channels() const { return series.size(2); }
+};
+
+/// Chronological partition boundaries: [0,train_end) train,
+/// [train_end,val_end) validation, [val_end,T) test. Paper: 70/10/20.
+struct Splits {
+  int64_t train_end = 0;
+  int64_t val_end = 0;
+  int64_t total = 0;
+};
+
+/// Computes 70/10/20 (or custom-fraction) chronological splits.
+Splits ChronologicalSplits(int64_t total_steps, double train_frac = 0.7,
+                           double val_frac = 0.1);
+
+/// Per-channel z-score normalization fitted on the training range only (so
+/// no information leaks from validation/test into scaling).
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Fits channel means/stds on series[:, t_begin:t_end, :].
+  void Fit(const Tensor& series, int64_t t_begin, int64_t t_end);
+
+  /// (x - mean_c) / std_c per channel; shape preserved, series is [N,T,C].
+  Tensor Transform(const Tensor& series) const;
+
+  /// Inverse transform for a tensor of target-channel values (any shape).
+  Tensor InverseTarget(const Tensor& scaled, int64_t target_channel) const;
+
+  float mean(int64_t channel) const;
+  float stddev(int64_t channel) const;
+  int64_t num_channels() const { return static_cast<int64_t>(means_.size()); }
+
+ private:
+  std::vector<float> means_;
+  std::vector<float> stds_;
+};
+
+/// One training/evaluation batch.
+struct Batch {
+  Tensor x;         // [B, N, H, C] scaled inputs
+  Tensor y_scaled;  // [B, N, F] scaled target-channel future values
+  Tensor y_raw;     // [B, N, F] raw target-channel future values
+};
+
+/// Sliding-window view over a (scaled) series restricted to one split.
+///
+/// A window anchored at time t uses inputs x_{t-H+1..t} (all channels) and
+/// predicts the target channel at t+1..t+F. Anchors are chosen so the whole
+/// window lies inside [t_begin, t_end). `stride` subsamples anchors, which
+/// the CPU-scale benchmarks use to bound epoch cost.
+class WindowDataset {
+ public:
+  WindowDataset(Tensor scaled_series, Tensor raw_series,
+                int64_t target_channel, int64_t t_begin, int64_t t_end,
+                int64_t history, int64_t horizon, int64_t stride = 1);
+
+  int64_t num_windows() const {
+    return static_cast<int64_t>(anchors_.size());
+  }
+  int64_t history() const { return history_; }
+  int64_t horizon() const { return horizon_; }
+
+  /// Assembles the windows at the given indices into one batch.
+  Batch MakeBatch(const std::vector<int64_t>& indices) const;
+
+  /// All indices [0, num_windows) in order.
+  std::vector<int64_t> AllIndices() const;
+
+  /// Shuffled index batches of size `batch_size` (last batch may be short).
+  std::vector<std::vector<int64_t>> ShuffledBatches(int64_t batch_size,
+                                                    Rng& rng) const;
+
+  /// Sequential index batches (for evaluation).
+  std::vector<std::vector<int64_t>> SequentialBatches(
+      int64_t batch_size) const;
+
+  /// Absolute anchor timestamp of each window (the "current time" t whose
+  /// inputs end at t and whose targets start at t+1). Needed by seasonal
+  /// baselines that must know the phase of a window.
+  const std::vector<int64_t>& anchors() const { return anchors_; }
+
+ private:
+  Tensor scaled_;  // [N,T,C]
+  Tensor raw_;     // [N,T,C]
+  int64_t target_channel_;
+  int64_t history_;
+  int64_t horizon_;
+  std::vector<int64_t> anchors_;  // anchor timestamps t
+};
+
+}  // namespace data
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_DATA_DATASET_H_

@@ -1,0 +1,445 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace data {
+namespace {
+
+constexpr float kUnreachable = 1e6f;
+
+float GaussBump(float x, float center, float width) {
+  const float d = (x - center) / width;
+  return std::exp(-0.5f * d * d);
+}
+
+/// Floyd–Warshall all-pairs shortest paths on a dense [N,N] edge matrix
+/// (kUnreachable encodes "no edge"). Diagonal forced to 0.
+void AllPairsShortestPaths(Tensor* dist) {
+  const int64_t n = dist->size(0);
+  float* d = dist->data();
+  for (int64_t i = 0; i < n; ++i) d[i * n + i] = 0.0f;
+  for (int64_t k = 0; k < n; ++k) {
+    for (int64_t i = 0; i < n; ++i) {
+      const float dik = d[i * n + k];
+      if (dik >= kUnreachable) continue;
+      for (int64_t j = 0; j < n; ++j) {
+        const float via = dik + d[k * n + j];
+        if (via < d[i * n + j]) d[i * n + j] = via;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CtsData MakeTrafficData(const TrafficConfig& config) {
+  ENHANCENET_CHECK_GE(config.num_sensors, 4);
+  ENHANCENET_CHECK_GE(config.num_highways, 1);
+  ENHANCENET_CHECK_GE(config.num_days, 1);
+  Rng rng(config.seed);
+  const int64_t n = config.num_sensors;
+  const int64_t steps = config.num_days * config.steps_per_day;
+  const int64_t channels = config.include_time_channel ? 2 : 1;
+
+  // --- Road network: sensors strung along directed highways. ---------------
+  // Each highway is a straight corridor crossing a ~20x20 km region.
+  std::vector<int64_t> highway_of(static_cast<size_t>(n));
+  std::vector<int64_t> pos_on_highway(static_cast<size_t>(n));
+  Tensor locations({n, 2});
+  const int64_t per_highway = n / config.num_highways;
+  {
+    int64_t sensor = 0;
+    for (int64_t h = 0; h < config.num_highways; ++h) {
+      const int64_t count =
+          (h == config.num_highways - 1) ? n - sensor : per_highway;
+      const float angle =
+          static_cast<float>(h) * static_cast<float>(M_PI) /
+              static_cast<float>(config.num_highways) +
+          static_cast<float>(rng.Uniform(-0.15, 0.15));
+      const float cx = static_cast<float>(rng.Uniform(8.0, 12.0));
+      const float cy = static_cast<float>(rng.Uniform(8.0, 12.0));
+      const float spacing = static_cast<float>(rng.Uniform(0.8, 1.2));
+      for (int64_t k = 0; k < count; ++k, ++sensor) {
+        const float along =
+            (static_cast<float>(k) - static_cast<float>(count) / 2.0f) *
+            spacing;
+        locations.at({sensor, 0}) = cx + along * std::cos(angle) +
+                                    static_cast<float>(rng.Uniform(-0.1, 0.1));
+        locations.at({sensor, 1}) = cy + along * std::sin(angle) +
+                                    static_cast<float>(rng.Uniform(-0.1, 0.1));
+        highway_of[static_cast<size_t>(sensor)] = h;
+        pos_on_highway[static_cast<size_t>(sensor)] = k;
+      }
+    }
+  }
+
+  // Directed edges: travelling downstream (increasing position) is direct;
+  // upstream requires a detour, so the reverse edge is 3x longer. Sensors of
+  // different highways that are physically close are linked (interchanges).
+  Tensor distances = Tensor::Full({n, n}, kUnreachable);
+  auto euclid = [&](int64_t i, int64_t j) {
+    const float dx = locations.at({i, 0}) - locations.at({j, 0});
+    const float dy = locations.at({i, 1}) - locations.at({j, 1});
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const bool same_highway =
+          highway_of[static_cast<size_t>(i)] == highway_of[static_cast<size_t>(j)];
+      const float d = euclid(i, j);
+      if (same_highway &&
+          pos_on_highway[static_cast<size_t>(j)] ==
+              pos_on_highway[static_cast<size_t>(i)] + 1) {
+        distances.at({i, j}) = d;          // downstream
+        distances.at({j, i}) = 3.0f * d;   // upstream detour
+      } else if (!same_highway && d < 1.6f) {
+        distances.at({i, j}) = 1.2f * d;   // interchange ramp
+      }
+    }
+  }
+  AllPairsShortestPaths(&distances);
+  // Cap unreachable pairs to a large-but-finite distance so the Gaussian
+  // kernel maps them to ~0 without overflowing.
+  {
+    float* d = distances.data();
+    float max_finite = 0.0f;
+    for (int64_t i = 0; i < n * n; ++i) {
+      if (d[i] < kUnreachable) max_finite = std::max(max_finite, d[i]);
+    }
+    for (int64_t i = 0; i < n * n; ++i) {
+      if (d[i] >= kUnreachable) d[i] = 3.0f * max_finite;
+    }
+  }
+
+  // --- Per-sensor temporal profiles (distinct dynamics). --------------------
+  std::vector<float> free_flow(static_cast<size_t>(n));
+  std::vector<float> am_center(static_cast<size_t>(n));
+  std::vector<float> pm_center(static_cast<size_t>(n));
+  std::vector<float> am_amp(static_cast<size_t>(n));
+  std::vector<float> pm_amp(static_cast<size_t>(n));
+  // Each highway has a commute direction: inbound roads congest in the
+  // morning, outbound in the evening (the paper's motivating example).
+  std::vector<float> highway_am_factor(
+      static_cast<size_t>(config.num_highways));
+  for (auto& f : highway_am_factor) {
+    f = static_cast<float>(rng.Uniform(0.2, 1.0));
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    const size_t iu = static_cast<size_t>(i);
+    const float am_f = highway_am_factor[static_cast<size_t>(highway_of[iu])];
+    const float pm_f = 1.2f - am_f;
+    free_flow[iu] = static_cast<float>(rng.Uniform(58.0, 72.0));
+    am_center[iu] = 8.0f + static_cast<float>(rng.Normal(0.0, 0.6));
+    pm_center[iu] = 17.5f + static_cast<float>(rng.Normal(0.0, 0.6));
+    const float scale = static_cast<float>(rng.Uniform(0.7, 1.3));
+    am_amp[iu] = 26.0f * am_f * scale;
+    pm_amp[iu] = 26.0f * pm_f * scale;
+  }
+
+  // --- Regime-dependent congestion propagation (dynamic correlations). ------
+  // Congestion spills from a sensor to its upstream neighbour (queues grow
+  // backwards). The AM and PM regimes activate different random subsets of
+  // links with different weights, so the effective coupling graph changes
+  // through the day — exactly what DAMGN is designed to capture.
+  struct Edge {
+    int64_t from;  // downstream sensor (congestion source)
+    int64_t to;    // upstream sensor (receives spillback)
+    float w_am;
+    float w_pm;
+  };
+  std::vector<Edge> edges;
+  for (int64_t j = 0; j < n; ++j) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (i == j) continue;
+      const bool upstream_neighbor =
+          highway_of[static_cast<size_t>(i)] ==
+              highway_of[static_cast<size_t>(j)] &&
+          pos_on_highway[static_cast<size_t>(i)] + 1 ==
+              pos_on_highway[static_cast<size_t>(j)];
+      const bool interchange = highway_of[static_cast<size_t>(i)] !=
+                                   highway_of[static_cast<size_t>(j)] &&
+                               euclid(i, j) < 1.6f;
+      if (!upstream_neighbor && !interchange) continue;
+      Edge e;
+      e.from = j;
+      e.to = i;
+      e.w_am = rng.Uniform() < 0.7
+                   ? static_cast<float>(rng.Uniform(0.15, 0.45))
+                   : 0.0f;
+      e.w_pm = rng.Uniform() < 0.7
+                   ? static_cast<float>(rng.Uniform(0.15, 0.45))
+                   : 0.0f;
+      if (e.w_am > 0.0f || e.w_pm > 0.0f) edges.push_back(e);
+    }
+  }
+  // Normalize incoming weights so the linear dynamics stay stable.
+  {
+    std::vector<float> row_am(static_cast<size_t>(n), 0.0f);
+    std::vector<float> row_pm(static_cast<size_t>(n), 0.0f);
+    for (const Edge& e : edges) {
+      row_am[static_cast<size_t>(e.to)] += e.w_am;
+      row_pm[static_cast<size_t>(e.to)] += e.w_pm;
+    }
+    for (Edge& e : edges) {
+      const float ra = row_am[static_cast<size_t>(e.to)];
+      const float rp = row_pm[static_cast<size_t>(e.to)];
+      if (ra > 0.45f) e.w_am *= 0.45f / ra;
+      if (rp > 0.45f) e.w_pm *= 0.45f / rp;
+    }
+  }
+
+  // --- Simulate. -------------------------------------------------------------
+  Tensor series({n, steps, channels});
+  std::vector<float> congestion(static_cast<size_t>(n), 0.0f);
+  std::vector<float> next(static_cast<size_t>(n), 0.0f);
+  for (int64_t t = 0; t < steps; ++t) {
+    const int64_t day = t / config.steps_per_day;
+    const float hour = 24.0f *
+                       static_cast<float>(t % config.steps_per_day) /
+                       static_cast<float>(config.steps_per_day);
+    const bool weekend = (day % 7) >= 5;
+    const float weekday_scale = weekend ? 0.35f : 1.0f;
+    // Regime mixing weights through the day.
+    const float am_regime = GaussBump(hour, 8.3f, 2.0f);
+    const float pm_regime = GaussBump(hour, 17.6f, 2.2f);
+
+    // Source term: each sensor's own profile (distinct dynamics).
+    for (int64_t i = 0; i < n; ++i) {
+      const size_t iu = static_cast<size_t>(i);
+      const float profile =
+          am_amp[iu] * GaussBump(hour, am_center[iu], 1.1f) +
+          pm_amp[iu] * GaussBump(hour, pm_center[iu], 1.3f);
+      next[iu] = 0.50f * congestion[iu] + 0.45f * weekday_scale * profile +
+                 static_cast<float>(rng.Normal(0.0, 0.5));
+    }
+    // Propagation term under the current regime mixture.
+    for (const Edge& e : edges) {
+      const float w = am_regime * e.w_am + pm_regime * e.w_pm;
+      if (w > 0.0f) {
+        next[static_cast<size_t>(e.to)] +=
+            w * congestion[static_cast<size_t>(e.from)];
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      const size_t iu = static_cast<size_t>(i);
+      congestion[iu] = std::max(0.0f, next[iu]);
+      const float speed = std::clamp(
+          free_flow[iu] - congestion[iu] +
+              static_cast<float>(rng.Normal(0.0, config.noise_std)),
+          3.0f, free_flow[iu] + 4.0f);
+      series.at({i, t, 0}) = speed;
+      if (config.include_time_channel) {
+        series.at({i, t, 1}) = hour / 24.0f;
+      }
+    }
+  }
+
+  CtsData out;
+  out.name = config.include_time_channel ? "LA-like" : "EB-like";
+  out.series = std::move(series);
+  out.distances = std::move(distances);
+  out.locations = std::move(locations);
+  out.target_channel = 0;
+  out.steps_per_day = config.steps_per_day;
+  return out;
+}
+
+CtsData MakeEbLike(int64_t num_sensors, int64_t num_days, uint64_t seed) {
+  TrafficConfig config;
+  config.num_sensors = num_sensors;
+  config.num_days = num_days;
+  config.include_time_channel = false;
+  config.seed = seed;
+  CtsData data = MakeTrafficData(config);
+  data.name = "EB-like";
+  return data;
+}
+
+CtsData MakeLaLike(int64_t num_sensors, int64_t num_days, uint64_t seed) {
+  TrafficConfig config;
+  config.num_sensors = num_sensors;
+  config.num_days = num_days;
+  config.include_time_channel = true;
+  config.seed = seed;
+  CtsData data = MakeTrafficData(config);
+  data.name = "LA-like";
+  return data;
+}
+
+CtsData MakeWeatherData(const WeatherConfig& config) {
+  ENHANCENET_CHECK_GE(config.num_stations, 4);
+  ENHANCENET_CHECK_GE(config.num_days, 2);
+  Rng rng(config.seed);
+  const int64_t n = config.num_stations;
+  const int64_t steps = config.num_days * config.steps_per_day;
+  const int64_t channels = 6;
+
+  // Stations on a jittered grid over a ~10x10 degree region.
+  const int64_t grid = static_cast<int64_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  Tensor locations({n, 2});
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t gx = i % grid;
+    const int64_t gy = i / grid;
+    locations.at({i, 0}) =
+        10.0f * static_cast<float>(gx) / static_cast<float>(grid) +
+        static_cast<float>(rng.Uniform(-0.4, 0.4));
+    locations.at({i, 1}) =
+        10.0f * static_cast<float>(gy) / static_cast<float>(grid) +
+        static_cast<float>(rng.Uniform(-0.4, 0.4));
+  }
+  Tensor distances({n, n});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const float dx = locations.at({i, 0}) - locations.at({j, 0});
+      const float dy = locations.at({i, 1}) - locations.at({j, 1});
+      distances.at({i, j}) = std::sqrt(dx * dx + dy * dy);
+    }
+  }
+
+  // Per-station climate parameters (distinct dynamics).
+  std::vector<float> base_temp(static_cast<size_t>(n));
+  std::vector<float> seasonal_amp(static_cast<size_t>(n));
+  std::vector<float> diurnal_amp(static_cast<size_t>(n));
+  std::vector<float> diurnal_phase(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const size_t iu = static_cast<size_t>(i);
+    // Kelvin, like the paper's Kaggle source data — keeps MAPE well-behaved
+    // (Celsius temperatures cross zero and blow the percentage error up).
+    base_temp[iu] = 289.0f - 0.8f * locations.at({i, 1}) +
+                    static_cast<float>(rng.Normal(0.0, 1.0));
+    seasonal_amp[iu] = static_cast<float>(rng.Uniform(8.0, 12.0));
+    diurnal_amp[iu] = static_cast<float>(rng.Uniform(3.0, 6.5));
+    diurnal_phase[iu] = static_cast<float>(rng.Normal(0.0, 1.2));
+  }
+
+  // Moving pressure fronts: each front enters at a border and crosses the
+  // region; its passage correlates stations along its path — a correlation
+  // structure that changes hour by hour.
+  struct Front {
+    float t0;      // entry time (hours since start)
+    float x0, y0;  // entry position
+    float vx, vy;  // degrees/hour
+    float amp;     // hPa
+    float radius;
+  };
+  std::vector<Front> fronts;
+  {
+    float t = static_cast<float>(rng.Uniform(0.0, 24.0));
+    const float total_hours = static_cast<float>(steps);
+    while (t < total_hours) {
+      Front f;
+      f.t0 = t;
+      const bool from_west = rng.Uniform() < 0.7;
+      f.x0 = from_west ? -2.0f : static_cast<float>(rng.Uniform(0.0, 10.0));
+      f.y0 = from_west ? static_cast<float>(rng.Uniform(0.0, 10.0)) : -2.0f;
+      const float speed = static_cast<float>(rng.Uniform(0.12, 0.3));
+      f.vx = from_west ? speed : static_cast<float>(rng.Uniform(-0.05, 0.05));
+      f.vy = from_west ? static_cast<float>(rng.Uniform(-0.05, 0.05)) : speed;
+      f.amp = static_cast<float>(rng.Uniform(4.0, 9.0)) *
+              (rng.Uniform() < 0.5 ? -1.0f : 1.0f);
+      f.radius = static_cast<float>(rng.Uniform(2.5, 4.5));
+      fronts.push_back(f);
+      t += static_cast<float>(rng.Uniform(36.0, 96.0));
+    }
+  }
+  auto pressure_pert = [&](float x, float y, float hour) {
+    float total = 0.0f;
+    for (const Front& f : fronts) {
+      const float age = hour - f.t0;
+      if (age < 0.0f || age > 160.0f) continue;
+      const float cx = f.x0 + f.vx * age;
+      const float cy = f.y0 + f.vy * age;
+      const float dx = x - cx;
+      const float dy = y - cy;
+      total += f.amp *
+               std::exp(-(dx * dx + dy * dy) / (2.0f * f.radius * f.radius));
+    }
+    return total;
+  };
+
+  Tensor series({n, steps, channels});
+  std::vector<float> ar_noise(static_cast<size_t>(n), 0.0f);
+  for (int64_t t = 0; t < steps; ++t) {
+    const float hour_abs = static_cast<float>(t);
+    const float hour = static_cast<float>(t % config.steps_per_day);
+    const float day = static_cast<float>(t) /
+                      static_cast<float>(config.steps_per_day);
+    const float seasonal =
+        std::sin(2.0f * static_cast<float>(M_PI) * (day - 110.0f) / 365.0f);
+    for (int64_t i = 0; i < n; ++i) {
+      const size_t iu = static_cast<size_t>(i);
+      const float x = locations.at({i, 0});
+      const float y = locations.at({i, 1});
+      const float pert = pressure_pert(x, y, hour_abs);
+      // Finite-difference pressure gradient drives the wind field.
+      const float gx =
+          (pressure_pert(x + 0.5f, y, hour_abs) - pert) / 0.5f;
+      const float gy =
+          (pressure_pert(x, y + 0.5f, hour_abs) - pert) / 0.5f;
+
+      ar_noise[iu] = 0.85f * ar_noise[iu] +
+                     static_cast<float>(rng.Normal(0.0, config.noise_std));
+      const float diurnal =
+          diurnal_amp[iu] *
+          std::sin(2.0f * static_cast<float>(M_PI) *
+                   (hour - 14.0f - diurnal_phase[iu]) / 24.0f);
+      const float temp = base_temp[iu] + seasonal_amp[iu] * seasonal +
+                         diurnal - 0.45f * pert + ar_noise[iu];
+      const float humidity = std::clamp(
+          60.0f - 1.6f * (temp - 287.0f) + 0.8f * pert +
+              static_cast<float>(rng.Normal(0.0, 2.0)),
+          5.0f, 100.0f);
+      const float pressure =
+          1013.0f + pert + static_cast<float>(rng.Normal(0.0, 0.4));
+      // Geostrophic-ish wind: perpendicular to the pressure gradient.
+      const float wx = -gy * 6.0f + static_cast<float>(rng.Normal(0.0, 0.4));
+      const float wy = gx * 6.0f + static_cast<float>(rng.Normal(0.0, 0.4));
+      const float wind_speed = std::sqrt(wx * wx + wy * wy);
+      float wind_dir =
+          std::atan2(wy, wx) * 180.0f / static_cast<float>(M_PI);
+      if (wind_dir < 0.0f) wind_dir += 360.0f;
+      // Coarse condition code: 0 clear, 1 cloudy, 2 rain, 3 storm.
+      float code = 0.0f;
+      if (humidity > 85.0f && pert < -3.0f) {
+        code = 3.0f;
+      } else if (humidity > 75.0f) {
+        code = 2.0f;
+      } else if (humidity > 55.0f) {
+        code = 1.0f;
+      }
+      series.at({i, t, 0}) = temp;
+      series.at({i, t, 1}) = humidity;
+      series.at({i, t, 2}) = pressure;
+      series.at({i, t, 3}) = wind_dir;
+      series.at({i, t, 4}) = wind_speed;
+      series.at({i, t, 5}) = code;
+    }
+  }
+
+  CtsData out;
+  out.name = "US-like";
+  out.series = std::move(series);
+  out.distances = std::move(distances);
+  out.locations = std::move(locations);
+  out.target_channel = 0;
+  out.steps_per_day = config.steps_per_day;
+  return out;
+}
+
+CtsData MakeUsLike(int64_t num_stations, int64_t num_days, uint64_t seed) {
+  WeatherConfig config;
+  config.num_stations = num_stations;
+  config.num_days = num_days;
+  config.seed = seed;
+  return MakeWeatherData(config);
+}
+
+}  // namespace data
+}  // namespace enhancenet

@@ -1,0 +1,106 @@
+#include "graph/adjacency.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace enhancenet {
+namespace graph {
+
+Tensor GaussianKernelAdjacency(const Tensor& dist, float threshold) {
+  ENHANCENET_CHECK_EQ(dist.dim(), 2);
+  ENHANCENET_CHECK_EQ(dist.size(0), dist.size(1));
+  const int64_t n = dist.size(0);
+  const float* pd = dist.data();
+
+  // σ = standard deviation of the distances (paper Sec. VI-A).
+  double sum = 0.0;
+  double sq_sum = 0.0;
+  const int64_t total = n * n;
+  for (int64_t i = 0; i < total; ++i) {
+    sum += pd[i];
+    sq_sum += static_cast<double>(pd[i]) * pd[i];
+  }
+  const double mean = sum / static_cast<double>(total);
+  const double var = sq_sum / static_cast<double>(total) - mean * mean;
+  const double sigma = std::sqrt(std::max(var, 1e-12));
+
+  Tensor adjacency({n, n});
+  float* pa = adjacency.data();
+  for (int64_t i = 0; i < total; ++i) {
+    const double d = pd[i];
+    const float w =
+        static_cast<float>(std::exp(-(d * d) / (sigma * sigma)));
+    pa[i] = (w < threshold) ? 0.0f : w;
+  }
+  return adjacency;
+}
+
+Tensor RowNormalize(const Tensor& adjacency) {
+  ENHANCENET_CHECK_EQ(adjacency.dim(), 2);
+  const int64_t n = adjacency.size(0);
+  ENHANCENET_CHECK_EQ(n, adjacency.size(1));
+  Tensor out = adjacency.Clone();
+  float* p = out.data();
+  for (int64_t i = 0; i < n; ++i) {
+    double row_sum = 0.0;
+    for (int64_t j = 0; j < n; ++j) row_sum += p[i * n + j];
+    if (row_sum > 0.0) {
+      const float inv = static_cast<float>(1.0 / row_sum);
+      for (int64_t j = 0; j < n; ++j) p[i * n + j] *= inv;
+    }
+  }
+  return out;
+}
+
+Tensor SymNormalize(const Tensor& adjacency) {
+  ENHANCENET_CHECK_EQ(adjacency.dim(), 2);
+  const int64_t n = adjacency.size(0);
+  ENHANCENET_CHECK_EQ(n, adjacency.size(1));
+  // A + I
+  Tensor a = adjacency.Clone();
+  float* p = a.data();
+  for (int64_t i = 0; i < n; ++i) p[i * n + i] += 1.0f;
+
+  std::vector<double> inv_sqrt_deg(static_cast<size_t>(n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    double deg = 0.0;
+    for (int64_t j = 0; j < n; ++j) deg += p[i * n + j];
+    inv_sqrt_deg[static_cast<size_t>(i)] =
+        deg > 0.0 ? 1.0 / std::sqrt(deg) : 0.0;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      p[i * n + j] = static_cast<float>(
+          p[i * n + j] * inv_sqrt_deg[static_cast<size_t>(i)] *
+          inv_sqrt_deg[static_cast<size_t>(j)]);
+    }
+  }
+  return a;
+}
+
+Tensor MatSquare(const Tensor& a) { return ops::MatMul(a, a); }
+
+std::vector<Tensor> DiffusionSupports(const Tensor& adjacency, int max_hops) {
+  ENHANCENET_CHECK_GE(max_hops, 1);
+  std::vector<Tensor> supports;
+  const Tensor fwd = RowNormalize(adjacency);
+  const Tensor bwd = RowNormalize(ops::Transpose2D(adjacency));
+  Tensor fwd_power = fwd.Clone();
+  supports.push_back(fwd.Clone());
+  for (int hop = 2; hop <= max_hops; ++hop) {
+    fwd_power = ops::MatMul(fwd_power, fwd);
+    supports.push_back(fwd_power.Clone());
+  }
+  Tensor bwd_power = bwd.Clone();
+  supports.push_back(bwd.Clone());
+  for (int hop = 2; hop <= max_hops; ++hop) {
+    bwd_power = ops::MatMul(bwd_power, bwd);
+    supports.push_back(bwd_power.Clone());
+  }
+  return supports;
+}
+
+}  // namespace graph
+}  // namespace enhancenet

@@ -1,0 +1,39 @@
+#ifndef ENHANCENET_GRAPH_ADJACENCY_H_
+#define ENHANCENET_GRAPH_ADJACENCY_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace enhancenet {
+namespace graph {
+
+/// Builds the distance-based adjacency matrix of Sec. VI-A:
+///   A_ij = exp(-dist(i,j)² / σ²)   with σ = std-dev of all finite distances,
+/// and A_ij = 0 where the kernel value falls below `threshold` (paper: 0.1).
+/// `dist` is [N, N]; entries may be asymmetric (road-network distances).
+/// Unreachable pairs can be encoded with a very large distance.
+Tensor GaussianKernelAdjacency(const Tensor& dist, float threshold = 0.1f);
+
+/// Row-normalizes A: D⁻¹A where D is the diagonal of row sums. Zero rows are
+/// left zero.
+Tensor RowNormalize(const Tensor& adjacency);
+
+/// Symmetric normalization D^{-1/2} (A + I) D^{-1/2} (Kipf & Welling GC,
+/// used by the STGCN baseline).
+Tensor SymNormalize(const Tensor& adjacency);
+
+/// Square matrix product A·B for [N,N] tensors.
+Tensor MatSquare(const Tensor& a);
+
+/// Diffusion-style support set for graph convolution with incoming and
+/// outgoing neighbourhoods up to `max_hops` (paper: 2 hops, both directions):
+///   { P_fwd, P_fwd², ..., P_bwd, P_bwd², ... }
+/// where P_fwd = RowNormalize(A) and P_bwd = RowNormalize(Aᵀ). The identity
+/// (0-hop) term is handled separately by the convolution layer.
+std::vector<Tensor> DiffusionSupports(const Tensor& adjacency, int max_hops);
+
+}  // namespace graph
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_GRAPH_ADJACENCY_H_

@@ -1,0 +1,56 @@
+#ifndef ENHANCENET_GRAPH_GRAPH_CONV_H_
+#define ENHANCENET_GRAPH_GRAPH_CONV_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace enhancenet {
+namespace graph {
+
+/// Applies an adjacency matrix to a batched graph signal:
+///   adj [N,N]   × x [B,N,C] -> [B,N,C]   (static support)
+///   adj [B,N,N] × x [B,N,C] -> [B,N,C]   (per-sample dynamic support)
+/// Row i of the result aggregates x over i's neighbourhood.
+autograd::Variable ApplyAdjacency(const autograd::Variable& adj,
+                                  const autograd::Variable& x);
+
+/// Concatenates the neighbourhood aggregations of all supports along the
+/// channel axis, optionally prefixed by the identity (0-hop) term:
+///   out [B,N,(self + |supports|)·C]
+/// This reduces graph convolution Z = Σ_s A_s·X·S_s (Equation 12 generalized
+/// to a support set) to a single channel-mixing matmul, which can then be
+/// shared (Linear) or entity-specific (DFGN-generated bank).
+autograd::Variable MixSupports(const autograd::Variable& x,
+                               const std::vector<autograd::Variable>& supports,
+                               bool include_self);
+
+/// Graph convolution layer with entity-invariant (shared) channel weights:
+///   Z = [X ‖ A_1X ‖ ... ‖ A_SX] · W + b       (Equation 12 of the paper)
+class GraphConvLayer : public nn::Module {
+ public:
+  /// `num_supports` counts the adjacency matrices passed to Forward;
+  /// the identity term is always included.
+  GraphConvLayer(int64_t num_supports, int64_t in_channels,
+                 int64_t out_channels, Rng& rng);
+
+  /// x: [B,N,Cin]; supports: `num_supports` matrices, each [N,N] or [B,N,N].
+  autograd::Variable Forward(
+      const autograd::Variable& x,
+      const std::vector<autograd::Variable>& supports) const;
+
+  int64_t num_supports() const { return num_supports_; }
+
+ private:
+  int64_t num_supports_;
+  int64_t in_channels_;
+  int64_t out_channels_;
+  autograd::Variable weight_;  // [(1+S)*Cin, Cout]
+  autograd::Variable bias_;    // [Cout]
+};
+
+}  // namespace graph
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_GRAPH_GRAPH_CONV_H_

@@ -1,0 +1,127 @@
+#include "io/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace enhancenet {
+namespace io {
+namespace {
+
+constexpr char kMagic[4] = {'E', 'N', 'C', 'P'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& file, T value) {
+  file.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& file, T* value) {
+  file.read(reinterpret_cast<char*>(value), sizeof(T));
+  return file.good();
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path, const nn::Module& module) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  const auto named = module.NamedParameters();
+  file.write(kMagic, sizeof(kMagic));
+  WritePod(file, kVersion);
+  WritePod(file, static_cast<uint64_t>(named.size()));
+  for (const auto& [name, param] : named) {
+    WritePod(file, static_cast<uint32_t>(name.size()));
+    file.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const Shape& shape = param.shape();
+    WritePod(file, static_cast<uint32_t>(shape.size()));
+    for (int64_t d : shape) WritePod(file, d);
+    file.write(reinterpret_cast<const char*>(param.data().data()),
+               static_cast<std::streamsize>(param.numel() * sizeof(float)));
+  }
+  if (!file.good()) {
+    return Status::Internal("write to " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+Status LoadCheckpoint(const std::string& path, nn::Module* module) {
+  if (module == nullptr) {
+    return Status::InvalidArgument("module is null");
+  }
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  char magic[4];
+  file.read(magic, sizeof(magic));
+  if (!file.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not an EnhanceNet checkpoint");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(file, &version) || version != kVersion) {
+    return Status::InvalidArgument(path + ": unsupported checkpoint version");
+  }
+  uint64_t count = 0;
+  if (!ReadPod(file, &count)) {
+    return Status::InvalidArgument(path + ": truncated header");
+  }
+
+  // Index the module's parameters by name.
+  std::map<std::string, autograd::Variable> params;
+  for (auto& [name, param] : module->NamedParameters()) {
+    params.emplace(name, param);
+  }
+  if (count != params.size()) {
+    std::ostringstream msg;
+    msg << path << ": checkpoint has " << count << " parameters, module has "
+        << params.size();
+    return Status::FailedPrecondition(msg.str());
+  }
+
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadPod(file, &name_len) || name_len > 4096) {
+      return Status::InvalidArgument(path + ": corrupt parameter name");
+    }
+    std::string name(name_len, '\0');
+    file.read(name.data(), name_len);
+    uint32_t rank = 0;
+    if (!file.good() || !ReadPod(file, &rank) || rank > 4) {
+      return Status::InvalidArgument(path + ": corrupt parameter header");
+    }
+    Shape shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) {
+      if (!ReadPod(file, &shape[d]) || shape[d] < 0) {
+        return Status::InvalidArgument(path + ": corrupt shape");
+      }
+    }
+    const auto it = params.find(name);
+    if (it == params.end()) {
+      return Status::FailedPrecondition(path + ": unknown parameter '" +
+                                        name + "'");
+    }
+    if (it->second.shape() != shape) {
+      return Status::FailedPrecondition(
+          path + ": shape mismatch for '" + name + "' (checkpoint " +
+          ShapeToString(shape) + " vs module " +
+          ShapeToString(it->second.shape()) + ")");
+    }
+    file.read(reinterpret_cast<char*>(it->second.mutable_data().data()),
+              static_cast<std::streamsize>(NumElements(shape) *
+                                           sizeof(float)));
+    if (!file.good()) {
+      return Status::InvalidArgument(path + ": truncated data for '" + name +
+                                     "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace io
+}  // namespace enhancenet

@@ -1,0 +1,36 @@
+#ifndef ENHANCENET_IO_CHECKPOINT_H_
+#define ENHANCENET_IO_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace enhancenet {
+namespace io {
+
+/// Binary weight checkpoints.
+///
+/// Format (little-endian):
+///   magic "ENCP", uint32 version (1), uint64 parameter count, then per
+///   parameter: uint32 name length, name bytes, uint32 rank, int64 dims[],
+///   float32 data[].
+///
+/// Loading matches parameters by hierarchical name and CHECKs nothing — all
+/// mismatches (missing file, unknown/missing names, shape conflicts) are
+/// reported through Status so callers can recover. Typical round trip:
+///
+///   io::SaveCheckpoint("model.encp", *model);
+///   ...
+///   auto fresh = models::MakeModel(...same config & seed...);
+///   io::LoadCheckpoint("model.encp", fresh.get());
+Status SaveCheckpoint(const std::string& path, const nn::Module& module);
+
+/// Restores every parameter of `module` from the checkpoint. The checkpoint
+/// must contain exactly the module's parameter names with matching shapes.
+Status LoadCheckpoint(const std::string& path, nn::Module* module);
+
+}  // namespace io
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_IO_CHECKPOINT_H_

@@ -1,0 +1,196 @@
+#include "io/csv.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace enhancenet {
+namespace io {
+namespace {
+
+bool LooksNumeric(const std::string& field) {
+  if (field.empty()) return false;
+  char* end = nullptr;
+  std::strtod(field.c_str(), &end);
+  // Accept trailing whitespace only.
+  while (end != nullptr && *end != '\0') {
+    if (!std::isspace(static_cast<unsigned char>(*end))) return false;
+    ++end;
+  }
+  return true;
+}
+
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  // A trailing comma means an empty final field.
+  if (!line.empty() && line.back() == ',') fields.emplace_back();
+  return fields;
+}
+
+}  // namespace
+
+Result<Tensor> ReadMatrixCsv(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Result<Tensor>::Error(Status::NotFound("cannot open " + path));
+  }
+  std::vector<std::vector<float>> rows;
+  std::string line;
+  int64_t line_number = 0;
+  int64_t cols = -1;
+  while (std::getline(file, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = SplitCsvLine(line);
+    if (rows.empty() && cols == -1 && !LooksNumeric(fields[0])) {
+      continue;  // header row
+    }
+    if (cols == -1) {
+      cols = static_cast<int64_t>(fields.size());
+    } else if (static_cast<int64_t>(fields.size()) != cols) {
+      std::ostringstream msg;
+      msg << path << ":" << line_number << ": expected " << cols
+          << " fields, got " << fields.size();
+      return Result<Tensor>::Error(Status::InvalidArgument(msg.str()));
+    }
+    std::vector<float> row;
+    row.reserve(fields.size());
+    for (const std::string& field : fields) {
+      if (!LooksNumeric(field)) {
+        std::ostringstream msg;
+        msg << path << ":" << line_number << ": non-numeric field '" << field
+            << "'";
+        return Result<Tensor>::Error(Status::InvalidArgument(msg.str()));
+      }
+      row.push_back(std::strtof(field.c_str(), nullptr));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Result<Tensor>::Error(
+        Status::InvalidArgument(path + ": no data rows"));
+  }
+  Tensor out({static_cast<int64_t>(rows.size()), cols});
+  float* p = out.data();
+  for (const auto& row : rows) {
+    p = std::copy(row.begin(), row.end(), p);
+  }
+  return Result<Tensor>::Ok(std::move(out));
+}
+
+Status WriteMatrixCsv(const std::string& path, const Tensor& matrix) {
+  if (matrix.dim() > 2) {
+    return Status::InvalidArgument("WriteMatrixCsv expects rank <= 2");
+  }
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  const int64_t rows = matrix.dim() == 2 ? matrix.size(0) : 1;
+  const int64_t cols =
+      matrix.dim() == 2 ? matrix.size(1)
+                        : (matrix.dim() == 1 ? matrix.size(0) : 1);
+  const float* p = matrix.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t c = 0; c < cols; ++c) {
+      if (c > 0) file << ',';
+      file << p[r * cols + c];
+    }
+    file << '\n';
+  }
+  return file.good() ? Status::Ok()
+                     : Status::Internal("write to " + path + " failed");
+}
+
+Result<data::CtsData> LoadCtsFromCsv(const std::string& name,
+                                     const std::string& series_path,
+                                     const std::string& distances_path,
+                                     const std::string& locations_path,
+                                     int64_t num_channels,
+                                     int64_t target_channel,
+                                     int64_t steps_per_day) {
+  using R = Result<data::CtsData>;
+  if (num_channels <= 0) {
+    return R::Error(Status::InvalidArgument("num_channels must be positive"));
+  }
+  Result<Tensor> series = ReadMatrixCsv(series_path);
+  if (!series.ok()) return R::Error(series.status);
+  Result<Tensor> distances = ReadMatrixCsv(distances_path);
+  if (!distances.ok()) return R::Error(distances.status);
+
+  const int64_t t_total = series.value.size(0);
+  const int64_t wide = series.value.size(1);
+  if (wide % num_channels != 0) {
+    return R::Error(Status::InvalidArgument(
+        "series column count is not a multiple of num_channels"));
+  }
+  const int64_t n = wide / num_channels;
+  if (distances.value.dim() != 2 || distances.value.size(0) != n ||
+      distances.value.size(1) != n) {
+    return R::Error(Status::InvalidArgument(
+        "distances must be [N, N] with N matching the series"));
+  }
+  if (target_channel < 0 || target_channel >= num_channels) {
+    return R::Error(Status::InvalidArgument("target_channel out of range"));
+  }
+
+  data::CtsData out;
+  out.name = name;
+  out.target_channel = target_channel;
+  out.steps_per_day = steps_per_day;
+  // [T, N*C] row-major -> [N, T, C].
+  out.series = Tensor({n, t_total, num_channels});
+  const float* src = series.value.data();
+  for (int64_t t = 0; t < t_total; ++t) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t c = 0; c < num_channels; ++c) {
+        out.series.at({i, t, c}) = src[t * wide + i * num_channels + c];
+      }
+    }
+  }
+  out.distances = std::move(distances.value);
+
+  if (!locations_path.empty()) {
+    Result<Tensor> locations = ReadMatrixCsv(locations_path);
+    if (!locations.ok()) return R::Error(locations.status);
+    if (locations.value.dim() != 2 || locations.value.size(0) != n ||
+        locations.value.size(1) != 2) {
+      return R::Error(
+          Status::InvalidArgument("locations must be [N, 2]"));
+    }
+    out.locations = std::move(locations.value);
+  } else {
+    out.locations = Tensor::Zeros({n, 2});
+  }
+  return R::Ok(std::move(out));
+}
+
+Status WriteForecastCsv(const std::string& path, const Tensor& forecast) {
+  if (forecast.dim() != 2) {
+    return Status::InvalidArgument("forecast must be [N, F]");
+  }
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open " + path + " for writing");
+  }
+  file << "entity";
+  for (int64_t f = 0; f < forecast.size(1); ++f) file << ",h" << (f + 1);
+  file << '\n';
+  for (int64_t i = 0; i < forecast.size(0); ++i) {
+    file << i;
+    for (int64_t f = 0; f < forecast.size(1); ++f) {
+      file << ',' << forecast.at({i, f});
+    }
+    file << '\n';
+  }
+  return file.good() ? Status::Ok()
+                     : Status::Internal("write to " + path + " failed");
+}
+
+}  // namespace io
+}  // namespace enhancenet

@@ -1,0 +1,66 @@
+#ifndef ENHANCENET_IO_CSV_H_
+#define ENHANCENET_IO_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace enhancenet {
+namespace io {
+
+/// Result-or-error carrier for loaders (a minimal StatusOr).
+template <typename T>
+struct Result {
+  Status status;
+  T value;
+
+  bool ok() const { return status.ok(); }
+
+  static Result Ok(T value) {
+    Result r;
+    r.value = std::move(value);
+    return r;
+  }
+  static Result Error(Status status) {
+    Result r;
+    r.status = std::move(status);
+    return r;
+  }
+};
+
+/// Parses a numeric CSV file into a [rows, cols] tensor. Every row must have
+/// the same number of fields; blank lines are skipped; a single optional
+/// header row is skipped automatically when its first field is not numeric.
+Result<Tensor> ReadMatrixCsv(const std::string& path);
+
+/// Writes a rank-1/2 tensor as CSV (same format ReadMatrixCsv accepts).
+Status WriteMatrixCsv(const std::string& path, const Tensor& matrix);
+
+/// Loads a correlated time series dataset from three CSV files:
+///
+///  * `series_path`   — T rows × (N·C) columns; column order is entity-major
+///                      (entity0-chan0, entity0-chan1, ..., entity1-chan0, ...).
+///  * `distances_path`— N rows × N columns of pairwise distances.
+///  * `locations_path`— optional (may be empty): N rows × 2 columns.
+///
+/// This is the bridge for running the library on real data (e.g. METR-LA
+/// exported from its HDF5 file) instead of the synthetic generators.
+Result<data::CtsData> LoadCtsFromCsv(const std::string& name,
+                                     const std::string& series_path,
+                                     const std::string& distances_path,
+                                     const std::string& locations_path,
+                                     int64_t num_channels,
+                                     int64_t target_channel = 0,
+                                     int64_t steps_per_day = 288);
+
+/// Writes per-entity forecasts [N, F] with a header row (h1..hF) and one row
+/// per entity.
+Status WriteForecastCsv(const std::string& path, const Tensor& forecast);
+
+}  // namespace io
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_IO_CSV_H_

@@ -1,0 +1,354 @@
+#include "models/arima.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace models {
+namespace {
+
+/// Solves min ||X w - y||² via normal equations with a small ridge term for
+/// numerical safety. X is row-major [rows, cols].
+std::vector<double> SolveLeastSquares(const std::vector<double>& x,
+                                      const std::vector<double>& y,
+                                      int64_t rows, int64_t cols) {
+  ENHANCENET_CHECK_GE(rows, cols);
+  // G = XᵀX + ridge·I, b = Xᵀy.
+  std::vector<double> gram(static_cast<size_t>(cols * cols), 0.0);
+  std::vector<double> rhs(static_cast<size_t>(cols), 0.0);
+  for (int64_t r = 0; r < rows; ++r) {
+    const double* row = &x[static_cast<size_t>(r * cols)];
+    for (int64_t i = 0; i < cols; ++i) {
+      rhs[static_cast<size_t>(i)] += row[i] * y[static_cast<size_t>(r)];
+      for (int64_t j = i; j < cols; ++j) {
+        gram[static_cast<size_t>(i * cols + j)] += row[i] * row[j];
+      }
+    }
+  }
+  const double ridge = 1e-8;
+  for (int64_t i = 0; i < cols; ++i) {
+    gram[static_cast<size_t>(i * cols + i)] += ridge;
+    for (int64_t j = 0; j < i; ++j) {
+      gram[static_cast<size_t>(i * cols + j)] =
+          gram[static_cast<size_t>(j * cols + i)];
+    }
+  }
+  // Cholesky decomposition G = LLᵀ.
+  std::vector<double> chol(gram);
+  for (int64_t i = 0; i < cols; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      double sum = chol[static_cast<size_t>(i * cols + j)];
+      for (int64_t k = 0; k < j; ++k) {
+        sum -= chol[static_cast<size_t>(i * cols + k)] *
+               chol[static_cast<size_t>(j * cols + k)];
+      }
+      if (i == j) {
+        chol[static_cast<size_t>(i * cols + i)] =
+            std::sqrt(std::max(sum, 1e-12));
+      } else {
+        chol[static_cast<size_t>(i * cols + j)] =
+            sum / chol[static_cast<size_t>(j * cols + j)];
+      }
+    }
+  }
+  // Forward/back substitution.
+  std::vector<double> z(static_cast<size_t>(cols));
+  for (int64_t i = 0; i < cols; ++i) {
+    double sum = rhs[static_cast<size_t>(i)];
+    for (int64_t k = 0; k < i; ++k) {
+      sum -= chol[static_cast<size_t>(i * cols + k)] *
+             z[static_cast<size_t>(k)];
+    }
+    z[static_cast<size_t>(i)] = sum / chol[static_cast<size_t>(i * cols + i)];
+  }
+  std::vector<double> w(static_cast<size_t>(cols));
+  for (int64_t i = cols - 1; i >= 0; --i) {
+    double sum = z[static_cast<size_t>(i)];
+    for (int64_t k = i + 1; k < cols; ++k) {
+      sum -= chol[static_cast<size_t>(k * cols + i)] *
+             w[static_cast<size_t>(k)];
+    }
+    w[static_cast<size_t>(i)] = sum / chol[static_cast<size_t>(i * cols + i)];
+  }
+  return w;
+}
+
+/// Applies d-th order differencing; returns the differenced series and the
+/// tail values needed for re-integration.
+std::vector<double> Difference(const std::vector<double>& series, int d) {
+  std::vector<double> out = series;
+  for (int round = 0; round < d; ++round) {
+    std::vector<double> next(out.size() > 0 ? out.size() - 1 : 0);
+    for (size_t i = 1; i < out.size(); ++i) next[i - 1] = out[i] - out[i - 1];
+    out = std::move(next);
+  }
+  return out;
+}
+
+}  // namespace
+
+ArimaModel::ArimaModel(const ArimaConfig& config) : config_(config) {
+  ENHANCENET_CHECK_GE(config.p, 0);
+  ENHANCENET_CHECK_GE(config.d, 0);
+  ENHANCENET_CHECK_GE(config.q, 0);
+  ENHANCENET_CHECK_GT(config.p + config.q, 0);
+}
+
+Status ArimaModel::Fit(const Tensor& train_series) {
+  if (train_series.dim() != 2) {
+    return Status::InvalidArgument("train series must be [N, T]");
+  }
+  const int64_t n = train_series.size(0);
+  const int64_t t_total = train_series.size(1);
+  const int64_t min_len = config_.long_ar_order + config_.p + config_.q + 32;
+  if (t_total - config_.d < min_len) {
+    return Status::InvalidArgument("training series too short for ARIMA fit");
+  }
+
+  per_entity_.clear();
+  per_entity_.resize(static_cast<size_t>(n));
+  const float* data = train_series.data();
+  const int p = config_.p;
+  const int q = config_.q;
+
+  for (int64_t entity = 0; entity < n; ++entity) {
+    std::vector<double> series(static_cast<size_t>(t_total));
+    for (int64_t t = 0; t < t_total; ++t) {
+      series[static_cast<size_t>(t)] = data[entity * t_total + t];
+    }
+    std::vector<double> z = Difference(series, config_.d);
+    const int64_t len = static_cast<int64_t>(z.size());
+
+    // Center the differenced series.
+    double mean = 0.0;
+    for (double v : z) mean += v;
+    mean /= static_cast<double>(len);
+    for (double& v : z) v -= mean;
+
+    // Stage 1: long AR(L) by least squares -> innovation estimates.
+    const int64_t long_order = config_.long_ar_order;
+    const int64_t rows1 = len - long_order;
+    std::vector<double> x1(static_cast<size_t>(rows1 * long_order));
+    std::vector<double> y1(static_cast<size_t>(rows1));
+    for (int64_t r = 0; r < rows1; ++r) {
+      const int64_t t = r + long_order;
+      y1[static_cast<size_t>(r)] = z[static_cast<size_t>(t)];
+      for (int64_t lag = 1; lag <= long_order; ++lag) {
+        x1[static_cast<size_t>(r * long_order + lag - 1)] =
+            z[static_cast<size_t>(t - lag)];
+      }
+    }
+    const std::vector<double> long_ar =
+        SolveLeastSquares(x1, y1, rows1, long_order);
+    std::vector<double> innovations(static_cast<size_t>(len), 0.0);
+    for (int64_t t = long_order; t < len; ++t) {
+      double pred = 0.0;
+      for (int64_t lag = 1; lag <= long_order; ++lag) {
+        pred += long_ar[static_cast<size_t>(lag - 1)] *
+                z[static_cast<size_t>(t - lag)];
+      }
+      innovations[static_cast<size_t>(t)] = z[static_cast<size_t>(t)] - pred;
+    }
+
+    // Stage 2: regress z_t on p lags of z and q lags of the innovations.
+    const int64_t start = long_order + std::max(p, q);
+    const int64_t rows2 = len - start;
+    const int64_t cols2 = p + q;
+    std::vector<double> x2(static_cast<size_t>(rows2 * cols2));
+    std::vector<double> y2(static_cast<size_t>(rows2));
+    for (int64_t r = 0; r < rows2; ++r) {
+      const int64_t t = r + start;
+      y2[static_cast<size_t>(r)] = z[static_cast<size_t>(t)];
+      for (int lag = 1; lag <= p; ++lag) {
+        x2[static_cast<size_t>(r * cols2 + lag - 1)] =
+            z[static_cast<size_t>(t - lag)];
+      }
+      for (int lag = 1; lag <= q; ++lag) {
+        x2[static_cast<size_t>(r * cols2 + p + lag - 1)] =
+            innovations[static_cast<size_t>(t - lag)];
+      }
+    }
+    const std::vector<double> coef =
+        SolveLeastSquares(x2, y2, rows2, cols2);
+
+    EntityModel model;
+    model.mean = mean;
+    model.phi.assign(coef.begin(), coef.begin() + p);
+    model.theta.assign(coef.begin() + p, coef.end());
+    // Innovation variance from stage-2 residuals.
+    double ss = 0.0;
+    for (int64_t r = 0; r < rows2; ++r) {
+      const int64_t t = r + start;
+      double pred = 0.0;
+      for (int lag = 1; lag <= p; ++lag) {
+        pred += model.phi[static_cast<size_t>(lag - 1)] *
+                z[static_cast<size_t>(t - lag)];
+      }
+      for (int lag = 1; lag <= q; ++lag) {
+        pred += model.theta[static_cast<size_t>(lag - 1)] *
+                innovations[static_cast<size_t>(t - lag)];
+      }
+      const double resid = z[static_cast<size_t>(t)] - pred;
+      ss += resid * resid;
+    }
+    model.sigma2 = ss / static_cast<double>(std::max<int64_t>(rows2, 1));
+    per_entity_[static_cast<size_t>(entity)] = std::move(model);
+  }
+  return Status::Ok();
+}
+
+std::vector<double> ArimaModel::ForecastEntity(
+    const EntityModel& model, const std::vector<double>& window,
+    int64_t horizon) const {
+  const int p = config_.p;
+  const int q = config_.q;
+  const int d = config_.d;
+
+  // Difference the window and center with the training mean.
+  std::vector<double> z = Difference(window, d);
+  for (double& v : z) v -= model.mean;
+
+  // Harvey state-space form of ARMA(p, q): state dimension r = max(p, q+1),
+  //   α_{t+1} = T α_t + R ε_t,   y_t = [1 0 ... 0] α_t.
+  const int r = std::max(p, q + 1);
+  std::vector<double> tmat(static_cast<size_t>(r * r), 0.0);
+  for (int i = 0; i < r; ++i) {
+    if (i < p) tmat[static_cast<size_t>(i * r)] = model.phi[static_cast<size_t>(i)];
+    if (i + 1 < r) tmat[static_cast<size_t>(i * r + i + 1)] = 1.0;
+  }
+  std::vector<double> rvec(static_cast<size_t>(r), 0.0);
+  rvec[0] = 1.0;
+  for (int i = 1; i < r; ++i) {
+    rvec[static_cast<size_t>(i)] =
+        (i - 1 < q) ? model.theta[static_cast<size_t>(i - 1)] : 0.0;
+  }
+
+  // Kalman filter over the window (exact observations: no measurement
+  // noise). State covariance initialized diffusely.
+  std::vector<double> state(static_cast<size_t>(r), 0.0);
+  std::vector<double> cov(static_cast<size_t>(r * r), 0.0);
+  for (int i = 0; i < r; ++i) cov[static_cast<size_t>(i * r + i)] = 1e4;
+
+  std::vector<double> next_state(static_cast<size_t>(r));
+  std::vector<double> next_cov(static_cast<size_t>(r * r));
+  std::vector<double> tc(static_cast<size_t>(r * r));
+  for (double obs : z) {
+    // Innovation: v = y - Z a, F = P[0][0].
+    const double innovation = obs - state[0];
+    const double f = cov[0] + 1e-12;
+    // Update: a += P Zᵀ v / F;  P -= P Zᵀ Z P / F.
+    std::vector<double> k(static_cast<size_t>(r));
+    for (int i = 0; i < r; ++i) k[static_cast<size_t>(i)] = cov[static_cast<size_t>(i * r)] / f;
+    for (int i = 0; i < r; ++i) state[static_cast<size_t>(i)] += k[static_cast<size_t>(i)] * innovation;
+    for (int i = 0; i < r; ++i) {
+      for (int j = 0; j < r; ++j) {
+        next_cov[static_cast<size_t>(i * r + j)] =
+            cov[static_cast<size_t>(i * r + j)] -
+            k[static_cast<size_t>(i)] * cov[static_cast<size_t>(j * r)];
+      }
+    }
+    cov = next_cov;
+    // Predict: a = T a;  P = T P Tᵀ + σ² R Rᵀ.
+    for (int i = 0; i < r; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < r; ++j) {
+        sum += tmat[static_cast<size_t>(i * r + j)] * state[static_cast<size_t>(j)];
+      }
+      next_state[static_cast<size_t>(i)] = sum;
+    }
+    state = next_state;
+    for (int i = 0; i < r; ++i) {
+      for (int j = 0; j < r; ++j) {
+        double sum = 0.0;
+        for (int l = 0; l < r; ++l) {
+          sum += tmat[static_cast<size_t>(i * r + l)] * cov[static_cast<size_t>(l * r + j)];
+        }
+        tc[static_cast<size_t>(i * r + j)] = sum;
+      }
+    }
+    for (int i = 0; i < r; ++i) {
+      for (int j = 0; j < r; ++j) {
+        double sum = 0.0;
+        for (int l = 0; l < r; ++l) {
+          sum += tc[static_cast<size_t>(i * r + l)] * tmat[static_cast<size_t>(j * r + l)];
+        }
+        next_cov[static_cast<size_t>(i * r + j)] =
+            sum + model.sigma2 * rvec[static_cast<size_t>(i)] * rvec[static_cast<size_t>(j)];
+      }
+    }
+    cov = next_cov;
+  }
+
+  // Multi-step prediction: after processing the last observation, `state`
+  // already holds the one-step-ahead state; iterate T for further steps.
+  std::vector<double> forecast_diff(static_cast<size_t>(horizon));
+  for (int64_t h = 0; h < horizon; ++h) {
+    forecast_diff[static_cast<size_t>(h)] = state[0] + model.mean;
+    for (int i = 0; i < r; ++i) {
+      double sum = 0.0;
+      for (int j = 0; j < r; ++j) {
+        sum += tmat[static_cast<size_t>(i * r + j)] * state[static_cast<size_t>(j)];
+      }
+      next_state[static_cast<size_t>(i)] = sum;
+    }
+    state = next_state;
+  }
+
+  // Re-integrate d times. For d=1 the last level is window.back(); for
+  // higher d, keep the tails of each differencing stage.
+  std::vector<double> forecast = forecast_diff;
+  std::vector<std::vector<double>> stages(static_cast<size_t>(d + 1));
+  stages[0] = window;
+  for (int s = 1; s <= d; ++s) stages[static_cast<size_t>(s)] = Difference(window, s);
+  for (int s = d - 1; s >= 0; --s) {
+    double level = stages[static_cast<size_t>(s)].back();
+    for (double& v : forecast) {
+      level += v;
+      v = level;
+    }
+  }
+  return forecast;
+}
+
+Tensor ArimaModel::Forecast(const Tensor& history, int64_t horizon) const {
+  ENHANCENET_CHECK(fitted()) << "Forecast before Fit";
+  ENHANCENET_CHECK_EQ(history.dim(), 2);
+  const int64_t n = history.size(0);
+  ENHANCENET_CHECK_EQ(n, static_cast<int64_t>(per_entity_.size()));
+  const int64_t h = history.size(1);
+  ENHANCENET_CHECK_GT(h, config_.d);
+
+  Tensor out({n, horizon});
+  const float* ph = history.data();
+  for (int64_t entity = 0; entity < n; ++entity) {
+    std::vector<double> window(static_cast<size_t>(h));
+    for (int64_t t = 0; t < h; ++t) {
+      window[static_cast<size_t>(t)] = ph[entity * h + t];
+    }
+    const std::vector<double> forecast = ForecastEntity(
+        per_entity_[static_cast<size_t>(entity)], window, horizon);
+    for (int64_t f = 0; f < horizon; ++f) {
+      out.at({entity, f}) = static_cast<float>(forecast[static_cast<size_t>(f)]);
+    }
+  }
+  return out;
+}
+
+const std::vector<double>& ArimaModel::ar_coefficients(int64_t entity) const {
+  ENHANCENET_CHECK(fitted());
+  ENHANCENET_CHECK(entity >= 0 &&
+                   entity < static_cast<int64_t>(per_entity_.size()));
+  return per_entity_[static_cast<size_t>(entity)].phi;
+}
+
+const std::vector<double>& ArimaModel::ma_coefficients(int64_t entity) const {
+  ENHANCENET_CHECK(fitted());
+  ENHANCENET_CHECK(entity >= 0 &&
+                   entity < static_cast<int64_t>(per_entity_.size()));
+  return per_entity_[static_cast<size_t>(entity)].theta;
+}
+
+}  // namespace models
+}  // namespace enhancenet

@@ -1,0 +1,72 @@
+#ifndef ENHANCENET_MODELS_ARIMA_H_
+#define ENHANCENET_MODELS_ARIMA_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace enhancenet {
+namespace models {
+
+/// Configuration of the ARIMA baseline (Table III).
+struct ArimaConfig {
+  int p = 3;  // autoregressive order
+  int d = 1;  // differencing order
+  int q = 1;  // moving-average order
+  /// Length of the long autoregression used by the Hannan–Rissanen first
+  /// stage to estimate innovations.
+  int long_ar_order = 20;
+};
+
+/// Per-series ARIMA(p,d,q) with Kalman-filter forecasting, the paper's
+/// non-deep-learning baseline.
+///
+/// Estimation uses the Hannan–Rissanen two-stage procedure (closed-form
+/// least squares: a long AR fit yields innovation estimates, then the ARMA
+/// coefficients are regressed on lagged values and lagged innovations).
+/// Forecasting puts the fitted ARMA in Harvey state-space form and runs a
+/// Kalman filter over the observed history window, then iterates the state
+/// transition to produce multi-step predictions, which are re-integrated
+/// `d` times back to the original scale.
+class ArimaModel {
+ public:
+  explicit ArimaModel(const ArimaConfig& config = ArimaConfig());
+
+  /// Fits one ARMA model per entity on the training series [N, T_train].
+  /// Fails if the series is too short for the requested orders.
+  Status Fit(const Tensor& train_series);
+
+  /// Forecasts `horizon` steps beyond a history window [N, H].
+  /// Must be called after Fit. Returns [N, horizon].
+  Tensor Forecast(const Tensor& history, int64_t horizon) const;
+
+  /// Fitted AR coefficients for one entity (size p).
+  const std::vector<double>& ar_coefficients(int64_t entity) const;
+  /// Fitted MA coefficients for one entity (size q).
+  const std::vector<double>& ma_coefficients(int64_t entity) const;
+
+  bool fitted() const { return !per_entity_.empty(); }
+  const ArimaConfig& config() const { return config_; }
+
+ private:
+  struct EntityModel {
+    std::vector<double> phi;    // AR coefficients (on differenced data)
+    std::vector<double> theta;  // MA coefficients
+    double mean = 0.0;          // mean of the differenced series
+    double sigma2 = 1.0;        // innovation variance
+  };
+
+  /// Forecasts one entity with a Kalman filter over its history window.
+  std::vector<double> ForecastEntity(const EntityModel& model,
+                                     const std::vector<double>& window,
+                                     int64_t horizon) const;
+
+  ArimaConfig config_;
+  std::vector<EntityModel> per_entity_;
+};
+
+}  // namespace models
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_MODELS_ARIMA_H_

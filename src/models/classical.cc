@@ -1,0 +1,153 @@
+#include "models/classical.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace models {
+
+Status HistoricalAverage::Fit(const Tensor& train_series,
+                              int64_t season_length) {
+  if (train_series.dim() != 2) {
+    return Status::InvalidArgument("train series must be [N, T]");
+  }
+  if (season_length <= 0) {
+    return Status::InvalidArgument("season_length must be positive");
+  }
+  const int64_t t_total = train_series.size(1);
+  if (t_total < season_length) {
+    return Status::InvalidArgument(
+        "training series shorter than one season");
+  }
+  num_entities_ = train_series.size(0);
+  season_length_ = season_length;
+  slot_means_.assign(static_cast<size_t>(num_entities_ * season_length), 0.0f);
+  std::vector<int64_t> counts(static_cast<size_t>(season_length), 0);
+  const float* p = train_series.data();
+  for (int64_t t = 0; t < t_total; ++t) {
+    ++counts[static_cast<size_t>(t % season_length)];
+  }
+  for (int64_t i = 0; i < num_entities_; ++i) {
+    for (int64_t t = 0; t < t_total; ++t) {
+      slot_means_[static_cast<size_t>(i * season_length + t % season_length)] +=
+          p[i * t_total + t];
+    }
+    for (int64_t s = 0; s < season_length; ++s) {
+      slot_means_[static_cast<size_t>(i * season_length + s)] /=
+          static_cast<float>(counts[static_cast<size_t>(s)]);
+    }
+  }
+  return Status::Ok();
+}
+
+Tensor HistoricalAverage::Forecast(int64_t start, int64_t horizon) const {
+  ENHANCENET_CHECK(fitted()) << "Forecast before Fit";
+  ENHANCENET_CHECK_GE(start, 0);
+  ENHANCENET_CHECK_GT(horizon, 0);
+  Tensor out({num_entities_, horizon});
+  for (int64_t i = 0; i < num_entities_; ++i) {
+    for (int64_t f = 0; f < horizon; ++f) {
+      const int64_t slot = (start + f) % season_length_;
+      out.at({i, f}) =
+          slot_means_[static_cast<size_t>(i * season_length_ + slot)];
+    }
+  }
+  return out;
+}
+
+HoltWinters::HoltWinters() : HoltWinters(Options()) {}
+
+HoltWinters::HoltWinters(const Options& options) : options_(options) {
+  ENHANCENET_CHECK(options.alpha > 0.0 && options.alpha <= 1.0);
+  ENHANCENET_CHECK(options.beta >= 0.0 && options.beta <= 1.0);
+}
+
+Status HoltWinters::Fit(const Tensor& train_series, int64_t season_length) {
+  if (train_series.dim() != 2) {
+    return Status::InvalidArgument("train series must be [N, T]");
+  }
+  if (season_length <= 0) {
+    return Status::InvalidArgument("season_length must be positive");
+  }
+  const int64_t t_total = train_series.size(1);
+  if (t_total < 2 * season_length) {
+    return Status::InvalidArgument(
+        "need at least two seasons of training data");
+  }
+  num_entities_ = train_series.size(0);
+  season_length_ = season_length;
+  seasonal_.assign(static_cast<size_t>(num_entities_ * season_length), 0.0f);
+
+  const float* p = train_series.data();
+  std::vector<int64_t> counts(static_cast<size_t>(season_length), 0);
+  for (int64_t t = 0; t < t_total; ++t) {
+    ++counts[static_cast<size_t>(t % season_length)];
+  }
+  for (int64_t i = 0; i < num_entities_; ++i) {
+    // Remove a per-entity linear trend first — otherwise a trending series
+    // leaks its slope into the slot means and corrupts the seasonal profile.
+    double sum_y = 0.0;
+    double sum_ty = 0.0;
+    for (int64_t t = 0; t < t_total; ++t) {
+      sum_y += p[i * t_total + t];
+      sum_ty += static_cast<double>(t) * p[i * t_total + t];
+    }
+    const double tn = static_cast<double>(t_total);
+    const double mean_t = (tn - 1.0) / 2.0;
+    const double mean_y = sum_y / tn;
+    const double var_t = (tn * tn - 1.0) / 12.0;
+    const double slope = (sum_ty / tn - mean_t * mean_y) / var_t;
+
+    // Slot means of the detrended residuals are zero-mean by construction.
+    for (int64_t t = 0; t < t_total; ++t) {
+      const double detrended =
+          p[i * t_total + t] - mean_y -
+          slope * (static_cast<double>(t) - mean_t);
+      seasonal_[static_cast<size_t>(i * season_length + t % season_length)] +=
+          static_cast<float>(detrended);
+    }
+    for (int64_t s = 0; s < season_length; ++s) {
+      seasonal_[static_cast<size_t>(i * season_length + s)] /=
+          static_cast<float>(counts[static_cast<size_t>(s)]);
+    }
+  }
+  return Status::Ok();
+}
+
+Tensor HoltWinters::Forecast(const Tensor& history, int64_t history_start,
+                             int64_t horizon) const {
+  ENHANCENET_CHECK(fitted()) << "Forecast before Fit";
+  ENHANCENET_CHECK_EQ(history.dim(), 2);
+  ENHANCENET_CHECK_EQ(history.size(0), num_entities_);
+  ENHANCENET_CHECK_GE(history.size(1), 2);
+  const int64_t h = history.size(1);
+
+  Tensor out({num_entities_, horizon});
+  for (int64_t i = 0; i < num_entities_; ++i) {
+    // De-seasonalize the window, then run Holt's linear smoothing on it.
+    auto seasonal_at = [&](int64_t t) {
+      return seasonal_[static_cast<size_t>(
+          i * season_length_ + ((t % season_length_) + season_length_) %
+                                   season_length_)];
+    };
+    double level = history.at({i, 0}) - seasonal_at(history_start);
+    double trend = 0.0;
+    for (int64_t t = 1; t < h; ++t) {
+      const double y = history.at({i, t}) - seasonal_at(history_start + t);
+      const double prev_level = level;
+      level = options_.alpha * y + (1.0 - options_.alpha) * (level + trend);
+      trend = options_.beta * (level - prev_level) +
+              (1.0 - options_.beta) * trend;
+    }
+    for (int64_t f = 0; f < horizon; ++f) {
+      out.at({i, f}) = static_cast<float>(
+          level + trend * static_cast<double>(f + 1) +
+          seasonal_at(history_start + h + f));
+    }
+  }
+  return out;
+}
+
+}  // namespace models
+}  // namespace enhancenet

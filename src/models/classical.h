@@ -1,0 +1,73 @@
+#ifndef ENHANCENET_MODELS_CLASSICAL_H_
+#define ENHANCENET_MODELS_CLASSICAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+namespace enhancenet {
+namespace models {
+
+/// Historical Average: predicts the mean of the same seasonal slot (e.g.,
+/// "Tuesday 08:05") observed in the training data. The classic sanity
+/// baseline for traffic forecasting — strong on periodic signals, blind to
+/// current conditions.
+class HistoricalAverage {
+ public:
+  /// train_series: [N, T] target values; `season_length` is the slot period
+  /// in steps (steps-per-week for traffic, steps-per-day for weather).
+  /// The training series should start at phase 0 of the season.
+  Status Fit(const Tensor& train_series, int64_t season_length);
+
+  /// Forecasts `horizon` steps starting at absolute timestamp `start`
+  /// (same time base as the training series). Returns [N, horizon].
+  Tensor Forecast(int64_t start, int64_t horizon) const;
+
+  bool fitted() const { return season_length_ > 0; }
+  int64_t season_length() const { return season_length_; }
+
+ private:
+  int64_t num_entities_ = 0;
+  int64_t season_length_ = 0;
+  std::vector<float> slot_means_;  // [N * season_length]
+};
+
+/// Additive Holt-Winters (triple exponential smoothing) with a fixed
+/// seasonal profile estimated from training data. Level and trend are
+/// re-estimated from each history window; the seasonal component keeps the
+/// training-time profile, which makes multi-window evaluation cheap and
+/// deterministic.
+class HoltWinters {
+ public:
+  struct Options {
+    double alpha = 0.35;  // level smoothing
+    double beta = 0.05;   // trend smoothing
+  };
+
+  HoltWinters();
+  explicit HoltWinters(const Options& options);
+
+  /// train_series: [N, T] target values; `season_length` in steps. The
+  /// training series should start at phase 0 of the season.
+  Status Fit(const Tensor& train_series, int64_t season_length);
+
+  /// history: [N, H] raw values whose first column sits at absolute
+  /// timestamp `history_start`. Returns [N, horizon] forecasts for the
+  /// steps immediately after the window.
+  Tensor Forecast(const Tensor& history, int64_t history_start,
+                  int64_t horizon) const;
+
+  bool fitted() const { return season_length_ > 0; }
+
+ private:
+  Options options_;
+  int64_t num_entities_ = 0;
+  int64_t season_length_ = 0;
+  std::vector<float> seasonal_;  // [N * season_length], zero-mean per entity
+};
+
+}  // namespace models
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_MODELS_CLASSICAL_H_

@@ -1,0 +1,47 @@
+#ifndef ENHANCENET_MODELS_FORECASTING_MODEL_H_
+#define ENHANCENET_MODELS_FORECASTING_MODEL_H_
+
+#include <string>
+
+#include "autograd/variable.h"
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace enhancenet {
+namespace models {
+
+/// Interface of all neural correlated-time-series forecasting models.
+///
+/// A model maps the scaled history window X_H to predictions of the target
+/// channel over the future window X_F (Sec. III-A): x [B,N,H,C] -> [B,N,F].
+/// `teacher` (scaled ground-truth futures, [B,N,F]) enables scheduled
+/// sampling in encoder-decoder models: at each decoder step the ground truth
+/// is fed with probability `teacher_prob` instead of the model's own
+/// prediction. Models without a decoder ignore both.
+class ForecastingModel : public nn::Module {
+ public:
+  ~ForecastingModel() override = default;
+
+  virtual autograd::Variable Forward(const Tensor& x, const Tensor* teacher,
+                                     float teacher_prob, Rng& rng) = 0;
+
+  /// Convenience inference entry point (no teacher forcing).
+  autograd::Variable Predict(const Tensor& x, Rng& rng) {
+    return Forward(x, nullptr, 0.0f, rng);
+  }
+
+  const std::string& name() const { return name_; }
+
+  int64_t horizon() const { return horizon_; }
+  int64_t history() const { return history_; }
+
+ protected:
+  std::string name_ = "model";
+  int64_t history_ = 12;
+  int64_t horizon_ = 12;
+};
+
+}  // namespace models
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_MODELS_FORECASTING_MODEL_H_

@@ -1,0 +1,91 @@
+#include "models/lstm_model.h"
+
+#include "autograd/ops.h"
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace models {
+
+namespace ag = ::enhancenet::autograd;
+
+LstmModel::LstmModel(const LstmModelConfig& config, Rng& rng)
+    : config_(config) {
+  ENHANCENET_CHECK_GT(config.num_entities, 0);
+  ENHANCENET_CHECK_GT(config.num_layers, 0);
+  name_ = config.name;
+  history_ = config.history;
+  horizon_ = config.horizon;
+  for (int64_t layer = 0; layer < config.num_layers; ++layer) {
+    const int64_t enc_in = layer == 0 ? config.in_channels : config.hidden;
+    encoder_.push_back(
+        std::make_unique<nn::LstmCell>(enc_in, config.hidden, rng));
+    RegisterSubmodule("encoder" + std::to_string(layer),
+                      encoder_.back().get());
+    const int64_t dec_in = layer == 0 ? 1 : config.hidden;
+    decoder_.push_back(
+        std::make_unique<nn::LstmCell>(dec_in, config.hidden, rng));
+    RegisterSubmodule("decoder" + std::to_string(layer),
+                      decoder_.back().get());
+  }
+  output_ = std::make_unique<nn::Linear>(config.hidden, 1, rng);
+  RegisterSubmodule("output", output_.get());
+}
+
+ag::Variable LstmModel::Forward(const Tensor& x, const Tensor* teacher,
+                                float teacher_prob, Rng& rng) {
+  ENHANCENET_CHECK_EQ(x.dim(), 4);
+  const int64_t batch = x.size(0);
+  const int64_t n = x.size(1);
+  const int64_t history = x.size(2);
+  const int64_t channels = x.size(3);
+  ENHANCENET_CHECK_EQ(history, config_.history);
+  ENHANCENET_CHECK_EQ(channels, config_.in_channels);
+  const int64_t rows = batch * n;
+
+  const ag::Variable input = ag::Variable::Leaf(x, /*requires_grad=*/false);
+  const int64_t layers = config_.num_layers;
+
+  std::vector<nn::LstmCell::State> state(static_cast<size_t>(layers));
+  for (auto& s : state) {
+    s.h = ag::Variable::Leaf(Tensor::Zeros({rows, config_.hidden}), false);
+    s.c = ag::Variable::Leaf(Tensor::Zeros({rows, config_.hidden}), false);
+  }
+
+  for (int64_t t = 0; t < history; ++t) {
+    ag::Variable x_t =
+        ag::Reshape(ag::Slice(input, 2, t, 1), {rows, channels});
+    ag::Variable layer_in = x_t;
+    for (int64_t layer = 0; layer < layers; ++layer) {
+      const size_t lu = static_cast<size_t>(layer);
+      state[lu] = encoder_[lu]->Forward(layer_in, state[lu]);
+      layer_in = state[lu].h;
+    }
+  }
+
+  ag::Variable teacher_var;
+  if (teacher != nullptr) {
+    teacher_var = ag::Variable::Leaf(*teacher, /*requires_grad=*/false);
+  }
+  ag::Variable prev =
+      ag::Variable::Leaf(Tensor::Zeros({rows, 1}), /*requires_grad=*/false);
+  std::vector<ag::Variable> outputs;
+  for (int64_t f = 0; f < config_.horizon; ++f) {
+    ag::Variable layer_in = prev;
+    for (int64_t layer = 0; layer < layers; ++layer) {
+      const size_t lu = static_cast<size_t>(layer);
+      state[lu] = decoder_[lu]->Forward(layer_in, state[lu]);
+      layer_in = state[lu].h;
+    }
+    ag::Variable y_hat = output_->Forward(layer_in);  // [rows, 1]
+    outputs.push_back(y_hat);
+    if (training() && teacher_var.defined() && rng.Uniform() < teacher_prob) {
+      prev = ag::Reshape(ag::Slice(teacher_var, -1, f, 1), {rows, 1});
+    } else {
+      prev = y_hat;
+    }
+  }
+  return ag::Reshape(ag::Concat(outputs, -1), {batch, n, config_.horizon});
+}
+
+}  // namespace models
+}  // namespace enhancenet

@@ -1,0 +1,47 @@
+#ifndef ENHANCENET_MODELS_LSTM_MODEL_H_
+#define ENHANCENET_MODELS_LSTM_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/forecasting_model.h"
+#include "nn/gru.h"
+#include "nn/linear.h"
+
+namespace enhancenet {
+namespace models {
+
+/// Configuration of the LSTM baseline (Table III).
+struct LstmModelConfig {
+  std::string name = "LSTM";
+  int64_t num_entities = 0;
+  int64_t in_channels = 1;
+  int64_t hidden = 64;
+  int64_t num_layers = 2;
+  int64_t history = 12;
+  int64_t horizon = 12;
+};
+
+/// Encoder-decoder LSTM (Hochreiter & Schmidhuber) baseline: captures
+/// temporal dynamics only, with entity-invariant filters and no entity
+/// correlations — entities share weights and are treated as batch rows.
+class LstmModel : public ForecastingModel {
+ public:
+  LstmModel(const LstmModelConfig& config, Rng& rng);
+
+  autograd::Variable Forward(const Tensor& x, const Tensor* teacher,
+                             float teacher_prob, Rng& rng) override;
+
+  const LstmModelConfig& config() const { return config_; }
+
+ private:
+  LstmModelConfig config_;
+  std::vector<std::unique_ptr<nn::LstmCell>> encoder_;
+  std::vector<std::unique_ptr<nn::LstmCell>> decoder_;
+  std::unique_ptr<nn::Linear> output_;
+};
+
+}  // namespace models
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_MODELS_LSTM_MODEL_H_

@@ -1,0 +1,166 @@
+#include "models/rnn_model.h"
+
+#include "autograd/ops.h"
+#include "common/logging.h"
+#include "graph/adjacency.h"
+
+namespace enhancenet {
+namespace models {
+
+namespace ag = ::enhancenet::autograd;
+
+RnnModel::RnnModel(const RnnModelConfig& config, Rng& rng) : config_(config) {
+  ENHANCENET_CHECK_GT(config.num_entities, 0);
+  ENHANCENET_CHECK_GT(config.num_layers, 0);
+  ENHANCENET_CHECK(!config.use_damgn || config.use_graph)
+      << "DAMGN enhances graph convolution; enable use_graph";
+  name_ = config.name;
+  history_ = config.history;
+  horizon_ = config.horizon;
+
+  if (config.use_dfgn) {
+    memory_ = std::make_unique<core::EntityMemoryBank>(
+        config.num_entities, config.memory_dim, rng);
+    RegisterSubmodule("memory", memory_.get());
+  }
+
+  int64_t num_supports = 0;
+  if (config.use_graph) {
+    ENHANCENET_CHECK_EQ(config.adjacency.dim(), 2) << "adjacency required";
+    num_supports = 2 * config.max_hops;  // fwd/bwd powers
+    if (config.use_damgn) {
+      damgn_ = std::make_unique<core::Damgn>(
+          config.adjacency, config.num_entities, /*in_channels=*/1,
+          config.damgn_mem_dim, config.damgn_embed_dim, rng);
+      RegisterSubmodule("damgn", damgn_.get());
+    } else {
+      for (Tensor& support :
+           graph::DiffusionSupports(config.adjacency, config.max_hops)) {
+        static_supports_.push_back(
+            ag::Variable::Leaf(std::move(support), /*requires_grad=*/false));
+      }
+    }
+  }
+
+  const ag::Variable* mem =
+      config.use_dfgn ? &memory_->memory() : nullptr;
+  for (int64_t layer = 0; layer < config.num_layers; ++layer) {
+    core::GruCellConfig cell;
+    cell.num_entities = config.num_entities;
+    cell.hidden = config.hidden;
+    cell.num_supports = num_supports;
+    cell.use_dfgn = config.use_dfgn;
+    cell.dfgn_hidden1 = config.dfgn_hidden1;
+    cell.dfgn_hidden2 = config.dfgn_hidden2;
+
+    cell.in_channels = layer == 0 ? config.in_channels : config.hidden;
+    encoder_.push_back(std::make_unique<core::EnhanceGruCell>(cell, mem, rng));
+    RegisterSubmodule("encoder" + std::to_string(layer),
+                      encoder_.back().get());
+
+    cell.in_channels = layer == 0 ? 1 : config.hidden;  // decoder feeds target
+    decoder_.push_back(std::make_unique<core::EnhanceGruCell>(cell, mem, rng));
+    RegisterSubmodule("decoder" + std::to_string(layer),
+                      decoder_.back().get());
+  }
+  output_ = std::make_unique<nn::Linear>(config.hidden, 1, rng);
+  RegisterSubmodule("output", output_.get());
+}
+
+const Tensor& RnnModel::entity_memories() const {
+  ENHANCENET_CHECK(memory_ != nullptr) << "model has no DFGN memories";
+  return memory_->memory().data();
+}
+
+std::vector<ag::Variable> RnnModel::StepSupports(
+    const ag::Variable& signal_t) const {
+  if (!config_.use_graph) return {};
+  if (damgn_ != nullptr) {
+    return damgn_->CombinedSupports(signal_t, config_.max_hops,
+                                    /*bidirectional=*/true);
+  }
+  return static_supports_;
+}
+
+ag::Variable RnnModel::Forward(const Tensor& x, const Tensor* teacher,
+                               float teacher_prob, Rng& rng) {
+  ENHANCENET_CHECK_EQ(x.dim(), 4);
+  const int64_t batch = x.size(0);
+  const int64_t n = x.size(1);
+  const int64_t history = x.size(2);
+  const int64_t channels = x.size(3);
+  ENHANCENET_CHECK_EQ(n, config_.num_entities);
+  ENHANCENET_CHECK_EQ(history, config_.history);
+  ENHANCENET_CHECK_EQ(channels, config_.in_channels);
+
+  const ag::Variable input = ag::Variable::Leaf(x, /*requires_grad=*/false);
+  const int64_t layers = config_.num_layers;
+
+  // Generate each cell's filters once for the whole sequence — they depend
+  // only on the entity memories, so per-step regeneration would just add
+  // identical subgraphs.
+  std::vector<core::EnhanceGruCell::Filters> enc_filters;
+  std::vector<core::EnhanceGruCell::Filters> dec_filters;
+  enc_filters.reserve(static_cast<size_t>(layers));
+  dec_filters.reserve(static_cast<size_t>(layers));
+  for (int64_t layer = 0; layer < layers; ++layer) {
+    enc_filters.push_back(
+        encoder_[static_cast<size_t>(layer)]->GenerateFilters());
+    dec_filters.push_back(
+        decoder_[static_cast<size_t>(layer)]->GenerateFilters());
+  }
+
+  // Encoder: consume the H history steps.
+  std::vector<ag::Variable> hidden(static_cast<size_t>(layers));
+  for (int64_t layer = 0; layer < layers; ++layer) {
+    hidden[static_cast<size_t>(layer)] = ag::Variable::Leaf(
+        Tensor::Zeros({batch, n, config_.hidden}), /*requires_grad=*/false);
+  }
+  for (int64_t t = 0; t < history; ++t) {
+    ag::Variable x_t =
+        ag::Reshape(ag::Slice(input, 2, t, 1), {batch, n, channels});
+    ag::Variable target_t = ag::Slice(x_t, -1, 0, 1);  // [B,N,1]
+    const std::vector<ag::Variable> supports = StepSupports(target_t);
+    ag::Variable layer_in = x_t;
+    for (int64_t layer = 0; layer < layers; ++layer) {
+      const size_t lu = static_cast<size_t>(layer);
+      hidden[lu] = encoder_[lu]->Forward(layer_in, hidden[lu], supports,
+                                         enc_filters[lu]);
+      layer_in = hidden[lu];
+    }
+  }
+
+  // Decoder: emit F predictions, fed back autoregressively. During training,
+  // scheduled sampling replaces the feedback with the ground truth with
+  // probability teacher_prob.
+  ag::Variable teacher_var;
+  if (teacher != nullptr) {
+    teacher_var = ag::Variable::Leaf(*teacher, /*requires_grad=*/false);
+  }
+  ag::Variable prev = ag::Variable::Leaf(Tensor::Zeros({batch, n, 1}),
+                                         /*requires_grad=*/false);
+  std::vector<ag::Variable> outputs;
+  outputs.reserve(static_cast<size_t>(config_.horizon));
+  for (int64_t f = 0; f < config_.horizon; ++f) {
+    const std::vector<ag::Variable> supports = StepSupports(prev);
+    ag::Variable layer_in = prev;
+    for (int64_t layer = 0; layer < layers; ++layer) {
+      const size_t lu = static_cast<size_t>(layer);
+      hidden[lu] = decoder_[lu]->Forward(layer_in, hidden[lu], supports,
+                                         dec_filters[lu]);
+      layer_in = hidden[lu];
+    }
+    ag::Variable y_hat = output_->Forward(layer_in);  // [B,N,1]
+    outputs.push_back(y_hat);
+    if (training() && teacher_var.defined() &&
+        rng.Uniform() < teacher_prob) {
+      prev = ag::Reshape(ag::Slice(teacher_var, -1, f, 1), {batch, n, 1});
+    } else {
+      prev = y_hat;
+    }
+  }
+  return ag::Reshape(ag::Concat(outputs, -1), {batch, n, config_.horizon});
+}
+
+}  // namespace models
+}  // namespace enhancenet

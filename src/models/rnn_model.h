@@ -1,0 +1,85 @@
+#ifndef ENHANCENET_MODELS_RNN_MODEL_H_
+#define ENHANCENET_MODELS_RNN_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/damgn.h"
+#include "core/enhance_gru_cell.h"
+#include "core/entity_memory.h"
+#include "models/forecasting_model.h"
+#include "nn/linear.h"
+
+namespace enhancenet {
+namespace models {
+
+/// Configuration of the RNN-family models.
+struct RnnModelConfig {
+  std::string name = "RNN";
+  int64_t num_entities = 0;
+  int64_t in_channels = 1;   // C
+  int64_t hidden = 64;       // C' (paper: 64 naive, 16 with DFGN)
+  int64_t num_layers = 2;    // stacked GRU layers (paper Sec. VI-A)
+  int64_t history = 12;      // H
+  int64_t horizon = 12;      // F
+
+  /// Graph convolution inside the GRU gates (GRNN family, Sec. V-C1).
+  bool use_graph = false;
+  int max_hops = 2;  // paper: up to 2-hop neighbours, both directions
+
+  /// DFGN plugin: entity-specific filters (D- prefix).
+  bool use_dfgn = false;
+  int64_t memory_dim = 16;   // m
+  int64_t dfgn_hidden1 = 16;  // n₁
+  int64_t dfgn_hidden2 = 4;   // n₂
+
+  /// DAMGN plugin: dynamic adjacency (DA- prefix). Requires use_graph.
+  bool use_damgn = false;
+  int64_t damgn_mem_dim = 10;   // M
+  int64_t damgn_embed_dim = 8;  // θ/φ embedding width
+
+  /// Raw distance-kernel adjacency [N,N]; required when use_graph.
+  Tensor adjacency;
+};
+
+/// Encoder-decoder GRU forecaster covering the paper's whole RNN family:
+/// RNN, D-RNN, GRNN (≈DCRNN), D-GRNN, DA-GRNN, and D-DA-GRNN, selected via
+/// the config flags. The encoder consumes the H history steps; the decoder
+/// emits F predictions of the target channel, with scheduled sampling during
+/// training (Sec. VI-A).
+class RnnModel : public ForecastingModel {
+ public:
+  RnnModel(const RnnModelConfig& config, Rng& rng);
+
+  autograd::Variable Forward(const Tensor& x, const Tensor* teacher,
+                             float teacher_prob, Rng& rng) override;
+
+  const RnnModelConfig& config() const { return config_; }
+
+  /// The trained entity memories [N, m] (Figure 10); CHECK-fails unless
+  /// use_dfgn.
+  const Tensor& entity_memories() const;
+
+  /// The DAMGN plugin (for Figure 12 introspection); null unless use_damgn.
+  const core::Damgn* damgn() const { return damgn_.get(); }
+
+ private:
+  /// Supports for one step whose per-timestamp signal is `signal_t`
+  /// ([B,N,1] target channel); static supports when DAMGN is off.
+  std::vector<autograd::Variable> StepSupports(
+      const autograd::Variable& signal_t) const;
+
+  RnnModelConfig config_;
+  std::unique_ptr<core::EntityMemoryBank> memory_;
+  std::unique_ptr<core::Damgn> damgn_;
+  std::vector<autograd::Variable> static_supports_;
+  std::vector<std::unique_ptr<core::EnhanceGruCell>> encoder_;
+  std::vector<std::unique_ptr<core::EnhanceGruCell>> decoder_;
+  std::unique_ptr<nn::Linear> output_;  // hidden -> 1
+};
+
+}  // namespace models
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_MODELS_RNN_MODEL_H_

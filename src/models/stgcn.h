@@ -1,0 +1,70 @@
+#ifndef ENHANCENET_MODELS_STGCN_H_
+#define ENHANCENET_MODELS_STGCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/forecasting_model.h"
+#include "nn/linear.h"
+
+namespace enhancenet {
+namespace models {
+
+/// Configuration of the STGCN baseline (Yu et al., IJCAI 2018; Table III).
+struct StgcnConfig {
+  std::string name = "STGCN";
+  int64_t num_entities = 0;
+  int64_t in_channels = 1;
+  int64_t history = 12;
+  int64_t horizon = 12;
+  /// Channel plan of the two ST-Conv blocks (temporal/spatial/temporal).
+  int64_t block_channels = 32;
+  int64_t spatial_channels = 16;
+  int64_t temporal_kernel = 3;
+  float dropout = 0.3f;
+  Tensor adjacency;  // raw distance-kernel adjacency [N,N]
+};
+
+/// Spatio-temporal GCN: two ST-Conv "sandwich" blocks, each a valid (no
+/// padding) gated temporal convolution, a Chebyshev-style spatial graph
+/// convolution on the symmetric-normalized adjacency, and another gated
+/// temporal convolution; followed by a final temporal convolution collapsing
+/// the remaining timestamps and a fully-connected output over all horizons.
+/// Non-hierarchical 1D convolution + GC, as the paper characterizes it.
+class Stgcn : public ForecastingModel {
+ public:
+  Stgcn(const StgcnConfig& config, Rng& rng);
+
+  autograd::Variable Forward(const Tensor& x, const Tensor* teacher,
+                             float teacher_prob, Rng& rng) override;
+
+  const StgcnConfig& config() const { return config_; }
+
+ private:
+  /// Valid gated temporal convolution (GLU): [B,N,T,Cin] -> [B,N,T-K+1,Cout].
+  autograd::Variable TemporalGlu(const autograd::Variable& x,
+                                 const std::vector<autograd::Variable>& taps,
+                                 const autograd::Variable& bias,
+                                 int64_t out_channels) const;
+
+  StgcnConfig config_;
+  autograd::Variable adjacency_;  // sym-normalized, constant
+
+  struct Block {
+    std::vector<autograd::Variable> taps1;
+    autograd::Variable bias1;
+    std::unique_ptr<nn::Linear> spatial;  // (2*Cs in: self + A·x) -> Cs
+    std::vector<autograd::Variable> taps2;
+    autograd::Variable bias2;
+  };
+  std::vector<Block> blocks_;
+
+  std::vector<autograd::Variable> out_taps_;  // final temporal conv
+  autograd::Variable out_bias_;
+  std::unique_ptr<nn::Linear> head_;
+};
+
+}  // namespace models
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_MODELS_STGCN_H_

@@ -1,0 +1,147 @@
+#include "models/tcn_model.h"
+
+#include "autograd/ops.h"
+#include "common/logging.h"
+#include "graph/adjacency.h"
+#include "nn/init.h"
+
+namespace enhancenet {
+namespace models {
+
+namespace ag = ::enhancenet::autograd;
+
+TcnModel::TcnModel(const TcnModelConfig& config, Rng& rng) : config_(config) {
+  ENHANCENET_CHECK_GT(config.num_entities, 0);
+  ENHANCENET_CHECK(!config.dilations.empty());
+  ENHANCENET_CHECK(!config.use_damgn || config.use_graph)
+      << "DAMGN enhances graph convolution; enable use_graph";
+  ENHANCENET_CHECK(!config.use_adaptive_static || config.use_graph)
+      << "the adaptive static support extends graph convolution";
+  name_ = config.name;
+  history_ = config.history;
+  horizon_ = config.horizon;
+
+  if (config.use_dfgn) {
+    memory_ = std::make_unique<core::EntityMemoryBank>(
+        config.num_entities, config.memory_dim, rng);
+    RegisterSubmodule("memory", memory_.get());
+  }
+
+  int64_t num_supports = 0;
+  if (config.use_graph) {
+    ENHANCENET_CHECK_EQ(config.adjacency.dim(), 2) << "adjacency required";
+    num_supports = 2 * config.max_hops;
+    if (config.use_damgn) {
+      damgn_ = std::make_unique<core::Damgn>(
+          config.adjacency, config.num_entities, config.in_channels,
+          config.damgn_mem_dim, config.damgn_embed_dim, rng);
+      RegisterSubmodule("damgn", damgn_.get());
+    } else {
+      for (Tensor& support :
+           graph::DiffusionSupports(config.adjacency, config.max_hops)) {
+        static_supports_.push_back(
+            ag::Variable::Leaf(std::move(support), /*requires_grad=*/false));
+      }
+    }
+    if (config.use_adaptive_static) {
+      num_supports += 1;
+      adaptive_e1_ = RegisterParameter(
+          "adaptive_e1", nn::GlorotUniform({config.num_entities,
+                                            config.adaptive_embed_dim},
+                                           rng));
+      adaptive_e2_ = RegisterParameter(
+          "adaptive_e2", nn::GlorotUniform({config.num_entities,
+                                            config.adaptive_embed_dim},
+                                           rng));
+    }
+  }
+
+  input_proj_ = std::make_unique<nn::Linear>(config.in_channels,
+                                             config.residual_channels, rng);
+  RegisterSubmodule("input_proj", input_proj_.get());
+
+  const ag::Variable* mem = config.use_dfgn ? &memory_->memory() : nullptr;
+  for (size_t l = 0; l < config.dilations.size(); ++l) {
+    core::TcnLayerConfig layer;
+    layer.num_entities = config.num_entities;
+    layer.in_channels = config.residual_channels;
+    layer.conv_channels = config.conv_channels;
+    layer.skip_channels = config.skip_channels;
+    layer.kernel_size = config.kernel_size;
+    layer.dilation = config.dilations[l];
+    layer.num_supports = num_supports;
+    layer.use_dfgn = config.use_dfgn;
+    layer.dfgn_hidden1 = config.dfgn_hidden1;
+    layer.dfgn_hidden2 = config.dfgn_hidden2;
+    layer.dropout = config.dropout;
+    layer.compute_residual = l + 1 < config.dilations.size();
+    layers_.push_back(
+        std::make_unique<core::EnhanceTcnLayer>(layer, mem, rng));
+    RegisterSubmodule("layer" + std::to_string(l), layers_.back().get());
+  }
+
+  end1_ = std::make_unique<nn::Linear>(config.skip_channels,
+                                       config.end_channels, rng);
+  end2_ = std::make_unique<nn::Linear>(config.end_channels, config.horizon,
+                                       rng);
+  RegisterSubmodule("end1", end1_.get());
+  RegisterSubmodule("end2", end2_.get());
+}
+
+const Tensor& TcnModel::entity_memories() const {
+  ENHANCENET_CHECK(memory_ != nullptr) << "model has no DFGN memories";
+  return memory_->memory().data();
+}
+
+ag::Variable TcnModel::Forward(const Tensor& x, const Tensor* /*teacher*/,
+                               float /*teacher_prob*/, Rng& rng) {
+  ENHANCENET_CHECK_EQ(x.dim(), 4);
+  const int64_t batch = x.size(0);
+  const int64_t n = x.size(1);
+  const int64_t time = x.size(2);
+  ENHANCENET_CHECK_EQ(n, config_.num_entities);
+  ENHANCENET_CHECK_EQ(time, config_.history);
+  ENHANCENET_CHECK_EQ(x.size(3), config_.in_channels);
+
+  const ag::Variable input = ag::Variable::Leaf(x, /*requires_grad=*/false);
+
+  // Supports are computed once and shared by every layer. Dynamic (DAMGN)
+  // supports carry one adjacency per (sample, timestamp) pair in the folded
+  // [B·T, N, N] layout.
+  std::vector<ag::Variable> supports;
+  if (config_.use_graph) {
+    if (damgn_ != nullptr) {
+      supports = damgn_->CombinedSupports(core::FoldTime(input),
+                                          config_.max_hops,
+                                          /*bidirectional=*/true);
+    } else {
+      supports = static_supports_;
+    }
+    if (config_.use_adaptive_static) {
+      // Graph WaveNet's learned adjacency: adaptive but time-invariant.
+      ag::Variable adaptive = ag::SoftmaxLastDim(
+          ag::Relu(ag::MatMul(adaptive_e1_,
+                              ag::Transpose(adaptive_e2_, 0, 1))));
+      supports.push_back(adaptive);
+    }
+  }
+
+  ag::Variable h = input_proj_->Forward(input);  // [B,N,T,Cr]
+  ag::Variable skip_sum;
+  for (const auto& layer : layers_) {
+    core::EnhanceTcnLayer::Output out = layer->Forward(h, supports, rng);
+    skip_sum = skip_sum.defined() ? ag::Add(skip_sum, out.skip) : out.skip;
+    if (out.residual.defined()) h = out.residual;  // last layer: skip only
+  }
+
+  // Head: features of the final timestamp (whose receptive field spans the
+  // full history) -> ReLU -> FC -> ReLU -> FC -> all F horizons at once.
+  ag::Variable last = ag::Reshape(
+      ag::Slice(skip_sum, 2, time - 1, 1), {batch, n, config_.skip_channels});
+  ag::Variable head = ag::Relu(last);
+  head = ag::Relu(end1_->Forward(head));
+  return end2_->Forward(head);  // [B,N,F]
+}
+
+}  // namespace models
+}  // namespace enhancenet

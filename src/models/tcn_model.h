@@ -1,0 +1,95 @@
+#ifndef ENHANCENET_MODELS_TCN_MODEL_H_
+#define ENHANCENET_MODELS_TCN_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/damgn.h"
+#include "core/enhance_tcn_layer.h"
+#include "core/entity_memory.h"
+#include "models/forecasting_model.h"
+#include "nn/linear.h"
+
+namespace enhancenet {
+namespace models {
+
+/// Configuration of the TCN-family models.
+struct TcnModelConfig {
+  std::string name = "TCN";
+  int64_t num_entities = 0;
+  int64_t in_channels = 1;
+  int64_t history = 12;
+  int64_t horizon = 12;
+
+  int64_t residual_channels = 16;
+  int64_t conv_channels = 16;  // C' gated filters per layer
+  int64_t skip_channels = 32;
+  int64_t end_channels = 64;
+  /// Paper Sec. VI-A: 8 layers with dilations 1,2,1,2,1,2,1,2 and K=2.
+  std::vector<int64_t> dilations = {1, 2, 1, 2, 1, 2, 1, 2};
+  int64_t kernel_size = 2;
+  float dropout = 0.3f;
+
+  /// Graph convolution after each layer's causal conv (GTCN, Sec. V-C2).
+  bool use_graph = false;
+  int max_hops = 2;
+
+  /// DFGN plugin (D- prefix): one DFGN per layer (Sec. IV-C2, Figure 8).
+  bool use_dfgn = false;
+  int64_t memory_dim = 16;
+  int64_t dfgn_hidden1 = 16;
+  int64_t dfgn_hidden2 = 4;
+
+  /// DAMGN plugin (DA- prefix). Requires use_graph.
+  bool use_damgn = false;
+  int64_t damgn_mem_dim = 10;
+  int64_t damgn_embed_dim = 8;
+
+  /// Graph WaveNet baseline: adds a *static* learned adaptive adjacency
+  /// (softmax(ReLU(E₁E₂ᵀ))) as an extra support — data-driven but not
+  /// time-varying, the gap DAMGN fills (Sec. II).
+  bool use_adaptive_static = false;
+  int64_t adaptive_embed_dim = 10;
+
+  /// Raw distance-kernel adjacency [N,N]; required when use_graph.
+  Tensor adjacency;
+};
+
+/// WaveNet-style gated TCN forecaster covering TCN (= WaveNet), D-TCN,
+/// GTCN, D-GTCN, DA-GTCN, D-DA-GTCN, and the Graph WaveNet baseline.
+/// The stack's receptive field (1 + Σ d·(K-1) = 13 with the default config)
+/// covers the H=12 history; the prediction head maps the skip features at
+/// the final timestamp to all F horizons at once.
+class TcnModel : public ForecastingModel {
+ public:
+  TcnModel(const TcnModelConfig& config, Rng& rng);
+
+  autograd::Variable Forward(const Tensor& x, const Tensor* teacher,
+                             float teacher_prob, Rng& rng) override;
+
+  const TcnModelConfig& config() const { return config_; }
+
+  /// Trained entity memories [N, m]; CHECK-fails unless use_dfgn.
+  const Tensor& entity_memories() const;
+
+  /// DAMGN plugin access (Figure 12); null unless use_damgn.
+  const core::Damgn* damgn() const { return damgn_.get(); }
+
+ private:
+  TcnModelConfig config_;
+  std::unique_ptr<core::EntityMemoryBank> memory_;
+  std::unique_ptr<core::Damgn> damgn_;
+  std::vector<autograd::Variable> static_supports_;
+  autograd::Variable adaptive_e1_;  // Graph WaveNet source embedding
+  autograd::Variable adaptive_e2_;  // Graph WaveNet target embedding
+  std::unique_ptr<nn::Linear> input_proj_;
+  std::vector<std::unique_ptr<core::EnhanceTcnLayer>> layers_;
+  std::unique_ptr<nn::Linear> end1_;
+  std::unique_ptr<nn::Linear> end2_;
+};
+
+}  // namespace models
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_MODELS_TCN_MODEL_H_

@@ -1,0 +1,73 @@
+#include "nn/gru.h"
+
+#include "common/logging.h"
+#include "nn/init.h"
+
+namespace enhancenet {
+namespace nn {
+
+namespace ag = ::enhancenet::autograd;
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  wx_ = RegisterParameter("wx",
+                          GlorotUniform({input_size, 3 * hidden_size}, rng));
+  wh_ = RegisterParameter("wh",
+                          GlorotUniform({hidden_size, 3 * hidden_size}, rng));
+  bias_ = RegisterParameter("bias", Tensor::Zeros({3 * hidden_size}));
+}
+
+ag::Variable GruCell::Forward(const ag::Variable& x,
+                              const ag::Variable& h) const {
+  ENHANCENET_CHECK_EQ(x.size(-1), input_size_);
+  ENHANCENET_CHECK_EQ(h.size(-1), hidden_size_);
+  const int64_t hs = hidden_size_;
+
+  ag::Variable gx = ag::Add(ag::MatMul(x, wx_), bias_);  // [rows, 3C']
+  ag::Variable gh = ag::MatMul(h, wh_);                  // [rows, 3C']
+
+  ag::Variable r = ag::Sigmoid(
+      ag::Add(ag::Slice(gx, -1, 0, hs), ag::Slice(gh, -1, 0, hs)));
+  ag::Variable u = ag::Sigmoid(
+      ag::Add(ag::Slice(gx, -1, hs, hs), ag::Slice(gh, -1, hs, hs)));
+  ag::Variable candidate = ag::Tanh(ag::Add(
+      ag::Slice(gx, -1, 2 * hs, hs),
+      ag::Mul(r, ag::Slice(gh, -1, 2 * hs, hs))));
+
+  // h' = u ⊙ h + (1 - u) ⊙ ĥ   (Equation 6)
+  ag::Variable one_minus_u = ag::AddScalar(ag::Neg(u), 1.0f);
+  return ag::Add(ag::Mul(u, h), ag::Mul(one_minus_u, candidate));
+}
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  wx_ = RegisterParameter("wx",
+                          GlorotUniform({input_size, 4 * hidden_size}, rng));
+  wh_ = RegisterParameter("wh",
+                          GlorotUniform({hidden_size, 4 * hidden_size}, rng));
+  Tensor b = Tensor::Zeros({4 * hidden_size});
+  // Forget-gate bias = 1 encourages gradient flow early in training.
+  for (int64_t i = hidden_size; i < 2 * hidden_size; ++i) b.data()[i] = 1.0f;
+  bias_ = RegisterParameter("bias", std::move(b));
+}
+
+LstmCell::State LstmCell::Forward(const ag::Variable& x,
+                                  const State& state) const {
+  ENHANCENET_CHECK_EQ(x.size(-1), input_size_);
+  const int64_t hs = hidden_size_;
+
+  ag::Variable gates =
+      ag::Add(ag::Add(ag::MatMul(x, wx_), ag::MatMul(state.h, wh_)), bias_);
+
+  ag::Variable i = ag::Sigmoid(ag::Slice(gates, -1, 0, hs));
+  ag::Variable f = ag::Sigmoid(ag::Slice(gates, -1, hs, hs));
+  ag::Variable g = ag::Tanh(ag::Slice(gates, -1, 2 * hs, hs));
+  ag::Variable o = ag::Sigmoid(ag::Slice(gates, -1, 3 * hs, hs));
+
+  ag::Variable c = ag::Add(ag::Mul(f, state.c), ag::Mul(i, g));
+  ag::Variable h = ag::Mul(o, ag::Tanh(c));
+  return {h, c};
+}
+
+}  // namespace nn
+}  // namespace enhancenet

@@ -1,0 +1,64 @@
+#ifndef ENHANCENET_NN_GRU_H_
+#define ENHANCENET_NN_GRU_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace enhancenet {
+namespace nn {
+
+/// Gated Recurrent Unit cell with entity-invariant ("naive", paper Sec. IV-A)
+/// filters, following Equations 3–6 of the paper:
+///   r = σ(W_r x + U_r h),  u = σ(W_u x + U_u h)
+///   ĥ = tanh(W_h x + U_h (r ⊙ h))
+///   h' = u ⊙ h + (1-u) ⊙ ĥ
+/// The three input filters are fused into one [C, 3C'] matrix (likewise the
+/// recurrent filters) so each step costs two GEMMs.
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  /// x: [rows, input_size], h: [rows, hidden_size] -> new h [rows, hidden].
+  autograd::Variable Forward(const autograd::Variable& x,
+                             const autograd::Variable& h) const;
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  autograd::Variable wx_;  // [C, 3C'] gate order: r, u, candidate
+  autograd::Variable wh_;  // [C', 3C']
+  autograd::Variable bias_;  // [3C']
+};
+
+/// Long Short-Term Memory cell (baseline, Table III). Gate order i, f, g, o;
+/// forget-gate bias initialized to 1.
+class LstmCell : public Module {
+ public:
+  struct State {
+    autograd::Variable h;
+    autograd::Variable c;
+  };
+
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  /// x: [rows, input_size] -> new (h, c).
+  State Forward(const autograd::Variable& x, const State& state) const;
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  autograd::Variable wx_;    // [C, 4C']
+  autograd::Variable wh_;    // [C', 4C']
+  autograd::Variable bias_;  // [4C']
+};
+
+}  // namespace nn
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_NN_GRU_H_

@@ -1,0 +1,31 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace nn {
+
+Tensor GlorotUniform(Shape shape, Rng& rng) {
+  ENHANCENET_CHECK_GE(shape.size(), 1u);
+  int64_t fan_in = 1;
+  int64_t fan_out = 1;
+  if (shape.size() == 1) {
+    fan_in = fan_out = shape[0];
+  } else {
+    // Trailing two dims are [in, out]; leading dims are bank indices.
+    fan_in = shape[shape.size() - 2];
+    fan_out = shape[shape.size() - 1];
+  }
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Tensor::RandUniform(std::move(shape), rng, -limit, limit);
+}
+
+Tensor UniformInit(Shape shape, Rng& rng, float scale) {
+  return Tensor::RandUniform(std::move(shape), rng, -scale, scale);
+}
+
+}  // namespace nn
+}  // namespace enhancenet

@@ -1,0 +1,22 @@
+#ifndef ENHANCENET_NN_INIT_H_
+#define ENHANCENET_NN_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace enhancenet {
+namespace nn {
+
+/// Glorot/Xavier uniform initialization: U(-l, l), l = sqrt(6/(fan_in+fan_out)).
+/// For rank-2 [in, out] weights, fans are the two dims; for rank-3 banks
+/// [N, in, out] the leading dim is treated as a bank index.
+Tensor GlorotUniform(Shape shape, Rng& rng);
+
+/// Uniform U(-scale, scale); used for entity memories (the paper initializes
+/// memories from a uniform distribution, Sec. VI-A).
+Tensor UniformInit(Shape shape, Rng& rng, float scale = 0.5f);
+
+}  // namespace nn
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_NN_INIT_H_

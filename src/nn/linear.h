@@ -1,0 +1,34 @@
+#ifndef ENHANCENET_NN_LINEAR_H_
+#define ENHANCENET_NN_LINEAR_H_
+
+#include "autograd/ops.h"
+#include "nn/module.h"
+
+namespace enhancenet {
+namespace nn {
+
+/// Affine map y = x W + b over the last dimension.
+///
+/// Accepts inputs of any rank >= 1 whose last dim equals in_features; the
+/// output replaces the last dim with out_features.
+class Linear : public Module {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  autograd::Variable Forward(const autograd::Variable& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  autograd::Variable weight_;  // [in, out]
+  autograd::Variable bias_;    // [out], undefined when bias=false
+};
+
+}  // namespace nn
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_NN_LINEAR_H_

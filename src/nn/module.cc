@@ -1,0 +1,66 @@
+#include "nn/module.h"
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace nn {
+
+std::vector<autograd::Variable> Module::Parameters() const {
+  std::vector<autograd::Variable> out;
+  for (const auto& [name, param] : params_) out.push_back(param);
+  for (const auto& [name, sub] : submodules_) {
+    auto child = sub->Parameters();
+    out.insert(out.end(), child.begin(), child.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, autograd::Variable>>
+Module::NamedParameters() const {
+  std::vector<std::pair<std::string, autograd::Variable>> out;
+  for (const auto& [name, param] : params_) out.emplace_back(name, param);
+  for (const auto& [name, sub] : submodules_) {
+    for (auto& [child_name, param] : sub->NamedParameters()) {
+      out.emplace_back(name + "." + child_name, param);
+    }
+  }
+  return out;
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& param : Parameters()) total += param.numel();
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (auto& param : Parameters()) param.ZeroGrad();
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (auto& [name, sub] : submodules_) sub->SetTraining(training);
+}
+
+autograd::Variable Module::RegisterParameter(const std::string& name,
+                                             Tensor init) {
+  for (const auto& [existing, param] : params_) {
+    ENHANCENET_CHECK(existing != name) << "duplicate parameter " << name;
+  }
+  autograd::Variable v = autograd::Variable::Leaf(std::move(init),
+                                                  /*requires_grad=*/true);
+  params_.emplace_back(name, v);
+  return v;
+}
+
+void Module::RegisterSubmodule(const std::string& name, Module* submodule) {
+  ENHANCENET_CHECK(submodule != nullptr);
+  ENHANCENET_CHECK(submodule != this) << "module cannot contain itself";
+  for (const auto& [existing, sub] : submodules_) {
+    ENHANCENET_CHECK(existing != name) << "duplicate submodule " << name;
+  }
+  submodules_.emplace_back(name, submodule);
+}
+
+}  // namespace nn
+}  // namespace enhancenet

@@ -1,0 +1,62 @@
+#ifndef ENHANCENET_NN_MODULE_H_
+#define ENHANCENET_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace enhancenet {
+namespace nn {
+
+/// Base class for neural-network building blocks.
+///
+/// A Module owns trainable parameters (registered with RegisterParameter)
+/// and may contain submodules (registered with RegisterSubmodule; the parent
+/// owns the submodule object itself — registration is a non-owning link used
+/// for recursive traversal). Parameters(), NumParameters(), ZeroGrad() and
+/// SetTraining() all recurse through the submodule tree.
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  virtual ~Module() = default;
+
+  /// All trainable parameters of this module and its submodules.
+  std::vector<autograd::Variable> Parameters() const;
+
+  /// Parameters with hierarchical names ("encoder.cell0.weight").
+  std::vector<std::pair<std::string, autograd::Variable>> NamedParameters()
+      const;
+
+  /// Total number of trainable scalars — the "# Para" column of Tables I/II.
+  int64_t NumParameters() const;
+
+  /// Clears gradients of every parameter in the tree.
+  void ZeroGrad();
+
+  /// Switches train/eval mode (affects Dropout and scheduled sampling).
+  void SetTraining(bool training);
+  bool training() const { return training_; }
+
+ protected:
+  /// Registers a trainable parameter initialized with `init`; returns the
+  /// Variable handle the forward pass should use.
+  autograd::Variable RegisterParameter(const std::string& name, Tensor init);
+
+  /// Links a child module for recursive traversal. `submodule` must outlive
+  /// this module (it is normally a data member of the subclass).
+  void RegisterSubmodule(const std::string& name, Module* submodule);
+
+ private:
+  std::vector<std::pair<std::string, autograd::Variable>> params_;
+  std::vector<std::pair<std::string, Module*>> submodules_;
+  bool training_ = true;
+};
+
+}  // namespace nn
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_NN_MODULE_H_

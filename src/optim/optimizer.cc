@@ -1,0 +1,132 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace enhancenet {
+namespace optim {
+
+Optimizer::Optimizer(std::vector<autograd::Variable> params, float lr)
+    : params_(std::move(params)), lr_(lr) {
+  ENHANCENET_CHECK_GT(lr, 0.0f);
+  for (const auto& p : params_) {
+    ENHANCENET_CHECK(p.defined() && p.requires_grad())
+        << "optimizer given a non-trainable variable";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+Sgd::Sgd(std::vector<autograd::Variable> params, float lr, float momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  ENHANCENET_CHECK_GE(momentum, 0.0f);
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(p.shape());
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    const Tensor& g = p.grad();
+    if (momentum_ > 0.0f) {
+      Tensor& vel = velocity_[i];
+      // v = momentum * v + g;  p -= lr * v
+      float* pv = vel.data();
+      const float* pg = g.data();
+      float* pp = p.mutable_data().data();
+      const int64_t n = vel.numel();
+      for (int64_t j = 0; j < n; ++j) {
+        pv[j] = momentum_ * pv[j] + pg[j];
+        pp[j] -= lr_ * pv[j];
+      }
+    } else {
+      ops::AxpyInPlace(-lr_, g, &p.mutable_data());
+    }
+  }
+}
+
+Adam::Adam(std::vector<autograd::Variable> params, float lr, float beta1,
+           float beta2, float eps, float weight_decay)
+    : Optimizer(std::move(params), lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.shape());
+    v_.emplace_back(p.shape());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (!p.has_grad()) continue;
+    const float* pg = p.grad().data();
+    float* pm = m_[i].data();
+    float* pv = v_[i].data();
+    float* pp = p.mutable_data().data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) {
+      float g = pg[j];
+      if (weight_decay_ > 0.0f) g += weight_decay_ * pp[j];
+      pm[j] = beta1_ * pm[j] + (1.0f - beta1_) * g;
+      pv[j] = beta2_ * pv[j] + (1.0f - beta2_) * g * g;
+      const float m_hat = pm[j] / bc1;
+      const float v_hat = pv[j] / bc2;
+      pp[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+}
+
+float ClipGradNorm(const std::vector<autograd::Variable>& params,
+                   float max_norm) {
+  ENHANCENET_CHECK_GT(max_norm, 0.0f);
+  double sq = 0.0;
+  for (const auto& p : params) {
+    if (!p.has_grad()) continue;
+    const float* pg = p.grad().data();
+    const int64_t n = p.numel();
+    for (int64_t j = 0; j < n; ++j) sq += static_cast<double>(pg[j]) * pg[j];
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm) {
+    const float scale = max_norm / (norm + 1e-12f);
+    for (auto p : params) {  // copy of the handle; shares the node
+      if (!p.has_grad()) continue;
+      float* pg = p.mutable_grad().data();
+      const int64_t n = p.numel();
+      for (int64_t j = 0; j < n; ++j) pg[j] *= scale;
+    }
+  }
+  return norm;
+}
+
+StepDecaySchedule::StepDecaySchedule(float initial_lr, int first_decay_epoch,
+                                     int period, float factor)
+    : initial_lr_(initial_lr),
+      first_decay_epoch_(first_decay_epoch),
+      period_(period),
+      factor_(factor) {
+  ENHANCENET_CHECK_GT(period, 0);
+  ENHANCENET_CHECK_GT(factor, 0.0f);
+}
+
+float StepDecaySchedule::LrForEpoch(int epoch) const {
+  if (epoch < first_decay_epoch_) return initial_lr_;
+  const int decays = 1 + (epoch - first_decay_epoch_) / period_;
+  return initial_lr_ * std::pow(factor_, static_cast<float>(decays));
+}
+
+}  // namespace optim
+}  // namespace enhancenet

@@ -1,0 +1,90 @@
+#ifndef ENHANCENET_OPTIM_OPTIMIZER_H_
+#define ENHANCENET_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace enhancenet {
+namespace optim {
+
+/// Base class for first-order optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params, float lr);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients. Parameters without a
+  /// gradient (e.g. unused branches) are skipped.
+  virtual void Step() = 0;
+
+  /// Clears gradients of all managed parameters.
+  void ZeroGrad();
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+  const std::vector<autograd::Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<autograd::Variable> params_;
+  float lr_;
+};
+
+/// Stochastic gradient descent with optional classical momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> params, float lr, float momentum = 0.0f);
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<Tensor> velocity_;  // lazily sized to match params
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction, as used by the paper's
+/// training setup.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> params, float lr, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm. Standard recipe for RNN training stability.
+float ClipGradNorm(const std::vector<autograd::Variable>& params,
+                   float max_norm);
+
+/// The paper's LR schedule (Sec. VI-A, RNN models): the initial rate decays
+/// by 10x every `period` epochs starting at epoch `first_decay_epoch`.
+/// Epochs are 0-based: with defaults, epochs 0..19 run at `initial_lr`,
+/// 20..29 at initial/10, 30..39 at initial/100, etc.
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(float initial_lr, int first_decay_epoch = 20,
+                    int period = 10, float factor = 0.1f);
+
+  /// Learning rate for a 0-based epoch index.
+  float LrForEpoch(int epoch) const;
+
+ private:
+  float initial_lr_;
+  int first_decay_epoch_;
+  int period_;
+  float factor_;
+};
+
+}  // namespace optim
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,182 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+
+int64_t NumElements(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    ENHANCENET_CHECK_GE(d, 0) << "negative dimension in " << ShapeToString(shape);
+    n *= d;
+  }
+  return n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream out;
+  out << "[";
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << "]";
+  return out.str();
+}
+
+Tensor::Tensor() : Tensor(Shape{}) {}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), numel_(NumElements(shape_)) {
+  ENHANCENET_CHECK_LE(shape_.size(), 4u)
+      << "rank > 4 not supported: " << ShapeToString(shape_);
+  const size_t count = static_cast<size_t>(std::max<int64_t>(numel_, 1));
+  storage_ = std::shared_ptr<float[]>(new float[count]());  // zeroed
+}
+
+Tensor Tensor::Uninitialized(Shape shape) {
+  Tensor t;  // small throwaway allocation
+  t.shape_ = std::move(shape);
+  t.numel_ = NumElements(t.shape_);
+  ENHANCENET_CHECK_LE(t.shape_.size(), 4u)
+      << "rank > 4 not supported: " << ShapeToString(t.shape_);
+  const size_t count = static_cast<size_t>(std::max<int64_t>(t.numel_, 1));
+  t.storage_ = std::shared_ptr<float[]>(new float[count]);  // uninitialized
+  return t;
+}
+
+Tensor::Tensor(std::shared_ptr<float[]> storage, Shape shape)
+    : storage_(std::move(storage)),
+      shape_(std::move(shape)),
+      numel_(NumElements(shape_)) {}
+
+Tensor Tensor::Zeros(Shape shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(Shape shape) { return Full(std::move(shape), 1.0f); }
+
+Tensor Tensor::Full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Scalar(float value) {
+  Tensor t{Shape{}};
+  t.data()[0] = value;
+  return t;
+}
+
+Tensor Tensor::FromVector(Shape shape, const std::vector<float>& values) {
+  Tensor t(std::move(shape));
+  ENHANCENET_CHECK_EQ(t.numel(), static_cast<int64_t>(values.size()));
+  std::copy(values.begin(), values.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::RandUniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    p[i] = static_cast<float>(rng.Uniform(lo, hi));
+  }
+  return t;
+}
+
+int64_t Tensor::size(int64_t d) const {
+  const int64_t rank = dim();
+  if (d < 0) d += rank;
+  ENHANCENET_CHECK(d >= 0 && d < rank)
+      << "dim " << d << " out of range for " << ShapeToString(shape_);
+  return shape_[static_cast<size_t>(d)];
+}
+
+int64_t Tensor::FlatIndex(std::initializer_list<int64_t> index) const {
+  ENHANCENET_CHECK_EQ(static_cast<int64_t>(index.size()), dim());
+  int64_t flat = 0;
+  size_t d = 0;
+  for (int64_t i : index) {
+    ENHANCENET_CHECK(i >= 0 && i < shape_[d])
+        << "index " << i << " out of range for dim " << d << " of "
+        << ShapeToString(shape_);
+    flat = flat * shape_[d] + i;
+    ++d;
+  }
+  return flat;
+}
+
+float& Tensor::at(std::initializer_list<int64_t> index) {
+  return storage_[FlatIndex(index)];
+}
+
+float Tensor::at(std::initializer_list<int64_t> index) const {
+  return storage_[FlatIndex(index)];
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t = Uninitialized(shape_);
+  std::copy(data(), data() + numel_, t.data());
+  return t;
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  // Resolve a single -1 dimension.
+  int64_t known = 1;
+  int inferred = -1;
+  for (size_t d = 0; d < new_shape.size(); ++d) {
+    if (new_shape[d] == -1) {
+      ENHANCENET_CHECK_EQ(inferred, -1) << "multiple -1 dims in reshape";
+      inferred = static_cast<int>(d);
+    } else {
+      known *= new_shape[d];
+    }
+  }
+  if (inferred >= 0) {
+    ENHANCENET_CHECK(known > 0 && numel_ % known == 0)
+        << "cannot infer dim: " << numel_ << " vs " << ShapeToString(new_shape);
+    new_shape[static_cast<size_t>(inferred)] = numel_ / known;
+  }
+  ENHANCENET_CHECK_EQ(NumElements(new_shape), numel_)
+      << "reshape " << ShapeToString(shape_) << " -> "
+      << ShapeToString(new_shape);
+  return Tensor(storage_, std::move(new_shape));
+}
+
+void Tensor::Fill(float value) {
+  std::fill(data(), data() + numel_, value);
+}
+
+std::vector<float> Tensor::ToVector() const {
+  return std::vector<float>(data(), data() + numel_);
+}
+
+float Tensor::item() const {
+  ENHANCENET_CHECK_EQ(numel_, 1) << "item() on tensor " << ShapeToString(shape_);
+  return storage_[0];
+}
+
+std::string Tensor::ToString(int64_t max_elements) const {
+  std::ostringstream out;
+  out << "Tensor" << ShapeToString(shape_) << " {";
+  const int64_t n = std::min(numel_, max_elements);
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << storage_[i];
+  }
+  if (n < numel_) out << ", ...";
+  out << "}";
+  return out.str();
+}
+
+}  // namespace enhancenet

@@ -1,0 +1,114 @@
+#ifndef ENHANCENET_TENSOR_TENSOR_H_
+#define ENHANCENET_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace enhancenet {
+
+/// Dimension sizes of a tensor, outermost first.
+using Shape = std::vector<int64_t>;
+
+/// Returns the number of elements implied by `shape` (1 for a 0-d scalar).
+int64_t NumElements(const Shape& shape);
+
+/// Renders a shape as "[2, 3, 4]".
+std::string ShapeToString(const Shape& shape);
+
+/// A dense, row-major, always-contiguous float tensor.
+///
+/// Storage is shared between copies (shallow copy semantics, like
+/// torch.Tensor): copying a Tensor is O(1) and both copies alias the same
+/// buffer. Use Clone() for a deep copy. Mutating ops on the raw buffer are
+/// visible through every alias; the functional ops in tensor_ops.h always
+/// allocate fresh outputs.
+///
+/// Supported ranks are 0 (scalar) through 4, which covers every layout the
+/// library uses: [B, N, T, C] activations, [N, C, C'] per-entity filter
+/// banks, [N, N] adjacency matrices.
+class Tensor {
+ public:
+  /// An empty (rank-0, 1-element, zero-valued) tensor.
+  Tensor();
+
+  /// A zero-initialized tensor of the given shape.
+  explicit Tensor(Shape shape);
+
+  /// A tensor whose elements are NOT initialized. For kernel outputs that
+  /// overwrite every element; never expose uninitialized contents.
+  static Tensor Uninitialized(Shape shape);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  /// Factory: all zeros.
+  static Tensor Zeros(Shape shape);
+  /// Factory: all ones.
+  static Tensor Ones(Shape shape);
+  /// Factory: every element set to `value`.
+  static Tensor Full(Shape shape, float value);
+  /// Factory: rank-0 scalar.
+  static Tensor Scalar(float value);
+  /// Factory: copies `values` (size must match the shape's element count).
+  static Tensor FromVector(Shape shape, const std::vector<float>& values);
+  /// Factory: i.i.d. N(0, stddev²) entries drawn from `rng`.
+  static Tensor Randn(Shape shape, Rng& rng, float stddev = 1.0f);
+  /// Factory: i.i.d. Uniform[lo, hi) entries drawn from `rng`.
+  static Tensor RandUniform(Shape shape, Rng& rng, float lo, float hi);
+
+  const Shape& shape() const { return shape_; }
+  int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
+  /// Size of dimension `d`; negative `d` counts from the end.
+  int64_t size(int64_t d) const;
+  int64_t numel() const { return numel_; }
+
+  float* data() { return storage_.get(); }
+  const float* data() const { return storage_.get(); }
+
+  /// Element access by multi-index (rank must match the index count).
+  float& at(std::initializer_list<int64_t> index);
+  float at(std::initializer_list<int64_t> index) const;
+
+  /// Deep copy with fresh storage.
+  Tensor Clone() const;
+
+  /// Returns a tensor sharing this storage with a new shape. The element
+  /// count must be unchanged. One dimension may be -1 (inferred).
+  Tensor Reshape(Shape new_shape) const;
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+
+  /// Copies all elements out into a std::vector.
+  std::vector<float> ToVector() const;
+
+  /// Value of a rank-0 or single-element tensor.
+  float item() const;
+
+  /// True if the two tensors share the same storage buffer.
+  bool SharesStorageWith(const Tensor& other) const {
+    return storage_ == other.storage_;
+  }
+
+  /// Compact textual rendering (for debugging / small tensors).
+  std::string ToString(int64_t max_elements = 64) const;
+
+ private:
+  Tensor(std::shared_ptr<float[]> storage, Shape shape);
+
+  int64_t FlatIndex(std::initializer_list<int64_t> index) const;
+
+  std::shared_ptr<float[]> storage_;
+  Shape shape_;
+  int64_t numel_;
+};
+
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_TENSOR_TENSOR_H_

@@ -1,0 +1,625 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace ops {
+namespace {
+
+// Strides (in elements) of a row-major tensor with the given shape.
+std::vector<int64_t> RowMajorStrides(const Shape& shape) {
+  std::vector<int64_t> strides(shape.size(), 1);
+  for (int64_t d = static_cast<int64_t>(shape.size()) - 2; d >= 0; --d) {
+    strides[d] = strides[d + 1] * shape[d + 1];
+  }
+  return strides;
+}
+
+// True if `suffix` equals the trailing dims of `shape` (rank may be lower).
+bool IsSuffixShape(const Shape& suffix, const Shape& shape) {
+  if (suffix.size() > shape.size()) return false;
+  for (size_t d = 0; d < suffix.size(); ++d) {
+    if (suffix[suffix.size() - 1 - d] != shape[shape.size() - 1 - d]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Applies `f` elementwise over the broadcast of a and b.
+template <typename BinaryOp>
+Tensor BroadcastBinary(const Tensor& a, const Tensor& b, BinaryOp f) {
+  // Fast path: identical shapes.
+  if (a.shape() == b.shape()) {
+    Tensor out = Tensor::Uninitialized(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t n = a.numel();
+    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    return out;
+  }
+  // Fast path: scalar operand (rank guard keeps the output shape equal to
+  // the true broadcast shape).
+  if (b.numel() == 1 && b.dim() <= a.dim()) {
+    const float s = b.data()[0];
+    Tensor out = Tensor::Uninitialized(a.shape());
+    const float* pa = a.data();
+    float* po = out.data();
+    for (int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i], s);
+    return out;
+  }
+  if (a.numel() == 1 && a.dim() <= b.dim()) {
+    const float s = a.data()[0];
+    Tensor out = Tensor::Uninitialized(b.shape());
+    const float* pb = b.data();
+    float* po = out.data();
+    for (int64_t i = 0; i < b.numel(); ++i) po[i] = f(s, pb[i]);
+    return out;
+  }
+  // Fast path: bias-style broadcast (b is a trailing block of a, e.g.
+  // [R, C] op [C]) — the hot pattern in every gate computation.
+  if (b.dim() <= a.dim() && IsSuffixShape(b.shape(), a.shape())) {
+    Tensor out = Tensor::Uninitialized(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t inner = b.numel();
+    const int64_t rows = a.numel() / inner;
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* arow = pa + r * inner;
+      float* orow = po + r * inner;
+      for (int64_t i = 0; i < inner; ++i) orow[i] = f(arow[i], pb[i]);
+    }
+    return out;
+  }
+  if (a.dim() <= b.dim() && IsSuffixShape(a.shape(), b.shape())) {
+    Tensor out = Tensor::Uninitialized(b.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const int64_t inner = a.numel();
+    const int64_t rows = b.numel() / inner;
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* brow = pb + r * inner;
+      float* orow = po + r * inner;
+      for (int64_t i = 0; i < inner; ++i) orow[i] = f(pa[i], brow[i]);
+    }
+    return out;
+  }
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  Tensor out = Tensor::Uninitialized(out_shape);
+  const int64_t rank = static_cast<int64_t>(out_shape.size());
+
+  // Effective strides per input: 0 on broadcast dims, padded on the left.
+  auto effective_strides = [&](const Shape& s) {
+    std::vector<int64_t> strides(static_cast<size_t>(rank), 0);
+    const auto native = RowMajorStrides(s);
+    const int64_t offset = rank - static_cast<int64_t>(s.size());
+    for (int64_t d = 0; d < static_cast<int64_t>(s.size()); ++d) {
+      strides[static_cast<size_t>(offset + d)] =
+          (s[static_cast<size_t>(d)] == 1) ? 0 : native[static_cast<size_t>(d)];
+    }
+    return strides;
+  };
+  const auto sa = effective_strides(a.shape());
+  const auto sb = effective_strides(b.shape());
+
+  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  const int64_t n = out.numel();
+  int64_t ia = 0;
+  int64_t ib = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = f(pa[ia], pb[ib]);
+    // Odometer increment.
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      const size_t du = static_cast<size_t>(d);
+      ++index[du];
+      ia += sa[du];
+      ib += sb[du];
+      if (index[du] < out_shape[du]) break;
+      ia -= sa[du] * out_shape[du];
+      ib -= sb[du] * out_shape[du];
+      index[du] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename UnaryOp>
+Tensor Unary(const Tensor& t, UnaryOp f) {
+  Tensor out = Tensor::Uninitialized(t.shape());
+  const float* p = t.data();
+  float* po = out.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) po[i] = f(p[i]);
+  return out;
+}
+
+// Core GEMM kernel on contiguous row-major buffers:
+//   C[M,N] += A[M,K] * B[K,N]
+// i-k-j loop order so the inner loop streams over contiguous rows of B and C,
+// which GCC auto-vectorizes.
+void GemmKernel(const float* a, const float* b, float* c, int64_t m, int64_t k,
+                int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float aik = arow[kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+Tensor MaterializeTranspose2D(const Tensor& t) {
+  const int64_t rows = t.size(0);
+  const int64_t cols = t.size(1);
+  Tensor out = Tensor::Uninitialized(Shape{cols, rows});
+  const float* p = t.data();
+  float* po = out.data();
+  for (int64_t i = 0; i < rows; ++i) {
+    for (int64_t j = 0; j < cols; ++j) po[j * rows + i] = p[i * cols + j];
+  }
+  return out;
+}
+
+}  // namespace
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  const int64_t rank =
+      std::max<int64_t>(static_cast<int64_t>(a.size()),
+                        static_cast<int64_t>(b.size()));
+  Shape out(static_cast<size_t>(rank), 1);
+  for (int64_t d = 0; d < rank; ++d) {
+    const int64_t da =
+        d < static_cast<int64_t>(a.size())
+            ? a[a.size() - 1 - static_cast<size_t>(d)]
+            : 1;
+    const int64_t db =
+        d < static_cast<int64_t>(b.size())
+            ? b[b.size() - 1 - static_cast<size_t>(d)]
+            : 1;
+    ENHANCENET_CHECK(da == db || da == 1 || db == 1)
+        << "cannot broadcast " << ShapeToString(a) << " with "
+        << ShapeToString(b);
+    out[out.size() - 1 - static_cast<size_t>(d)] = std::max(da, db);
+  }
+  return out;
+}
+
+Tensor ReduceToShape(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) return t.Clone();
+  // Verify target broadcasts to t.shape().
+  ENHANCENET_CHECK(BroadcastShapes(t.shape(), target) == t.shape())
+      << "ReduceToShape: " << ShapeToString(target) << " does not broadcast to "
+      << ShapeToString(t.shape());
+  // Fast path: target is a trailing block (bias-gradient reduction).
+  if (static_cast<int64_t>(target.size()) <= t.dim() &&
+      IsSuffixShape(target, t.shape())) {
+    Tensor out = Tensor::Zeros(target);
+    const int64_t inner = out.numel();
+    if (inner > 0) {
+      const int64_t rows = t.numel() / inner;
+      const float* p = t.data();
+      float* po = out.data();
+      for (int64_t r = 0; r < rows; ++r) {
+        const float* row = p + r * inner;
+        for (int64_t i = 0; i < inner; ++i) po[i] += row[i];
+      }
+    }
+    return out;
+  }
+  Tensor out = Tensor::Zeros(target);
+  const int64_t rank = t.dim();
+  const int64_t offset = rank - out.dim();
+  const auto out_strides = RowMajorStrides(target);
+
+  std::vector<int64_t> eff(static_cast<size_t>(rank), 0);
+  for (int64_t d = 0; d < out.dim(); ++d) {
+    eff[static_cast<size_t>(offset + d)] =
+        (target[static_cast<size_t>(d)] == 1)
+            ? 0
+            : out_strides[static_cast<size_t>(d)];
+  }
+
+  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+  const float* p = t.data();
+  float* po = out.data();
+  const int64_t n = t.numel();
+  int64_t io = 0;
+  const Shape& ts = t.shape();
+  for (int64_t i = 0; i < n; ++i) {
+    po[io] += p[i];
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      const size_t du = static_cast<size_t>(d);
+      ++index[du];
+      io += eff[du];
+      if (index[du] < ts[du]) break;
+      io -= eff[du] * ts[du];
+      index[du] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return x / y; });
+}
+
+Tensor Maximum(const Tensor& a, const Tensor& b) {
+  return BroadcastBinary(a, b, [](float x, float y) { return std::max(x, y); });
+}
+
+Tensor Neg(const Tensor& t) {
+  return Unary(t, [](float x) { return -x; });
+}
+
+Tensor Abs(const Tensor& t) {
+  return Unary(t, [](float x) { return std::fabs(x); });
+}
+
+Tensor Sign(const Tensor& t) {
+  return Unary(t, [](float x) { return x > 0 ? 1.0f : (x < 0 ? -1.0f : 0.0f); });
+}
+
+Tensor Sigmoid(const Tensor& t) {
+  return Unary(t, [](float x) {
+    // Numerically stable in both tails.
+    if (x >= 0) {
+      const float z = std::exp(-x);
+      return 1.0f / (1.0f + z);
+    }
+    const float z = std::exp(x);
+    return z / (1.0f + z);
+  });
+}
+
+Tensor Tanh(const Tensor& t) {
+  return Unary(t, [](float x) { return std::tanh(x); });
+}
+
+Tensor Relu(const Tensor& t) {
+  return Unary(t, [](float x) { return x > 0 ? x : 0.0f; });
+}
+
+Tensor ReluMask(const Tensor& t) {
+  return Unary(t, [](float x) { return x > 0 ? 1.0f : 0.0f; });
+}
+
+Tensor Exp(const Tensor& t) {
+  return Unary(t, [](float x) { return std::exp(x); });
+}
+
+Tensor Log(const Tensor& t) {
+  return Unary(t, [](float x) { return std::log(x); });
+}
+
+Tensor Sqrt(const Tensor& t) {
+  return Unary(t, [](float x) { return std::sqrt(x); });
+}
+
+Tensor Square(const Tensor& t) {
+  return Unary(t, [](float x) { return x * x; });
+}
+
+Tensor AddScalar(const Tensor& t, float s) {
+  return Unary(t, [s](float x) { return x + s; });
+}
+
+Tensor MulScalar(const Tensor& t, float s) {
+  return Unary(t, [s](float x) { return x * s; });
+}
+
+void AxpyInPlace(float alpha, const Tensor& x, Tensor* y) {
+  ENHANCENET_CHECK(x.shape() == y->shape())
+      << "axpy shape mismatch: " << ShapeToString(x.shape()) << " vs "
+      << ShapeToString(y->shape());
+  const float* px = x.data();
+  float* py = y->data();
+  const int64_t n = x.numel();
+  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+}
+
+Tensor Gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  ENHANCENET_CHECK_EQ(a.dim(), 2);
+  ENHANCENET_CHECK_EQ(b.dim(), 2);
+  const Tensor aa = trans_a ? MaterializeTranspose2D(a) : a;
+  const Tensor bb = trans_b ? MaterializeTranspose2D(b) : b;
+  const int64_t m = aa.size(0);
+  const int64_t k = aa.size(1);
+  ENHANCENET_CHECK_EQ(k, bb.size(0))
+      << "gemm inner dims: " << ShapeToString(aa.shape()) << " x "
+      << ShapeToString(bb.shape());
+  const int64_t n = bb.size(1);
+  Tensor c(Shape{m, n});
+  GemmKernel(aa.data(), bb.data(), c.data(), m, k, n);
+  return c;
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  return Gemm(a, b, /*trans_a=*/false, /*trans_b=*/false);
+}
+
+Tensor BatchGemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  ENHANCENET_CHECK_EQ(a.dim(), 3);
+  ENHANCENET_CHECK_EQ(b.dim(), 3);
+  ENHANCENET_CHECK_EQ(a.size(0), b.size(0)) << "batch dims differ";
+  const int64_t batch = a.size(0);
+  const int64_t m = trans_a ? a.size(2) : a.size(1);
+  const int64_t k = trans_a ? a.size(1) : a.size(2);
+  const int64_t kb = trans_b ? b.size(2) : b.size(1);
+  ENHANCENET_CHECK_EQ(k, kb) << "bmm inner dims: " << ShapeToString(a.shape())
+                             << " x " << ShapeToString(b.shape());
+  const int64_t n = trans_b ? b.size(1) : b.size(2);
+  Tensor c(Shape{batch, m, n});
+
+  const int64_t a_stride = a.size(1) * a.size(2);
+  const int64_t b_stride = b.size(1) * b.size(2);
+  const int64_t c_stride = m * n;
+  for (int64_t i = 0; i < batch; ++i) {
+    Tensor ai = Slice(a, 0, i, 1).Reshape({a.size(1), a.size(2)});
+    Tensor bi = Slice(b, 0, i, 1).Reshape({b.size(1), b.size(2)});
+    if (trans_a) ai = MaterializeTranspose2D(ai);
+    if (trans_b) bi = MaterializeTranspose2D(bi);
+    GemmKernel(ai.data(), bi.data(), c.data() + i * c_stride, m, k, n);
+  }
+  (void)a_stride;
+  (void)b_stride;
+  return c;
+}
+
+Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
+  return BatchGemm(a, b, /*trans_a=*/false, /*trans_b=*/false);
+}
+
+Tensor Transpose(const Tensor& t, int64_t d0, int64_t d1) {
+  const int64_t rank = t.dim();
+  if (d0 < 0) d0 += rank;
+  if (d1 < 0) d1 += rank;
+  ENHANCENET_CHECK(d0 >= 0 && d0 < rank && d1 >= 0 && d1 < rank);
+  if (d0 == d1) return t.Clone();
+
+  Shape out_shape = t.shape();
+  std::swap(out_shape[static_cast<size_t>(d0)],
+            out_shape[static_cast<size_t>(d1)]);
+  Tensor out = Tensor::Uninitialized(out_shape);
+
+  const auto in_strides = RowMajorStrides(t.shape());
+  auto moved_strides = in_strides;
+  std::swap(moved_strides[static_cast<size_t>(d0)],
+            moved_strides[static_cast<size_t>(d1)]);
+
+  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+  const float* p = t.data();
+  float* po = out.data();
+  const int64_t n = t.numel();
+  int64_t ii = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = p[ii];
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      const size_t du = static_cast<size_t>(d);
+      ++index[du];
+      ii += moved_strides[du];
+      if (index[du] < out_shape[du]) break;
+      ii -= moved_strides[du] * out_shape[du];
+      index[du] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor Transpose2D(const Tensor& t) {
+  ENHANCENET_CHECK_EQ(t.dim(), 2);
+  return MaterializeTranspose2D(t);
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  ENHANCENET_CHECK(!parts.empty());
+  const int64_t rank = parts[0].dim();
+  if (axis < 0) axis += rank;
+  ENHANCENET_CHECK(axis >= 0 && axis < rank);
+
+  Shape out_shape = parts[0].shape();
+  int64_t axis_total = 0;
+  for (const Tensor& p : parts) {
+    ENHANCENET_CHECK_EQ(p.dim(), rank);
+    for (int64_t d = 0; d < rank; ++d) {
+      if (d != axis) {
+        ENHANCENET_CHECK_EQ(p.size(d), parts[0].size(d))
+            << "concat dim " << d << " mismatch";
+      }
+    }
+    axis_total += p.size(axis);
+  }
+  out_shape[static_cast<size_t>(axis)] = axis_total;
+  Tensor out = Tensor::Uninitialized(out_shape);
+
+  // outer = product of dims before axis; inner = product after.
+  int64_t outer = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= out_shape[static_cast<size_t>(d)];
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < rank; ++d) {
+    inner *= out_shape[static_cast<size_t>(d)];
+  }
+
+  float* po = out.data();
+  const int64_t out_row = axis_total * inner;
+  int64_t axis_offset = 0;
+  for (const Tensor& p : parts) {
+    const int64_t p_axis = p.size(axis);
+    const float* pp = p.data();
+    for (int64_t o = 0; o < outer; ++o) {
+      std::copy(pp + o * p_axis * inner, pp + (o + 1) * p_axis * inner,
+                po + o * out_row + axis_offset * inner);
+    }
+    axis_offset += p_axis;
+  }
+  return out;
+}
+
+Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t length) {
+  const int64_t rank = t.dim();
+  if (axis < 0) axis += rank;
+  ENHANCENET_CHECK(axis >= 0 && axis < rank);
+  ENHANCENET_CHECK(start >= 0 && length >= 0 && start + length <= t.size(axis))
+      << "slice [" << start << ", " << start + length << ") of dim "
+      << t.size(axis);
+
+  Shape out_shape = t.shape();
+  out_shape[static_cast<size_t>(axis)] = length;
+  Tensor out = Tensor::Uninitialized(out_shape);
+
+  int64_t outer = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= t.size(d);
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < rank; ++d) inner *= t.size(d);
+
+  const float* p = t.data();
+  float* po = out.data();
+  const int64_t in_row = t.size(axis) * inner;
+  const int64_t out_row = length * inner;
+  for (int64_t o = 0; o < outer; ++o) {
+    std::copy(p + o * in_row + start * inner,
+              p + o * in_row + (start + length) * inner, po + o * out_row);
+  }
+  return out;
+}
+
+Tensor PadAxis(const Tensor& t, int64_t axis, int64_t before, int64_t after) {
+  const int64_t rank = t.dim();
+  if (axis < 0) axis += rank;
+  ENHANCENET_CHECK(axis >= 0 && axis < rank);
+  ENHANCENET_CHECK(before >= 0 && after >= 0);
+  if (before == 0 && after == 0) return t.Clone();
+
+  Shape out_shape = t.shape();
+  out_shape[static_cast<size_t>(axis)] += before + after;
+  Tensor out(out_shape);  // zero-initialized
+
+  int64_t outer = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= t.size(d);
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < rank; ++d) inner *= t.size(d);
+
+  const float* p = t.data();
+  float* po = out.data();
+  const int64_t in_row = t.size(axis) * inner;
+  const int64_t out_row = out_shape[static_cast<size_t>(axis)] * inner;
+  for (int64_t o = 0; o < outer; ++o) {
+    std::copy(p + o * in_row, p + (o + 1) * in_row,
+              po + o * out_row + before * inner);
+  }
+  return out;
+}
+
+Tensor SumAll(const Tensor& t) {
+  double acc = 0.0;
+  const float* p = t.data();
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) acc += p[i];
+  return Tensor::Scalar(static_cast<float>(acc));
+}
+
+Tensor MeanAll(const Tensor& t) {
+  ENHANCENET_CHECK_GT(t.numel(), 0);
+  return Tensor::Scalar(SumAll(t).item() / static_cast<float>(t.numel()));
+}
+
+Tensor Sum(const Tensor& t, int64_t axis, bool keepdim) {
+  const int64_t rank = t.dim();
+  if (axis < 0) axis += rank;
+  ENHANCENET_CHECK(axis >= 0 && axis < rank);
+
+  int64_t outer = 1;
+  for (int64_t d = 0; d < axis; ++d) outer *= t.size(d);
+  const int64_t mid = t.size(axis);
+  int64_t inner = 1;
+  for (int64_t d = axis + 1; d < rank; ++d) inner *= t.size(d);
+
+  Shape out_shape = t.shape();
+  if (keepdim) {
+    out_shape[static_cast<size_t>(axis)] = 1;
+  } else {
+    out_shape.erase(out_shape.begin() + static_cast<size_t>(axis));
+  }
+  Tensor out(out_shape);
+
+  const float* p = t.data();
+  float* po = out.data();
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t m = 0; m < mid; ++m) {
+      const float* row = p + (o * mid + m) * inner;
+      float* orow = po + o * inner;
+      for (int64_t i = 0; i < inner; ++i) orow[i] += row[i];
+    }
+  }
+  return out;
+}
+
+Tensor Mean(const Tensor& t, int64_t axis, bool keepdim) {
+  const int64_t rank = t.dim();
+  const int64_t resolved = axis < 0 ? axis + rank : axis;
+  Tensor s = Sum(t, axis, keepdim);
+  return MulScalar(s, 1.0f / static_cast<float>(t.size(resolved)));
+}
+
+Tensor SoftmaxLastDim(const Tensor& t) {
+  ENHANCENET_CHECK_GE(t.dim(), 1);
+  const int64_t cols = t.size(-1);
+  const int64_t rows = t.numel() / cols;
+  Tensor out = Tensor::Uninitialized(t.shape());
+  const float* p = t.data();
+  float* po = out.data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* row = p + r * cols;
+    float* orow = po + r * cols;
+    float mx = row[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+    double denom = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      orow[c] = std::exp(row[c] - mx);
+      denom += orow[c];
+    }
+    const float inv = static_cast<float>(1.0 / denom);
+    for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
+  }
+  return out;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (a.shape() != b.shape()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    const float diff = std::fabs(pa[i] - pb[i]);
+    if (diff > atol + rtol * std::fabs(pb[i])) return false;
+    if (std::isnan(pa[i]) != std::isnan(pb[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace ops
+}  // namespace enhancenet

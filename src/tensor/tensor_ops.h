@@ -1,0 +1,124 @@
+#ifndef ENHANCENET_TENSOR_TENSOR_OPS_H_
+#define ENHANCENET_TENSOR_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace enhancenet {
+namespace ops {
+
+// ---------------------------------------------------------------------------
+// Shape utilities
+// ---------------------------------------------------------------------------
+
+/// NumPy-style broadcast of two shapes; CHECK-fails if incompatible.
+Shape BroadcastShapes(const Shape& a, const Shape& b);
+
+/// Sums `t` down to `target` (the reverse of broadcasting `target` -> t.shape).
+/// Used by autograd to reduce gradients of broadcast operands.
+Tensor ReduceToShape(const Tensor& t, const Shape& target);
+
+// ---------------------------------------------------------------------------
+// Elementwise binary (with broadcasting)
+// ---------------------------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Maximum(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Elementwise unary
+// ---------------------------------------------------------------------------
+
+Tensor Neg(const Tensor& t);
+Tensor Abs(const Tensor& t);
+/// -1, 0, +1 elementwise.
+Tensor Sign(const Tensor& t);
+Tensor Sigmoid(const Tensor& t);
+Tensor Tanh(const Tensor& t);
+Tensor Relu(const Tensor& t);
+/// 1.0 where t > 0 else 0.0 (derivative mask of Relu).
+Tensor ReluMask(const Tensor& t);
+Tensor Exp(const Tensor& t);
+Tensor Log(const Tensor& t);
+Tensor Sqrt(const Tensor& t);
+Tensor Square(const Tensor& t);
+
+// ---------------------------------------------------------------------------
+// Scalar ops
+// ---------------------------------------------------------------------------
+
+Tensor AddScalar(const Tensor& t, float s);
+Tensor MulScalar(const Tensor& t, float s);
+
+/// y += alpha * x (shapes must match exactly). The only mutating op; used for
+/// gradient accumulation and optimizer updates.
+void AxpyInPlace(float alpha, const Tensor& x, Tensor* y);
+
+// ---------------------------------------------------------------------------
+// Linear algebra
+// ---------------------------------------------------------------------------
+
+/// General 2-D matrix product with optional operand transposes:
+///   C = op(A) * op(B), op(X) = X or Xᵀ.
+Tensor Gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b);
+
+/// C[M,N] = A[M,K] * B[K,N].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// Batched 3-D matrix product with optional transposes of the trailing two
+/// dims: C[i] = op(A[i]) * op(B[i]) for each leading index i.
+Tensor BatchGemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b);
+
+/// C[B,M,N] = A[B,M,K] * B[B,K,N].
+Tensor BatchMatMul(const Tensor& a, const Tensor& b);
+
+// ---------------------------------------------------------------------------
+// Movement / restructuring (all produce fresh storage)
+// ---------------------------------------------------------------------------
+
+/// Swaps dimensions d0 and d1 (copy).
+Tensor Transpose(const Tensor& t, int64_t d0, int64_t d1);
+
+/// 2-D transpose convenience.
+Tensor Transpose2D(const Tensor& t);
+
+/// Concatenates along `axis`; all other dims must match.
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
+
+/// Takes elements [start, start+length) along `axis`.
+Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t length);
+
+/// Zero-pads `before`/`after` elements along `axis`.
+Tensor PadAxis(const Tensor& t, int64_t axis, int64_t before, int64_t after);
+
+// ---------------------------------------------------------------------------
+// Reductions and normalization
+// ---------------------------------------------------------------------------
+
+/// Scalar (rank-0) sum of all elements.
+Tensor SumAll(const Tensor& t);
+/// Scalar (rank-0) mean of all elements.
+Tensor MeanAll(const Tensor& t);
+/// Sum over `axis`, keeping it as size 1 if keepdim.
+Tensor Sum(const Tensor& t, int64_t axis, bool keepdim);
+/// Mean over `axis`, keeping it as size 1 if keepdim.
+Tensor Mean(const Tensor& t, int64_t axis, bool keepdim);
+/// Numerically stable softmax over the last dimension.
+Tensor SoftmaxLastDim(const Tensor& t);
+
+// ---------------------------------------------------------------------------
+// Comparisons (for tests)
+// ---------------------------------------------------------------------------
+
+/// True if shapes match and |a-b| <= atol + rtol*|b| elementwise.
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 1e-4f);
+
+}  // namespace ops
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_TENSOR_TENSOR_OPS_H_

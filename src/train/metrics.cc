@@ -1,0 +1,167 @@
+#include "train/metrics.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace train {
+
+MetricAccumulator::MetricAccumulator(int64_t horizon, float null_value)
+    : horizon_(horizon), null_value_(null_value) {
+  ENHANCENET_CHECK_GT(horizon, 0);
+  sum_abs_.assign(static_cast<size_t>(horizon), 0.0);
+  sum_sq_.assign(static_cast<size_t>(horizon), 0.0);
+  sum_ape_.assign(static_cast<size_t>(horizon), 0.0);
+  counts_.assign(static_cast<size_t>(horizon), 0);
+}
+
+void MetricAccumulator::Add(const Tensor& pred, const Tensor& truth) {
+  ENHANCENET_CHECK(pred.shape() == truth.shape())
+      << "pred " << ShapeToString(pred.shape()) << " vs truth "
+      << ShapeToString(truth.shape());
+  ENHANCENET_CHECK_EQ(pred.dim(), 3);
+  ENHANCENET_CHECK_EQ(pred.size(2), horizon_);
+  const int64_t batch = pred.size(0);
+  const int64_t n = pred.size(1);
+  const float* pp = pred.data();
+  const float* pt = truth.data();
+
+  for (int64_t b = 0; b < batch; ++b) {
+    double window_abs = 0.0;
+    int64_t window_count = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t h = 0; h < horizon_; ++h) {
+        const int64_t idx = (b * n + i) * horizon_ + h;
+        const float y = pt[idx];
+        if (std::fabs(y - null_value_) < 1e-6f) continue;  // masked
+        const double err = static_cast<double>(pp[idx]) - y;
+        const size_t hu = static_cast<size_t>(h);
+        sum_abs_[hu] += std::fabs(err);
+        sum_sq_[hu] += err * err;
+        sum_ape_[hu] += std::fabs(err) / std::fabs(static_cast<double>(y));
+        ++counts_[hu];
+        window_abs += std::fabs(err);
+        ++window_count;
+      }
+    }
+    if (window_count > 0) {
+      per_window_mae_.push_back(window_abs /
+                                static_cast<double>(window_count));
+    }
+  }
+}
+
+ErrorStats MetricAccumulator::AtHorizon(int64_t h) const {
+  ENHANCENET_CHECK(h >= 0 && h < horizon_);
+  const size_t hu = static_cast<size_t>(h);
+  ErrorStats stats;
+  stats.count = counts_[hu];
+  if (stats.count == 0) return stats;
+  const double n = static_cast<double>(stats.count);
+  stats.mae = sum_abs_[hu] / n;
+  stats.rmse = std::sqrt(sum_sq_[hu] / n);
+  stats.mape = 100.0 * sum_ape_[hu] / n;
+  return stats;
+}
+
+ErrorStats MetricAccumulator::Overall() const {
+  ErrorStats stats;
+  double abs_total = 0.0;
+  double sq_total = 0.0;
+  double ape_total = 0.0;
+  for (int64_t h = 0; h < horizon_; ++h) {
+    const size_t hu = static_cast<size_t>(h);
+    abs_total += sum_abs_[hu];
+    sq_total += sum_sq_[hu];
+    ape_total += sum_ape_[hu];
+    stats.count += counts_[hu];
+  }
+  if (stats.count == 0) return stats;
+  const double n = static_cast<double>(stats.count);
+  stats.mae = abs_total / n;
+  stats.rmse = std::sqrt(sq_total / n);
+  stats.mape = 100.0 * ape_total / n;
+  return stats;
+}
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  ENHANCENET_CHECK(x >= 0.0 && x <= 1.0);
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  // Symmetry transformation keeps the continued fraction convergent.
+  if (x > (a + 1.0) / (a + b + 2.0)) {
+    return 1.0 - RegularizedIncompleteBeta(b, a, 1.0 - x);
+  }
+  const double log_beta =
+      std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+  const double front =
+      std::exp(a * std::log(x) + b * std::log(1.0 - x) - log_beta) / a;
+  // Lentz's continued fraction.
+  double f = 1.0;
+  double c = 1.0;
+  double d = 0.0;
+  for (int i = 0; i <= 300; ++i) {
+    const int m = i / 2;
+    double numerator;
+    if (i == 0) {
+      numerator = 1.0;
+    } else if (i % 2 == 0) {
+      numerator = (m * (b - m) * x) / ((a + 2.0 * m - 1.0) * (a + 2.0 * m));
+    } else {
+      numerator =
+          -((a + m) * (a + b + m) * x) / ((a + 2.0 * m) * (a + 2.0 * m + 1.0));
+    }
+    d = 1.0 + numerator * d;
+    if (std::fabs(d) < 1e-30) d = 1e-30;
+    d = 1.0 / d;
+    c = 1.0 + numerator / c;
+    if (std::fabs(c) < 1e-30) c = 1e-30;
+    const double delta = c * d;
+    f *= delta;
+    if (std::fabs(1.0 - delta) < 1e-10) break;
+  }
+  return front * (f - 1.0);
+}
+
+double StudentTTwoSidedPValue(double t, double df) {
+  ENHANCENET_CHECK_GT(df, 0.0);
+  const double x = df / (df + t * t);
+  return RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+}
+
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  ENHANCENET_CHECK_GE(a.size(), 2u);
+  ENHANCENET_CHECK_GE(b.size(), 2u);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (double v : a) mean_a += v;
+  for (double v : b) mean_b += v;
+  mean_a /= na;
+  mean_b /= nb;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (double v : a) var_a += (v - mean_a) * (v - mean_a);
+  for (double v : b) var_b += (v - mean_b) * (v - mean_b);
+  var_a /= (na - 1.0);
+  var_b /= (nb - 1.0);
+
+  const double se_a = var_a / na;
+  const double se_b = var_b / nb;
+  const double se = std::sqrt(se_a + se_b) + 1e-300;
+
+  TTestResult result;
+  result.t_statistic = (mean_a - mean_b) / se;
+  result.degrees_of_freedom =
+      (se_a + se_b) * (se_a + se_b) /
+      (se_a * se_a / (na - 1.0) + se_b * se_b / (nb - 1.0) + 1e-300);
+  result.p_value =
+      StudentTTwoSidedPValue(result.t_statistic, result.degrees_of_freedom);
+  return result;
+}
+
+}  // namespace train
+}  // namespace enhancenet

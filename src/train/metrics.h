@@ -1,0 +1,82 @@
+#ifndef ENHANCENET_TRAIN_METRICS_H_
+#define ENHANCENET_TRAIN_METRICS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace enhancenet {
+namespace train {
+
+/// Point-forecast error statistics (the paper's three metrics, Sec. VI-A).
+/// MAPE is reported in percent.
+struct ErrorStats {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double mape = 0.0;
+  int64_t count = 0;
+};
+
+/// Streaming accumulator of masked forecasting errors over batches.
+///
+/// Masking follows the standard protocol for traffic data: ground-truth
+/// entries equal to `null_value` (within a small tolerance) are excluded
+/// from every metric — this also keeps MAPE well-defined. Per-horizon sums
+/// are kept so the paper's 3rd/6th/12th-step rows can be reported, along
+/// with per-window MAEs for significance testing (Table III's t-tests).
+class MetricAccumulator {
+ public:
+  explicit MetricAccumulator(int64_t horizon, float null_value = 0.0f);
+
+  /// pred, truth: [B, N, F] in real (unscaled) units.
+  void Add(const Tensor& pred, const Tensor& truth);
+
+  /// Errors restricted to horizon step `h` (0-based; the paper's "3rd"
+  /// timestamp is h=2).
+  ErrorStats AtHorizon(int64_t h) const;
+
+  /// Errors pooled over all horizons.
+  ErrorStats Overall() const;
+
+  /// One MAE per added window (sample), pooled over entities and horizons;
+  /// input to the paired t-test.
+  const std::vector<double>& per_window_mae() const {
+    return per_window_mae_;
+  }
+
+  int64_t horizon() const { return horizon_; }
+
+ private:
+  int64_t horizon_;
+  float null_value_;
+  std::vector<double> sum_abs_;   // per horizon
+  std::vector<double> sum_sq_;    // per horizon
+  std::vector<double> sum_ape_;   // per horizon
+  std::vector<int64_t> counts_;   // per horizon
+  std::vector<double> per_window_mae_;
+};
+
+/// Welch's unequal-variance t-test (two-sided).
+struct TTestResult {
+  double t_statistic = 0.0;
+  double degrees_of_freedom = 0.0;
+  double p_value = 1.0;  // two-sided
+};
+
+/// Tests whether the means of two error samples differ. Used to reproduce
+/// the paper's claim that the proposed models beat the state of the art
+/// with p < 0.01 (Sec. VI-B3).
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// Regularized incomplete beta function I_x(a, b) (continued-fraction
+/// evaluation); exposed for testing.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// Two-sided p-value of a t statistic with `df` degrees of freedom.
+double StudentTTwoSidedPValue(double t, double df);
+
+}  // namespace train
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_TRAIN_METRICS_H_

@@ -1,0 +1,178 @@
+#include "train/trainer.h"
+
+#include <cmath>
+#include <iostream>
+#include <limits>
+
+#include "autograd/ops.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "optim/optimizer.h"
+
+namespace enhancenet {
+namespace train {
+
+namespace ag = ::enhancenet::autograd;
+
+Trainer::Trainer(models::ForecastingModel* model,
+                 const data::StandardScaler* scaler, int64_t target_channel,
+                 const TrainerConfig& config)
+    : model_(model),
+      scaler_(scaler),
+      target_channel_(target_channel),
+      config_(config) {
+  ENHANCENET_CHECK(model != nullptr);
+  ENHANCENET_CHECK(scaler != nullptr);
+  ENHANCENET_CHECK_GT(config.epochs, 0);
+  ENHANCENET_CHECK_GT(config.batch_size, 0);
+}
+
+ag::Variable Trainer::Loss(const ag::Variable& pred_scaled,
+                           const Tensor& y_raw) const {
+  // Un-scale inside the graph so the loss is masked MAE in real units.
+  const float sd = scaler_->stddev(target_channel_);
+  const float mean = scaler_->mean(target_channel_);
+  ag::Variable pred_real =
+      ag::AddScalar(ag::MulScalar(pred_scaled, sd), mean);
+
+  // Mask of observed (non-null) targets.
+  Tensor mask(y_raw.shape());
+  const float* py = y_raw.data();
+  float* pm = mask.data();
+  int64_t observed = 0;
+  for (int64_t i = 0; i < y_raw.numel(); ++i) {
+    const bool is_null = std::fabs(py[i]) < 1e-6f;
+    pm[i] = is_null ? 0.0f : 1.0f;
+    observed += is_null ? 0 : 1;
+  }
+  ENHANCENET_CHECK_GT(observed, 0) << "all targets masked";
+
+  ag::Variable truth = ag::Variable::Leaf(y_raw, /*requires_grad=*/false);
+  ag::Variable mask_var = ag::Variable::Leaf(mask, /*requires_grad=*/false);
+  ag::Variable abs_err = ag::Abs(ag::Sub(pred_real, truth));
+  ag::Variable masked = ag::Mul(abs_err, mask_var);
+  return ag::MulScalar(ag::SumAll(masked),
+                       1.0f / static_cast<float>(observed));
+}
+
+TrainResult Trainer::Train(const data::WindowDataset& train_set,
+                           const data::WindowDataset& val_set, Rng& rng) {
+  TrainResult result;
+  optim::Adam optimizer(model_->Parameters(), config_.learning_rate);
+  optim::StepDecaySchedule schedule(config_.learning_rate,
+                                    config_.lr_first_decay_epoch,
+                                    config_.lr_decay_period);
+
+  // Snapshot of the best weights (validation MAE) for restore-at-end.
+  std::vector<Tensor> best_weights;
+  double best_val = std::numeric_limits<double>::infinity();
+  int stale_epochs = 0;
+  double total_epoch_seconds = 0.0;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (config_.use_step_decay) {
+      optimizer.set_lr(schedule.LrForEpoch(epoch));
+    }
+    model_->SetTraining(true);
+    Stopwatch epoch_timer;
+    double loss_sum = 0.0;
+    int64_t batches = 0;
+    for (const auto& indices :
+         train_set.ShuffledBatches(config_.batch_size, rng)) {
+      const data::Batch batch = train_set.MakeBatch(indices);
+      const float teacher_prob =
+          config_.use_scheduled_sampling
+              ? config_.scheduled_sampling_tau /
+                    (config_.scheduled_sampling_tau +
+                     std::exp(static_cast<float>(global_batch_) /
+                              config_.scheduled_sampling_tau))
+              : 0.0f;
+      ag::Variable pred =
+          model_->Forward(batch.x, &batch.y_scaled, teacher_prob, rng);
+      ag::Variable loss = Loss(pred, batch.y_raw);
+      model_->ZeroGrad();
+      loss.Backward();
+      optim::ClipGradNorm(optimizer.params(), config_.grad_clip_norm);
+      optimizer.Step();
+      loss_sum += loss.data().item();
+      ++batches;
+      ++global_batch_;
+    }
+    total_epoch_seconds += epoch_timer.ElapsedSeconds();
+    result.epoch_train_loss.push_back(loss_sum /
+                                      static_cast<double>(batches));
+
+    MetricAccumulator val_acc(model_->horizon());
+    Evaluate(val_set, &val_acc, rng);
+    const double val_mae = val_acc.Overall().mae;
+    result.epoch_val_mae.push_back(val_mae);
+    if (config_.verbose) {
+      std::cerr << "[" << model_->name() << "] epoch " << epoch
+                << " train_loss=" << result.epoch_train_loss.back()
+                << " val_mae=" << val_mae << " lr=" << optimizer.lr()
+                << std::endl;
+    }
+
+    const bool significant = val_mae < best_val - config_.min_delta;
+    if (val_mae < best_val) {
+      best_val = val_mae;
+      result.best_epoch = epoch;
+      best_weights.clear();
+      for (const auto& param : model_->Parameters()) {
+        best_weights.push_back(param.data().Clone());
+      }
+    }
+    stale_epochs = significant ? 0 : stale_epochs + 1;
+    if (config_.patience > 0 && stale_epochs >= config_.patience) break;
+  }
+
+  // Restore the best weights.
+  if (!best_weights.empty()) {
+    auto params = model_->Parameters();
+    ENHANCENET_CHECK_EQ(params.size(), best_weights.size());
+    for (size_t i = 0; i < params.size(); ++i) {
+      std::copy(best_weights[i].data(),
+                best_weights[i].data() + best_weights[i].numel(),
+                params[i].mutable_data().data());
+    }
+  }
+  result.best_val_mae = best_val;
+  result.mean_epoch_seconds =
+      total_epoch_seconds /
+      static_cast<double>(result.epoch_train_loss.size());
+  return result;
+}
+
+ErrorStats Trainer::Evaluate(const data::WindowDataset& dataset,
+                             MetricAccumulator* accumulator, Rng& rng) {
+  ENHANCENET_CHECK(accumulator != nullptr);
+  model_->SetTraining(false);
+  for (const auto& indices :
+       dataset.SequentialBatches(config_.batch_size)) {
+    const data::Batch batch = dataset.MakeBatch(indices);
+    ag::Variable pred = model_->Predict(batch.x, rng);
+    Tensor pred_real =
+        scaler_->InverseTarget(pred.data(), target_channel_);
+    accumulator->Add(pred_real, batch.y_raw);
+  }
+  model_->SetTraining(true);
+  return accumulator->Overall();
+}
+
+double Trainer::MeasurePredictMillis(const data::WindowDataset& dataset,
+                                     int reps, Rng& rng) {
+  ENHANCENET_CHECK_GT(reps, 0);
+  ENHANCENET_CHECK_GT(dataset.num_windows(), 0);
+  model_->SetTraining(false);
+  const data::Batch batch = dataset.MakeBatch({0});
+  // Warm-up run (first call may allocate).
+  model_->Predict(batch.x, rng);
+  Stopwatch timer;
+  for (int r = 0; r < reps; ++r) model_->Predict(batch.x, rng);
+  const double millis = timer.ElapsedMillis() / static_cast<double>(reps);
+  model_->SetTraining(true);
+  return millis;
+}
+
+}  // namespace train
+}  // namespace enhancenet

@@ -1,0 +1,201 @@
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "analysis/heatmap.h"
+#include "analysis/kmeans.h"
+#include "analysis/tsne.h"
+#include "gtest/gtest.h"
+
+namespace enhancenet {
+namespace {
+
+/// Two well-separated Gaussian blobs in 8-D, `per_cluster` points each.
+Tensor TwoBlobs(int64_t per_cluster, uint64_t seed) {
+  Rng rng(seed);
+  Tensor points({2 * per_cluster, 8});
+  for (int64_t i = 0; i < 2 * per_cluster; ++i) {
+    const float center = i < per_cluster ? -6.0f : 6.0f;
+    for (int64_t d = 0; d < 8; ++d) {
+      points.at({i, d}) =
+          center + static_cast<float>(rng.Normal(0.0, 0.4));
+    }
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// t-SNE (Figure 10 machinery)
+// ---------------------------------------------------------------------------
+
+TEST(TsneTest, OutputShape) {
+  Tensor points = TwoBlobs(20, 1);
+  analysis::TsneConfig config;
+  config.iterations = 150;
+  Tensor embedding = analysis::Tsne(points, config);
+  EXPECT_EQ(ShapeToString(embedding.shape()), "[40, 2]");
+  for (int64_t i = 0; i < embedding.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(embedding.data()[i]));
+  }
+}
+
+TEST(TsneTest, SeparatesTwoClusters) {
+  Tensor points = TwoBlobs(20, 2);
+  analysis::TsneConfig config;
+  config.iterations = 300;
+  Tensor embedding = analysis::Tsne(points, config);
+  // Within-cluster distances must be smaller than between-cluster.
+  auto dist = [&](int64_t a, int64_t b) {
+    const float dx = embedding.at({a, 0}) - embedding.at({b, 0});
+    const float dy = embedding.at({a, 1}) - embedding.at({b, 1});
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  double within = 0.0;
+  double between = 0.0;
+  int64_t wc = 0;
+  int64_t bc = 0;
+  for (int64_t i = 0; i < 40; ++i) {
+    for (int64_t j = i + 1; j < 40; ++j) {
+      if ((i < 20) == (j < 20)) {
+        within += dist(i, j);
+        ++wc;
+      } else {
+        between += dist(i, j);
+        ++bc;
+      }
+    }
+  }
+  EXPECT_LT(within / wc, 0.5 * between / bc);
+}
+
+TEST(TsneTest, DeterministicPerSeed) {
+  Tensor points = TwoBlobs(18, 3);
+  analysis::TsneConfig config;
+  config.iterations = 100;
+  Tensor e1 = analysis::Tsne(points, config);
+  Tensor e2 = analysis::Tsne(points, config);
+  for (int64_t i = 0; i < e1.numel(); ++i) {
+    EXPECT_EQ(e1.data()[i], e2.data()[i]);
+  }
+}
+
+TEST(TsneTest, EmbeddingIsCentered) {
+  Tensor points = TwoBlobs(18, 4);
+  analysis::TsneConfig config;
+  config.iterations = 100;
+  Tensor embedding = analysis::Tsne(points, config);
+  for (int64_t d = 0; d < 2; ++d) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < 36; ++i) mean += embedding.at({i, d});
+    EXPECT_NEAR(mean / 36.0, 0.0, 1e-3);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// k-means (Figure 11 machinery)
+// ---------------------------------------------------------------------------
+
+TEST(KmeansTest, RecoversObviousClusters) {
+  Tensor points = TwoBlobs(25, 5);
+  Rng rng(6);
+  analysis::KmeansResult result = analysis::Kmeans(points, 2, rng);
+  ASSERT_EQ(result.assignments.size(), 50u);
+  // All points of a blob share a label, and the blobs differ.
+  const int label0 = result.assignments[0];
+  for (int64_t i = 1; i < 25; ++i) EXPECT_EQ(result.assignments[i], label0);
+  const int label1 = result.assignments[25];
+  EXPECT_NE(label0, label1);
+  for (int64_t i = 26; i < 50; ++i) EXPECT_EQ(result.assignments[i], label1);
+}
+
+TEST(KmeansTest, CentroidsNearBlobCenters) {
+  Tensor points = TwoBlobs(25, 7);
+  Rng rng(8);
+  analysis::KmeansResult result = analysis::Kmeans(points, 2, rng);
+  std::set<float> signs;
+  for (int c = 0; c < 2; ++c) {
+    const float v = result.centroids.at({c, 0});
+    EXPECT_NEAR(std::fabs(v), 6.0f, 0.6f);
+    signs.insert(v > 0 ? 1.0f : -1.0f);
+  }
+  EXPECT_EQ(signs.size(), 2u);
+}
+
+TEST(KmeansTest, KEqualsNGivesZeroInertia) {
+  Rng data_rng(9);
+  Tensor points = Tensor::Randn({5, 3}, data_rng);
+  Rng rng(10);
+  analysis::KmeansResult result = analysis::Kmeans(points, 5, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-6);
+}
+
+TEST(KmeansTest, SingleClusterCentroidIsMean) {
+  Rng data_rng(11);
+  Tensor points = Tensor::Randn({40, 2}, data_rng);
+  Rng rng(12);
+  analysis::KmeansResult result = analysis::Kmeans(points, 1, rng);
+  for (int64_t d = 0; d < 2; ++d) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < 40; ++i) mean += points.at({i, d});
+    EXPECT_NEAR(result.centroids.at({0, d}), mean / 40.0, 1e-4);
+  }
+}
+
+TEST(KmeansTest, InertiaDecreasesWithMoreClusters) {
+  Tensor points = TwoBlobs(20, 13);
+  Rng rng1(14);
+  Rng rng2(14);
+  const double inertia2 = analysis::Kmeans(points, 2, rng1).inertia;
+  const double inertia4 = analysis::Kmeans(points, 4, rng2).inertia;
+  EXPECT_LE(inertia4, inertia2 + 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Heatmap / CSV (Figure 12 machinery)
+// ---------------------------------------------------------------------------
+
+TEST(HeatmapTest, AsciiDimensionsAndGlyphs) {
+  Tensor m = Tensor::FromVector({2, 3}, {0, 0.5, 1, 1, 0.5, 0});
+  const std::string art = analysis::RenderAsciiHeatmap(m);
+  // Two lines of three glyphs.
+  ASSERT_EQ(art.size(), 8u);  // 2*(3+1)
+  EXPECT_EQ(art[3], '\n');
+  EXPECT_EQ(art[0], ' ');   // minimum -> lightest glyph
+  EXPECT_EQ(art[2], '@');   // maximum -> darkest glyph
+  EXPECT_EQ(art[4], '@');
+}
+
+TEST(HeatmapTest, ConstantMatrixDoesNotCrash) {
+  Tensor m = Tensor::Full({3, 3}, 2.0f);
+  const std::string art = analysis::RenderAsciiHeatmap(m);
+  EXPECT_EQ(art.size(), 12u);
+}
+
+TEST(CsvTest, WritesMatrixReadableBack) {
+  Tensor m = Tensor::FromVector({2, 2}, {1.5f, -2.0f, 0.0f, 42.0f});
+  const std::string path = ::testing::TempDir() + "/heatmap_test.csv";
+  ASSERT_TRUE(analysis::WriteCsv(path, m).ok());
+  std::ifstream in(path);
+  std::string line1;
+  std::string line2;
+  ASSERT_TRUE(std::getline(in, line1));
+  ASSERT_TRUE(std::getline(in, line2));
+  EXPECT_EQ(line1, "1.5,-2");
+  EXPECT_EQ(line2, "0,42");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsRank3) {
+  Tensor m = Tensor::Zeros({2, 2, 2});
+  EXPECT_FALSE(analysis::WriteCsv("/tmp/x.csv", m).ok());
+}
+
+TEST(CsvTest, FailsOnUnwritablePath) {
+  Tensor m = Tensor::Zeros({2, 2});
+  EXPECT_EQ(analysis::WriteCsv("/nonexistent-dir/x.csv", m).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace enhancenet

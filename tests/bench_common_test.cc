@@ -1,0 +1,120 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+#include "tensor/tensor_ops.h"
+
+namespace enhancenet {
+namespace {
+
+class BenchCommonTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ::unsetenv("ENHANCENET_QUICK");
+    ::unsetenv("ENHANCENET_FULL");
+  }
+};
+
+TEST_F(BenchCommonTest, ModeFromEnvDefaults) {
+  EXPECT_EQ(bench::ModeFromEnv(), bench::Mode::kDefault);
+  ::setenv("ENHANCENET_QUICK", "1", 1);
+  EXPECT_EQ(bench::ModeFromEnv(), bench::Mode::kQuick);
+  ::unsetenv("ENHANCENET_QUICK");
+  ::setenv("ENHANCENET_FULL", "1", 1);
+  EXPECT_EQ(bench::ModeFromEnv(), bench::Mode::kFull);
+  ::unsetenv("ENHANCENET_FULL");
+}
+
+TEST_F(BenchCommonTest, ZeroValuedEnvVarDoesNotTrigger) {
+  ::setenv("ENHANCENET_QUICK", "0", 1);
+  EXPECT_EQ(bench::ModeFromEnv(), bench::Mode::kDefault);
+  ::unsetenv("ENHANCENET_QUICK");
+}
+
+TEST_F(BenchCommonTest, PreparedDatasetsHaveConsistentShapes) {
+  for (const char* name : {"EB", "LA", "US"}) {
+    bench::PreparedData d = bench::PrepareDataset(name, bench::Mode::kQuick);
+    const int64_t n = d.raw.num_entities();
+    EXPECT_GT(n, 0) << name;
+    EXPECT_EQ(ShapeToString(d.adjacency.shape()),
+              ShapeToString(Shape{n, n}))
+        << name;
+    EXPECT_GT(d.train->num_windows(), 0) << name;
+    EXPECT_GT(d.val->num_windows(), 0) << name;
+    EXPECT_GT(d.test->num_windows(), 0) << name;
+    EXPECT_EQ(d.train->history(), 12) << name;
+    EXPECT_EQ(d.train->horizon(), 12) << name;
+  }
+}
+
+TEST_F(BenchCommonTest, PreparedDatasetIsDeterministic) {
+  bench::PreparedData a = bench::PrepareDataset("EB", bench::Mode::kQuick);
+  bench::PreparedData b = bench::PrepareDataset("EB", bench::Mode::kQuick);
+  EXPECT_TRUE(ops::AllClose(a.raw.series, b.raw.series, 0.0f, 0.0f));
+  EXPECT_TRUE(ops::AllClose(a.adjacency, b.adjacency, 0.0f, 0.0f));
+}
+
+TEST_F(BenchCommonTest, DatasetChannelsMatchPaper) {
+  EXPECT_EQ(bench::PrepareDataset("EB", bench::Mode::kQuick)
+                .raw.num_channels(),
+            1);  // speed only
+  EXPECT_EQ(bench::PrepareDataset("LA", bench::Mode::kQuick)
+                .raw.num_channels(),
+            2);  // speed + time
+  EXPECT_EQ(bench::PrepareDataset("US", bench::Mode::kQuick)
+                .raw.num_channels(),
+            6);  // six weather attributes
+}
+
+TEST_F(BenchCommonTest, TrainerRecipesFollowPaper) {
+  // RNN family: Adam @0.01, step decay, scheduled sampling.
+  for (const char* name : {"RNN", "D-DA-GRNN", "LSTM", "DCRNN"}) {
+    const auto config = bench::TrainerConfigFor(name, bench::Mode::kDefault);
+    EXPECT_FLOAT_EQ(config.learning_rate, 0.01f) << name;
+    EXPECT_TRUE(config.use_step_decay) << name;
+    EXPECT_TRUE(config.use_scheduled_sampling) << name;
+  }
+  // TCN family and other baselines: fixed 0.001.
+  for (const char* name : {"TCN", "D-DA-GTCN", "STGCN", "GraphWaveNet"}) {
+    const auto config = bench::TrainerConfigFor(name, bench::Mode::kDefault);
+    EXPECT_FLOAT_EQ(config.learning_rate, 0.001f) << name;
+    EXPECT_FALSE(config.use_step_decay) << name;
+  }
+}
+
+TEST_F(BenchCommonTest, FullModeUsesPaperSizes) {
+  const models::ModelSizing sizing =
+      bench::SizingForMode(bench::Mode::kFull);
+  EXPECT_EQ(sizing.rnn_hidden, 64);       // Sec. VI-A
+  EXPECT_EQ(sizing.rnn_hidden_dfgn, 16);  // Sec. VI-B1
+  EXPECT_EQ(sizing.tcn_channels, 32);
+  EXPECT_EQ(sizing.memory_dim, 16);
+  EXPECT_EQ(sizing.damgn_mem_dim, 10);
+  EXPECT_EQ(static_cast<int>(sizing.dilations.size()), 8);
+}
+
+TEST_F(BenchCommonTest, RunArimaProducesFiniteErrors) {
+  bench::PreparedData d = bench::PrepareDataset("EB", bench::Mode::kQuick);
+  const bench::ModelRun run = bench::RunArima(d, "EB");
+  EXPECT_EQ(run.model, "ARIMA");
+  EXPECT_GT(run.overall.count, 0);
+  EXPECT_GT(run.overall.mae, 0.0);
+  EXPECT_LT(run.overall.mae, 60.0);  // better than predicting zero speed
+  EXPECT_FALSE(run.per_window_mae.empty());
+}
+
+TEST_F(BenchCommonTest, RunNeuralModelEndToEnd) {
+  bench::PreparedData d = bench::PrepareDataset("EB", bench::Mode::kQuick);
+  const bench::ModelRun run =
+      bench::RunNeuralModel("RNN", d, "EB", bench::Mode::kQuick);
+  EXPECT_EQ(run.model, "RNN");
+  EXPECT_GT(run.num_params, 0);
+  EXPECT_GT(run.train_seconds_per_epoch, 0.0);
+  EXPECT_GT(run.predict_millis, 0.0);
+  EXPECT_GT(run.overall.count, 0);
+  EXPECT_LT(run.overall.mae, 60.0);
+}
+
+}  // namespace
+}  // namespace enhancenet

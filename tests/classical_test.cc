@@ -1,0 +1,151 @@
+#include "models/classical.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace enhancenet {
+namespace {
+
+/// Periodic series y[t] = base + amp·sin(2π t / period) + noise.
+Tensor PeriodicSeries(int64_t n, int64_t t_total, int64_t period,
+                      double noise, uint64_t seed) {
+  Rng rng(seed);
+  Tensor out({n, t_total});
+  for (int64_t i = 0; i < n; ++i) {
+    const double base = 50.0 + 5.0 * static_cast<double>(i);
+    const double amp = 10.0 + static_cast<double>(i);
+    for (int64_t t = 0; t < t_total; ++t) {
+      out.at({i, t}) = static_cast<float>(
+          base +
+          amp * std::sin(2.0 * M_PI * static_cast<double>(t % period) /
+                         static_cast<double>(period)) +
+          rng.Normal(0.0, noise));
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Historical average
+// ---------------------------------------------------------------------------
+
+TEST(HistoricalAverageTest, RejectsBadInputs) {
+  models::HistoricalAverage ha;
+  EXPECT_FALSE(ha.Fit(Tensor::Zeros({2, 3, 4}), 5).ok());
+  EXPECT_FALSE(ha.Fit(Tensor::Zeros({2, 10}), 0).ok());
+  EXPECT_FALSE(ha.Fit(Tensor::Zeros({2, 10}), 20).ok());
+  EXPECT_FALSE(ha.fitted());
+}
+
+TEST(HistoricalAverageTest, RecoversPeriodicSignal) {
+  const int64_t period = 24;
+  Tensor train = PeriodicSeries(3, period * 20, period, 0.5, 31);
+  models::HistoricalAverage ha;
+  ASSERT_TRUE(ha.Fit(train, period).ok());
+  // Forecasting any slot reproduces the sinusoid within noise tolerance.
+  Tensor forecast = ha.Forecast(/*start=*/period * 20, /*horizon=*/period);
+  for (int64_t i = 0; i < 3; ++i) {
+    const double base = 50.0 + 5.0 * i;
+    const double amp = 10.0 + i;
+    for (int64_t f = 0; f < period; ++f) {
+      const double expected =
+          base + amp * std::sin(2.0 * M_PI * f / period);
+      EXPECT_NEAR(forecast.at({i, f}), expected, 0.6) << "i=" << i
+                                                      << " f=" << f;
+    }
+  }
+}
+
+TEST(HistoricalAverageTest, PhaseRespected) {
+  const int64_t period = 8;
+  Tensor train = PeriodicSeries(1, period * 10, period, 0.0, 32);
+  models::HistoricalAverage ha;
+  ASSERT_TRUE(ha.Fit(train, period).ok());
+  // A forecast starting mid-period lines up with the right slots.
+  Tensor forecast = ha.Forecast(/*start=*/period * 10 + 3, /*horizon=*/2);
+  EXPECT_NEAR(forecast.at({0, 0}), train.at({0, 3}), 1e-3);
+  EXPECT_NEAR(forecast.at({0, 1}), train.at({0, 4}), 1e-3);
+}
+
+// ---------------------------------------------------------------------------
+// Holt-Winters
+// ---------------------------------------------------------------------------
+
+TEST(HoltWintersTest, RejectsBadInputs) {
+  models::HoltWinters hw;
+  EXPECT_FALSE(hw.Fit(Tensor::Zeros({2, 10}), 8).ok());  // < 2 seasons
+  EXPECT_FALSE(hw.Fit(Tensor::Zeros({2, 100}), 0).ok());
+}
+
+TEST(HoltWintersTest, TracksLevelShift) {
+  // Flat training signal; the evaluation window sits 10 units higher. HW
+  // must follow the new level; the historical average cannot.
+  const int64_t period = 12;
+  Tensor train = PeriodicSeries(1, period * 15, period, 0.1, 33);
+  models::HoltWinters hw;
+  ASSERT_TRUE(hw.Fit(train, period).ok());
+  models::HistoricalAverage ha;
+  ASSERT_TRUE(ha.Fit(train, period).ok());
+
+  const int64_t start = period * 15;
+  Tensor window({1, period});
+  for (int64_t t = 0; t < period; ++t) {
+    // Same seasonal shape, shifted up by 10.
+    window.at({0, t}) = train.at({0, t}) + 10.0f;
+  }
+  Tensor hw_forecast = hw.Forecast(window, start, 3);
+  Tensor ha_forecast = ha.Forecast(start + period, 3);
+  const float truth = train.at({0, period}) + 10.0f;  // next slot, shifted
+  EXPECT_LT(std::fabs(hw_forecast.at({0, 0}) - truth),
+            std::fabs(ha_forecast.at({0, 0}) - truth));
+  EXPECT_NEAR(hw_forecast.at({0, 0}), truth, 2.0f);
+}
+
+TEST(HoltWintersTest, ExtrapolatesTrend) {
+  // Deterministic upward trend with no seasonality.
+  Tensor train({1, 64});
+  for (int64_t t = 0; t < 64; ++t) {
+    train.at({0, t}) = static_cast<float>(2.0 * t);
+  }
+  models::HoltWinters hw({/*alpha=*/0.8, /*beta=*/0.5});
+  ASSERT_TRUE(hw.Fit(train, 8).ok());
+  Tensor window({1, 16});
+  for (int64_t t = 0; t < 16; ++t) {
+    window.at({0, t}) = static_cast<float>(2.0 * (64 + t));
+  }
+  Tensor forecast = hw.Forecast(window, 64, 4);
+  for (int64_t f = 0; f < 4; ++f) {
+    EXPECT_NEAR(forecast.at({0, f}), 2.0f * (80 + f), 3.0f) << "f=" << f;
+  }
+}
+
+TEST(HoltWintersTest, SeasonalProfileIsZeroMean) {
+  const int64_t period = 6;
+  Tensor train = PeriodicSeries(2, period * 12, period, 0.2, 34);
+  // beta=0: a flat window must not induce a spurious trend.
+  models::HoltWinters hw({/*alpha=*/0.35, /*beta=*/0.0});
+  ASSERT_TRUE(hw.Fit(train, period).ok());
+  // A window that follows the seasonal shape around level 100 forecasts a
+  // zero-mean seasonal oscillation around 100 over one full season.
+  Tensor window({2, period});
+  for (int64_t i = 0; i < 2; ++i) {
+    double entity_mean = 0.0;
+    for (int64_t t = 0; t < period * 12; ++t) entity_mean += train.at({i, t});
+    entity_mean /= static_cast<double>(period * 12);
+    for (int64_t t = 0; t < period; ++t) {
+      window.at({i, t}) = static_cast<float>(
+          100.0 + train.at({i, t}) - entity_mean);
+    }
+  }
+  Tensor forecast = hw.Forecast(window, 0, period);
+  for (int64_t i = 0; i < 2; ++i) {
+    double mean = 0.0;
+    for (int64_t f = 0; f < period; ++f) mean += forecast.at({i, f});
+    EXPECT_NEAR(mean / period, 100.0, 2.0);
+  }
+}
+
+}  // namespace
+}  // namespace enhancenet

@@ -1,0 +1,433 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "gtest/gtest.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace enhancenet {
+namespace {
+
+using ::enhancenet::testing::ExpectTensorNear;
+
+// ---------------------------------------------------------------------------
+// Splits
+// ---------------------------------------------------------------------------
+
+TEST(SplitsTest, PaperFractions) {
+  data::Splits s = data::ChronologicalSplits(1000);
+  EXPECT_EQ(s.train_end, 700);
+  EXPECT_EQ(s.val_end, 800);
+  EXPECT_EQ(s.total, 1000);
+}
+
+TEST(SplitsTest, CustomFractions) {
+  data::Splits s = data::ChronologicalSplits(100, 0.5, 0.25);
+  EXPECT_EQ(s.train_end, 50);
+  EXPECT_EQ(s.val_end, 75);
+}
+
+TEST(SplitsTest, TinySeriesStaysOrdered) {
+  data::Splits s = data::ChronologicalSplits(5);
+  EXPECT_LT(s.train_end, s.val_end);
+  EXPECT_LT(s.val_end, s.total);
+  EXPECT_GE(s.train_end, 1);
+}
+
+// ---------------------------------------------------------------------------
+// StandardScaler
+// ---------------------------------------------------------------------------
+
+TEST(ScalerTest, FitsPerChannelStats) {
+  // Channel 0 constant 4 (std->~0), channel 1 is {0,2} (mean 1, std 1).
+  Tensor series({1, 2, 2});
+  series.at({0, 0, 0}) = 4.0f;
+  series.at({0, 1, 0}) = 4.0f;
+  series.at({0, 0, 1}) = 0.0f;
+  series.at({0, 1, 1}) = 2.0f;
+  data::StandardScaler scaler;
+  scaler.Fit(series, 0, 2);
+  EXPECT_FLOAT_EQ(scaler.mean(0), 4.0f);
+  EXPECT_FLOAT_EQ(scaler.mean(1), 1.0f);
+  EXPECT_NEAR(scaler.stddev(1), 1.0f, 1e-5f);
+}
+
+TEST(ScalerTest, TransformInverseRoundTrip) {
+  Rng rng(1);
+  Tensor series = Tensor::Randn({3, 50, 2}, rng, 5.0f);
+  data::StandardScaler scaler;
+  scaler.Fit(series, 0, 40);
+  Tensor scaled = scaler.Transform(series);
+  // Target channel (0) inverse-transform recovers originals.
+  Tensor channel0({3, 50});
+  Tensor scaled0({3, 50});
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t t = 0; t < 50; ++t) {
+      channel0.at({i, t}) = series.at({i, t, 0});
+      scaled0.at({i, t}) = scaled.at({i, t, 0});
+    }
+  }
+  ExpectTensorNear(scaler.InverseTarget(scaled0, 0), channel0, 1e-3f);
+}
+
+TEST(ScalerTest, FitRangeExcludesTestData) {
+  Tensor series({1, 4, 1});
+  series.at({0, 0, 0}) = 0.0f;
+  series.at({0, 1, 0}) = 2.0f;
+  series.at({0, 2, 0}) = 100.0f;  // "test" outlier
+  series.at({0, 3, 0}) = 100.0f;
+  data::StandardScaler scaler;
+  scaler.Fit(series, 0, 2);
+  EXPECT_FLOAT_EQ(scaler.mean(0), 1.0f);  // unaffected by the outliers
+}
+
+TEST(ScalerTest, TrainSplitScaledToZeroMeanUnitVar) {
+  Rng rng(2);
+  Tensor series = Tensor::Randn({4, 100, 1}, rng, 3.0f);
+  data::StandardScaler scaler;
+  scaler.Fit(series, 0, 100);
+  Tensor scaled = scaler.Transform(series);
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int64_t i = 0; i < scaled.numel(); ++i) {
+    sum += scaled.data()[i];
+    sq += static_cast<double>(scaled.data()[i]) * scaled.data()[i];
+  }
+  const double n = static_cast<double>(scaled.numel());
+  EXPECT_NEAR(sum / n, 0.0, 1e-3);
+  EXPECT_NEAR(sq / n, 1.0, 1e-2);
+}
+
+// ---------------------------------------------------------------------------
+// WindowDataset
+// ---------------------------------------------------------------------------
+
+class WindowDatasetTest : public ::testing::Test {
+ protected:
+  // series[i, t, 0] = 1000*i + t makes window contents fully checkable.
+  WindowDatasetTest() : series_({2, 60, 1}) {
+    for (int64_t i = 0; i < 2; ++i) {
+      for (int64_t t = 0; t < 60; ++t) {
+        series_.at({i, t, 0}) = static_cast<float>(1000 * i + t);
+      }
+    }
+  }
+  Tensor series_;
+};
+
+TEST_F(WindowDatasetTest, WindowCountMatchesFormula) {
+  data::WindowDataset ds(series_, series_, 0, 0, 60, 12, 12, 1);
+  // Anchors: t in [11, 60-12) -> 48-11 = 37 windows.
+  EXPECT_EQ(ds.num_windows(), 37);
+}
+
+TEST_F(WindowDatasetTest, StrideSubsamples) {
+  data::WindowDataset ds(series_, series_, 0, 0, 60, 12, 12, 5);
+  EXPECT_EQ(ds.num_windows(), 8);
+}
+
+TEST_F(WindowDatasetTest, InputAndTargetAlignment) {
+  data::WindowDataset ds(series_, series_, 0, 0, 60, 12, 12, 1);
+  data::Batch batch = ds.MakeBatch({0});
+  // First anchor t=11: inputs 0..11, targets 12..23.
+  EXPECT_FLOAT_EQ(batch.x.at({0, 0, 0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(batch.x.at({0, 0, 11, 0}), 11.0f);
+  EXPECT_FLOAT_EQ(batch.y_raw.at({0, 0, 0}), 12.0f);
+  EXPECT_FLOAT_EQ(batch.y_raw.at({0, 0, 11}), 23.0f);
+  // Entity 1 offsets by 1000.
+  EXPECT_FLOAT_EQ(batch.x.at({0, 1, 0, 0}), 1000.0f);
+  EXPECT_FLOAT_EQ(batch.y_raw.at({0, 1, 0}), 1012.0f);
+}
+
+TEST_F(WindowDatasetTest, RangeRestrictionKeepsWindowsInside) {
+  data::WindowDataset ds(series_, series_, 0, 30, 60, 12, 12, 1);
+  data::Batch batch = ds.MakeBatch({0});
+  // First anchor is 30+11=41: no input earlier than t=30.
+  EXPECT_FLOAT_EQ(batch.x.at({0, 0, 0, 0}), 30.0f);
+  // Last window's targets stay below 60.
+  data::Batch last = ds.MakeBatch({ds.num_windows() - 1});
+  EXPECT_LE(last.y_raw.at({0, 0, 11}), 59.0f);
+}
+
+TEST_F(WindowDatasetTest, ScaledAndRawChannelsDiffer) {
+  Tensor scaled = series_.Clone();
+  for (int64_t i = 0; i < scaled.numel(); ++i) scaled.data()[i] *= 0.001f;
+  data::WindowDataset ds(scaled, series_, 0, 0, 60, 4, 2, 1);
+  data::Batch batch = ds.MakeBatch({0});
+  EXPECT_FLOAT_EQ(batch.y_scaled.at({0, 0, 0}),
+                  0.001f * batch.y_raw.at({0, 0, 0}));
+}
+
+TEST_F(WindowDatasetTest, ShuffledBatchesCoverAllWindowsOnce) {
+  data::WindowDataset ds(series_, series_, 0, 0, 60, 12, 12, 1);
+  Rng rng(3);
+  auto batches = ds.ShuffledBatches(10, rng);
+  std::set<int64_t> seen;
+  int64_t total = 0;
+  for (const auto& batch : batches) {
+    for (int64_t idx : batch) {
+      seen.insert(idx);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, ds.num_windows());
+  EXPECT_EQ(static_cast<int64_t>(seen.size()), ds.num_windows());
+}
+
+TEST_F(WindowDatasetTest, ShuffleIsDeterministicPerSeed) {
+  data::WindowDataset ds(series_, series_, 0, 0, 60, 12, 12, 1);
+  Rng rng1(4);
+  Rng rng2(4);
+  EXPECT_EQ(ds.ShuffledBatches(7, rng1), ds.ShuffledBatches(7, rng2));
+}
+
+TEST_F(WindowDatasetTest, SequentialBatchesPreserveOrder) {
+  data::WindowDataset ds(series_, series_, 0, 0, 60, 12, 12, 1);
+  auto batches = ds.SequentialBatches(10);
+  EXPECT_EQ(batches[0][0], 0);
+  EXPECT_EQ(batches[0][9], 9);
+  EXPECT_EQ(batches[1][0], 10);
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic traffic generator
+// ---------------------------------------------------------------------------
+
+class TrafficDataTest : public ::testing::Test {
+ protected:
+  TrafficDataTest() {
+    config_.num_sensors = 16;
+    config_.num_days = 3;
+    config_.steps_per_day = 96;  // 15-min steps keep the test fast
+    config_.num_highways = 2;
+    config_.seed = 5;
+    data_ = data::MakeTrafficData(config_);
+  }
+  data::TrafficConfig config_;
+  data::CtsData data_;
+};
+
+TEST_F(TrafficDataTest, ShapesMatchConfig) {
+  EXPECT_EQ(data_.num_entities(), 16);
+  EXPECT_EQ(data_.num_steps(), 3 * 96);
+  EXPECT_EQ(data_.num_channels(), 1);
+  EXPECT_EQ(ShapeToString(data_.distances.shape()), "[16, 16]");
+  EXPECT_EQ(ShapeToString(data_.locations.shape()), "[16, 2]");
+}
+
+TEST_F(TrafficDataTest, DeterministicPerSeed) {
+  data::CtsData again = data::MakeTrafficData(config_);
+  ExpectTensorNear(again.series, data_.series, 0.0f);
+  ExpectTensorNear(again.distances, data_.distances, 0.0f);
+}
+
+TEST_F(TrafficDataTest, DifferentSeedsDiffer) {
+  auto config = config_;
+  config.seed = 6;
+  data::CtsData other = data::MakeTrafficData(config);
+  EXPECT_FALSE(ops::AllClose(other.series, data_.series, 1e-3f, 1e-3f));
+}
+
+TEST_F(TrafficDataTest, SpeedsInPhysicalRange) {
+  for (int64_t i = 0; i < data_.series.numel(); ++i) {
+    const float v = data_.series.data()[i];
+    EXPECT_GE(v, 3.0f);
+    EXPECT_LE(v, 80.0f);
+  }
+}
+
+TEST_F(TrafficDataTest, DistancesAreDirected) {
+  // Upstream travel is penalized, so distances must be asymmetric somewhere.
+  float max_asym = 0.0f;
+  for (int64_t i = 0; i < 16; ++i) {
+    for (int64_t j = 0; j < 16; ++j) {
+      max_asym = std::max(max_asym, std::fabs(data_.distances.at({i, j}) -
+                                              data_.distances.at({j, i})));
+    }
+  }
+  EXPECT_GT(max_asym, 0.1f);
+}
+
+TEST_F(TrafficDataTest, DistancesHaveZeroDiagonal) {
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(data_.distances.at({i, i}), 0.0f);
+  }
+}
+
+TEST_F(TrafficDataTest, PeakHoursSlowerThanNight) {
+  // Average over all sensors and weekdays: 8am slower than 3am.
+  const int64_t spd = config_.steps_per_day;
+  double night = 0.0;
+  double peak = 0.0;
+  int64_t count = 0;
+  for (int64_t day = 0; day < 3; ++day) {
+    if (day % 7 >= 5) continue;
+    for (int64_t i = 0; i < 16; ++i) {
+      night += data_.series.at({i, day * spd + spd * 3 / 24, 0});
+      peak += data_.series.at({i, day * spd + spd * 8 / 24, 0});
+      ++count;
+    }
+  }
+  EXPECT_LT(peak / count, night / count);
+}
+
+TEST_F(TrafficDataTest, EntitiesHaveDistinctProfiles) {
+  // Daily profiles averaged across days must differ across sensors —
+  // the "distinct temporal dynamics" DFGN targets.
+  const int64_t spd = config_.steps_per_day;
+  Tensor profile({16, spd});
+  for (int64_t i = 0; i < 16; ++i) {
+    for (int64_t s = 0; s < spd; ++s) {
+      double total = 0.0;
+      for (int64_t day = 0; day < 3; ++day) {
+        total += data_.series.at({i, day * spd + s, 0});
+      }
+      profile.at({i, s}) = static_cast<float>(total / 3.0);
+    }
+  }
+  // Compare pairwise L2; require substantial spread.
+  double min_dist = 1e30;
+  for (int64_t i = 0; i < 16; ++i) {
+    for (int64_t j = i + 1; j < 16; ++j) {
+      double sq = 0.0;
+      for (int64_t s = 0; s < spd; ++s) {
+        const double d = profile.at({i, s}) - profile.at({j, s});
+        sq += d * d;
+      }
+      min_dist = std::min(min_dist, std::sqrt(sq / spd));
+    }
+  }
+  EXPECT_GT(min_dist, 0.5);
+}
+
+TEST(TrafficPresetsTest, LaHasTimeChannel) {
+  data::CtsData la = data::MakeLaLike(12, 2);
+  EXPECT_EQ(la.num_channels(), 2);
+  EXPECT_EQ(la.name, "LA-like");
+  // Time channel cycles within [0, 1).
+  for (int64_t t = 0; t < la.num_steps(); ++t) {
+    const float v = la.series.at({0, t, 1});
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(TrafficPresetsTest, EbIsSingleChannel) {
+  data::CtsData eb = data::MakeEbLike(12, 2);
+  EXPECT_EQ(eb.num_channels(), 1);
+  EXPECT_EQ(eb.name, "EB-like");
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic weather generator
+// ---------------------------------------------------------------------------
+
+class WeatherDataTest : public ::testing::Test {
+ protected:
+  WeatherDataTest() {
+    config_.num_stations = 16;
+    config_.num_days = 30;
+    config_.seed = 7;
+    data_ = data::MakeWeatherData(config_);
+  }
+  data::WeatherConfig config_;
+  data::CtsData data_;
+};
+
+TEST_F(WeatherDataTest, SixChannelsHourly) {
+  EXPECT_EQ(data_.num_channels(), 6);
+  EXPECT_EQ(data_.num_steps(), 30 * 24);
+  EXPECT_EQ(data_.steps_per_day, 24);
+  EXPECT_EQ(data_.target_channel, 0);
+}
+
+TEST_F(WeatherDataTest, DeterministicPerSeed) {
+  data::CtsData again = data::MakeWeatherData(config_);
+  ExpectTensorNear(again.series, data_.series, 0.0f);
+}
+
+TEST_F(WeatherDataTest, ChannelsInPhysicalRanges) {
+  for (int64_t i = 0; i < data_.num_entities(); ++i) {
+    for (int64_t t = 0; t < data_.num_steps(); ++t) {
+      EXPECT_GT(data_.series.at({i, t, 0}), 230.0f);  // temperature (Kelvin)
+      EXPECT_LT(data_.series.at({i, t, 0}), 330.0f);
+      EXPECT_GE(data_.series.at({i, t, 1}), 5.0f);  // humidity
+      EXPECT_LE(data_.series.at({i, t, 1}), 100.0f);
+      EXPECT_GT(data_.series.at({i, t, 2}), 960.0f);  // pressure
+      EXPECT_LT(data_.series.at({i, t, 2}), 1060.0f);
+      EXPECT_GE(data_.series.at({i, t, 3}), 0.0f);  // wind direction
+      EXPECT_LT(data_.series.at({i, t, 3}), 360.0f);
+      EXPECT_GE(data_.series.at({i, t, 4}), 0.0f);  // wind speed
+      EXPECT_GE(data_.series.at({i, t, 5}), 0.0f);  // code
+      EXPECT_LE(data_.series.at({i, t, 5}), 3.0f);
+    }
+  }
+}
+
+TEST_F(WeatherDataTest, SymmetricEuclideanDistances) {
+  for (int64_t i = 0; i < 16; ++i) {
+    EXPECT_FLOAT_EQ(data_.distances.at({i, i}), 0.0f);
+    for (int64_t j = 0; j < 16; ++j) {
+      EXPECT_FLOAT_EQ(data_.distances.at({i, j}), data_.distances.at({j, i}));
+    }
+  }
+}
+
+TEST_F(WeatherDataTest, DiurnalCycleVisible) {
+  // Afternoon warmer than pre-dawn on average.
+  double dawn = 0.0;
+  double afternoon = 0.0;
+  int64_t count = 0;
+  for (int64_t day = 0; day < 30; ++day) {
+    for (int64_t i = 0; i < 16; ++i) {
+      dawn += data_.series.at({i, day * 24 + 4, 0});
+      afternoon += data_.series.at({i, day * 24 + 14, 0});
+      ++count;
+    }
+  }
+  EXPECT_GT(afternoon / count, dawn / count);
+}
+
+TEST_F(WeatherDataTest, NearbyStationsCorrelateMoreThanDistant) {
+  // Pearson correlation of temperature between closest vs farthest pair.
+  auto correlation = [&](int64_t a, int64_t b) {
+    const int64_t t_total = data_.num_steps();
+    double ma = 0.0;
+    double mb = 0.0;
+    for (int64_t t = 0; t < t_total; ++t) {
+      ma += data_.series.at({a, t, 0});
+      mb += data_.series.at({b, t, 0});
+    }
+    ma /= t_total;
+    mb /= t_total;
+    double cov = 0.0;
+    double va = 0.0;
+    double vb = 0.0;
+    for (int64_t t = 0; t < t_total; ++t) {
+      const double da = data_.series.at({a, t, 0}) - ma;
+      const double db = data_.series.at({b, t, 0}) - mb;
+      cov += da * db;
+      va += da * da;
+      vb += db * db;
+    }
+    return cov / std::sqrt(va * vb + 1e-12);
+  };
+  // Find nearest and farthest pair from station 0.
+  int64_t nearest = 1;
+  int64_t farthest = 1;
+  for (int64_t j = 1; j < 16; ++j) {
+    if (data_.distances.at({0, j}) < data_.distances.at({0, nearest})) {
+      nearest = j;
+    }
+    if (data_.distances.at({0, j}) > data_.distances.at({0, farthest})) {
+      farthest = j;
+    }
+  }
+  EXPECT_GT(correlation(0, nearest), correlation(0, farthest) - 0.05);
+}
+
+}  // namespace
+}  // namespace enhancenet

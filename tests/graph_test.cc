@@ -1,0 +1,222 @@
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "graph/adjacency.h"
+#include "graph/graph_conv.h"
+#include "gtest/gtest.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace enhancenet {
+namespace {
+
+namespace ag = ::enhancenet::autograd;
+using ::enhancenet::testing::ExpectGradientsMatch;
+using ::enhancenet::testing::ExpectTensorNear;
+
+Tensor SimpleDistances() {
+  // 3 entities on a line: 0 --1km-- 1 --1km-- 2.
+  return Tensor::FromVector({3, 3}, {0, 1, 2,  //
+                                     1, 0, 1,  //
+                                     2, 1, 0});
+}
+
+// ---------------------------------------------------------------------------
+// Adjacency construction (Sec. VI-A recipe)
+// ---------------------------------------------------------------------------
+
+TEST(AdjacencyTest, GaussianKernelDiagonalIsOne) {
+  Tensor a = graph::GaussianKernelAdjacency(SimpleDistances());
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(a.at({i, i}), 1.0f);
+}
+
+TEST(AdjacencyTest, GaussianKernelDecreasesWithDistance) {
+  Tensor a = graph::GaussianKernelAdjacency(SimpleDistances());
+  EXPECT_GT(a.at({0, 1}), a.at({0, 2}));
+  EXPECT_GT(a.at({0, 0}), a.at({0, 1}));
+}
+
+TEST(AdjacencyTest, ThresholdZeroesWeakEdges) {
+  // With a very high threshold everything but the diagonal vanishes.
+  Tensor a = graph::GaussianKernelAdjacency(SimpleDistances(), 0.99f);
+  EXPECT_FLOAT_EQ(a.at({0, 1}), 0.0f);
+  EXPECT_FLOAT_EQ(a.at({0, 0}), 1.0f);
+}
+
+TEST(AdjacencyTest, AsymmetricDistancesGiveAsymmetricAdjacency) {
+  Tensor dist = Tensor::FromVector({2, 2}, {0, 1, 3, 0});
+  Tensor a = graph::GaussianKernelAdjacency(dist);
+  EXPECT_GT(a.at({0, 1}), a.at({1, 0}));
+}
+
+TEST(AdjacencyTest, RowNormalizeRowsSumToOne) {
+  Tensor a = graph::GaussianKernelAdjacency(SimpleDistances());
+  Tensor p = graph::RowNormalize(a);
+  for (int64_t i = 0; i < 3; ++i) {
+    float row = 0.0f;
+    for (int64_t j = 0; j < 3; ++j) row += p.at({i, j});
+    EXPECT_NEAR(row, 1.0f, 1e-5f);
+  }
+}
+
+TEST(AdjacencyTest, RowNormalizeKeepsZeroRows) {
+  Tensor a = Tensor::Zeros({2, 2});
+  a.at({0, 1}) = 2.0f;
+  Tensor p = graph::RowNormalize(a);
+  EXPECT_FLOAT_EQ(p.at({0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(p.at({1, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(p.at({1, 1}), 0.0f);
+}
+
+TEST(AdjacencyTest, SymNormalizeIsSymmetricWithSelfLoops) {
+  Tensor a = graph::GaussianKernelAdjacency(SimpleDistances());
+  Tensor s = graph::SymNormalize(a);
+  for (int64_t i = 0; i < 3; ++i) {
+    EXPECT_GT(s.at({i, i}), 0.0f);  // self loop added
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(s.at({i, j}), s.at({j, i}), 1e-5f);
+    }
+  }
+}
+
+TEST(AdjacencyTest, DiffusionSupportsCountAndStochasticity) {
+  Tensor a = graph::GaussianKernelAdjacency(SimpleDistances());
+  const auto supports = graph::DiffusionSupports(a, 2);
+  ASSERT_EQ(supports.size(), 4u);  // fwd, fwd², bwd, bwd²
+  for (const Tensor& support : supports) {
+    for (int64_t i = 0; i < 3; ++i) {
+      float row = 0.0f;
+      for (int64_t j = 0; j < 3; ++j) row += support.at({i, j});
+      EXPECT_NEAR(row, 1.0f, 1e-4f);  // powers of row-stochastic stay so
+    }
+  }
+}
+
+TEST(AdjacencyTest, SecondHopIsMatrixSquare) {
+  Tensor a = graph::GaussianKernelAdjacency(SimpleDistances());
+  const auto supports = graph::DiffusionSupports(a, 2);
+  ExpectTensorNear(supports[1], ops::MatMul(supports[0], supports[0]), 1e-5f);
+  ExpectTensorNear(supports[3], ops::MatMul(supports[2], supports[2]), 1e-5f);
+}
+
+TEST(AdjacencyTest, MatSquare) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 1, 0, 1});
+  ExpectTensorNear(graph::MatSquare(a),
+                   Tensor::FromVector({2, 2}, {1, 2, 0, 1}));
+}
+
+// ---------------------------------------------------------------------------
+// Graph convolution
+// ---------------------------------------------------------------------------
+
+TEST(GraphConvTest, StaticAdjacencyAggregatesNeighbours) {
+  // Adjacency that copies entity 1's features into entity 0.
+  Tensor adj = Tensor::Zeros({2, 2});
+  adj.at({0, 1}) = 1.0f;
+  ag::Variable a = ag::Variable::Leaf(adj, false);
+  Tensor xt = Tensor::FromVector({1, 2, 2}, {1, 2, 3, 4});
+  ag::Variable x = ag::Variable::Leaf(xt, false);
+  Tensor out = graph::ApplyAdjacency(a, x).data();
+  EXPECT_FLOAT_EQ(out.at({0, 0, 0}), 3.0f);
+  EXPECT_FLOAT_EQ(out.at({0, 0, 1}), 4.0f);
+  EXPECT_FLOAT_EQ(out.at({0, 1, 0}), 0.0f);
+}
+
+TEST(GraphConvTest, DynamicAdjacencyMatchesPerSampleStatic) {
+  Rng rng(21);
+  const int64_t batch = 3;
+  const int64_t n = 4;
+  const int64_t c = 5;
+  Tensor x = Tensor::Randn({batch, n, c}, rng);
+  Tensor adj = Tensor::Randn({n, n}, rng);
+  // Dynamic tensor that repeats the same adjacency per sample.
+  Tensor dyn({batch, n, n});
+  for (int64_t b = 0; b < batch; ++b) {
+    std::copy(adj.data(), adj.data() + n * n, dyn.data() + b * n * n);
+  }
+  Tensor out_static = graph::ApplyAdjacency(ag::Variable::Leaf(adj, false),
+                                            ag::Variable::Leaf(x, false))
+                          .data();
+  Tensor out_dynamic = graph::ApplyAdjacency(ag::Variable::Leaf(dyn, false),
+                                             ag::Variable::Leaf(x, false))
+                           .data();
+  ExpectTensorNear(out_static, out_dynamic, 1e-4f);
+}
+
+TEST(GraphConvTest, MixSupportsConcatenatesSelfFirst) {
+  Rng rng(22);
+  Tensor x = Tensor::Randn({2, 3, 4}, rng);
+  Tensor adj = Tensor::Randn({3, 3}, rng);
+  ag::Variable mixed = graph::MixSupports(
+      ag::Variable::Leaf(x, false), {ag::Variable::Leaf(adj, false)}, true);
+  EXPECT_EQ(ShapeToString(mixed.shape()), "[2, 3, 8]");
+  ExpectTensorNear(ops::Slice(mixed.data(), 2, 0, 4), x, 1e-6f);
+}
+
+TEST(GraphConvTest, MixSupportsWithoutSelf) {
+  Rng rng(23);
+  Tensor x = Tensor::Randn({2, 3, 4}, rng);
+  Tensor adj = Tensor::Randn({3, 3}, rng);
+  ag::Variable mixed = graph::MixSupports(
+      ag::Variable::Leaf(x, false), {ag::Variable::Leaf(adj, false)}, false);
+  EXPECT_EQ(ShapeToString(mixed.shape()), "[2, 3, 4]");
+}
+
+TEST(GraphConvLayerTest, EquationTwelveKnownValues) {
+  // Z = A·X·S with identity-ish weights: verify by direct computation.
+  Rng rng(24);
+  graph::GraphConvLayer layer(1, 2, 3, rng);
+  Tensor x = Tensor::Randn({2, 3, 2}, rng);
+  Tensor adj = Tensor::Randn({3, 3}, rng);
+  ag::Variable out = layer.Forward(ag::Variable::Leaf(x, false),
+                                   {ag::Variable::Leaf(adj, false)});
+  EXPECT_EQ(ShapeToString(out.shape()), "[2, 3, 3]");
+
+  // Manual: mixed = [x ‖ A·x]; out = mixed @ W + b.
+  const auto params = layer.Parameters();
+  const Tensor w = params[0].data();
+  const Tensor b = params[1].data();
+  Tensor ax = graph::ApplyAdjacency(ag::Variable::Leaf(adj, false),
+                                    ag::Variable::Leaf(x, false))
+                  .data();
+  Tensor mixed = ops::Concat({x, ax}, -1).Reshape({6, 4});
+  Tensor expect = ops::Add(ops::MatMul(mixed, w), b).Reshape({2, 3, 3});
+  ExpectTensorNear(out.data(), expect, 1e-4f);
+}
+
+TEST(GraphConvLayerTest, GradientsFlowToWeights) {
+  Rng rng(25);
+  graph::GraphConvLayer layer(1, 2, 2, rng);
+  Tensor x = Tensor::Randn({1, 3, 2}, rng);
+  Tensor adj = Tensor::Randn({3, 3}, rng);
+  auto params = layer.Parameters();
+  ExpectGradientsMatch(
+      [&] {
+        return ag::SumAll(ag::Square(
+            layer.Forward(ag::Variable::Leaf(x, false),
+                          {ag::Variable::Leaf(adj, false)})));
+      },
+      params, 1e-2f, 3e-2f);
+}
+
+TEST(GraphConvLayerTest, IsolatedEntityOnlySeesItself) {
+  Rng rng(26);
+  graph::GraphConvLayer layer(1, 1, 1, rng);
+  // Entity 2 has no incoming edges.
+  Tensor adj = Tensor::Zeros({3, 3});
+  adj.at({0, 1}) = 1.0f;
+  adj.at({1, 0}) = 1.0f;
+  Tensor x1 = Tensor::FromVector({1, 3, 1}, {1, 2, 3});
+  Tensor x2 = Tensor::FromVector({1, 3, 1}, {5, 9, 3});  // entity 2 unchanged
+  Tensor out1 = layer.Forward(ag::Variable::Leaf(x1, false),
+                              {ag::Variable::Leaf(adj, false)})
+                    .data();
+  Tensor out2 = layer.Forward(ag::Variable::Leaf(x2, false),
+                              {ag::Variable::Leaf(adj, false)})
+                    .data();
+  EXPECT_NEAR(out1.at({0, 2, 0}), out2.at({0, 2, 0}), 1e-5f);
+  EXPECT_NE(out1.at({0, 0, 0}), out2.at({0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace enhancenet

@@ -1,0 +1,278 @@
+#include <cstdio>
+#include <fstream>
+
+#include "data/synthetic.h"
+#include "graph/adjacency.h"
+#include "gtest/gtest.h"
+#include "io/checkpoint.h"
+#include "io/csv.h"
+#include "models/model_factory.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace enhancenet {
+namespace {
+
+using ::enhancenet::testing::ExpectTensorNear;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream file(path);
+  file << contents;
+}
+
+// ---------------------------------------------------------------------------
+// CSV matrix round trips
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, ReadSimpleMatrix) {
+  const std::string path = TempPath("simple.csv");
+  WriteFile(path, "1,2,3\n4,5,6\n");
+  auto result = io::ReadMatrixCsv(path);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  ExpectTensorNear(result.value, Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, SkipsHeaderRow) {
+  const std::string path = TempPath("header.csv");
+  WriteFile(path, "sensor_a,sensor_b\n1.5,2.5\n3.5,4.5\n");
+  auto result = io::ReadMatrixCsv(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ShapeToString(result.value.shape()), "[2, 2]");
+  EXPECT_FLOAT_EQ(result.value.at({0, 0}), 1.5f);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, SkipsBlankLinesAndCrLf) {
+  const std::string path = TempPath("crlf.csv");
+  WriteFile(path, "1,2\r\n\r\n3,4\r\n");
+  auto result = io::ReadMatrixCsv(path);
+  ASSERT_TRUE(result.ok());
+  ExpectTensorNear(result.value, Tensor::FromVector({2, 2}, {1, 2, 3, 4}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsRaggedRows) {
+  const std::string path = TempPath("ragged.csv");
+  WriteFile(path, "1,2,3\n4,5\n");
+  auto result = io::ReadMatrixCsv(path);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, RejectsNonNumericField) {
+  const std::string path = TempPath("nonnum.csv");
+  WriteFile(path, "1,2\n3,oops\n");
+  auto result = io::ReadMatrixCsv(path);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsNotFound) {
+  auto result = io::ReadMatrixCsv("/nonexistent/never.csv");
+  EXPECT_EQ(result.status.code(), StatusCode::kNotFound);
+}
+
+TEST(CsvTest, EmptyFileIsError) {
+  const std::string path = TempPath("empty.csv");
+  WriteFile(path, "");
+  EXPECT_FALSE(io::ReadMatrixCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, WriteThenReadRoundTrip) {
+  Rng rng(1);
+  Tensor m = Tensor::Randn({5, 7}, rng);
+  const std::string path = TempPath("roundtrip.csv");
+  ASSERT_TRUE(io::WriteMatrixCsv(path, m).ok());
+  auto result = io::ReadMatrixCsv(path);
+  ASSERT_TRUE(result.ok());
+  ExpectTensorNear(result.value, m, 1e-4f);
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Dataset loading
+// ---------------------------------------------------------------------------
+
+class LoadCtsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 2 entities, 3 timestamps, 2 channels: series is [T, N*C].
+    series_path_ = TempPath("series.csv");
+    WriteFile(series_path_,
+              "10,0.1,20,0.2\n"
+              "11,0.3,21,0.4\n"
+              "12,0.5,22,0.6\n");
+    dist_path_ = TempPath("dist.csv");
+    WriteFile(dist_path_, "0,1\n1,0\n");
+    loc_path_ = TempPath("loc.csv");
+    WriteFile(loc_path_, "0,0\n3,4\n");
+  }
+  void TearDown() override {
+    std::remove(series_path_.c_str());
+    std::remove(dist_path_.c_str());
+    std::remove(loc_path_.c_str());
+  }
+  std::string series_path_;
+  std::string dist_path_;
+  std::string loc_path_;
+};
+
+TEST_F(LoadCtsTest, LoadsEntityMajorLayout) {
+  auto result = io::LoadCtsFromCsv("test", series_path_, dist_path_,
+                                   loc_path_, /*num_channels=*/2);
+  ASSERT_TRUE(result.ok()) << result.status.ToString();
+  const data::CtsData& d = result.value;
+  EXPECT_EQ(d.num_entities(), 2);
+  EXPECT_EQ(d.num_steps(), 3);
+  EXPECT_EQ(d.num_channels(), 2);
+  EXPECT_FLOAT_EQ(d.series.at({0, 0, 0}), 10.0f);
+  EXPECT_FLOAT_EQ(d.series.at({0, 2, 1}), 0.5f);
+  EXPECT_FLOAT_EQ(d.series.at({1, 0, 0}), 20.0f);
+  EXPECT_FLOAT_EQ(d.series.at({1, 1, 1}), 0.4f);
+  EXPECT_FLOAT_EQ(d.distances.at({0, 1}), 1.0f);
+  EXPECT_FLOAT_EQ(d.locations.at({1, 0}), 3.0f);
+}
+
+TEST_F(LoadCtsTest, LocationsOptional) {
+  auto result = io::LoadCtsFromCsv("test", series_path_, dist_path_, "",
+                                   /*num_channels=*/2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(ShapeToString(result.value.locations.shape()), "[2, 2]");
+}
+
+TEST_F(LoadCtsTest, RejectsMismatchedChannelCount) {
+  auto result = io::LoadCtsFromCsv("test", series_path_, dist_path_, "",
+                                   /*num_channels=*/3);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(LoadCtsTest, RejectsWrongDistanceShape) {
+  const std::string bad = TempPath("bad_dist.csv");
+  WriteFile(bad, "0,1,2\n1,0,2\n2,2,0\n");
+  auto result =
+      io::LoadCtsFromCsv("test", series_path_, bad, "", /*num_channels=*/2);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+  std::remove(bad.c_str());
+}
+
+TEST_F(LoadCtsTest, RejectsBadTargetChannel) {
+  auto result = io::LoadCtsFromCsv("test", series_path_, dist_path_, "",
+                                   /*num_channels=*/2, /*target_channel=*/5);
+  EXPECT_EQ(result.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ForecastCsvTest, WritesHeaderAndRows) {
+  Tensor forecast = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  const std::string path = TempPath("forecast.csv");
+  ASSERT_TRUE(io::WriteForecastCsv(path, forecast).ok());
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "entity,h1,h2,h3");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "0,1,2,3");
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoints
+// ---------------------------------------------------------------------------
+
+TEST(CheckpointTest, RoundTripRestoresExactPredictions) {
+  data::CtsData d = data::MakeEbLike(8, 2, /*seed=*/5);
+  const Tensor adjacency = graph::GaussianKernelAdjacency(d.distances);
+  models::ModelSizing sizing;
+  sizing.rnn_hidden = 8;
+  sizing.rnn_hidden_dfgn = 6;
+
+  Rng rng1(11);
+  auto original = models::MakeModel("D-DA-GRNN", 8, 1, adjacency, sizing,
+                                    rng1);
+  // Perturb away from the initialization so the test is not vacuous.
+  Rng noise(12);
+  for (auto& p : original->Parameters()) {
+    ops::AxpyInPlace(0.1f, Tensor::Randn(p.shape(), noise),
+                     &p.mutable_data());
+  }
+  const std::string path = TempPath("model.encp");
+  ASSERT_TRUE(io::SaveCheckpoint(path, *original).ok());
+
+  // Fresh model with a different seed -> different weights until loaded.
+  Rng rng2(99);
+  auto restored = models::MakeModel("D-DA-GRNN", 8, 1, adjacency, sizing,
+                                    rng2);
+  Rng data_rng(13);
+  Tensor x = Tensor::Randn({2, 8, 12, 1}, data_rng);
+  original->SetTraining(false);
+  restored->SetTraining(false);
+  Rng fwd1(14);
+  Rng fwd2(14);
+  EXPECT_FALSE(ops::AllClose(original->Predict(x, fwd1).data(),
+                             restored->Predict(x, fwd2).data(), 1e-5f,
+                             1e-5f));
+
+  ASSERT_TRUE(io::LoadCheckpoint(path, restored.get()).ok());
+  Rng fwd3(14);
+  Rng fwd4(14);
+  ExpectTensorNear(restored->Predict(x, fwd3).data(),
+                   original->Predict(x, fwd4).data(), 1e-6f);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsWrongArchitecture) {
+  data::CtsData d = data::MakeEbLike(8, 2, /*seed=*/6);
+  const Tensor adjacency = graph::GaussianKernelAdjacency(d.distances);
+  models::ModelSizing sizing;
+  sizing.rnn_hidden = 8;
+  Rng rng(21);
+  auto rnn = models::MakeModel("RNN", 8, 1, adjacency, sizing, rng);
+  auto grnn = models::MakeModel("GRNN", 8, 1, adjacency, sizing, rng);
+  const std::string path = TempPath("arch.encp");
+  ASSERT_TRUE(io::SaveCheckpoint(path, *rnn).ok());
+  const Status status = io::LoadCheckpoint(path, grnn.get());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsShapeMismatch) {
+  models::ModelSizing small;
+  small.rnn_hidden = 8;
+  models::ModelSizing big;
+  big.rnn_hidden = 16;
+  Rng rng(22);
+  auto a = models::MakeModel("RNN", 8, 1, Tensor(), small, rng);
+  auto b = models::MakeModel("RNN", 8, 1, Tensor(), big, rng);
+  const std::string path = TempPath("shape.encp");
+  ASSERT_TRUE(io::SaveCheckpoint(path, *a).ok());
+  const Status status = io::LoadCheckpoint(path, b.get());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsGarbageFile) {
+  const std::string path = TempPath("garbage.encp");
+  WriteFile(path, "this is not a checkpoint");
+  Rng rng(23);
+  auto model = models::MakeModel("RNN", 4, 1, Tensor(), models::ModelSizing(),
+                                 rng);
+  EXPECT_EQ(io::LoadCheckpoint(path, model.get()).code(),
+            StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  Rng rng(24);
+  auto model = models::MakeModel("RNN", 4, 1, Tensor(), models::ModelSizing(),
+                                 rng);
+  EXPECT_EQ(io::LoadCheckpoint("/nonexistent/x.encp", model.get()).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace enhancenet

@@ -1,0 +1,156 @@
+#include "train/metrics.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+
+namespace enhancenet {
+namespace {
+
+using train::ErrorStats;
+using train::MetricAccumulator;
+
+// ---------------------------------------------------------------------------
+// Error accumulation
+// ---------------------------------------------------------------------------
+
+TEST(MetricAccumulatorTest, KnownValuesSingleHorizon) {
+  MetricAccumulator acc(1);
+  Tensor pred = Tensor::FromVector({1, 2, 1}, {11.0f, 18.0f});
+  Tensor truth = Tensor::FromVector({1, 2, 1}, {10.0f, 20.0f});
+  acc.Add(pred, truth);
+  const ErrorStats stats = acc.Overall();
+  EXPECT_EQ(stats.count, 2);
+  EXPECT_NEAR(stats.mae, 1.5, 1e-9);  // (1 + 2) / 2
+  EXPECT_NEAR(stats.rmse, std::sqrt((1.0 + 4.0) / 2.0), 1e-9);
+  EXPECT_NEAR(stats.mape, 100.0 * (0.1 + 0.1) / 2.0, 1e-6);
+}
+
+TEST(MetricAccumulatorTest, MaskedNullValuesExcluded) {
+  MetricAccumulator acc(1);
+  Tensor pred = Tensor::FromVector({1, 3, 1}, {5.0f, 99.0f, 12.0f});
+  Tensor truth = Tensor::FromVector({1, 3, 1}, {4.0f, 0.0f, 10.0f});
+  acc.Add(pred, truth);
+  const ErrorStats stats = acc.Overall();
+  EXPECT_EQ(stats.count, 2);  // middle entry masked
+  EXPECT_NEAR(stats.mae, 1.5, 1e-9);
+}
+
+TEST(MetricAccumulatorTest, PerHorizonSeparation) {
+  MetricAccumulator acc(2);
+  Tensor pred = Tensor::FromVector({1, 1, 2}, {11.0f, 14.0f});
+  Tensor truth = Tensor::FromVector({1, 1, 2}, {10.0f, 10.0f});
+  acc.Add(pred, truth);
+  EXPECT_NEAR(acc.AtHorizon(0).mae, 1.0, 1e-9);
+  EXPECT_NEAR(acc.AtHorizon(1).mae, 4.0, 1e-9);
+  EXPECT_NEAR(acc.Overall().mae, 2.5, 1e-9);
+}
+
+TEST(MetricAccumulatorTest, AccumulatesAcrossBatches) {
+  MetricAccumulator acc(1);
+  acc.Add(Tensor::FromVector({1, 1, 1}, {11.0f}),
+          Tensor::FromVector({1, 1, 1}, {10.0f}));
+  acc.Add(Tensor::FromVector({1, 1, 1}, {13.0f}),
+          Tensor::FromVector({1, 1, 1}, {10.0f}));
+  EXPECT_EQ(acc.Overall().count, 2);
+  EXPECT_NEAR(acc.Overall().mae, 2.0, 1e-9);
+}
+
+TEST(MetricAccumulatorTest, PerWindowMaeTracked) {
+  MetricAccumulator acc(1);
+  // Two windows in one batch.
+  acc.Add(Tensor::FromVector({2, 1, 1}, {11.0f, 30.0f}),
+          Tensor::FromVector({2, 1, 1}, {10.0f, 10.0f}));
+  ASSERT_EQ(acc.per_window_mae().size(), 2u);
+  EXPECT_NEAR(acc.per_window_mae()[0], 1.0, 1e-9);
+  EXPECT_NEAR(acc.per_window_mae()[1], 20.0, 1e-9);
+}
+
+TEST(MetricAccumulatorTest, EmptyStatsAreZero) {
+  MetricAccumulator acc(3);
+  const ErrorStats stats = acc.Overall();
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_EQ(stats.mae, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Incomplete beta / Student-t
+// ---------------------------------------------------------------------------
+
+TEST(IncompleteBetaTest, BoundaryValues) {
+  EXPECT_EQ(train::RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(train::RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBetaTest, SymmetryIdentity) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a)
+  const double v1 = train::RegularizedIncompleteBeta(2.5, 1.5, 0.3);
+  const double v2 = 1.0 - train::RegularizedIncompleteBeta(1.5, 2.5, 0.7);
+  EXPECT_NEAR(v1, v2, 1e-9);
+}
+
+TEST(IncompleteBetaTest, UniformSpecialCase) {
+  // I_x(1,1) = x.
+  for (double x : {0.1, 0.35, 0.8}) {
+    EXPECT_NEAR(train::RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-9);
+  }
+}
+
+TEST(StudentTTest, KnownPValues) {
+  // Two-sided p for t=2.0, df=10 is ~0.0734 (standard tables).
+  EXPECT_NEAR(train::StudentTTwoSidedPValue(2.0, 10.0), 0.0734, 2e-3);
+  // t=0 -> p=1.
+  EXPECT_NEAR(train::StudentTTwoSidedPValue(0.0, 5.0), 1.0, 1e-9);
+  // Huge |t| -> p ~ 0; sign does not matter.
+  EXPECT_LT(train::StudentTTwoSidedPValue(50.0, 20.0), 1e-6);
+  EXPECT_NEAR(train::StudentTTwoSidedPValue(-2.0, 10.0),
+              train::StudentTTwoSidedPValue(2.0, 10.0), 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Welch t-test
+// ---------------------------------------------------------------------------
+
+TEST(WelchTTest, IdenticalSamplesNotSignificant) {
+  std::vector<double> a = {1.0, 1.1, 0.9, 1.05, 0.95};
+  const auto result = train::WelchTTest(a, a);
+  EXPECT_NEAR(result.t_statistic, 0.0, 1e-9);
+  EXPECT_GT(result.p_value, 0.99);
+}
+
+TEST(WelchTTest, ClearlySeparatedSamplesSignificant) {
+  std::vector<double> a;
+  std::vector<double> b;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    a.push_back(rng.Normal(1.0, 0.1));
+    b.push_back(rng.Normal(2.0, 0.1));
+  }
+  const auto result = train::WelchTTest(a, b);
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_LT(result.t_statistic, 0.0);  // mean(a) < mean(b)
+}
+
+TEST(WelchTTest, MatchesReferenceValues) {
+  // Hand-derived: a = [1..5]: mean 3, s² = 2.5; b = [2,3,4,5,7]: mean 4.2,
+  // s² = 3.7. t = (3-4.2)/sqrt(2.5/5 + 3.7/5) = -1.0776, df = 7.711,
+  // p(two-sided) ≈ 0.3138.
+  std::vector<double> a = {1, 2, 3, 4, 5};
+  std::vector<double> b = {2, 3, 4, 5, 7};
+  const auto result = train::WelchTTest(a, b);
+  EXPECT_NEAR(result.t_statistic, -1.0776, 1e-3);
+  EXPECT_NEAR(result.degrees_of_freedom, 7.711, 1e-2);
+  EXPECT_NEAR(result.p_value, 0.3138, 2e-3);
+}
+
+TEST(WelchTTest, DegreesOfFreedomBetweenMinAndSum) {
+  std::vector<double> a = {1, 2, 3, 4, 5, 6};
+  std::vector<double> b = {2.0, 2.1, 2.2};
+  const auto result = train::WelchTTest(a, b);
+  EXPECT_GE(result.degrees_of_freedom, 2.0);
+  EXPECT_LE(result.degrees_of_freedom, 7.0);
+}
+
+}  // namespace
+}  // namespace enhancenet

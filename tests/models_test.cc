@@ -1,0 +1,366 @@
+#include <cmath>
+#include <set>
+
+#include "graph/adjacency.h"
+#include "gtest/gtest.h"
+#include "models/lstm_model.h"
+#include "models/model_factory.h"
+#include "models/rnn_model.h"
+#include "models/stgcn.h"
+#include "models/tcn_model.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace enhancenet {
+namespace {
+
+namespace ag = ::enhancenet::autograd;
+using ::enhancenet::testing::ExpectTensorNear;
+
+constexpr int64_t kEntities = 6;
+constexpr int64_t kBatch = 2;
+constexpr int64_t kHistory = 12;
+constexpr int64_t kHorizon = 12;
+
+Tensor TestAdjacency(int64_t n = kEntities) {
+  Rng rng(50);
+  Tensor dist = Tensor::RandUniform({n, n}, rng, 0.3f, 4.0f);
+  for (int64_t i = 0; i < n; ++i) dist.at({i, i}) = 0.0f;
+  return graph::GaussianKernelAdjacency(dist);
+}
+
+models::ModelSizing TinySizing() {
+  models::ModelSizing sizing;
+  sizing.rnn_hidden = 8;
+  sizing.rnn_hidden_dfgn = 4;
+  sizing.tcn_channels = 6;
+  sizing.tcn_channels_dfgn = 4;
+  sizing.skip_channels = 6;
+  sizing.end_channels = 8;
+  sizing.memory_dim = 6;
+  sizing.dfgn_hidden1 = 6;
+  sizing.dfgn_hidden2 = 3;
+  sizing.damgn_mem_dim = 4;
+  sizing.damgn_embed_dim = 3;
+  return sizing;
+}
+
+// ---------------------------------------------------------------------------
+// Factory: every model builds, runs forward with the right shape, and is
+// deterministic per seed. Parameterized over all 17 names.
+// ---------------------------------------------------------------------------
+
+class ModelFactoryTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ModelFactoryTest, ForwardShapeAndDeterminism) {
+  const std::string& name = GetParam();
+  const Tensor adjacency = TestAdjacency();
+  Rng data_rng(51);
+  Tensor x = Tensor::Randn({kBatch, kEntities, kHistory, 2}, data_rng);
+
+  Rng rng1(52);
+  auto model1 = models::MakeModel(name, kEntities, 2, adjacency, TinySizing(),
+                                  rng1);
+  model1->SetTraining(false);
+  Rng fwd1(53);
+  Tensor out1 = model1->Predict(x, fwd1).data();
+  EXPECT_EQ(ShapeToString(out1.shape()), "[2, 6, 12]") << name;
+  for (int64_t i = 0; i < out1.numel(); ++i) {
+    EXPECT_TRUE(std::isfinite(out1.data()[i])) << name;
+  }
+
+  Rng rng2(52);
+  auto model2 = models::MakeModel(name, kEntities, 2, adjacency, TinySizing(),
+                                  rng2);
+  model2->SetTraining(false);
+  Rng fwd2(53);
+  Tensor out2 = model2->Predict(x, fwd2).data();
+  ExpectTensorNear(out1, out2, 0.0f);
+}
+
+TEST_P(ModelFactoryTest, GradientsReachEveryParameter) {
+  const std::string& name = GetParam();
+  const Tensor adjacency = TestAdjacency();
+  Rng rng(54);
+  auto model = models::MakeModel(name, kEntities, 2, adjacency, TinySizing(),
+                                 rng);
+  Rng data_rng(55);
+  Tensor x = Tensor::Randn({kBatch, kEntities, kHistory, 2}, data_rng);
+  model->SetTraining(false);  // disable dropout so all paths are exercised
+  Rng fwd(56);
+  ag::Variable out = model->Predict(x, fwd);
+  model->ZeroGrad();
+  ag::SumAll(ag::Square(out)).Backward();
+  int64_t with_grad = 0;
+  int64_t total = 0;
+  for (auto& p : model->Parameters()) {
+    ++total;
+    if (p.has_grad()) ++with_grad;
+  }
+  // Every trainable parameter must be reachable from the loss.
+  EXPECT_EQ(with_grad, total) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, ModelFactoryTest,
+    ::testing::Values("RNN", "D-RNN", "GRNN", "D-GRNN", "DA-GRNN",
+                      "D-DA-GRNN", "TCN", "WaveNet", "D-TCN", "GTCN",
+                      "D-GTCN", "DA-GTCN", "D-DA-GTCN", "LSTM", "DCRNN",
+                      "STGCN", "GraphWaveNet"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(ModelFactoryTest, ListNamesAllConstructible) {
+  const auto names = models::ListModelNames();
+  EXPECT_EQ(names.size(), 17u);
+  const std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+}
+
+// ---------------------------------------------------------------------------
+// Parameter-count relationships the paper reports (Tables I and II)
+// ---------------------------------------------------------------------------
+
+TEST(ParameterCountTest, DfgnModelsSmallerThanNaive) {
+  const Tensor adjacency = TestAdjacency(30);
+  models::ModelSizing sizing;  // paper-like sizes: hidden 64 vs 16
+  Rng rng(57);
+  auto rnn = models::MakeModel("RNN", 30, 1, adjacency, sizing, rng);
+  auto drnn = models::MakeModel("D-RNN", 30, 1, adjacency, sizing, rng);
+  EXPECT_LT(drnn->NumParameters(), rnn->NumParameters());
+
+  auto tcn = models::MakeModel("TCN", 30, 1, adjacency, sizing, rng);
+  auto dtcn = models::MakeModel("D-TCN", 30, 1, adjacency, sizing, rng);
+  EXPECT_LT(dtcn->NumParameters(), tcn->NumParameters());
+}
+
+TEST(ParameterCountTest, DamgnAddsOnlySlightOverhead) {
+  const Tensor adjacency = TestAdjacency();
+  models::ModelSizing sizing;
+  Rng rng(58);
+  auto grnn = models::MakeModel("GRNN", kEntities, 1, adjacency, sizing, rng);
+  auto da = models::MakeModel("DA-GRNN", kEntities, 1, adjacency, sizing,
+                              rng);
+  EXPECT_GT(da->NumParameters(), grnn->NumParameters());
+  // "slightly more parameters" (Sec. VI-B2): under 5% here.
+  EXPECT_LT(da->NumParameters() - grnn->NumParameters(),
+            grnn->NumParameters() / 20);
+}
+
+TEST(ParameterCountTest, CombinedModelsSmallerThanBase) {
+  // "the D-DA- models have much less parameters than the base models".
+  const Tensor adjacency = TestAdjacency(30);
+  models::ModelSizing sizing;
+  Rng rng(59);
+  auto base = models::MakeModel("GRNN", 30, 1, adjacency, sizing, rng);
+  auto full = models::MakeModel("D-DA-GRNN", 30, 1, adjacency, sizing, rng);
+  EXPECT_LT(full->NumParameters(), base->NumParameters());
+}
+
+TEST(ParameterCountTest, DfgnMemoryGrowsLinearlyInN) {
+  // Doubling N should only add N·m memory parameters (plus nothing else).
+  const models::ModelSizing sizing = TinySizing();
+  Rng rng(60);
+  Rng rng2(60);
+  auto small = models::MakeModel("D-RNN", 10, 1, Tensor(), sizing, rng);
+  auto large = models::MakeModel("D-RNN", 20, 1, Tensor(), sizing, rng2);
+  EXPECT_EQ(large->NumParameters() - small->NumParameters(),
+            10 * sizing.memory_dim);
+}
+
+// ---------------------------------------------------------------------------
+// RNN-specific behaviour
+// ---------------------------------------------------------------------------
+
+TEST(RnnModelTest, TeacherForcingChangesTrainingOutputs) {
+  Rng rng(61);
+  models::RnnModelConfig config;
+  config.num_entities = kEntities;
+  config.in_channels = 1;
+  config.hidden = 6;
+  config.history = kHistory;
+  config.horizon = kHorizon;
+  models::RnnModel model(config, rng);
+
+  Rng data_rng(62);
+  Tensor x = Tensor::Randn({kBatch, kEntities, kHistory, 1}, data_rng);
+  Tensor teacher = Tensor::Randn({kBatch, kEntities, kHorizon}, data_rng);
+
+  Rng fwd1(63);
+  Tensor with_teacher =
+      model.Forward(x, &teacher, /*teacher_prob=*/1.0f, fwd1).data();
+  Rng fwd2(63);
+  Tensor without =
+      model.Forward(x, nullptr, /*teacher_prob=*/0.0f, fwd2).data();
+  EXPECT_FALSE(ops::AllClose(with_teacher, without, 1e-5f, 1e-5f));
+  // First step is identical (teacher only affects feedback from step 2 on).
+  ExpectTensorNear(ops::Slice(with_teacher, 2, 0, 1),
+                   ops::Slice(without, 2, 0, 1), 1e-6f);
+}
+
+TEST(RnnModelTest, TeacherForcingIgnoredInEvalMode) {
+  Rng rng(64);
+  models::RnnModelConfig config;
+  config.num_entities = kEntities;
+  config.in_channels = 1;
+  config.hidden = 6;
+  models::RnnModel model(config, rng);
+  model.SetTraining(false);
+  Rng data_rng(65);
+  Tensor x = Tensor::Randn({kBatch, kEntities, kHistory, 1}, data_rng);
+  Tensor teacher = Tensor::Randn({kBatch, kEntities, kHorizon}, data_rng);
+  Rng fwd1(66);
+  Rng fwd2(66);
+  ExpectTensorNear(model.Forward(x, &teacher, 1.0f, fwd1).data(),
+                   model.Forward(x, nullptr, 0.0f, fwd2).data(), 1e-6f);
+}
+
+TEST(RnnModelTest, EntityMemoriesAccessibleOnlyWithDfgn) {
+  Rng rng(67);
+  models::RnnModelConfig config;
+  config.num_entities = kEntities;
+  config.in_channels = 1;
+  config.hidden = 4;
+  config.use_dfgn = true;
+  config.memory_dim = 5;
+  models::RnnModel model(config, rng);
+  EXPECT_EQ(ShapeToString(model.entity_memories().shape()), "[6, 5]");
+}
+
+TEST(RnnModelTest, DamgnAccessor) {
+  Rng rng(68);
+  models::RnnModelConfig config;
+  config.num_entities = kEntities;
+  config.in_channels = 1;
+  config.hidden = 4;
+  config.use_graph = true;
+  config.use_damgn = true;
+  config.adjacency = TestAdjacency();
+  models::RnnModel model(config, rng);
+  ASSERT_NE(model.damgn(), nullptr);
+  EXPECT_FLOAT_EQ(model.damgn()->lambda_a(), 1.0f);
+}
+
+TEST(RnnModelTest, HistoryActuallyInfluencesPrediction) {
+  Rng rng(69);
+  models::RnnModelConfig config;
+  config.num_entities = kEntities;
+  config.in_channels = 1;
+  config.hidden = 8;
+  models::RnnModel model(config, rng);
+  model.SetTraining(false);
+  Rng data_rng(70);
+  Tensor x1 = Tensor::Randn({1, kEntities, kHistory, 1}, data_rng);
+  Tensor x2 = x1.Clone();
+  x2.at({0, 0, 0, 0}) += 3.0f;  // oldest timestamp
+  Rng fwd1(71);
+  Rng fwd2(71);
+  EXPECT_FALSE(ops::AllClose(model.Predict(x1, fwd1).data(),
+                             model.Predict(x2, fwd2).data(), 1e-6f, 1e-6f));
+}
+
+// ---------------------------------------------------------------------------
+// TCN-specific behaviour
+// ---------------------------------------------------------------------------
+
+TEST(TcnModelTest, ReceptiveFieldCoversFullHistory) {
+  Rng rng(72);
+  models::TcnModelConfig config;
+  config.num_entities = kEntities;
+  config.in_channels = 1;
+  config.residual_channels = 4;
+  config.conv_channels = 4;
+  config.skip_channels = 4;
+  config.end_channels = 6;
+  models::TcnModel model(config, rng);
+  model.SetTraining(false);
+  Rng data_rng(73);
+  Tensor x1 = Tensor::Randn({1, kEntities, kHistory, 1}, data_rng);
+  Tensor x2 = x1.Clone();
+  x2.at({0, 0, 0, 0}) += 3.0f;  // oldest step must still matter
+  Rng fwd1(74);
+  Rng fwd2(74);
+  EXPECT_FALSE(ops::AllClose(model.Predict(x1, fwd1).data(),
+                             model.Predict(x2, fwd2).data(), 1e-6f, 1e-6f));
+}
+
+TEST(TcnModelTest, GraphWaveNetHasAdaptiveEmbeddings) {
+  Rng rng(75);
+  const Tensor adjacency = TestAdjacency();
+  auto gwn = models::MakeModel("GraphWaveNet", kEntities, 1, adjacency,
+                               TinySizing(), rng);
+  bool found = false;
+  for (const auto& [name, param] : gwn->NamedParameters()) {
+    if (name.find("adaptive_e") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TcnModelTest, DropoutMakesTrainingStochastic) {
+  Rng rng(76);
+  models::TcnModelConfig config;
+  config.num_entities = kEntities;
+  config.in_channels = 1;
+  config.residual_channels = 4;
+  config.conv_channels = 4;
+  config.skip_channels = 4;
+  config.end_channels = 6;
+  config.dropout = 0.5f;
+  models::TcnModel model(config, rng);
+  Rng data_rng(77);
+  Tensor x = Tensor::Randn({1, kEntities, kHistory, 1}, data_rng);
+  Rng fwd(78);
+  Tensor out1 = model.Forward(x, nullptr, 0.0f, fwd).data();
+  Tensor out2 = model.Forward(x, nullptr, 0.0f, fwd).data();
+  EXPECT_FALSE(ops::AllClose(out1, out2, 1e-6f, 1e-6f));
+  model.SetTraining(false);
+  Tensor eval1 = model.Forward(x, nullptr, 0.0f, fwd).data();
+  Tensor eval2 = model.Forward(x, nullptr, 0.0f, fwd).data();
+  ExpectTensorNear(eval1, eval2, 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// STGCN-specific behaviour
+// ---------------------------------------------------------------------------
+
+TEST(StgcnTest, RejectsTooShortHistory) {
+  Rng rng(79);
+  models::StgcnConfig config;
+  config.num_entities = kEntities;
+  config.in_channels = 1;
+  config.history = 8;  // needs > 4*(K-1) = 8 steps left over
+  config.adjacency = TestAdjacency();
+  EXPECT_DEATH(models::Stgcn(config, rng), "history too short");
+}
+
+TEST(StgcnTest, GraphChangesOutput) {
+  models::StgcnConfig config;
+  config.num_entities = kEntities;
+  config.in_channels = 1;
+  config.block_channels = 6;
+  config.spatial_channels = 4;
+  config.dropout = 0.0f;
+  config.adjacency = TestAdjacency();
+  Rng rng1(80);
+  models::Stgcn with_graph(config, rng1);
+  config.adjacency = Tensor::Zeros({kEntities, kEntities});
+  Rng rng2(80);
+  models::Stgcn isolated(config, rng2);
+  with_graph.SetTraining(false);
+  isolated.SetTraining(false);
+  Rng data_rng(81);
+  Tensor x = Tensor::Randn({1, kEntities, kHistory, 1}, data_rng);
+  Rng fwd1(82);
+  Rng fwd2(82);
+  EXPECT_FALSE(ops::AllClose(with_graph.Predict(x, fwd1).data(),
+                             isolated.Predict(x, fwd2).data(), 1e-5f,
+                             1e-5f));
+}
+
+}  // namespace
+}  // namespace enhancenet

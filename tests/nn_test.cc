@@ -1,0 +1,276 @@
+#include <algorithm>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "tensor/tensor_ops.h"
+#include "gtest/gtest.h"
+#include "nn/gru.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "test_util.h"
+
+namespace enhancenet {
+namespace {
+
+namespace ag = ::enhancenet::autograd;
+using ::enhancenet::testing::ExpectGradientsMatch;
+using ::enhancenet::testing::ExpectTensorNear;
+
+// ---------------------------------------------------------------------------
+// Module registry
+// ---------------------------------------------------------------------------
+
+class ToyModule : public nn::Module {
+ public:
+  explicit ToyModule(Rng& rng) : child_(2, 3, rng) {
+    w_ = RegisterParameter("w", Tensor::Zeros({4, 5}));
+    b_ = RegisterParameter("b", Tensor::Zeros({5}));
+    RegisterSubmodule("child", &child_);
+  }
+  ag::Variable w_;
+  ag::Variable b_;
+  nn::Linear child_;
+};
+
+TEST(ModuleTest, CountsParametersRecursively) {
+  Rng rng(1);
+  ToyModule m(rng);
+  // w: 20, b: 5, child Linear(2,3): 6 + 3 = 9.
+  EXPECT_EQ(m.NumParameters(), 34);
+  EXPECT_EQ(m.Parameters().size(), 4u);
+}
+
+TEST(ModuleTest, NamedParametersHaveHierarchicalNames) {
+  Rng rng(1);
+  ToyModule m(rng);
+  const auto named = m.NamedParameters();
+  ASSERT_EQ(named.size(), 4u);
+  EXPECT_EQ(named[0].first, "w");
+  EXPECT_EQ(named[1].first, "b");
+  EXPECT_EQ(named[2].first, "child.weight");
+  EXPECT_EQ(named[3].first, "child.bias");
+}
+
+TEST(ModuleTest, ZeroGradClearsEverything) {
+  Rng rng(1);
+  ToyModule m(rng);
+  for (auto& p : m.Parameters()) p.AccumulateGrad(Tensor::Ones(p.shape()));
+  m.ZeroGrad();
+  for (auto& p : m.Parameters()) EXPECT_FALSE(p.has_grad());
+}
+
+TEST(ModuleTest, TrainingModePropagates) {
+  Rng rng(1);
+  ToyModule m(rng);
+  EXPECT_TRUE(m.training());
+  m.SetTraining(false);
+  EXPECT_FALSE(m.training());
+  EXPECT_FALSE(m.child_.training());
+}
+
+// ---------------------------------------------------------------------------
+// Init
+// ---------------------------------------------------------------------------
+
+TEST(InitTest, GlorotUniformBounds) {
+  Rng rng(2);
+  Tensor w = nn::GlorotUniform({64, 32}, rng);
+  const float limit = std::sqrt(6.0f / (64 + 32));
+  float max_abs = 0.0f;
+  double sum = 0.0;
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    max_abs = std::max(max_abs, std::fabs(w.data()[i]));
+    sum += w.data()[i];
+  }
+  EXPECT_LE(max_abs, limit);
+  EXPECT_NEAR(sum / static_cast<double>(w.numel()), 0.0, 0.01);
+}
+
+TEST(InitTest, GlorotRank3UsesTrailingFans) {
+  Rng rng(3);
+  Tensor w = nn::GlorotUniform({100, 8, 4}, rng);
+  const float limit = std::sqrt(6.0f / (8 + 4));
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    EXPECT_LE(std::fabs(w.data()[i]), limit);
+  }
+}
+
+TEST(InitTest, UniformInitScale) {
+  Rng rng(4);
+  Tensor m = nn::UniformInit({50, 16}, rng, 0.5f);
+  for (int64_t i = 0; i < m.numel(); ++i) {
+    EXPECT_LE(std::fabs(m.data()[i]), 0.5f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+TEST(LinearTest, KnownValues) {
+  Rng rng(5);
+  nn::Linear layer(2, 2, rng);
+  // Overwrite weights for a deterministic check.
+  auto params = layer.Parameters();
+  ASSERT_EQ(params.size(), 2u);
+  std::copy_n(Tensor::FromVector({2, 2}, {1, 2, 3, 4}).data(), 4,
+              params[0].mutable_data().data());
+  std::copy_n(Tensor::FromVector({2}, {10, 20}).data(), 2,
+              params[1].mutable_data().data());
+  ag::Variable x =
+      ag::Variable::Leaf(Tensor::FromVector({1, 2}, {1, 1}), false);
+  ExpectTensorNear(layer.Forward(x).data(),
+                   Tensor::FromVector({1, 2}, {14, 26}));
+}
+
+TEST(LinearTest, HandlesHigherRankInputs) {
+  Rng rng(6);
+  nn::Linear layer(3, 5, rng);
+  ag::Variable x = ag::Variable::Leaf(Tensor::Randn({2, 4, 7, 3}, rng), false);
+  ag::Variable y = layer.Forward(x);
+  EXPECT_EQ(ShapeToString(y.shape()), "[2, 4, 7, 5]");
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(7);
+  nn::Linear layer(3, 2, rng, /*bias=*/false);
+  EXPECT_EQ(layer.NumParameters(), 6);
+  ag::Variable zero = ag::Variable::Leaf(Tensor::Zeros({1, 3}), false);
+  ExpectTensorNear(layer.Forward(zero).data(), Tensor::Zeros({1, 2}));
+}
+
+TEST(LinearTest, GradientsFlowToParameters) {
+  Rng rng(8);
+  nn::Linear layer(3, 2, rng);
+  Tensor xt = Tensor::Randn({4, 3}, rng);
+  auto params = layer.Parameters();
+  ExpectGradientsMatch(
+      [&] {
+        ag::Variable x = ag::Variable::Leaf(xt, false);
+        return ag::SumAll(ag::Square(layer.Forward(x)));
+      },
+      params);
+}
+
+// ---------------------------------------------------------------------------
+// GRU cell
+// ---------------------------------------------------------------------------
+
+TEST(GruCellTest, OutputShapeAndRange) {
+  Rng rng(9);
+  nn::GruCell cell(3, 8, rng);
+  ag::Variable x = ag::Variable::Leaf(Tensor::Randn({5, 3}, rng), false);
+  ag::Variable h = ag::Variable::Leaf(Tensor::Zeros({5, 8}), false);
+  ag::Variable h2 = cell.Forward(x, h);
+  EXPECT_EQ(ShapeToString(h2.shape()), "[5, 8]");
+  // GRU output is a convex combination of h (0) and tanh-candidate (|.|<1).
+  for (int64_t i = 0; i < h2.numel(); ++i) {
+    EXPECT_LT(std::fabs(h2.data().data()[i]), 1.0f);
+  }
+}
+
+TEST(GruCellTest, MatchesHandComputedStep) {
+  // With all weights zero and bias zero: r=u=0.5, candidate=tanh(0)=0,
+  // h' = 0.5*h + 0.5*0 = 0.5*h.
+  Rng rng(10);
+  nn::GruCell cell(1, 2, rng);
+  for (auto& p : cell.Parameters()) p.mutable_data().Fill(0.0f);
+  ag::Variable x = ag::Variable::Leaf(Tensor::Ones({1, 1}), false);
+  ag::Variable h =
+      ag::Variable::Leaf(Tensor::FromVector({1, 2}, {0.4f, -0.8f}), false);
+  ExpectTensorNear(cell.Forward(x, h).data(),
+                   Tensor::FromVector({1, 2}, {0.2f, -0.4f}), 1e-5f);
+}
+
+TEST(GruCellTest, ParameterCountMatchesFormula) {
+  Rng rng(11);
+  const int64_t c = 3;
+  const int64_t h = 8;
+  nn::GruCell cell(c, h, rng);
+  // 3 input filters [C,C'], 3 recurrent filters [C',C'], 3 biases [C'].
+  EXPECT_EQ(cell.NumParameters(), 3 * c * h + 3 * h * h + 3 * h);
+}
+
+TEST(GruCellTest, HiddenStateRetainsInformation) {
+  // Feeding the same input twice from different hidden states must differ.
+  Rng rng(12);
+  nn::GruCell cell(2, 4, rng);
+  ag::Variable x = ag::Variable::Leaf(Tensor::Ones({1, 2}), false);
+  ag::Variable h0 = ag::Variable::Leaf(Tensor::Zeros({1, 4}), false);
+  ag::Variable h1 = ag::Variable::Leaf(Tensor::Ones({1, 4}), false);
+  EXPECT_FALSE(ops::AllClose(cell.Forward(x, h0).data(),
+                             cell.Forward(x, h1).data(), 1e-3f, 1e-3f));
+}
+
+TEST(GruCellTest, GradCheckThroughTwoSteps) {
+  Rng rng(13);
+  nn::GruCell cell(2, 3, rng);
+  Tensor x1 = Tensor::Randn({2, 2}, rng);
+  Tensor x2 = Tensor::Randn({2, 2}, rng);
+  auto params = cell.Parameters();
+  ExpectGradientsMatch(
+      [&] {
+        ag::Variable h = ag::Variable::Leaf(Tensor::Zeros({2, 3}), false);
+        h = cell.Forward(ag::Variable::Leaf(x1, false), h);
+        h = cell.Forward(ag::Variable::Leaf(x2, false), h);
+        return ag::SumAll(ag::Square(h));
+      },
+      params, /*eps=*/1e-2f, /*tolerance=*/3e-2f);
+}
+
+// ---------------------------------------------------------------------------
+// LSTM cell
+// ---------------------------------------------------------------------------
+
+TEST(LstmCellTest, OutputShapes) {
+  Rng rng(14);
+  nn::LstmCell cell(3, 6, rng);
+  nn::LstmCell::State state;
+  state.h = ag::Variable::Leaf(Tensor::Zeros({4, 6}), false);
+  state.c = ag::Variable::Leaf(Tensor::Zeros({4, 6}), false);
+  ag::Variable x = ag::Variable::Leaf(Tensor::Randn({4, 3}, rng), false);
+  auto next = cell.Forward(x, state);
+  EXPECT_EQ(ShapeToString(next.h.shape()), "[4, 6]");
+  EXPECT_EQ(ShapeToString(next.c.shape()), "[4, 6]");
+}
+
+TEST(LstmCellTest, ForgetBiasInitializedToOne) {
+  Rng rng(15);
+  const int64_t hidden = 4;
+  nn::LstmCell cell(2, hidden, rng);
+  const auto named = cell.NamedParameters();
+  for (const auto& [name, param] : named) {
+    if (name != "bias") continue;
+    for (int64_t i = 0; i < 4 * hidden; ++i) {
+      const float expected =
+          (i >= hidden && i < 2 * hidden) ? 1.0f : 0.0f;
+      EXPECT_EQ(param.data().data()[i], expected) << "bias index " << i;
+    }
+  }
+}
+
+TEST(LstmCellTest, ParameterCount) {
+  Rng rng(16);
+  nn::LstmCell cell(3, 8, rng);
+  EXPECT_EQ(cell.NumParameters(), 3 * 32 + 8 * 32 + 32);
+}
+
+TEST(LstmCellTest, GradCheckSingleStep) {
+  Rng rng(17);
+  nn::LstmCell cell(2, 3, rng);
+  Tensor xt = Tensor::Randn({2, 2}, rng);
+  auto params = cell.Parameters();
+  ExpectGradientsMatch(
+      [&] {
+        nn::LstmCell::State state;
+        state.h = ag::Variable::Leaf(Tensor::Zeros({2, 3}), false);
+        state.c = ag::Variable::Leaf(Tensor::Zeros({2, 3}), false);
+        auto next = cell.Forward(ag::Variable::Leaf(xt, false), state);
+        return ag::SumAll(ag::Square(next.h));
+      },
+      params, /*eps=*/1e-2f, /*tolerance=*/3e-2f);
+}
+
+}  // namespace
+}  // namespace enhancenet

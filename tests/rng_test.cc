@@ -1,0 +1,157 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "gtest/gtest.h"
+
+namespace enhancenet {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, LowEntropySeedsAreMixed) {
+  // Consecutive small seeds must not produce correlated first outputs.
+  std::set<uint64_t> firsts;
+  for (uint64_t seed = 0; seed < 32; ++seed) firsts.insert(Rng(seed).Next());
+  EXPECT_EQ(firsts.size(), 32u);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.Uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformRangeRespected) {
+  Rng rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, -1.0);
+    ASSERT_GE(u, -3.0);
+    ASSERT_LT(u, -1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeUniformly) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[rng.UniformInt(10)];
+  for (int c : counts) EXPECT_NEAR(c, 5000, 350);
+}
+
+TEST(RngTest, UniformIntOfOneIsZero) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(1), 0u);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(12);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 0.1);
+  EXPECT_NEAR(sum / n, 5.0, 0.01);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(13);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, CopyReplaysStream) {
+  Rng a(14);
+  a.Next();
+  Rng b = a;
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+// --- Status (colocated tiny common tests) ----------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad horizon");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad horizon");
+}
+
+TEST(StatusTest, AllConstructorsSetCodes) {
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto inner = [](bool fail) -> Status {
+    if (fail) return Status::Internal("inner failed");
+    return Status::Ok();
+  };
+  auto outer = [&](bool fail) -> Status {
+    ENHANCENET_RETURN_IF_ERROR(inner(fail));
+    return Status::Ok();
+  };
+  EXPECT_TRUE(outer(false).ok());
+  EXPECT_EQ(outer(true).code(), StatusCode::kInternal);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3,
+              timer.ElapsedMillis() * 0.5);
+  timer.Restart();
+  EXPECT_LT(timer.ElapsedSeconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace enhancenet

@@ -1,0 +1,208 @@
+// Property-based tests: the optimized kernels in tensor_ops must agree with
+// naive reference implementations on randomized shapes and values, and obey
+// algebraic identities. Each property sweeps several seeds via TEST_P.
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gtest/gtest.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace enhancenet {
+namespace {
+
+using ::enhancenet::testing::ExpectTensorNear;
+
+class TensorPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Rng rng_{GetParam()};
+
+  int64_t RandomDim(int64_t lo = 1, int64_t hi = 7) {
+    return lo + static_cast<int64_t>(
+                    rng_.UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+};
+
+// --- GEMM vs naive triple loop ----------------------------------------------
+
+TEST_P(TensorPropertyTest, GemmMatchesNaive) {
+  const int64_t m = RandomDim(1, 12);
+  const int64_t k = RandomDim(1, 12);
+  const int64_t n = RandomDim(1, 12);
+  Tensor a = Tensor::Randn({m, k}, rng_);
+  Tensor b = Tensor::Randn({k, n}, rng_);
+  Tensor fast = ops::MatMul(a, b);
+  Tensor naive({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<double>(a.at({i, kk})) * b.at({kk, j});
+      }
+      naive.at({i, j}) = static_cast<float>(acc);
+    }
+  }
+  ExpectTensorNear(fast, naive, 1e-4f);
+}
+
+TEST_P(TensorPropertyTest, GemmTransposeIdentity) {
+  // (A·B)ᵀ == Bᵀ·Aᵀ
+  const int64_t m = RandomDim(2, 8);
+  const int64_t k = RandomDim(2, 8);
+  const int64_t n = RandomDim(2, 8);
+  Tensor a = Tensor::Randn({m, k}, rng_);
+  Tensor b = Tensor::Randn({k, n}, rng_);
+  Tensor left = ops::Transpose2D(ops::MatMul(a, b));
+  Tensor right = ops::MatMul(ops::Transpose2D(b), ops::Transpose2D(a));
+  ExpectTensorNear(left, right, 1e-4f);
+}
+
+TEST_P(TensorPropertyTest, BatchGemmMatchesLoopedGemm) {
+  const int64_t batch = RandomDim(1, 4);
+  const int64_t m = RandomDim(1, 6);
+  const int64_t k = RandomDim(1, 6);
+  const int64_t n = RandomDim(1, 6);
+  Tensor a = Tensor::Randn({batch, m, k}, rng_);
+  Tensor b = Tensor::Randn({batch, k, n}, rng_);
+  Tensor fast = ops::BatchMatMul(a, b);
+  for (int64_t i = 0; i < batch; ++i) {
+    Tensor ai = ops::Slice(a, 0, i, 1).Reshape({m, k});
+    Tensor bi = ops::Slice(b, 0, i, 1).Reshape({k, n});
+    ExpectTensorNear(ops::Slice(fast, 0, i, 1).Reshape({m, n}),
+                     ops::MatMul(ai, bi), 1e-4f);
+  }
+}
+
+// --- broadcasting vs scalar loop ----------------------------------------------
+
+TEST_P(TensorPropertyTest, BroadcastAddMatchesElementwiseDefinition) {
+  // Build two random shapes that broadcast: start from a full shape and
+  // randomly squash dims of one operand to 1 (or drop leading dims).
+  Shape full;
+  const int64_t rank = RandomDim(1, 4);
+  for (int64_t d = 0; d < rank; ++d) full.push_back(RandomDim(1, 5));
+  Shape shape_b = full;
+  for (auto& dim : shape_b) {
+    if (rng_.Uniform() < 0.4) dim = 1;
+  }
+  const int64_t drop = static_cast<int64_t>(
+      rng_.UniformInt(static_cast<uint64_t>(shape_b.size())));
+  shape_b.erase(shape_b.begin(), shape_b.begin() + drop);
+  if (shape_b.empty()) shape_b = {1};
+
+  Tensor a = Tensor::Randn(full, rng_);
+  Tensor b = Tensor::Randn(shape_b, rng_);
+  Tensor out = ops::Add(a, b);
+  ASSERT_EQ(ShapeToString(out.shape()),
+            ShapeToString(ops::BroadcastShapes(full, shape_b)));
+
+  // Reference: explicit index arithmetic.
+  const Shape& os = out.shape();
+  std::vector<int64_t> idx(os.size(), 0);
+  for (int64_t flat = 0; flat < out.numel(); ++flat) {
+    // Decompose flat into idx.
+    int64_t rem = flat;
+    for (int64_t d = static_cast<int64_t>(os.size()) - 1; d >= 0; --d) {
+      idx[static_cast<size_t>(d)] = rem % os[static_cast<size_t>(d)];
+      rem /= os[static_cast<size_t>(d)];
+    }
+    auto value_at = [&](const Tensor& t) {
+      const Shape& shape = t.shape();
+      int64_t flat_in = 0;
+      const int64_t offset =
+          static_cast<int64_t>(os.size()) - static_cast<int64_t>(shape.size());
+      for (size_t d = 0; d < shape.size(); ++d) {
+        const int64_t full_idx = idx[static_cast<size_t>(offset) + d];
+        const int64_t in_idx = shape[d] == 1 ? 0 : full_idx;
+        flat_in = flat_in * shape[d] + in_idx;
+      }
+      return t.data()[flat_in];
+    };
+    ASSERT_NEAR(out.data()[flat], value_at(a) + value_at(b), 1e-5f)
+        << "flat=" << flat;
+  }
+}
+
+TEST_P(TensorPropertyTest, ReduceToShapeIsAdjointOfBroadcast) {
+  // <broadcast(b), g> == <b, reduce(g)> for all g — the defining property
+  // the autograd engine relies on.
+  Shape full = {RandomDim(1, 4), RandomDim(1, 4), RandomDim(1, 4)};
+  Shape small = full;
+  for (auto& dim : small) {
+    if (rng_.Uniform() < 0.5) dim = 1;
+  }
+  Tensor b = Tensor::Randn(small, rng_);
+  Tensor g = Tensor::Randn(full, rng_);
+  Tensor broadcast_b = ops::Add(b, Tensor::Zeros(full));
+  const float lhs = ops::SumAll(ops::Mul(broadcast_b, g)).item();
+  const float rhs =
+      ops::SumAll(ops::Mul(b, ops::ReduceToShape(g, small))).item();
+  EXPECT_NEAR(lhs, rhs, 1e-3f + 1e-4f * std::fabs(lhs));
+}
+
+// --- movement op identities ------------------------------------------------
+
+TEST_P(TensorPropertyTest, SliceConcatRoundTrip) {
+  const int64_t rank = RandomDim(1, 4);
+  Shape shape;
+  for (int64_t d = 0; d < rank; ++d) shape.push_back(RandomDim(2, 6));
+  Tensor t = Tensor::Randn(shape, rng_);
+  const int64_t axis = static_cast<int64_t>(
+      rng_.UniformInt(static_cast<uint64_t>(rank)));
+  const int64_t len = shape[static_cast<size_t>(axis)];
+  const int64_t cut = 1 + static_cast<int64_t>(
+                              rng_.UniformInt(static_cast<uint64_t>(len - 1)));
+  Tensor left = ops::Slice(t, axis, 0, cut);
+  Tensor right = ops::Slice(t, axis, cut, len - cut);
+  ExpectTensorNear(ops::Concat({left, right}, axis), t, 0.0f);
+}
+
+TEST_P(TensorPropertyTest, PadThenSliceIsIdentity) {
+  Shape shape = {RandomDim(1, 5), RandomDim(1, 5)};
+  Tensor t = Tensor::Randn(shape, rng_);
+  const int64_t axis = static_cast<int64_t>(rng_.UniformInt(2));
+  const int64_t before = RandomDim(0, 3);
+  const int64_t after = RandomDim(0, 3);
+  Tensor padded = ops::PadAxis(t, axis, before, after);
+  ExpectTensorNear(
+      ops::Slice(padded, axis, before, shape[static_cast<size_t>(axis)]), t,
+      0.0f);
+}
+
+TEST_P(TensorPropertyTest, TransposeIsInvolution) {
+  Shape shape = {RandomDim(1, 5), RandomDim(1, 5), RandomDim(1, 5),
+                 RandomDim(1, 5)};
+  Tensor t = Tensor::Randn(shape, rng_);
+  const int64_t d0 = static_cast<int64_t>(rng_.UniformInt(4));
+  const int64_t d1 = static_cast<int64_t>(rng_.UniformInt(4));
+  ExpectTensorNear(ops::Transpose(ops::Transpose(t, d0, d1), d0, d1), t,
+                   0.0f);
+}
+
+// --- reductions ---------------------------------------------------------------
+
+TEST_P(TensorPropertyTest, SumAxisTotalsMatchSumAll) {
+  Shape shape = {RandomDim(1, 5), RandomDim(1, 5), RandomDim(1, 5)};
+  Tensor t = Tensor::Randn(shape, rng_);
+  const float total = ops::SumAll(t).item();
+  for (int64_t axis = 0; axis < 3; ++axis) {
+    Tensor partial = ops::Sum(t, axis, false);
+    EXPECT_NEAR(ops::SumAll(partial).item(), total,
+                1e-3f + 1e-4f * std::fabs(total));
+  }
+}
+
+TEST_P(TensorPropertyTest, SoftmaxInvariantToRowShift) {
+  Tensor t = Tensor::Randn({RandomDim(1, 5), RandomDim(2, 6)}, rng_);
+  Tensor shifted = ops::AddScalar(t, 7.5f);
+  ExpectTensorNear(ops::SoftmaxLastDim(shifted), ops::SoftmaxLastDim(t),
+                   1e-5f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TensorPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace enhancenet

@@ -1,0 +1,443 @@
+#include "tensor/tensor.h"
+
+#include "gtest/gtest.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace enhancenet {
+namespace {
+
+using ::enhancenet::testing::ExpectTensorNear;
+
+TEST(ShapeTest, NumElements) {
+  EXPECT_EQ(NumElements({}), 1);
+  EXPECT_EQ(NumElements({3}), 3);
+  EXPECT_EQ(NumElements({2, 3, 4}), 24);
+  EXPECT_EQ(NumElements({5, 0, 2}), 0);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(ShapeToString({}), "[]");
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+}
+
+TEST(TensorTest, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.dim(), 0);
+  EXPECT_EQ(t.numel(), 1);
+  EXPECT_EQ(t.item(), 0.0f);
+}
+
+TEST(TensorTest, ZerosAndOnes) {
+  Tensor z = Tensor::Zeros({2, 3});
+  Tensor o = Tensor::Ones({2, 3});
+  for (int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(z.data()[i], 0.0f);
+    EXPECT_EQ(o.data()[i], 1.0f);
+  }
+}
+
+TEST(TensorTest, FullAndScalar) {
+  Tensor f = Tensor::Full({4}, 2.5f);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(f.data()[i], 2.5f);
+  EXPECT_EQ(Tensor::Scalar(-3.0f).item(), -3.0f);
+}
+
+TEST(TensorTest, FromVectorRoundTrip) {
+  const std::vector<float> values = {1, 2, 3, 4, 5, 6};
+  Tensor t = Tensor::FromVector({2, 3}, values);
+  EXPECT_EQ(t.ToVector(), values);
+  EXPECT_EQ(t.at({0, 2}), 3.0f);
+  EXPECT_EQ(t.at({1, 0}), 4.0f);
+}
+
+TEST(TensorTest, CopyIsShallowCloneIsDeep) {
+  Tensor a = Tensor::Zeros({2});
+  Tensor shallow = a;
+  Tensor deep = a.Clone();
+  a.data()[0] = 7.0f;
+  EXPECT_EQ(shallow.data()[0], 7.0f);
+  EXPECT_EQ(deep.data()[0], 0.0f);
+  EXPECT_TRUE(a.SharesStorageWith(shallow));
+  EXPECT_FALSE(a.SharesStorageWith(deep));
+}
+
+TEST(TensorTest, ReshapeSharesStorage) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = a.Reshape({3, 2});
+  EXPECT_TRUE(a.SharesStorageWith(b));
+  EXPECT_EQ(b.at({2, 1}), 6.0f);
+}
+
+TEST(TensorTest, ReshapeInfersDimension) {
+  Tensor a = Tensor::Zeros({4, 6});
+  EXPECT_EQ(ShapeToString(a.Reshape({-1, 3}).shape()), "[8, 3]");
+  EXPECT_EQ(ShapeToString(a.Reshape({2, -1}).shape()), "[2, 12]");
+}
+
+TEST(TensorTest, NegativeSizeIndexing) {
+  Tensor a = Tensor::Zeros({2, 3, 4});
+  EXPECT_EQ(a.size(-1), 4);
+  EXPECT_EQ(a.size(-3), 2);
+}
+
+TEST(TensorTest, RandnIsDeterministicPerSeed) {
+  Rng rng1(99);
+  Rng rng2(99);
+  Tensor a = Tensor::Randn({8}, rng1);
+  Tensor b = Tensor::Randn({8}, rng2);
+  ExpectTensorNear(a, b, 0.0f);
+}
+
+TEST(TensorTest, RandUniformRange) {
+  Rng rng(5);
+  Tensor t = Tensor::RandUniform({1000}, rng, -2.0f, 3.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t.data()[i], -2.0f);
+    EXPECT_LT(t.data()[i], 3.0f);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise ops
+// ---------------------------------------------------------------------------
+
+TEST(TensorOpsTest, AddSameShape) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({2, 2}, {10, 20, 30, 40});
+  ExpectTensorNear(ops::Add(a, b), Tensor::FromVector({2, 2}, {11, 22, 33, 44}));
+}
+
+TEST(TensorOpsTest, BroadcastBiasAdd) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor bias = Tensor::FromVector({3}, {10, 20, 30});
+  ExpectTensorNear(ops::Add(a, bias),
+                   Tensor::FromVector({2, 3}, {11, 22, 33, 14, 25, 36}));
+}
+
+TEST(TensorOpsTest, BroadcastScalarTensor) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  Tensor s = Tensor::Scalar(5.0f);
+  ExpectTensorNear(ops::Mul(a, s), Tensor::FromVector({2, 2}, {5, 10, 15, 20}));
+}
+
+TEST(TensorOpsTest, BroadcastLeadingDim) {
+  // [N,N] broadcast against [B,N,N].
+  Tensor a = Tensor::FromVector({2, 2}, {1, 0, 0, 1});
+  Tensor b = Tensor::Ones({3, 2, 2});
+  Tensor out = ops::Add(b, a);
+  EXPECT_EQ(ShapeToString(out.shape()), "[3, 2, 2]");
+  EXPECT_EQ(out.at({2, 0, 0}), 2.0f);
+  EXPECT_EQ(out.at({2, 0, 1}), 1.0f);
+}
+
+TEST(TensorOpsTest, BroadcastMiddleOnes) {
+  Tensor a = Tensor::FromVector({2, 1, 2}, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector({1, 3, 1}, {10, 20, 30});
+  Tensor out = ops::Add(a, b);
+  EXPECT_EQ(ShapeToString(out.shape()), "[2, 3, 2]");
+  EXPECT_EQ(out.at({0, 0, 0}), 11.0f);
+  EXPECT_EQ(out.at({0, 2, 1}), 32.0f);
+  EXPECT_EQ(out.at({1, 1, 0}), 23.0f);
+}
+
+TEST(TensorOpsTest, BroadcastSuffixBlock) {
+  // [2,2,2] + [2,2] exercises the trailing-block fast path.
+  Tensor a = Tensor::FromVector({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  Tensor b = Tensor::FromVector({2, 2}, {10, 20, 30, 40});
+  ExpectTensorNear(ops::Add(a, b),
+                   Tensor::FromVector({2, 2, 2},
+                                      {11, 22, 33, 44, 15, 26, 37, 48}));
+  // And the mirrored order.
+  ExpectTensorNear(ops::Add(b, a),
+                   Tensor::FromVector({2, 2, 2},
+                                      {11, 22, 33, 44, 15, 26, 37, 48}));
+}
+
+TEST(TensorOpsTest, BroadcastScalarWithHigherRankKeepsBroadcastShape) {
+  // [3] * [1,1] must produce [1,3] (the strict NumPy broadcast shape).
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  Tensor s = Tensor::Ones({1, 1});
+  Tensor out = ops::Mul(a, s);
+  EXPECT_EQ(ShapeToString(out.shape()), "[1, 3]");
+}
+
+TEST(TensorOpsTest, BroadcastInteriorOnesStillExact) {
+  // [3,4] + [1,4] must not take the suffix fast path blindly.
+  Tensor a = Tensor::Ones({3, 4});
+  Tensor b = Tensor::FromVector({1, 4}, {1, 2, 3, 4});
+  Tensor out = ops::Add(a, b);
+  EXPECT_EQ(ShapeToString(out.shape()), "[3, 4]");
+  EXPECT_EQ(out.at({2, 3}), 5.0f);
+}
+
+TEST(TensorOpsTest, SubMulDiv) {
+  Tensor a = Tensor::FromVector({3}, {6, 8, 10});
+  Tensor b = Tensor::FromVector({3}, {2, 4, 5});
+  ExpectTensorNear(ops::Sub(a, b), Tensor::FromVector({3}, {4, 4, 5}));
+  ExpectTensorNear(ops::Mul(a, b), Tensor::FromVector({3}, {12, 32, 50}));
+  ExpectTensorNear(ops::Div(a, b), Tensor::FromVector({3}, {3, 2, 2}));
+}
+
+TEST(TensorOpsTest, MaximumAndUnaryOps) {
+  Tensor a = Tensor::FromVector({4}, {-2, -0.5, 0, 3});
+  ExpectTensorNear(ops::Maximum(a, Tensor::Zeros({4})),
+                   Tensor::FromVector({4}, {0, 0, 0, 3}));
+  ExpectTensorNear(ops::Neg(a), Tensor::FromVector({4}, {2, 0.5, 0, -3}));
+  ExpectTensorNear(ops::Abs(a), Tensor::FromVector({4}, {2, 0.5, 0, 3}));
+  ExpectTensorNear(ops::Sign(a), Tensor::FromVector({4}, {-1, -1, 0, 1}));
+  ExpectTensorNear(ops::Relu(a), Tensor::FromVector({4}, {0, 0, 0, 3}));
+  ExpectTensorNear(ops::ReluMask(a), Tensor::FromVector({4}, {0, 0, 0, 1}));
+  ExpectTensorNear(ops::Square(a), Tensor::FromVector({4}, {4, 0.25, 0, 9}));
+}
+
+TEST(TensorOpsTest, SigmoidValuesAndStability) {
+  Tensor a = Tensor::FromVector({3}, {0.0f, 100.0f, -100.0f});
+  Tensor s = ops::Sigmoid(a);
+  EXPECT_NEAR(s.data()[0], 0.5f, 1e-6f);
+  EXPECT_NEAR(s.data()[1], 1.0f, 1e-6f);
+  EXPECT_NEAR(s.data()[2], 0.0f, 1e-6f);
+  EXPECT_FALSE(std::isnan(s.data()[1]));
+  EXPECT_FALSE(std::isnan(s.data()[2]));
+}
+
+TEST(TensorOpsTest, TanhExpLogSqrt) {
+  Tensor a = Tensor::FromVector({2}, {0.0f, 1.0f});
+  EXPECT_NEAR(ops::Tanh(a).data()[1], std::tanh(1.0f), 1e-6f);
+  EXPECT_NEAR(ops::Exp(a).data()[1], std::exp(1.0f), 1e-5f);
+  Tensor b = Tensor::FromVector({2}, {1.0f, 4.0f});
+  EXPECT_NEAR(ops::Log(b).data()[1], std::log(4.0f), 1e-6f);
+  EXPECT_NEAR(ops::Sqrt(b).data()[1], 2.0f, 1e-6f);
+}
+
+TEST(TensorOpsTest, ScalarOpsAndAxpy) {
+  Tensor a = Tensor::FromVector({3}, {1, 2, 3});
+  ExpectTensorNear(ops::AddScalar(a, 1.5f),
+                   Tensor::FromVector({3}, {2.5, 3.5, 4.5}));
+  ExpectTensorNear(ops::MulScalar(a, -2.0f),
+                   Tensor::FromVector({3}, {-2, -4, -6}));
+  Tensor y = Tensor::FromVector({3}, {10, 10, 10});
+  ops::AxpyInPlace(2.0f, a, &y);
+  ExpectTensorNear(y, Tensor::FromVector({3}, {12, 14, 16}));
+}
+
+// ---------------------------------------------------------------------------
+// Linear algebra
+// ---------------------------------------------------------------------------
+
+TEST(TensorOpsTest, MatMulKnownValues) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector({3, 2}, {7, 8, 9, 10, 11, 12});
+  ExpectTensorNear(ops::MatMul(a, b),
+                   Tensor::FromVector({2, 2}, {58, 64, 139, 154}));
+}
+
+TEST(TensorOpsTest, GemmTransposeVariants) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({4, 5}, rng);
+  Tensor b = Tensor::Randn({5, 3}, rng);
+  Tensor base = ops::MatMul(a, b);
+  ExpectTensorNear(ops::Gemm(ops::Transpose2D(a), b, true, false), base,
+                   1e-4f);
+  ExpectTensorNear(ops::Gemm(a, ops::Transpose2D(b), false, true), base,
+                   1e-4f);
+  ExpectTensorNear(
+      ops::Gemm(ops::Transpose2D(a), ops::Transpose2D(b), true, true), base,
+      1e-4f);
+}
+
+TEST(TensorOpsTest, MatMulIdentity) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn({3, 3}, rng);
+  Tensor eye = Tensor::Zeros({3, 3});
+  for (int64_t i = 0; i < 3; ++i) eye.at({i, i}) = 1.0f;
+  ExpectTensorNear(ops::MatMul(a, eye), a, 1e-6f);
+  ExpectTensorNear(ops::MatMul(eye, a), a, 1e-6f);
+}
+
+TEST(TensorOpsTest, BatchMatMulMatchesPerSlice) {
+  Rng rng(7);
+  Tensor a = Tensor::Randn({3, 2, 4}, rng);
+  Tensor b = Tensor::Randn({3, 4, 5}, rng);
+  Tensor c = ops::BatchMatMul(a, b);
+  EXPECT_EQ(ShapeToString(c.shape()), "[3, 2, 5]");
+  for (int64_t i = 0; i < 3; ++i) {
+    Tensor ai = ops::Slice(a, 0, i, 1).Reshape({2, 4});
+    Tensor bi = ops::Slice(b, 0, i, 1).Reshape({4, 5});
+    Tensor ci = ops::Slice(c, 0, i, 1).Reshape({2, 5});
+    ExpectTensorNear(ci, ops::MatMul(ai, bi), 1e-5f);
+  }
+}
+
+TEST(TensorOpsTest, BatchGemmTransposeVariants) {
+  Rng rng(8);
+  Tensor a = Tensor::Randn({2, 3, 4}, rng);
+  Tensor b = Tensor::Randn({2, 4, 5}, rng);
+  Tensor base = ops::BatchMatMul(a, b);
+  Tensor at = ops::Transpose(a, 1, 2);
+  Tensor bt = ops::Transpose(b, 1, 2);
+  ExpectTensorNear(ops::BatchGemm(at, b, true, false), base, 1e-4f);
+  ExpectTensorNear(ops::BatchGemm(a, bt, false, true), base, 1e-4f);
+}
+
+// ---------------------------------------------------------------------------
+// Movement ops
+// ---------------------------------------------------------------------------
+
+TEST(TensorOpsTest, Transpose2DValues) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  ExpectTensorNear(ops::Transpose2D(a),
+                   Tensor::FromVector({3, 2}, {1, 4, 2, 5, 3, 6}));
+}
+
+TEST(TensorOpsTest, TransposeGeneralRoundTrip) {
+  Rng rng(11);
+  Tensor a = Tensor::Randn({2, 3, 4, 5}, rng);
+  Tensor t = ops::Transpose(a, 1, 3);
+  EXPECT_EQ(ShapeToString(t.shape()), "[2, 5, 4, 3]");
+  ExpectTensorNear(ops::Transpose(t, 1, 3), a, 0.0f);
+  EXPECT_EQ(t.at({1, 2, 3, 0}), a.at({1, 0, 3, 2}));
+}
+
+TEST(TensorOpsTest, TransposeSameDimIsCopy) {
+  Rng rng(12);
+  Tensor a = Tensor::Randn({2, 3}, rng);
+  Tensor t = ops::Transpose(a, 1, 1);
+  ExpectTensorNear(t, a, 0.0f);
+  EXPECT_FALSE(t.SharesStorageWith(a));
+}
+
+TEST(TensorOpsTest, ConcatAxis0And1) {
+  Tensor a = Tensor::FromVector({1, 2}, {1, 2});
+  Tensor b = Tensor::FromVector({1, 2}, {3, 4});
+  ExpectTensorNear(ops::Concat({a, b}, 0),
+                   Tensor::FromVector({2, 2}, {1, 2, 3, 4}));
+  ExpectTensorNear(ops::Concat({a, b}, 1),
+                   Tensor::FromVector({1, 4}, {1, 2, 3, 4}));
+  ExpectTensorNear(ops::Concat({a, b}, -1),
+                   Tensor::FromVector({1, 4}, {1, 2, 3, 4}));
+}
+
+TEST(TensorOpsTest, SliceMiddleAxis) {
+  Tensor a = Tensor::FromVector({2, 3, 2},
+                                {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  Tensor s = ops::Slice(a, 1, 1, 2);
+  EXPECT_EQ(ShapeToString(s.shape()), "[2, 2, 2]");
+  ExpectTensorNear(s, Tensor::FromVector({2, 2, 2}, {2, 3, 4, 5, 8, 9, 10, 11}));
+}
+
+TEST(TensorOpsTest, SliceThenConcatRestores) {
+  Rng rng(13);
+  Tensor a = Tensor::Randn({3, 5}, rng);
+  Tensor left = ops::Slice(a, 1, 0, 2);
+  Tensor right = ops::Slice(a, 1, 2, 3);
+  ExpectTensorNear(ops::Concat({left, right}, 1), a, 0.0f);
+}
+
+TEST(TensorOpsTest, PadAxisZeroFill) {
+  Tensor a = Tensor::FromVector({1, 2}, {5, 6});
+  Tensor p = ops::PadAxis(a, 1, 2, 1);
+  ExpectTensorNear(p, Tensor::FromVector({1, 5}, {0, 0, 5, 6, 0}));
+  Tensor p0 = ops::PadAxis(a, 0, 1, 0);
+  ExpectTensorNear(p0, Tensor::FromVector({2, 2}, {0, 0, 5, 6}));
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+TEST(TensorOpsTest, SumAllMeanAll) {
+  Tensor a = Tensor::FromVector({2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(ops::SumAll(a).item(), 10.0f);
+  EXPECT_EQ(ops::MeanAll(a).item(), 2.5f);
+}
+
+TEST(TensorOpsTest, SumAxisKeepdim) {
+  Tensor a = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor s0 = ops::Sum(a, 0, true);
+  EXPECT_EQ(ShapeToString(s0.shape()), "[1, 3]");
+  ExpectTensorNear(s0, Tensor::FromVector({1, 3}, {5, 7, 9}));
+  Tensor s1 = ops::Sum(a, 1, false);
+  EXPECT_EQ(ShapeToString(s1.shape()), "[2]");
+  ExpectTensorNear(s1, Tensor::FromVector({2}, {6, 15}));
+  Tensor m1 = ops::Mean(a, -1, true);
+  ExpectTensorNear(m1, Tensor::FromVector({2, 1}, {2, 5}));
+}
+
+TEST(TensorOpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(17);
+  Tensor a = Tensor::Randn({4, 6}, rng, 3.0f);
+  Tensor s = ops::SoftmaxLastDim(a);
+  for (int64_t r = 0; r < 4; ++r) {
+    float total = 0.0f;
+    for (int64_t c = 0; c < 6; ++c) {
+      const float v = s.at({r, c});
+      EXPECT_GT(v, 0.0f);
+      total += v;
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(TensorOpsTest, SoftmaxStableForLargeInputs) {
+  Tensor a = Tensor::FromVector({1, 3}, {1000.0f, 1000.0f, 1000.0f});
+  Tensor s = ops::SoftmaxLastDim(a);
+  for (int64_t c = 0; c < 3; ++c) EXPECT_NEAR(s.at({0, c}), 1.0f / 3, 1e-5f);
+}
+
+TEST(TensorOpsTest, SoftmaxKnownValues) {
+  Tensor a = Tensor::FromVector({1, 2}, {0.0f, std::log(3.0f)});
+  Tensor s = ops::SoftmaxLastDim(a);
+  EXPECT_NEAR(s.at({0, 0}), 0.25f, 1e-5f);
+  EXPECT_NEAR(s.at({0, 1}), 0.75f, 1e-5f);
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast reduction (autograd support)
+// ---------------------------------------------------------------------------
+
+TEST(TensorOpsTest, ReduceToShapeBias) {
+  Tensor g = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = ops::ReduceToShape(g, {3});
+  ExpectTensorNear(r, Tensor::FromVector({3}, {5, 7, 9}));
+}
+
+TEST(TensorOpsTest, ReduceToShapeScalar) {
+  Tensor g = Tensor::Ones({2, 3});
+  Tensor r = ops::ReduceToShape(g, {});
+  EXPECT_EQ(r.item(), 6.0f);
+}
+
+TEST(TensorOpsTest, ReduceToShapeMiddle) {
+  Tensor g = Tensor::Ones({2, 3, 4});
+  Tensor r = ops::ReduceToShape(g, {2, 1, 4});
+  EXPECT_EQ(ShapeToString(r.shape()), "[2, 1, 4]");
+  EXPECT_EQ(r.at({0, 0, 0}), 3.0f);
+}
+
+TEST(TensorOpsTest, ReduceToShapeSuffixBlock) {
+  Tensor g = Tensor::FromVector({2, 2, 2}, {1, 2, 3, 4, 5, 6, 7, 8});
+  ExpectTensorNear(ops::ReduceToShape(g, {2, 2}),
+                   Tensor::FromVector({2, 2}, {6, 8, 10, 12}));
+}
+
+TEST(TensorOpsTest, ReduceToShapeInteriorOnes) {
+  Tensor g = Tensor::FromVector({3, 4}, {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                                         12});
+  Tensor r = ops::ReduceToShape(g, {1, 4});
+  EXPECT_EQ(ShapeToString(r.shape()), "[1, 4]");
+  ExpectTensorNear(r, Tensor::FromVector({1, 4}, {15, 18, 21, 24}));
+}
+
+TEST(TensorOpsTest, AllCloseBehaviour) {
+  Tensor a = Tensor::FromVector({2}, {1.0f, 2.0f});
+  Tensor b = Tensor::FromVector({2}, {1.0f, 2.00001f});
+  EXPECT_TRUE(ops::AllClose(a, b));
+  Tensor c = Tensor::FromVector({2}, {1.0f, 3.0f});
+  EXPECT_FALSE(ops::AllClose(a, c));
+  Tensor d = Tensor::FromVector({1}, {1.0f});
+  EXPECT_FALSE(ops::AllClose(a, d));
+}
+
+}  // namespace
+}  // namespace enhancenet

@@ -1,0 +1,185 @@
+#include "train/trainer.h"
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "graph/adjacency.h"
+#include "gtest/gtest.h"
+#include "models/model_factory.h"
+#include "test_util.h"
+
+namespace enhancenet {
+namespace {
+
+/// Tiny but learnable setup: a 8-sensor EB-like dataset, 2 days, and a small
+/// RNN, so training converges in seconds.
+struct TrainFixture {
+  TrainFixture()
+      : dataset(data::MakeEbLike(8, 3, /*seed=*/23)),
+        splits(data::ChronologicalSplits(dataset.num_steps())) {
+    scaler.Fit(dataset.series, 0, splits.train_end);
+    scaled = scaler.Transform(dataset.series);
+    train = std::make_unique<data::WindowDataset>(
+        scaled, dataset.series, 0, 0, splits.train_end, 12, 12, 8);
+    val = std::make_unique<data::WindowDataset>(
+        scaled, dataset.series, 0, splits.train_end, splits.val_end, 12, 12,
+        8);
+    test = std::make_unique<data::WindowDataset>(
+        scaled, dataset.series, 0, splits.val_end, splits.total, 12, 12, 8);
+  }
+
+  std::unique_ptr<models::ForecastingModel> MakeRnn(int64_t hidden = 8) {
+    models::ModelSizing sizing;
+    sizing.rnn_hidden = hidden;
+    Rng rng(31);
+    return models::MakeModel("RNN", dataset.num_entities(),
+                             dataset.num_channels(), Tensor(), sizing, rng);
+  }
+
+  data::CtsData dataset;
+  data::Splits splits;
+  data::StandardScaler scaler;
+  Tensor scaled;
+  std::unique_ptr<data::WindowDataset> train;
+  std::unique_ptr<data::WindowDataset> val;
+  std::unique_ptr<data::WindowDataset> test;
+};
+
+TEST(TrainerTest, LossDecreasesOverEpochs) {
+  TrainFixture fixture;
+  auto model = fixture.MakeRnn();
+  train::TrainerConfig config;
+  config.epochs = 4;
+  config.batch_size = 8;
+  train::Trainer trainer(model.get(), &fixture.scaler, 0, config);
+  Rng rng(32);
+  train::TrainResult result =
+      trainer.Train(*fixture.train, *fixture.val, rng);
+  ASSERT_EQ(result.epoch_train_loss.size(), 4u);
+  EXPECT_LT(result.epoch_train_loss.back(), result.epoch_train_loss.front());
+  EXPECT_GT(result.mean_epoch_seconds, 0.0);
+}
+
+TEST(TrainerTest, TrainedModelBeatsUntrainedOnTest) {
+  TrainFixture fixture;
+  auto untrained = fixture.MakeRnn();
+  auto trained = fixture.MakeRnn();
+  train::TrainerConfig config;
+  config.epochs = 4;
+  config.batch_size = 8;
+
+  Rng rng(33);
+  train::Trainer t_untrained(untrained.get(), &fixture.scaler, 0, config);
+  train::MetricAccumulator acc_untrained(12);
+  t_untrained.Evaluate(*fixture.test, &acc_untrained, rng);
+
+  train::Trainer t_trained(trained.get(), &fixture.scaler, 0, config);
+  t_trained.Train(*fixture.train, *fixture.val, rng);
+  train::MetricAccumulator acc_trained(12);
+  t_trained.Evaluate(*fixture.test, &acc_trained, rng);
+
+  EXPECT_LT(acc_trained.Overall().mae, acc_untrained.Overall().mae);
+}
+
+TEST(TrainerTest, BestWeightsRestoredAfterTraining) {
+  TrainFixture fixture;
+  auto model = fixture.MakeRnn();
+  train::TrainerConfig config;
+  config.epochs = 3;
+  config.batch_size = 8;
+  train::Trainer trainer(model.get(), &fixture.scaler, 0, config);
+  Rng rng(34);
+  train::TrainResult result =
+      trainer.Train(*fixture.train, *fixture.val, rng);
+
+  // Evaluating now must reproduce the best recorded validation MAE.
+  train::MetricAccumulator acc(12);
+  trainer.Evaluate(*fixture.val, &acc, rng);
+  EXPECT_NEAR(acc.Overall().mae, result.best_val_mae,
+              1e-6 + 1e-4 * result.best_val_mae);
+  EXPECT_GE(result.best_epoch, 0);
+  EXPECT_LT(result.best_epoch, 3);
+}
+
+TEST(TrainerTest, EarlyStoppingHonoursPatience) {
+  TrainFixture fixture;
+  auto model = fixture.MakeRnn(/*hidden=*/2);
+  train::TrainerConfig config;
+  config.epochs = 50;
+  config.batch_size = 16;
+  config.learning_rate = 1e-6f;  // effectively frozen -> no improvement
+  config.patience = 2;
+  config.min_delta = 0.05;  // micro-improvements do not reset patience
+  train::Trainer trainer(model.get(), &fixture.scaler, 0, config);
+  Rng rng(35);
+  train::TrainResult result =
+      trainer.Train(*fixture.train, *fixture.val, rng);
+  EXPECT_LE(result.epoch_train_loss.size(), 5u);  // stopped long before 50
+}
+
+TEST(TrainerTest, StepDecayLowersLearningRate) {
+  TrainFixture fixture;
+  auto model = fixture.MakeRnn(2);
+  train::TrainerConfig config;
+  config.epochs = 3;
+  config.batch_size = 32;
+  config.use_step_decay = true;
+  config.lr_first_decay_epoch = 1;
+  config.lr_decay_period = 1;
+  config.learning_rate = 0.01f;
+  // Just verifying the run completes with the schedule active and training
+  // remains numerically stable at decayed rates.
+  train::Trainer trainer(model.get(), &fixture.scaler, 0, config);
+  Rng rng(36);
+  train::TrainResult result =
+      trainer.Train(*fixture.train, *fixture.val, rng);
+  for (double loss : result.epoch_train_loss) {
+    EXPECT_TRUE(std::isfinite(loss));
+  }
+}
+
+TEST(TrainerTest, MeasurePredictMillisPositiveAndStable) {
+  TrainFixture fixture;
+  auto model = fixture.MakeRnn(2);
+  train::TrainerConfig config;
+  train::Trainer trainer(model.get(), &fixture.scaler, 0, config);
+  Rng rng(37);
+  const double millis = trainer.MeasurePredictMillis(*fixture.test, 3, rng);
+  EXPECT_GT(millis, 0.0);
+  EXPECT_LT(millis, 10000.0);
+}
+
+TEST(TrainerTest, EvaluateUsesRealUnits) {
+  TrainFixture fixture;
+  auto model = fixture.MakeRnn(2);
+  train::TrainerConfig config;
+  train::Trainer trainer(model.get(), &fixture.scaler, 0, config);
+  Rng rng(38);
+  train::MetricAccumulator acc(12);
+  trainer.Evaluate(*fixture.test, &acc, rng);
+  // Speeds are ~60; an untrained model predicts ~scaler-mean offsets, so
+  // real-unit MAE lands in single-to-double digits, not ~1 (scaled units).
+  EXPECT_GT(acc.Overall().mae, 1.0);
+  EXPECT_GT(acc.Overall().count, 0);
+}
+
+TEST(TrainerTest, ScheduledSamplingProbabilityDecays) {
+  // Indirect test: with tau very small, probability ~0 from the start, so
+  // training equals no-teacher-forcing; both configs must run fine and give
+  // finite losses.
+  TrainFixture fixture;
+  auto model = fixture.MakeRnn(2);
+  train::TrainerConfig config;
+  config.epochs = 1;
+  config.batch_size = 16;
+  config.scheduled_sampling_tau = 0.1f;
+  train::Trainer trainer(model.get(), &fixture.scaler, 0, config);
+  Rng rng(39);
+  train::TrainResult result =
+      trainer.Train(*fixture.train, *fixture.val, rng);
+  EXPECT_TRUE(std::isfinite(result.epoch_train_loss[0]));
+}
+
+}  // namespace
+}  // namespace enhancenet
