@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_table4.cc" "bench/CMakeFiles/bench_table4.dir/bench_table4.cc.o" "gcc" "bench/CMakeFiles/bench_table4.dir/bench_table4.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/enhancenet_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/enhancenet_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/train/CMakeFiles/enhancenet_train.dir/DependInfo.cmake"
+  "/root/repo/build/src/optim/CMakeFiles/enhancenet_optim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/enhancenet_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/enhancenet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/enhancenet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/enhancenet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/enhancenet_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/enhancenet_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/enhancenet_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/enhancenet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/enhancenet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancenet_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/enhancenet_bench_common.dir/bench_common.cc.o.d"
+  "libenhancenet_bench_common.a"
+  "libenhancenet_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancenet_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

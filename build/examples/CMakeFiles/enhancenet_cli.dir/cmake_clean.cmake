@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancenet_cli.dir/enhancenet_cli.cpp.o"
+  "CMakeFiles/enhancenet_cli.dir/enhancenet_cli.cpp.o.d"
+  "enhancenet_cli"
+  "enhancenet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancenet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

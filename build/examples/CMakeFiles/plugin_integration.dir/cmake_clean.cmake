@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plugin_integration.dir/plugin_integration.cpp.o"
+  "CMakeFiles/plugin_integration.dir/plugin_integration.cpp.o.d"
+  "plugin_integration"
+  "plugin_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plugin_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("autograd")
+subdirs("nn")
+subdirs("optim")
+subdirs("graph")
+subdirs("core")
+subdirs("data")
+subdirs("io")
+subdirs("models")
+subdirs("train")
+subdirs("analysis")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancenet_analysis.dir/heatmap.cc.o"
+  "CMakeFiles/enhancenet_analysis.dir/heatmap.cc.o.d"
+  "CMakeFiles/enhancenet_analysis.dir/kmeans.cc.o"
+  "CMakeFiles/enhancenet_analysis.dir/kmeans.cc.o.d"
+  "CMakeFiles/enhancenet_analysis.dir/tsne.cc.o"
+  "CMakeFiles/enhancenet_analysis.dir/tsne.cc.o.d"
+  "libenhancenet_analysis.a"
+  "libenhancenet_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancenet_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

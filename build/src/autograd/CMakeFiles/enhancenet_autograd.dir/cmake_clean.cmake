@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancenet_autograd.dir/ops.cc.o"
+  "CMakeFiles/enhancenet_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/enhancenet_autograd.dir/variable.cc.o"
+  "CMakeFiles/enhancenet_autograd.dir/variable.cc.o.d"
+  "libenhancenet_autograd.a"
+  "libenhancenet_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancenet_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

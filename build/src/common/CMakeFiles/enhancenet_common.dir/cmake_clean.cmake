@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancenet_common.dir/rng.cc.o"
+  "CMakeFiles/enhancenet_common.dir/rng.cc.o.d"
+  "CMakeFiles/enhancenet_common.dir/status.cc.o"
+  "CMakeFiles/enhancenet_common.dir/status.cc.o.d"
+  "libenhancenet_common.a"
+  "libenhancenet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancenet_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/damgn.cc" "src/core/CMakeFiles/enhancenet_core.dir/damgn.cc.o" "gcc" "src/core/CMakeFiles/enhancenet_core.dir/damgn.cc.o.d"
+  "/root/repo/src/core/dfgn.cc" "src/core/CMakeFiles/enhancenet_core.dir/dfgn.cc.o" "gcc" "src/core/CMakeFiles/enhancenet_core.dir/dfgn.cc.o.d"
+  "/root/repo/src/core/enhance_gru_cell.cc" "src/core/CMakeFiles/enhancenet_core.dir/enhance_gru_cell.cc.o" "gcc" "src/core/CMakeFiles/enhancenet_core.dir/enhance_gru_cell.cc.o.d"
+  "/root/repo/src/core/enhance_tcn_layer.cc" "src/core/CMakeFiles/enhancenet_core.dir/enhance_tcn_layer.cc.o" "gcc" "src/core/CMakeFiles/enhancenet_core.dir/enhance_tcn_layer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/enhancenet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/enhancenet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/enhancenet_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/enhancenet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/enhancenet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancenet_core.dir/damgn.cc.o"
+  "CMakeFiles/enhancenet_core.dir/damgn.cc.o.d"
+  "CMakeFiles/enhancenet_core.dir/dfgn.cc.o"
+  "CMakeFiles/enhancenet_core.dir/dfgn.cc.o.d"
+  "CMakeFiles/enhancenet_core.dir/enhance_gru_cell.cc.o"
+  "CMakeFiles/enhancenet_core.dir/enhance_gru_cell.cc.o.d"
+  "CMakeFiles/enhancenet_core.dir/enhance_tcn_layer.cc.o"
+  "CMakeFiles/enhancenet_core.dir/enhance_tcn_layer.cc.o.d"
+  "libenhancenet_core.a"
+  "libenhancenet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancenet_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

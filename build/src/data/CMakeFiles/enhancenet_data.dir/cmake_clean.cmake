@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancenet_data.dir/dataset.cc.o"
+  "CMakeFiles/enhancenet_data.dir/dataset.cc.o.d"
+  "CMakeFiles/enhancenet_data.dir/synthetic.cc.o"
+  "CMakeFiles/enhancenet_data.dir/synthetic.cc.o.d"
+  "libenhancenet_data.a"
+  "libenhancenet_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancenet_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancenet_graph.dir/adjacency.cc.o"
+  "CMakeFiles/enhancenet_graph.dir/adjacency.cc.o.d"
+  "CMakeFiles/enhancenet_graph.dir/graph_conv.cc.o"
+  "CMakeFiles/enhancenet_graph.dir/graph_conv.cc.o.d"
+  "libenhancenet_graph.a"
+  "libenhancenet_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancenet_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/checkpoint.cc" "src/io/CMakeFiles/enhancenet_io.dir/checkpoint.cc.o" "gcc" "src/io/CMakeFiles/enhancenet_io.dir/checkpoint.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/io/CMakeFiles/enhancenet_io.dir/csv.cc.o" "gcc" "src/io/CMakeFiles/enhancenet_io.dir/csv.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/enhancenet_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/enhancenet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/enhancenet_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/enhancenet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/enhancenet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

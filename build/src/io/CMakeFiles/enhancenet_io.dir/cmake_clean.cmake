@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancenet_io.dir/checkpoint.cc.o"
+  "CMakeFiles/enhancenet_io.dir/checkpoint.cc.o.d"
+  "CMakeFiles/enhancenet_io.dir/csv.cc.o"
+  "CMakeFiles/enhancenet_io.dir/csv.cc.o.d"
+  "libenhancenet_io.a"
+  "libenhancenet_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancenet_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/arima.cc" "src/models/CMakeFiles/enhancenet_models.dir/arima.cc.o" "gcc" "src/models/CMakeFiles/enhancenet_models.dir/arima.cc.o.d"
+  "/root/repo/src/models/classical.cc" "src/models/CMakeFiles/enhancenet_models.dir/classical.cc.o" "gcc" "src/models/CMakeFiles/enhancenet_models.dir/classical.cc.o.d"
+  "/root/repo/src/models/lstm_model.cc" "src/models/CMakeFiles/enhancenet_models.dir/lstm_model.cc.o" "gcc" "src/models/CMakeFiles/enhancenet_models.dir/lstm_model.cc.o.d"
+  "/root/repo/src/models/model_factory.cc" "src/models/CMakeFiles/enhancenet_models.dir/model_factory.cc.o" "gcc" "src/models/CMakeFiles/enhancenet_models.dir/model_factory.cc.o.d"
+  "/root/repo/src/models/rnn_model.cc" "src/models/CMakeFiles/enhancenet_models.dir/rnn_model.cc.o" "gcc" "src/models/CMakeFiles/enhancenet_models.dir/rnn_model.cc.o.d"
+  "/root/repo/src/models/stgcn.cc" "src/models/CMakeFiles/enhancenet_models.dir/stgcn.cc.o" "gcc" "src/models/CMakeFiles/enhancenet_models.dir/stgcn.cc.o.d"
+  "/root/repo/src/models/tcn_model.cc" "src/models/CMakeFiles/enhancenet_models.dir/tcn_model.cc.o" "gcc" "src/models/CMakeFiles/enhancenet_models.dir/tcn_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/enhancenet_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/enhancenet_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/enhancenet_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/enhancenet_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/enhancenet_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/enhancenet_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/enhancenet_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

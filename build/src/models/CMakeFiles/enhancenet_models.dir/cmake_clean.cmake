@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancenet_models.dir/arima.cc.o"
+  "CMakeFiles/enhancenet_models.dir/arima.cc.o.d"
+  "CMakeFiles/enhancenet_models.dir/classical.cc.o"
+  "CMakeFiles/enhancenet_models.dir/classical.cc.o.d"
+  "CMakeFiles/enhancenet_models.dir/lstm_model.cc.o"
+  "CMakeFiles/enhancenet_models.dir/lstm_model.cc.o.d"
+  "CMakeFiles/enhancenet_models.dir/model_factory.cc.o"
+  "CMakeFiles/enhancenet_models.dir/model_factory.cc.o.d"
+  "CMakeFiles/enhancenet_models.dir/rnn_model.cc.o"
+  "CMakeFiles/enhancenet_models.dir/rnn_model.cc.o.d"
+  "CMakeFiles/enhancenet_models.dir/stgcn.cc.o"
+  "CMakeFiles/enhancenet_models.dir/stgcn.cc.o.d"
+  "CMakeFiles/enhancenet_models.dir/tcn_model.cc.o"
+  "CMakeFiles/enhancenet_models.dir/tcn_model.cc.o.d"
+  "libenhancenet_models.a"
+  "libenhancenet_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancenet_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancenet_nn.dir/gru.cc.o"
+  "CMakeFiles/enhancenet_nn.dir/gru.cc.o.d"
+  "CMakeFiles/enhancenet_nn.dir/init.cc.o"
+  "CMakeFiles/enhancenet_nn.dir/init.cc.o.d"
+  "CMakeFiles/enhancenet_nn.dir/linear.cc.o"
+  "CMakeFiles/enhancenet_nn.dir/linear.cc.o.d"
+  "CMakeFiles/enhancenet_nn.dir/module.cc.o"
+  "CMakeFiles/enhancenet_nn.dir/module.cc.o.d"
+  "libenhancenet_nn.a"
+  "libenhancenet_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancenet_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

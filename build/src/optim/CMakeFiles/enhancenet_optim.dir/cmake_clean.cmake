@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancenet_optim.dir/optimizer.cc.o"
+  "CMakeFiles/enhancenet_optim.dir/optimizer.cc.o.d"
+  "libenhancenet_optim.a"
+  "libenhancenet_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancenet_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

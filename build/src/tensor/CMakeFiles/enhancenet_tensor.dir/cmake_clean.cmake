@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancenet_tensor.dir/tensor.cc.o"
+  "CMakeFiles/enhancenet_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/enhancenet_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/enhancenet_tensor.dir/tensor_ops.cc.o.d"
+  "libenhancenet_tensor.a"
+  "libenhancenet_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancenet_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libenhancenet_tensor.a"
+)

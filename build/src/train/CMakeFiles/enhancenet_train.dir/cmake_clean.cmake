@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enhancenet_train.dir/metrics.cc.o"
+  "CMakeFiles/enhancenet_train.dir/metrics.cc.o.d"
+  "CMakeFiles/enhancenet_train.dir/trainer.cc.o"
+  "CMakeFiles/enhancenet_train.dir/trainer.cc.o.d"
+  "libenhancenet_train.a"
+  "libenhancenet_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enhancenet_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
