@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the substrate micro-benchmarks and records the results as
+# BENCH_ops.json at the repo root, so the perf trajectory is tracked in-tree
+# PR over PR.
+#
+# Usage:
+#   bench/run_bench_ops.sh                 # full bench_ops sweep
+#   BENCHMARK_FILTER='BM_Gemm' bench/run_bench_ops.sh
+#   BUILD_DIR=/tmp/build bench/run_bench_ops.sh
+#   ENHANCENET_NUM_THREADS=1 bench/run_bench_ops.sh   # serial baseline
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+OUT="$ROOT/BENCH_ops.json"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_ops" ]]; then
+  cmake -B "$BUILD_DIR" -S "$ROOT"
+  cmake --build "$BUILD_DIR" -j --target bench_ops
+fi
+
+"$BUILD_DIR/bench/bench_ops" \
+  --benchmark_format=json \
+  ${BENCHMARK_FILTER:+--benchmark_filter="$BENCHMARK_FILTER"} \
+  > "$OUT"
+
+echo "wrote $OUT"

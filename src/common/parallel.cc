@@ -1,0 +1,226 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace enhancenet {
+namespace {
+
+thread_local bool tls_in_parallel_region = false;
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("ENHANCENET_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1 && v <= 4096) return static_cast<int>(v);
+  }
+  return HardwareThreads();
+}
+
+std::atomic<int>& NumThreadsSetting() {
+  static std::atomic<int> setting{DefaultNumThreads()};
+  return setting;
+}
+
+// Persistent worker pool. One parallel region runs at a time (outer regions
+// from distinct user threads serialize on run_mutex_); nested regions run
+// inline on the calling thread, so the pool never deadlocks on itself.
+//
+// Work distribution is dynamic (threads claim chunk indices from an atomic
+// counter) but the chunk *boundaries* are fixed by the caller, so which
+// thread runs a chunk never affects what the chunk computes.
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    // Leaked intentionally: detached workers may outlive static destruction.
+    static ThreadPool* pool = new ThreadPool();
+    return *pool;
+  }
+
+  // Runs fn(chunk) for every chunk in [0, num_chunks), using the calling
+  // thread plus up to (participants - 1) workers. Rethrows the first
+  // exception any chunk raised. On return no pool thread is still touching
+  // this job's state.
+  void Run(int64_t num_chunks, int participants,
+           const std::function<void(int64_t)>& fn) {
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    EnsureWorkers(participants - 1);
+
+    // Publish the job, then bump the generation under the mutex. Workers
+    // only enter RunChunks after observing the new generation under the same
+    // mutex, which orders these writes before any worker read.
+    job_fn_ = &fn;
+    job_chunks_ = num_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    pending_.store(num_chunks, std::memory_order_relaxed);
+    first_error_ = nullptr;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      active_workers_ = std::min<int>(participants - 1,
+                                      static_cast<int>(workers_.size()));
+      ++generation_;
+    }
+    wake_cv_.notify_all();
+
+    RunChunks();
+
+    std::unique_lock<std::mutex> lk(mutex_);
+    done_cv_.wait(lk, [&] {
+      return pending_.load(std::memory_order_acquire) == 0 && inflight_ == 0;
+    });
+    job_fn_ = nullptr;
+    if (first_error_) std::rethrow_exception(first_error_);
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void EnsureWorkers(int wanted) {
+    std::lock_guard<std::mutex> lk(mutex_);
+    wanted = std::min(wanted, 4096);
+    while (static_cast<int>(workers_.size()) < wanted) {
+      const int index = static_cast<int>(workers_.size());
+      const uint64_t spawn_generation = generation_;
+      workers_.emplace_back(
+          [this, index, spawn_generation] { WorkerMain(index, spawn_generation); });
+    }
+  }
+
+  void WorkerMain(int index, uint64_t seen_generation) {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mutex_);
+        wake_cv_.wait(lk, [&] { return generation_ != seen_generation; });
+        seen_generation = generation_;
+        if (index >= active_workers_) continue;
+        // Registered under the same lock as the generation gate: Run() for
+        // this job cannot return, and the next job cannot reset state, while
+        // this worker is inside RunChunks.
+        ++inflight_;
+      }
+      RunChunks();
+      {
+        std::lock_guard<std::mutex> lk(mutex_);
+        --inflight_;
+      }
+      done_cv_.notify_all();
+    }
+  }
+
+  // Claims and executes chunks until none remain. Shared by the caller
+  // thread and the workers.
+  void RunChunks() {
+    const bool saved_region = tls_in_parallel_region;
+    tls_in_parallel_region = true;
+    for (;;) {
+      const int64_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= job_chunks_) break;
+      try {
+        (*job_fn_)(chunk);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(error_mutex_);
+        if (!first_error_) first_error_ = std::current_exception();
+      }
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lk(mutex_);
+        done_cv_.notify_all();
+      }
+    }
+    tls_in_parallel_region = saved_region;
+  }
+
+  std::mutex run_mutex_;  // serializes outer parallel regions
+
+  std::mutex mutex_;
+  std::condition_variable wake_cv_;
+  std::condition_variable done_cv_;
+  uint64_t generation_ = 0;
+  int active_workers_ = 0;
+  int inflight_ = 0;  // workers currently inside RunChunks
+  std::vector<std::thread> workers_;
+
+  const std::function<void(int64_t)>* job_fn_ = nullptr;
+  int64_t job_chunks_ = 0;
+  std::atomic<int64_t> next_chunk_{0};
+  std::atomic<int64_t> pending_{0};
+
+  std::mutex error_mutex_;
+  std::exception_ptr first_error_;
+};
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+int GetNumThreads() {
+  return NumThreadsSetting().load(std::memory_order_relaxed);
+}
+
+void SetNumThreads(int n) {
+  NumThreadsSetting().store(std::max(n, 1), std::memory_order_relaxed);
+}
+
+bool InParallelRegion() { return tls_in_parallel_region; }
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  const int64_t n = end - begin;
+  if (grain < 1) grain = 1;
+  const int threads = GetNumThreads();
+  if (threads <= 1 || n <= grain || tls_in_parallel_region) {
+    fn(begin, end);
+    return;
+  }
+  // Up to 4 chunks per thread for load balancing; all chunks except
+  // possibly the final one are at least `grain` indices. Boundaries depend
+  // only on (n, grain, threads); every index belongs to exactly one chunk.
+  const int64_t max_chunks = std::max<int64_t>(
+      1, std::min<int64_t>(n / grain, static_cast<int64_t>(threads) * 4));
+  const int64_t chunk_size = CeilDiv(n, max_chunks);
+  const int64_t num_chunks = CeilDiv(n, chunk_size);
+  if (num_chunks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const std::function<void(int64_t)> chunk_fn = [&](int64_t chunk) {
+    const int64_t b = begin + chunk * chunk_size;
+    const int64_t e = std::min(end, b + chunk_size);
+    fn(b, e);
+  };
+  ThreadPool::Instance().Run(num_chunks, threads, chunk_fn);
+}
+
+double ParallelSum(int64_t n,
+                   const std::function<double(int64_t, int64_t)>& block_sum) {
+  if (n <= 0) return 0.0;
+  // Fixed block size: the grouping of terms into partial sums must not
+  // depend on the thread count, or the combine order would change rounding.
+  constexpr int64_t kBlock = 65536;
+  const int64_t num_blocks = CeilDiv(n, kBlock);
+  if (num_blocks == 1) return block_sum(0, n);
+  std::vector<double> partials(static_cast<size_t>(num_blocks), 0.0);
+  ParallelFor(0, num_blocks, 1, [&](int64_t b0, int64_t b1) {
+    for (int64_t b = b0; b < b1; ++b) {
+      const int64_t lo = b * kBlock;
+      const int64_t hi = std::min(n, lo + kBlock);
+      partials[static_cast<size_t>(b)] = block_sum(lo, hi);
+    }
+  });
+  double total = 0.0;
+  for (const double p : partials) total += p;
+  return total;
+}
+
+}  // namespace enhancenet

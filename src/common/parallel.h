@@ -1,0 +1,58 @@
+#ifndef ENHANCENET_COMMON_PARALLEL_H_
+#define ENHANCENET_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace enhancenet {
+
+/// Parallel-execution substrate: a persistent worker-thread pool plus a
+/// ParallelFor primitive that the tensor kernels are written against.
+///
+/// Determinism contract: ParallelFor partitions [begin, end) into chunks and
+/// every index is handed to `fn` exactly once, so any kernel that computes
+/// each *output* element entirely inside the chunk that owns it produces
+/// bitwise-identical results for every thread count (including 1). Chunk
+/// boundaries may vary with the thread count; ownership of an index never
+/// does. Kernels must therefore never accumulate across chunk boundaries
+/// into shared state.
+///
+/// Thread count resolution:
+///   * default: ENHANCENET_NUM_THREADS env var if set to a positive integer,
+///     otherwise std::thread::hardware_concurrency();
+///   * SetNumThreads() overrides at runtime (tests, benchmarks);
+///   * a value of 1 is exactly the historical serial behavior — ParallelFor
+///     invokes `fn(begin, end)` inline and never touches the pool.
+
+/// Threads used by subsequent ParallelFor calls (>= 1).
+int GetNumThreads();
+
+/// Overrides the thread count at runtime; values < 1 are clamped to 1.
+/// Workers are spawned lazily, so raising the count is cheap until the next
+/// parallel region actually runs.
+void SetNumThreads(int n);
+
+/// True while the calling thread is executing inside a ParallelFor chunk.
+/// Nested ParallelFor calls detect this and run serially (no deadlock, no
+/// oversubscription).
+bool InParallelRegion();
+
+/// Invokes `fn(chunk_begin, chunk_end)` over a partition of [begin, end).
+/// `grain` is the minimum chunk size: ranges of at most `grain` indices run
+/// inline on the calling thread (the small-tensor serial fast path).
+/// Exceptions thrown by `fn` are captured and the first one is rethrown on
+/// the calling thread after all chunks finish.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Deterministic parallel sum reduction: computes
+///   sum_{i in [0, n)} term(i)
+/// in double precision. Terms are grouped into fixed-size blocks whose
+/// partial sums are combined in ascending block order, so the result is
+/// bitwise identical for every thread count.
+double ParallelSum(int64_t n, const std::function<double(int64_t, int64_t)>& block_sum);
+
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_COMMON_PARALLEL_H_

@@ -3,12 +3,35 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 
 namespace enhancenet {
 namespace ops {
 namespace {
+
+#define ENHANCENET_RESTRICT __restrict__
+
+// Tensors with at most this many elements (or an equivalent amount of work)
+// are processed serially: below it, thread hand-off costs more than the loop.
+constexpr int64_t kSerialNumel = 1 << 14;
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// ParallelFor wrapper that keeps the serial fast path free of std::function
+// construction. `body(b, e)` must compute every output element in [b, e)
+// entirely, so results are identical for any thread count.
+template <typename Body>
+inline void For1D(int64_t n, int64_t grain, Body&& body) {
+  if (n <= grain || InParallelRegion()) {
+    body(0, n);
+    return;
+  }
+  ParallelFor(0, n, grain, std::forward<Body>(body));
+}
 
 // Strides (in elements) of a row-major tensor with the given shape.
 std::vector<int64_t> RowMajorStrides(const Shape& shape) {
@@ -39,8 +62,9 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, BinaryOp f) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    const int64_t n = a.numel();
-    for (int64_t i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    For1D(a.numel(), kSerialNumel, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+    });
     return out;
   }
   // Fast path: scalar operand (rank guard keeps the output shape equal to
@@ -50,7 +74,9 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, BinaryOp f) {
     Tensor out = Tensor::Uninitialized(a.shape());
     const float* pa = a.data();
     float* po = out.data();
-    for (int64_t i = 0; i < a.numel(); ++i) po[i] = f(pa[i], s);
+    For1D(a.numel(), kSerialNumel, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = f(pa[i], s);
+    });
     return out;
   }
   if (a.numel() == 1 && a.dim() <= b.dim()) {
@@ -58,7 +84,9 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, BinaryOp f) {
     Tensor out = Tensor::Uninitialized(b.shape());
     const float* pb = b.data();
     float* po = out.data();
-    for (int64_t i = 0; i < b.numel(); ++i) po[i] = f(s, pb[i]);
+    For1D(b.numel(), kSerialNumel, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) po[i] = f(s, pb[i]);
+    });
     return out;
   }
   // Fast path: bias-style broadcast (b is a trailing block of a, e.g.
@@ -69,12 +97,15 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, BinaryOp f) {
     const float* pb = b.data();
     float* po = out.data();
     const int64_t inner = b.numel();
-    const int64_t rows = a.numel() / inner;
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* arow = pa + r * inner;
-      float* orow = po + r * inner;
-      for (int64_t i = 0; i < inner; ++i) orow[i] = f(arow[i], pb[i]);
-    }
+    const int64_t rows = a.numel() / std::max<int64_t>(inner, 1);
+    const int64_t grain = std::max<int64_t>(1, kSerialNumel / std::max<int64_t>(inner, 1));
+    For1D(rows, grain, [=](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* arow = pa + r * inner;
+        float* orow = po + r * inner;
+        for (int64_t i = 0; i < inner; ++i) orow[i] = f(arow[i], pb[i]);
+      }
+    });
     return out;
   }
   if (a.dim() <= b.dim() && IsSuffixShape(a.shape(), b.shape())) {
@@ -83,14 +114,19 @@ Tensor BroadcastBinary(const Tensor& a, const Tensor& b, BinaryOp f) {
     const float* pb = b.data();
     float* po = out.data();
     const int64_t inner = a.numel();
-    const int64_t rows = b.numel() / inner;
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* brow = pb + r * inner;
-      float* orow = po + r * inner;
-      for (int64_t i = 0; i < inner; ++i) orow[i] = f(pa[i], brow[i]);
-    }
+    const int64_t rows = b.numel() / std::max<int64_t>(inner, 1);
+    const int64_t grain = std::max<int64_t>(1, kSerialNumel / std::max<int64_t>(inner, 1));
+    For1D(rows, grain, [=](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* brow = pb + r * inner;
+        float* orow = po + r * inner;
+        for (int64_t i = 0; i < inner; ++i) orow[i] = f(pa[i], brow[i]);
+      }
+    });
     return out;
   }
+  // General case: serial odometer walk (cold path — every hot broadcast
+  // pattern in the models hits one of the fast paths above).
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
   Tensor out = Tensor::Uninitialized(out_shape);
   const int64_t rank = static_cast<int64_t>(out_shape.size());
@@ -138,28 +174,240 @@ Tensor Unary(const Tensor& t, UnaryOp f) {
   Tensor out = Tensor::Uninitialized(t.shape());
   const float* p = t.data();
   float* po = out.data();
-  const int64_t n = t.numel();
-  for (int64_t i = 0; i < n; ++i) po[i] = f(p[i]);
+  For1D(t.numel(), kSerialNumel, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) po[i] = f(p[i]);
+  });
   return out;
 }
 
-// Core GEMM kernel on contiguous row-major buffers:
-//   C[M,N] += A[M,K] * B[K,N]
-// i-k-j loop order so the inner loop streams over contiguous rows of B and C,
-// which GCC auto-vectorizes.
-void GemmKernel(const float* a, const float* b, float* c, int64_t m, int64_t k,
-                int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float aik = arow[kk];
-      if (aik == 0.0f) continue;
-      const float* brow = b + kk * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+// ---------------------------------------------------------------------------
+// GEMM
+//
+// Two regimes, chosen by problem size only (never by thread count, so the
+// same input always takes the same code path and the result is bitwise
+// independent of ENHANCENET_NUM_THREADS):
+//
+//  * SmallGemm — the historical serial kernel, extended to read transposed
+//    operands in place. Used for tiny products and for per-slice work inside
+//    a batch-parallel BatchGemm.
+//  * GemmTiled — cache-blocked and register-blocked: B is packed into
+//    KC x NR column panels, A into MR x KC row panels, and an MR x NR
+//    micro-kernel accumulates in registers. Parallelism is over row tiles;
+//    each C element is owned by exactly one row tile, and its K-dimension
+//    accumulation order (ascending, KC blocks in ascending order) is fixed.
+// ---------------------------------------------------------------------------
+
+constexpr int64_t kMR = 8;    // micro-kernel rows
+constexpr int64_t kNR = 16;   // micro-kernel cols (one AVX-512 / two AVX2 rows)
+constexpr int64_t kKC = 256;  // K cache block (packed panels stay in L1/L2)
+constexpr int64_t kNC = 512;  // N cache block
+
+// Products with at most this many flops (2*M*N*K) use SmallGemm.
+constexpr int64_t kSmallGemmFlops = 2 * 48 * 48 * 48;
+
+// Serial GEMM on raw pointers, accumulating C[M,N] += op(A) * op(B).
+// Physical layouts: a is (trans_a ? K x M : M x K) with leading dim lda;
+// b is (trans_b ? N x K : K x N) with leading dim ldb. Accumulation over K
+// is in ascending order for every element in all four variants.
+void SmallGemm(const float* ENHANCENET_RESTRICT a, int64_t lda, bool trans_a,
+               const float* ENHANCENET_RESTRICT b, int64_t ldb, bool trans_b,
+               float* ENHANCENET_RESTRICT c, int64_t m, int64_t k, int64_t n) {
+  if (!trans_a && !trans_b) {
+    // i-k-j: inner loop streams contiguous rows of B and C.
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * lda;
+      float* crow = c + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = arow[kk];
+        if (aik == 0.0f) continue;
+        const float* brow = b + kk * ldb;
+        for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float aik = a[kk * lda + i];
+        if (aik == 0.0f) continue;
+        const float* brow = b + kk * ldb;
+        for (int64_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+      }
+    }
+  } else if (!trans_a && trans_b) {
+    // i-j-k: both operand rows are contiguous; dot product per element.
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = a + i * lda;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * ldb;
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+        crow[j] += acc;
+      }
+    }
+  } else {
+    for (int64_t i = 0; i < m; ++i) {
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b + j * ldb;
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) acc += a[kk * lda + i] * brow[kk];
+        crow[j] += acc;
+      }
     }
   }
 }
+
+// Packs the A panel for rows [0, m), K block [pc, pc+kc) into row tiles of
+// kMR: ap[tile][kk][r] = A[tile*kMR + r][pc + kk], zero-padded past row m.
+void PackAPanel(const float* ENHANCENET_RESTRICT a, int64_t lda, bool trans_a,
+                int64_t m, int64_t pc, int64_t kc,
+                float* ENHANCENET_RESTRICT ap) {
+  const int64_t m_tiles = CeilDiv(m, kMR);
+  For1D(m_tiles, 8, [=](int64_t t0, int64_t t1) {
+    for (int64_t it = t0; it < t1; ++it) {
+      float* dst = ap + it * kc * kMR;
+      const int64_t i0 = it * kMR;
+      const int64_t mr = std::min(kMR, m - i0);
+      if (!trans_a) {
+        for (int64_t r = 0; r < kMR; ++r) {
+          if (r < mr) {
+            const float* src = a + (i0 + r) * lda + pc;
+            for (int64_t kk = 0; kk < kc; ++kk) dst[kk * kMR + r] = src[kk];
+          } else {
+            for (int64_t kk = 0; kk < kc; ++kk) dst[kk * kMR + r] = 0.0f;
+          }
+        }
+      } else {
+        for (int64_t kk = 0; kk < kc; ++kk) {
+          const float* src = a + (pc + kk) * lda + i0;
+          for (int64_t r = 0; r < kMR; ++r) {
+            dst[kk * kMR + r] = (r < mr) ? src[r] : 0.0f;
+          }
+        }
+      }
+    }
+  });
+}
+
+// Packs the B panel for cols [jc, jc+nc), K block [pc, pc+kc) into column
+// tiles of kNR: bp[tile][kk][r] = B[pc + kk][jc + tile*kNR + r], zero-padded
+// past column jc+nc.
+void PackBPanel(const float* ENHANCENET_RESTRICT b, int64_t ldb, bool trans_b,
+                int64_t jc, int64_t nc, int64_t pc, int64_t kc,
+                float* ENHANCENET_RESTRICT bp) {
+  const int64_t n_tiles = CeilDiv(nc, kNR);
+  For1D(n_tiles, 4, [=](int64_t t0, int64_t t1) {
+    for (int64_t jt = t0; jt < t1; ++jt) {
+      float* dst = bp + jt * kc * kNR;
+      const int64_t j0 = jc + jt * kNR;
+      const int64_t nr = std::min(kNR, jc + nc - j0);
+      if (!trans_b) {
+        for (int64_t kk = 0; kk < kc; ++kk) {
+          const float* src = b + (pc + kk) * ldb + j0;
+          for (int64_t r = 0; r < kNR; ++r) {
+            dst[kk * kNR + r] = (r < nr) ? src[r] : 0.0f;
+          }
+        }
+      } else {
+        for (int64_t r = 0; r < kNR; ++r) {
+          if (r < nr) {
+            const float* src = b + (j0 + r) * ldb + pc;
+            for (int64_t kk = 0; kk < kc; ++kk) dst[kk * kNR + r] = src[kk];
+          } else {
+            for (int64_t kk = 0; kk < kc; ++kk) dst[kk * kNR + r] = 0.0f;
+          }
+        }
+      }
+    }
+  });
+}
+
+// One micro-kernel column block: kNR floats. GCC/Clang vector extension —
+// compiles to one AVX-512 register, two AVX2 registers, or four SSE
+// registers, with identical (IEEE, per-lane) arithmetic everywhere. The
+// alignment override permits unaligned loads/stores.
+typedef float VecNR __attribute__((vector_size(kNR * sizeof(float)), aligned(4)));
+
+// kMR x kNR register-blocked micro-kernel: accumulates ap (kc x kMR packed)
+// times bp (kc x kNR packed) into C with edge guards. The accumulator block
+// (kMR vector registers) lives in registers across the whole K loop.
+void MicroKernel(int64_t kc, const float* ENHANCENET_RESTRICT ap,
+                 const float* ENHANCENET_RESTRICT bp,
+                 float* ENHANCENET_RESTRICT c, int64_t ldc, int64_t mr,
+                 int64_t nr) {
+  VecNR acc[kMR];
+  for (int64_t r = 0; r < kMR; ++r) acc[r] = VecNR{};
+  for (int64_t kk = 0; kk < kc; ++kk) {
+    const float* ENHANCENET_RESTRICT av = ap + kk * kMR;
+    const VecNR bv = *reinterpret_cast<const VecNR*>(bp + kk * kNR);
+    for (int64_t r = 0; r < kMR; ++r) acc[r] += av[r] * bv;
+  }
+  if (mr == kMR && nr == kNR) {
+    for (int64_t r = 0; r < kMR; ++r) {
+      VecNR* crow = reinterpret_cast<VecNR*>(c + r * ldc);
+      *crow += acc[r];
+    }
+  } else {
+    for (int64_t r = 0; r < mr; ++r) {
+      float* crow = c + r * ldc;
+      for (int64_t j = 0; j < nr; ++j) crow[j] += acc[r][j];
+    }
+  }
+}
+
+// Cache-tiled GEMM accumulating C[M,N] += op(A) * op(B); C must be dense
+// row-major with leading dimension n. Parallel over row tiles.
+void GemmTiled(const float* a, int64_t lda, bool trans_a, const float* b,
+               int64_t ldb, bool trans_b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  const int64_t m_tiles = CeilDiv(m, kMR);
+  const int64_t kc_max = std::min(k, kKC);
+  const int64_t nc_max = std::min(n, kNC);
+  std::vector<float> ap(static_cast<size_t>(m_tiles * kMR * kc_max));
+  std::vector<float> bp(static_cast<size_t>(CeilDiv(nc_max, kNR) * kNR * kc_max));
+  float* ap_data = ap.data();
+  float* bp_data = bp.data();
+
+  for (int64_t pc = 0; pc < k; pc += kKC) {
+    const int64_t kc = std::min(kKC, k - pc);
+    PackAPanel(a, lda, trans_a, m, pc, kc, ap_data);
+    for (int64_t jc = 0; jc < n; jc += kNC) {
+      const int64_t nc = std::min(kNC, n - jc);
+      const int64_t n_tiles = CeilDiv(nc, kNR);
+      PackBPanel(b, ldb, trans_b, jc, nc, pc, kc, bp_data);
+      For1D(m_tiles, 1, [=](int64_t t0, int64_t t1) {
+        // jt outer / it inner: the kc x kNR micro-panel of B stays in L1
+        // while it sweeps this chunk's row tiles.
+        for (int64_t jt = 0; jt < n_tiles; ++jt) {
+          const float* btile = bp_data + jt * kc * kNR;
+          const int64_t j0 = jc + jt * kNR;
+          const int64_t nr = std::min(kNR, jc + nc - j0);
+          for (int64_t it = t0; it < t1; ++it) {
+            const int64_t i0 = it * kMR;
+            const int64_t mr = std::min(kMR, m - i0);
+            MicroKernel(kc, ap_data + it * kc * kMR, btile, c + i0 * n + j0,
+                        n, mr, nr);
+          }
+        }
+      });
+    }
+  }
+}
+
+// Size-based dispatch shared by Gemm and BatchGemm slices.
+void GemmDispatch(const float* a, int64_t lda, bool trans_a, const float* b,
+                  int64_t ldb, bool trans_b, float* c, int64_t m, int64_t k,
+                  int64_t n) {
+  if (2 * m * k * n <= kSmallGemmFlops) {
+    SmallGemm(a, lda, trans_a, b, ldb, trans_b, c, m, k, n);
+  } else {
+    GemmTiled(a, lda, trans_a, b, ldb, trans_b, c, m, k, n);
+  }
+}
+
+constexpr int64_t kTransposeBlock = 32;
 
 Tensor MaterializeTranspose2D(const Tensor& t) {
   const int64_t rows = t.size(0);
@@ -167,9 +415,22 @@ Tensor MaterializeTranspose2D(const Tensor& t) {
   Tensor out = Tensor::Uninitialized(Shape{cols, rows});
   const float* p = t.data();
   float* po = out.data();
-  for (int64_t i = 0; i < rows; ++i) {
-    for (int64_t j = 0; j < cols; ++j) po[j * rows + i] = p[i * cols + j];
-  }
+  // Blocked: a kTransposeBlock x kTransposeBlock tile of the input stays in
+  // L1 while it is written out column-contiguously. Parallel over output
+  // rows (= input columns); pure scatter-free writes, so any partition is
+  // bitwise safe.
+  const int64_t grain =
+      std::max<int64_t>(kTransposeBlock,
+                        kSerialNumel / std::max<int64_t>(rows, 1));
+  For1D(cols, grain, [=](int64_t j0, int64_t j1) {
+    for (int64_t ib = 0; ib < rows; ib += kTransposeBlock) {
+      const int64_t imax = std::min(ib + kTransposeBlock, rows);
+      for (int64_t j = j0; j < j1; ++j) {
+        float* orow = po + j * rows;
+        for (int64_t i = ib; i < imax; ++i) orow[i] = p[i * cols + j];
+      }
+    }
+  });
   return out;
 }
 
@@ -212,10 +473,19 @@ Tensor ReduceToShape(const Tensor& t, const Shape& target) {
       const int64_t rows = t.numel() / inner;
       const float* p = t.data();
       float* po = out.data();
-      for (int64_t r = 0; r < rows; ++r) {
-        const float* row = p + r * inner;
-        for (int64_t i = 0; i < inner; ++i) po[i] += row[i];
-      }
+      // Partition over output columns: each column's row-sum is computed by
+      // one thread in ascending row order, so the result is bitwise
+      // identical for any thread count. Chunks stay >= 64 columns so
+      // narrow bias reductions keep the serial path (a thread would pull
+      // whole cache lines for a few-column slice otherwise).
+      const int64_t grain =
+          std::max<int64_t>(64, kSerialNumel / std::max<int64_t>(rows, 1));
+      For1D(inner, grain, [=](int64_t i0, int64_t i1) {
+        for (int64_t r = 0; r < rows; ++r) {
+          const float* row = p + r * inner;
+          for (int64_t i = i0; i < i1; ++i) po[i] += row[i];
+        }
+      });
     }
     return out;
   }
@@ -338,23 +608,23 @@ void AxpyInPlace(float alpha, const Tensor& x, Tensor* y) {
       << ShapeToString(y->shape());
   const float* px = x.data();
   float* py = y->data();
-  const int64_t n = x.numel();
-  for (int64_t i = 0; i < n; ++i) py[i] += alpha * px[i];
+  For1D(x.numel(), kSerialNumel, [=](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) py[i] += alpha * px[i];
+  });
 }
 
 Tensor Gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   ENHANCENET_CHECK_EQ(a.dim(), 2);
   ENHANCENET_CHECK_EQ(b.dim(), 2);
-  const Tensor aa = trans_a ? MaterializeTranspose2D(a) : a;
-  const Tensor bb = trans_b ? MaterializeTranspose2D(b) : b;
-  const int64_t m = aa.size(0);
-  const int64_t k = aa.size(1);
-  ENHANCENET_CHECK_EQ(k, bb.size(0))
-      << "gemm inner dims: " << ShapeToString(aa.shape()) << " x "
-      << ShapeToString(bb.shape());
-  const int64_t n = bb.size(1);
+  const int64_t m = trans_a ? a.size(1) : a.size(0);
+  const int64_t k = trans_a ? a.size(0) : a.size(1);
+  const int64_t kb = trans_b ? b.size(1) : b.size(0);
+  ENHANCENET_CHECK_EQ(k, kb) << "gemm inner dims: " << ShapeToString(a.shape())
+                             << " x " << ShapeToString(b.shape());
+  const int64_t n = trans_b ? b.size(0) : b.size(1);
   Tensor c(Shape{m, n});
-  GemmKernel(aa.data(), bb.data(), c.data(), m, k, n);
+  GemmDispatch(a.data(), a.size(1), trans_a, b.data(), b.size(1), trans_b,
+               c.data(), m, k, n);
   return c;
 }
 
@@ -375,18 +645,36 @@ Tensor BatchGemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   const int64_t n = trans_b ? b.size(1) : b.size(2);
   Tensor c(Shape{batch, m, n});
 
+  // Zero-copy per-slice pointers: slice i of a dense [B, R, C] tensor is the
+  // dense [R, C] block at offset i*R*C.
   const int64_t a_stride = a.size(1) * a.size(2);
   const int64_t b_stride = b.size(1) * b.size(2);
   const int64_t c_stride = m * n;
-  for (int64_t i = 0; i < batch; ++i) {
-    Tensor ai = Slice(a, 0, i, 1).Reshape({a.size(1), a.size(2)});
-    Tensor bi = Slice(b, 0, i, 1).Reshape({b.size(1), b.size(2)});
-    if (trans_a) ai = MaterializeTranspose2D(ai);
-    if (trans_b) bi = MaterializeTranspose2D(bi);
-    GemmKernel(ai.data(), bi.data(), c.data() + i * c_stride, m, k, n);
+  const int64_t lda = a.size(2);
+  const int64_t ldb = b.size(2);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  const int64_t slice_flops = 2 * m * k * n;
+  if (slice_flops > kSmallGemmFlops) {
+    // Big slices: let the tiled kernel parallelize over rows inside each
+    // slice (batch is often smaller than the thread count here).
+    for (int64_t i = 0; i < batch; ++i) {
+      GemmTiled(pa + i * a_stride, lda, trans_a, pb + i * b_stride, ldb,
+                trans_b, pc + i * c_stride, m, k, n);
+    }
+  } else {
+    // Small slices (the per-entity filter banks): parallelize over the batch
+    // dimension, several slices per chunk.
+    const int64_t grain = std::max<int64_t>(
+        1, (4 * kSmallGemmFlops) / std::max<int64_t>(slice_flops, 1));
+    For1D(batch, grain, [=](int64_t b0, int64_t b1) {
+      for (int64_t i = b0; i < b1; ++i) {
+        SmallGemm(pa + i * a_stride, lda, trans_a, pb + i * b_stride, ldb,
+                  trans_b, pc + i * c_stride, m, k, n);
+      }
+    });
   }
-  (void)a_stride;
-  (void)b_stride;
   return c;
 }
 
@@ -400,6 +688,8 @@ Tensor Transpose(const Tensor& t, int64_t d0, int64_t d1) {
   if (d1 < 0) d1 += rank;
   ENHANCENET_CHECK(d0 >= 0 && d0 < rank && d1 >= 0 && d1 < rank);
   if (d0 == d1) return t.Clone();
+  // Rank-2 fast path: cache-blocked transpose instead of the odometer walk.
+  if (rank == 2) return MaterializeTranspose2D(t);
 
   Shape out_shape = t.shape();
   std::swap(out_shape[static_cast<size_t>(d0)],
@@ -535,10 +825,12 @@ Tensor PadAxis(const Tensor& t, int64_t axis, int64_t before, int64_t after) {
 }
 
 Tensor SumAll(const Tensor& t) {
-  double acc = 0.0;
   const float* p = t.data();
-  const int64_t n = t.numel();
-  for (int64_t i = 0; i < n; ++i) acc += p[i];
+  const double acc = ParallelSum(t.numel(), [=](int64_t lo, int64_t hi) {
+    double s = 0.0;
+    for (int64_t i = lo; i < hi; ++i) s += p[i];
+    return s;
+  });
   return Tensor::Scalar(static_cast<float>(acc));
 }
 
@@ -568,12 +860,31 @@ Tensor Sum(const Tensor& t, int64_t axis, bool keepdim) {
 
   const float* p = t.data();
   float* po = out.data();
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t m = 0; m < mid; ++m) {
-      const float* row = p + (o * mid + m) * inner;
-      float* orow = po + o * inner;
-      for (int64_t i = 0; i < inner; ++i) orow[i] += row[i];
-    }
+  if (outer > 1) {
+    // Partition over the outer dimension; each output block po[o*inner ..]
+    // is owned by one thread and accumulated in ascending `mid` order.
+    const int64_t grain = std::max<int64_t>(
+        1, kSerialNumel / std::max<int64_t>(mid * inner, 1));
+    For1D(outer, grain, [=](int64_t o0, int64_t o1) {
+      for (int64_t o = o0; o < o1; ++o) {
+        float* orow = po + o * inner;
+        for (int64_t m = 0; m < mid; ++m) {
+          const float* row = p + (o * mid + m) * inner;
+          for (int64_t i = 0; i < inner; ++i) orow[i] += row[i];
+        }
+      }
+    });
+  } else {
+    // Axis 0 of a flat tensor: partition over output columns instead
+    // (>= 64 columns per chunk to avoid cache-line sharing).
+    const int64_t grain =
+        std::max<int64_t>(64, kSerialNumel / std::max<int64_t>(mid, 1));
+    For1D(inner, grain, [=](int64_t i0, int64_t i1) {
+      for (int64_t m = 0; m < mid; ++m) {
+        const float* row = p + m * inner;
+        for (int64_t i = i0; i < i1; ++i) po[i] += row[i];
+      }
+    });
   }
   return out;
 }
@@ -592,19 +903,23 @@ Tensor SoftmaxLastDim(const Tensor& t) {
   Tensor out = Tensor::Uninitialized(t.shape());
   const float* p = t.data();
   float* po = out.data();
-  for (int64_t r = 0; r < rows; ++r) {
-    const float* row = p + r * cols;
-    float* orow = po + r * cols;
-    float mx = row[0];
-    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
-    double denom = 0.0;
-    for (int64_t c = 0; c < cols; ++c) {
-      orow[c] = std::exp(row[c] - mx);
-      denom += orow[c];
+  const int64_t grain =
+      std::max<int64_t>(1, kSerialNumel / std::max<int64_t>(cols, 1));
+  For1D(rows, grain, [=](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* row = p + r * cols;
+      float* orow = po + r * cols;
+      float mx = row[0];
+      for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+      double denom = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        orow[c] = std::exp(row[c] - mx);
+        denom += orow[c];
+      }
+      const float inv = static_cast<float>(1.0 / denom);
+      for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
     }
-    const float inv = static_cast<float>(1.0 / denom);
-    for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
-  }
+  });
   return out;
 }
 

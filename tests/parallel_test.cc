@@ -1,0 +1,148 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace enhancenet {
+namespace {
+
+// Every test restores the global thread count so ordering never leaks.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_threads_ = GetNumThreads(); }
+  void TearDown() override { SetNumThreads(saved_threads_); }
+  int saved_threads_ = 1;
+};
+
+TEST_F(ParallelTest, DefaultThreadCountIsPositive) {
+  EXPECT_GE(GetNumThreads(), 1);
+}
+
+TEST_F(ParallelTest, SetNumThreadsClampsToOne) {
+  SetNumThreads(0);
+  EXPECT_EQ(GetNumThreads(), 1);
+  SetNumThreads(-7);
+  EXPECT_EQ(GetNumThreads(), 1);
+  SetNumThreads(4);
+  EXPECT_EQ(GetNumThreads(), 4);
+}
+
+TEST_F(ParallelTest, EmptyRangeNeverInvokes) {
+  SetNumThreads(4);
+  int calls = 0;
+  ParallelFor(5, 5, 1, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(7, 3, 1, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_F(ParallelTest, RangeAtMostGrainRunsInlineAsOneChunk) {
+  SetNumThreads(4);
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelFor(3, 20, 100, [&](int64_t b, int64_t e) {
+    chunks.emplace_back(b, e);  // single inline call: no race possible
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0].first, 3);
+  EXPECT_EQ(chunks[0].second, 20);
+}
+
+TEST_F(ParallelTest, CoversEveryIndexExactlyOnce) {
+  SetNumThreads(4);
+  const int64_t n = 10007;  // prime: no chunking lines up evenly
+  std::vector<int> hits(n, 0);
+  ParallelFor(0, n, 16, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) ++hits[i];  // index owned by one chunk
+  });
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i], 1) << "index " << i;
+  }
+}
+
+TEST_F(ParallelTest, GrainIsMinimumChunkSizeExceptFinalChunk) {
+  SetNumThreads(4);
+  const int64_t n = 977;
+  const int64_t grain = 100;
+  std::mutex mu;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelFor(0, n, grain, [&](int64_t b, int64_t e) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(b, e);
+  });
+  ASSERT_FALSE(chunks.empty());
+  int undersized = 0;
+  for (const auto& [b, e] : chunks) {
+    ASSERT_LT(b, e);
+    if (e - b < grain) ++undersized;
+  }
+  EXPECT_LE(undersized, 1);
+}
+
+TEST_F(ParallelTest, PropagatesFirstExceptionAndPoolSurvives) {
+  SetNumThreads(4);
+  EXPECT_THROW(
+      ParallelFor(0, 100000, 1,
+                  [&](int64_t b, int64_t) {
+                    if (b >= 25000) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // The pool must be reusable after an exception.
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 1000, 1, [&](int64_t b, int64_t e) { total += e - b; });
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST_F(ParallelTest, NestedCallsRunInlineWithoutDeadlock) {
+  SetNumThreads(4);
+  const int64_t outer = 64;
+  const int64_t inner = 50;
+  std::atomic<int64_t> count{0};
+  ParallelFor(0, outer, 1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      EXPECT_TRUE(InParallelRegion());
+      int64_t local = 0;  // inner region is inline: no race on `local`
+      ParallelFor(0, inner, 1, [&](int64_t ib, int64_t ie) { local += ie - ib; });
+      count += local;
+    }
+  });
+  EXPECT_EQ(count.load(), outer * inner);
+}
+
+TEST_F(ParallelTest, SingleThreadRunsOnCallingThread) {
+  SetNumThreads(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  bool all_on_caller = true;
+  ParallelFor(0, 100000, 1, [&](int64_t, int64_t) {
+    if (std::this_thread::get_id() != caller) all_on_caller = false;
+  });
+  EXPECT_TRUE(all_on_caller);
+}
+
+TEST_F(ParallelTest, ParallelSumBitwiseInvariantAcrossThreadCounts) {
+  const int64_t n = 300000;
+  std::vector<float> values(n);
+  for (int64_t i = 0; i < n; ++i) {
+    values[i] = 1.0f / static_cast<float>(i + 1) - 0.001f * static_cast<float>(i % 97);
+  }
+  auto run = [&] {
+    return ParallelSum(n, [&](int64_t lo, int64_t hi) {
+      double s = 0.0;
+      for (int64_t i = lo; i < hi; ++i) s += values[i];
+      return s;
+    });
+  };
+  SetNumThreads(1);
+  const double serial = run();
+  SetNumThreads(4);
+  const double threaded = run();
+  EXPECT_EQ(serial, threaded);  // bitwise: fixed block combine order
+}
+
+}  // namespace
+}  // namespace enhancenet
