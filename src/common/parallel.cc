@@ -57,18 +57,22 @@ class ThreadPool {
     std::lock_guard<std::mutex> run_lock(run_mutex_);
     EnsureWorkers(participants - 1);
 
-    // Publish the job, then bump the generation under the mutex. Workers
-    // only enter RunChunks after observing the new generation under the same
-    // mutex, which orders these writes before any worker read.
-    job_fn_ = &fn;
-    job_chunks_ = num_chunks;
-    next_chunk_.store(0, std::memory_order_relaxed);
-    pending_.store(num_chunks, std::memory_order_relaxed);
-    first_error_ = nullptr;
+    // Publish the job in the same critical section that bumps the
+    // generation. Workers read job state only after observing the new
+    // generation (and job_active_) under this mutex, so there is no window
+    // where a late-waking worker from a previous job can see half-written
+    // state: if the job it was woken for has already completed, it finds
+    // job_active_ == false and goes back to waiting.
     {
       std::lock_guard<std::mutex> lk(mutex_);
+      job_fn_ = &fn;
+      job_chunks_ = num_chunks;
+      next_chunk_.store(0, std::memory_order_relaxed);
+      pending_.store(num_chunks, std::memory_order_relaxed);
+      first_error_ = nullptr;
       active_workers_ = std::min<int>(participants - 1,
                                       static_cast<int>(workers_.size()));
+      job_active_ = true;
       ++generation_;
     }
     wake_cv_.notify_all();
@@ -79,6 +83,10 @@ class ThreadPool {
     done_cv_.wait(lk, [&] {
       return pending_.load(std::memory_order_acquire) == 0 && inflight_ == 0;
     });
+    // Retire the job while still holding the lock: any worker that wakes
+    // after this point sees job_active_ == false and never touches the
+    // (about to be reused) job state.
+    job_active_ = false;
     job_fn_ = nullptr;
     if (first_error_) std::rethrow_exception(first_error_);
   }
@@ -103,7 +111,10 @@ class ThreadPool {
         std::unique_lock<std::mutex> lk(mutex_);
         wake_cv_.wait(lk, [&] { return generation_ != seen_generation; });
         seen_generation = generation_;
-        if (index >= active_workers_) continue;
+        // job_active_ distinguishes a live job from a late wake-up: if this
+        // worker was scheduled only after the job it was woken for already
+        // finished, the job's state is gone and must not be entered.
+        if (!job_active_ || index >= active_workers_) continue;
         // Registered under the same lock as the generation gate: Run() for
         // this job cannot return, and the next job cannot reset state, while
         // this worker is inside RunChunks.
@@ -148,8 +159,12 @@ class ThreadPool {
   uint64_t generation_ = 0;
   int active_workers_ = 0;
   int inflight_ = 0;  // workers currently inside RunChunks
+  bool job_active_ = false;  // true between a job's publication and retirement
   std::vector<std::thread> workers_;
 
+  // Job state below is written only inside mutex_ critical sections of
+  // Run(); workers gate on (generation_, job_active_) under the same mutex
+  // before reading any of it.
   const std::function<void(int64_t)>* job_fn_ = nullptr;
   int64_t job_chunks_ = 0;
   std::atomic<int64_t> next_chunk_{0};

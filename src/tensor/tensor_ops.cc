@@ -201,6 +201,11 @@ constexpr int64_t kMR = 8;    // micro-kernel rows
 constexpr int64_t kNR = 16;   // micro-kernel cols (one AVX-512 / two AVX2 rows)
 constexpr int64_t kKC = 256;  // K cache block (packed panels stay in L1/L2)
 constexpr int64_t kNC = 512;  // N cache block
+// M cache block, in kMR row tiles: at most kMCTiles tiles of A are packed at
+// a time (BLIS-style MC blocking), so the packed-A working set is bounded by
+// kMCTiles*kMR x kKC floats (128 x 256 = 128 KiB) per thread instead of
+// growing as O(M*KC).
+constexpr int64_t kMCTiles = 16;
 
 // Products with at most this many flops (2*M*N*K) use SmallGemm.
 constexpr int64_t kSmallGemmFlops = 2 * 48 * 48 * 48;
@@ -259,36 +264,35 @@ void SmallGemm(const float* ENHANCENET_RESTRICT a, int64_t lda, bool trans_a,
   }
 }
 
-// Packs the A panel for rows [0, m), K block [pc, pc+kc) into row tiles of
-// kMR: ap[tile][kk][r] = A[tile*kMR + r][pc + kk], zero-padded past row m.
-void PackAPanel(const float* ENHANCENET_RESTRICT a, int64_t lda, bool trans_a,
-                int64_t m, int64_t pc, int64_t kc,
-                float* ENHANCENET_RESTRICT ap) {
-  const int64_t m_tiles = CeilDiv(m, kMR);
-  For1D(m_tiles, 8, [=](int64_t t0, int64_t t1) {
-    for (int64_t it = t0; it < t1; ++it) {
-      float* dst = ap + it * kc * kMR;
-      const int64_t i0 = it * kMR;
-      const int64_t mr = std::min(kMR, m - i0);
-      if (!trans_a) {
-        for (int64_t r = 0; r < kMR; ++r) {
-          if (r < mr) {
-            const float* src = a + (i0 + r) * lda + pc;
-            for (int64_t kk = 0; kk < kc; ++kk) dst[kk * kMR + r] = src[kk];
-          } else {
-            for (int64_t kk = 0; kk < kc; ++kk) dst[kk * kMR + r] = 0.0f;
-          }
+// Packs row tiles [t_begin, t_end) of A for K block [pc, pc+kc) into row
+// tiles of kMR: dst[it - t_begin][kk][r] = A[it*kMR + r][pc + kk],
+// zero-padded past row m. Serial by design: GemmTiled calls it from inside
+// parallel compute chunks, each chunk on its own destination buffer.
+void PackATiles(const float* ENHANCENET_RESTRICT a, int64_t lda, bool trans_a,
+                int64_t m, int64_t t_begin, int64_t t_end, int64_t pc,
+                int64_t kc, float* ENHANCENET_RESTRICT ap) {
+  for (int64_t it = t_begin; it < t_end; ++it) {
+    float* dst = ap + (it - t_begin) * kc * kMR;
+    const int64_t i0 = it * kMR;
+    const int64_t mr = std::min(kMR, m - i0);
+    if (!trans_a) {
+      for (int64_t r = 0; r < kMR; ++r) {
+        if (r < mr) {
+          const float* src = a + (i0 + r) * lda + pc;
+          for (int64_t kk = 0; kk < kc; ++kk) dst[kk * kMR + r] = src[kk];
+        } else {
+          for (int64_t kk = 0; kk < kc; ++kk) dst[kk * kMR + r] = 0.0f;
         }
-      } else {
-        for (int64_t kk = 0; kk < kc; ++kk) {
-          const float* src = a + (pc + kk) * lda + i0;
-          for (int64_t r = 0; r < kMR; ++r) {
-            dst[kk * kMR + r] = (r < mr) ? src[r] : 0.0f;
-          }
+      }
+    } else {
+      for (int64_t kk = 0; kk < kc; ++kk) {
+        const float* src = a + (pc + kk) * lda + i0;
+        for (int64_t r = 0; r < kMR; ++r) {
+          dst[kk * kMR + r] = (r < mr) ? src[r] : 0.0f;
         }
       }
     }
-  });
+  }
 }
 
 // Packs the B panel for cols [jc, jc+nc), K block [pc, pc+kc) into column
@@ -327,8 +331,11 @@ void PackBPanel(const float* ENHANCENET_RESTRICT b, int64_t ldb, bool trans_b,
 // One micro-kernel column block: kNR floats. GCC/Clang vector extension —
 // compiles to one AVX-512 register, two AVX2 registers, or four SSE
 // registers, with identical (IEEE, per-lane) arithmetic everywhere. The
-// alignment override permits unaligned loads/stores.
-typedef float VecNR __attribute__((vector_size(kNR * sizeof(float)), aligned(4)));
+// alignment override permits unaligned loads/stores; may_alias is required
+// because the kernel loads/stores through float* via reinterpret_cast, and
+// vector types do not alias their element type under TBAA by default.
+typedef float VecNR __attribute__((vector_size(kNR * sizeof(float)),
+                                   aligned(4), __may_alias__));
 
 // kMR x kNR register-blocked micro-kernel: accumulates ap (kc x kMR packed)
 // times bp (kc x kNR packed) into C with edge guards. The accumulator block
@@ -365,30 +372,39 @@ void GemmTiled(const float* a, int64_t lda, bool trans_a, const float* b,
   const int64_t m_tiles = CeilDiv(m, kMR);
   const int64_t kc_max = std::min(k, kKC);
   const int64_t nc_max = std::min(n, kNC);
-  std::vector<float> ap(static_cast<size_t>(m_tiles * kMR * kc_max));
   std::vector<float> bp(static_cast<size_t>(CeilDiv(nc_max, kNR) * kNR * kc_max));
-  float* ap_data = ap.data();
   float* bp_data = bp.data();
 
   for (int64_t pc = 0; pc < k; pc += kKC) {
     const int64_t kc = std::min(kKC, k - pc);
-    PackAPanel(a, lda, trans_a, m, pc, kc, ap_data);
     for (int64_t jc = 0; jc < n; jc += kNC) {
       const int64_t nc = std::min(kNC, n - jc);
       const int64_t n_tiles = CeilDiv(nc, kNR);
       PackBPanel(b, ldb, trans_b, jc, nc, pc, kc, bp_data);
       For1D(m_tiles, 1, [=](int64_t t0, int64_t t1) {
-        // jt outer / it inner: the kc x kNR micro-panel of B stays in L1
-        // while it sweeps this chunk's row tiles.
-        for (int64_t jt = 0; jt < n_tiles; ++jt) {
-          const float* btile = bp_data + jt * kc * kNR;
-          const int64_t j0 = jc + jt * kNR;
-          const int64_t nr = std::min(kNR, jc + nc - j0);
-          for (int64_t it = t0; it < t1; ++it) {
-            const int64_t i0 = it * kMR;
-            const int64_t mr = std::min(kMR, m - i0);
-            MicroKernel(kc, ap_data + it * kc * kMR, btile, c + i0 * n + j0,
-                        n, mr, nr);
+        // Each chunk packs at most kMCTiles row tiles of A at a time into
+        // its own cache-sized buffer, then sweeps the B panel over them.
+        // Which sub-block a row tile lands in never changes its packed
+        // contents or its single MicroKernel call per (pc, jc), so results
+        // stay bitwise identical for any chunking.
+        std::vector<float> ap(static_cast<size_t>(
+            std::min(t1 - t0, kMCTiles) * kMR * kc));
+        float* ap_data = ap.data();
+        for (int64_t tb = t0; tb < t1; tb += kMCTiles) {
+          const int64_t te = std::min(t1, tb + kMCTiles);
+          PackATiles(a, lda, trans_a, m, tb, te, pc, kc, ap_data);
+          // jt outer / it inner: the kc x kNR micro-panel of B stays in L1
+          // while it sweeps this sub-block's row tiles.
+          for (int64_t jt = 0; jt < n_tiles; ++jt) {
+            const float* btile = bp_data + jt * kc * kNR;
+            const int64_t j0 = jc + jt * kNR;
+            const int64_t nr = std::min(kNR, jc + nc - j0);
+            for (int64_t it = tb; it < te; ++it) {
+              const int64_t i0 = it * kMR;
+              const int64_t mr = std::min(kMR, m - i0);
+              MicroKernel(kc, ap_data + (it - tb) * kc * kMR, btile,
+                          c + i0 * n + j0, n, mr, nr);
+            }
           }
         }
       });

@@ -124,6 +124,24 @@ TEST_F(ParallelTest, SingleThreadRunsOnCallingThread) {
   EXPECT_TRUE(all_on_caller);
 }
 
+// Regression test for the late-waking-worker race: a worker woken for job N
+// but scheduled only after job N completed must not enter the (already
+// reused) job state of job N+1 — pre-fix this invoked a dangling
+// std::function from the previous ParallelFor frame. Tiny back-to-back
+// regions maximize that window; run under TSAN this reported the race.
+TEST_F(ParallelTest, BackToBackTinyRegionsSurviveLateWakingWorkers) {
+  SetNumThreads(4);
+  for (int iter = 0; iter < 5000; ++iter) {
+    std::vector<int> out(64, 0);
+    ParallelFor(0, 64, 1, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) out[static_cast<size_t>(i)] = 1;
+    });
+    int64_t covered = 0;
+    for (int v : out) covered += v;
+    ASSERT_EQ(covered, 64);
+  }
+}
+
 TEST_F(ParallelTest, ParallelSumBitwiseInvariantAcrossThreadCounts) {
   const int64_t n = 300000;
   std::vector<float> values(n);

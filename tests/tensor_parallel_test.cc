@@ -60,6 +60,33 @@ TEST_F(TensorParallelTest, GemmMultipleKBlocks) {
   ExpectInvariant([&] { return ops::MatMul(a, b); }, "MatMul k=300");
 }
 
+TEST_F(TensorParallelTest, GemmMultipleCacheBlocksEveryAxis) {
+  Rng rng(13);
+  // 300 x 300 x 600 spans every blocking level raggedly: M crosses two
+  // MC=128 A sub-blocks plus a remainder, K two KC=256 blocks, N two NC=512
+  // panels — so A is packed per (pc, jc, sub-block) rather than once.
+  Tensor a = Tensor::Randn({300, 300}, rng);
+  Tensor b = Tensor::Randn({300, 600}, rng);
+  ExpectInvariant([&] { return ops::MatMul(a, b); }, "MatMul 300x300x600");
+  Tensor at = Tensor::Randn({300, 300}, rng);
+  ExpectInvariant([&] { return ops::Gemm(at, b, true, false); },
+                  "Gemm tn 300x300x600");
+  // Correctness against the K-slice identity the tiled path must satisfy:
+  // C = A*B == A[:, :k0]*B[:k0, :] + A[:, k0:]*B[k0:, :] computed as two
+  // small products. Accumulation order over K differs, so compare with a
+  // tolerance instead of bitwise.
+  const int64_t k0 = 150;
+  Tensor full = ops::MatMul(a, b);
+  Tensor part = ops::Add(
+      ops::MatMul(ops::Slice(a, 1, 0, k0), ops::Slice(b, 0, 0, k0)),
+      ops::MatMul(ops::Slice(a, 1, k0, 300 - k0),
+                  ops::Slice(b, 0, k0, 300 - k0)));
+  ASSERT_EQ(full.shape(), part.shape());
+  for (int64_t i = 0; i < full.numel(); ++i) {
+    EXPECT_NEAR(full.data()[i], part.data()[i], 1e-3f) << "at " << i;
+  }
+}
+
 TEST_F(TensorParallelTest, GemmTransposeReadsMatchMaterializedTranspose) {
   // Packing a transposed operand in place must be bitwise identical to
   // materializing the transpose first (same K accumulation order).
