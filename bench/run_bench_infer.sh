@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Runs the inference-serving benchmarks and records the results as
+# BENCH_infer.json at the repo root, so the serving-latency trajectory is
+# tracked in-tree PR over PR.
+#
+# Usage:
+#   bench/run_bench_infer.sh                 # full bench_infer sweep
+#   BENCHMARK_FILTER='DGRNN' bench/run_bench_infer.sh
+#   BUILD_DIR=/tmp/build bench/run_bench_infer.sh
+#   ENHANCENET_NUM_THREADS=1 bench/run_bench_infer.sh   # serial baseline
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+OUT="$ROOT/BENCH_infer.json"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_infer" ]]; then
+  cmake -B "$BUILD_DIR" -S "$ROOT"
+  cmake --build "$BUILD_DIR" -j --target bench_infer
+fi
+
+"$BUILD_DIR/bench/bench_infer" \
+  --benchmark_format=json \
+  ${BENCHMARK_FILTER:+--benchmark_filter="$BENCHMARK_FILTER"} \
+  > "$OUT"
+
+echo "wrote $OUT"

@@ -19,6 +19,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "data/dataset.h"
@@ -27,6 +28,7 @@
 #include "io/checkpoint.h"
 #include "io/csv.h"
 #include "models/model_factory.h"
+#include "serve/inference_session.h"
 #include "train/trainer.h"
 
 using namespace enhancenet;
@@ -130,16 +132,21 @@ int main(int argc, char** argv) {
   sizing.rnn_hidden_dfgn = 10;
   sizing.tcn_channels = 16;
   sizing.tcn_channels_dfgn = 10;
-  Rng rng(2024);
-  auto model = models::MakeModel(model_name, dataset.num_entities(),
-                                 dataset.num_channels(), adjacency, sizing,
-                                 rng);
-  std::printf("model %s: %lld parameters\n", model_name.c_str(),
-              (long long)model->NumParameters());
-
   const std::string checkpoint = args.Get("checkpoint", "model.encp");
 
   if (args.command == "train") {
+    Rng rng(2024);
+    std::unique_ptr<models::ForecastingModel> model;
+    const Status made = models::TryMakeModel(
+        model_name, dataset.num_entities(), dataset.num_channels(), adjacency,
+        sizing, rng, &model);
+    if (!made.ok()) {
+      std::fprintf(stderr, "model construction failed: %s\n",
+                   made.ToString().c_str());
+      return 1;
+    }
+    std::printf("model %s: %lld parameters\n", model_name.c_str(),
+                (long long)model->NumParameters());
     data::WindowDataset train(scaled, dataset.series, dataset.target_channel,
                               0, splits.train_end, 12, 12, /*stride=*/4);
     data::WindowDataset val(scaled, dataset.series, dataset.target_channel,
@@ -162,13 +169,27 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // predict
-  const Status loaded = io::LoadCheckpoint(checkpoint, model.get());
-  if (!loaded.ok()) {
-    std::fprintf(stderr, "checkpoint load failed: %s\n",
-                 loaded.ToString().c_str());
+  // predict: serve the checkpoint through the inference subsystem. All
+  // failure modes (unknown model, missing/mismatched checkpoint, malformed
+  // windows) surface as Status instead of aborting.
+  serve::SessionConfig sc;
+  sc.model_name = model_name;
+  sc.num_entities = dataset.num_entities();
+  sc.in_channels = dataset.num_channels();
+  sc.target_channel = dataset.target_channel;
+  sc.adjacency = adjacency;
+  sc.sizing = sizing;
+  sc.checkpoint_path = checkpoint;
+  std::unique_ptr<serve::InferenceSession> session;
+  const Status created = serve::InferenceSession::Create(sc, scaler, &session);
+  if (!created.ok()) {
+    std::fprintf(stderr, "serving session failed: %s\n",
+                 created.ToString().c_str());
     return 1;
   }
+  std::printf("serving %s: %lld parameters\n", model_name.c_str(),
+              (long long)session->model().NumParameters());
+
   data::WindowDataset test(scaled, dataset.series, dataset.target_channel,
                            splits.val_end, splits.total, 12, 12, 1);
   if (test.num_windows() == 0) {
@@ -176,11 +197,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   const data::Batch batch = test.MakeBatch({test.num_windows() - 1});
-  model->SetTraining(false);
-  const Tensor pred_scaled = model->Predict(batch.x, rng).data();
-  const Tensor pred = scaler.InverseTarget(
-      pred_scaled.Reshape({dataset.num_entities(), 12}),
-      dataset.target_channel);
+  serve::PredictRequest request;
+  request.history = batch.x;     // [1, N, H, C], already z-scored
+  request.scaled_input = true;   // forecast comes back in real units
+  serve::PredictResponse response;
+  const Status served = session->Predict(request, &response);
+  if (!served.ok()) {
+    std::fprintf(stderr, "predict failed: %s\n", served.ToString().c_str());
+    return 1;
+  }
+  const Tensor pred =
+      response.forecast.Reshape({dataset.num_entities(), 12});
 
   const std::string out = args.Get("out", "forecast.csv");
   const Status written = io::WriteForecastCsv(out, pred);
@@ -196,5 +223,10 @@ int main(int argc, char** argv) {
   acc.Add(pred.Reshape({1, dataset.num_entities(), 12}), batch.y_raw);
   std::printf("window MAE %.3f  RMSE %.3f  MAPE %.2f%%\n",
               acc.Overall().mae, acc.Overall().rmse, acc.Overall().mape);
+  const serve::Stats stats = session->stats();
+  std::printf("serve stats: %lld window(s), %lld forward(s), "
+              "latency %.2f ms\n",
+              (long long)stats.windows, (long long)stats.forwards,
+              response.latency_ms);
   return 0;
 }

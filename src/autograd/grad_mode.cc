@@ -1,0 +1,20 @@
+#include "autograd/grad_mode.h"
+
+namespace enhancenet {
+namespace autograd {
+namespace {
+
+thread_local bool grad_enabled = true;
+
+}  // namespace
+
+bool GradMode::IsEnabled() { return grad_enabled; }
+
+void GradMode::SetEnabled(bool enabled) { grad_enabled = enabled; }
+
+NoGradGuard::NoGradGuard() : previous_(grad_enabled) { grad_enabled = false; }
+
+NoGradGuard::~NoGradGuard() { grad_enabled = previous_; }
+
+}  // namespace autograd
+}  // namespace enhancenet

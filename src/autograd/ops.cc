@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "autograd/grad_mode.h"
 #include "common/logging.h"
 #include "tensor/tensor_ops.h"
 
@@ -16,14 +17,24 @@ bool AnyRequiresGrad(const std::vector<Variable>& inputs) {
   return false;
 }
 
-/// Builds the result variable for an op. If no input requires grad, the
-/// result is a detached constant and `backward` is dropped (no graph growth
-/// during evaluation). Otherwise the closure is stored and the parents are
-/// linked for the topological sweep.
+/// True when the op producing an output of `v` must record a graph edge:
+/// gradient recording is enabled on this thread and `v` participates in
+/// differentiation. Ops use this to skip computing backward-only auxiliary
+/// tensors (masks, signs) during no-grad inference.
+bool Records(const Variable& v) {
+  return GradMode::IsEnabled() && v.requires_grad();
+}
+
+/// Builds the result variable for an op. If gradient recording is disabled
+/// on this thread (NoGradGuard) or no input requires grad, the result is a
+/// detached constant and `backward` is dropped without ever being converted
+/// to a std::function (no Node, no closure allocation, no graph growth).
+/// Otherwise the closure is stored and the parents are linked for the
+/// topological sweep.
+template <typename BackwardFn>
 Variable MakeResult(Tensor out, const char* op_name,
-                    std::vector<Variable> inputs,
-                    std::function<void(const Tensor&)> backward) {
-  if (!AnyRequiresGrad(inputs)) {
+                    std::vector<Variable> inputs, BackwardFn&& backward) {
+  if (!GradMode::IsEnabled() || !AnyRequiresGrad(inputs)) {
     return Variable::Leaf(std::move(out), /*requires_grad=*/false);
   }
   auto node = std::make_shared<Node>();
@@ -33,7 +44,7 @@ Variable MakeResult(Tensor out, const char* op_name,
   node->op_name = op_name;
   node->parents.reserve(inputs.size());
   for (const Variable& v : inputs) node->parents.push_back(v.node());
-  node->backward_fn = std::move(backward);
+  node->backward_fn = std::forward<BackwardFn>(backward);
   return Variable::FromNode(std::move(node));
 }
 
@@ -93,7 +104,7 @@ Variable Neg(const Variable& v) {
 }
 
 Variable Abs(const Variable& v) {
-  Tensor sign = ops::Sign(v.data());
+  Tensor sign = Records(v) ? ops::Sign(v.data()) : Tensor();
   return MakeResult(ops::Abs(v.data()), "abs", {v},
                     [v, sign](const Tensor& g) {
                       MaybeAccumulate(v, ops::Mul(g, sign));
@@ -119,7 +130,7 @@ Variable Tanh(const Variable& v) {
 }
 
 Variable Relu(const Variable& v) {
-  Tensor mask = ops::ReluMask(v.data());
+  Tensor mask = Records(v) ? ops::ReluMask(v.data()) : Tensor();
   return MakeResult(ops::Relu(v.data()), "relu", {v},
                     [v, mask](const Tensor& g) {
                       MaybeAccumulate(v, ops::Mul(g, mask));

@@ -80,7 +80,11 @@ Status LoadCheckpoint(const std::string& path, nn::Module* module) {
   if (count != params.size()) {
     std::ostringstream msg;
     msg << path << ": checkpoint has " << count << " parameters, module has "
-        << params.size();
+        << params.size() << " (module expects:";
+    for (const auto& [name, param] : params) {
+      msg << " " << name << ShapeToString(param.shape());
+    }
+    msg << ")";
     return Status::FailedPrecondition(msg.str());
   }
 
@@ -103,14 +107,15 @@ Status LoadCheckpoint(const std::string& path, nn::Module* module) {
     }
     const auto it = params.find(name);
     if (it == params.end()) {
-      return Status::FailedPrecondition(path + ": unknown parameter '" +
-                                        name + "'");
+      return Status::FailedPrecondition(
+          path + ": checkpoint parameter '" + name + "' " +
+          ShapeToString(shape) + " does not exist in the module");
     }
     if (it->second.shape() != shape) {
       return Status::FailedPrecondition(
-          path + ": shape mismatch for '" + name + "' (checkpoint " +
-          ShapeToString(shape) + " vs module " +
-          ShapeToString(it->second.shape()) + ")");
+          path + ": shape mismatch for parameter '" + name +
+          "': checkpoint has " + ShapeToString(shape) + ", module has " +
+          ShapeToString(it->second.shape()));
     }
     file.read(reinterpret_cast<char*>(it->second.mutable_data().data()),
               static_cast<std::streamsize>(NumElements(shape) *

@@ -18,15 +18,24 @@ namespace models {
 /// sampling in encoder-decoder models: at each decoder step the ground truth
 /// is fed with probability `teacher_prob` instead of the model's own
 /// prediction. Models without a decoder ignore both.
+///
+/// Inference contract: `Forward` and `Predict` are const — a forward pass
+/// never mutates model state, so distinct threads may run eval-mode forwards
+/// on the same model concurrently (the serving path in src/serve relies on
+/// this). With `teacher == nullptr` the decoder is purely autoregressive
+/// (its own prediction is always fed back), `teacher_prob` is ignored, and
+/// in eval mode (`!training()`) `rng` is never drawn from — dropout is an
+/// identity and scheduled sampling is off — so a shared Rng is safe there.
 class ForecastingModel : public nn::Module {
  public:
   ~ForecastingModel() override = default;
 
   virtual autograd::Variable Forward(const Tensor& x, const Tensor* teacher,
-                                     float teacher_prob, Rng& rng) = 0;
+                                     float teacher_prob, Rng& rng) const = 0;
 
-  /// Convenience inference entry point (no teacher forcing).
-  autograd::Variable Predict(const Tensor& x, Rng& rng) {
+  /// Convenience inference entry point (no teacher forcing; see the
+  /// teacher=nullptr contract above).
+  autograd::Variable Predict(const Tensor& x, Rng& rng) const {
     return Forward(x, nullptr, 0.0f, rng);
   }
 

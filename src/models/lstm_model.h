@@ -30,7 +30,7 @@ class LstmModel : public ForecastingModel {
   LstmModel(const LstmModelConfig& config, Rng& rng);
 
   autograd::Variable Forward(const Tensor& x, const Tensor* teacher,
-                             float teacher_prob, Rng& rng) override;
+                             float teacher_prob, Rng& rng) const override;
 
   const LstmModelConfig& config() const { return config_; }
 

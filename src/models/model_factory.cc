@@ -71,14 +71,11 @@ std::unique_ptr<ForecastingModel> MakeTcnFamily(
   return std::make_unique<TcnModel>(config, rng);
 }
 
-}  // namespace
-
-std::unique_ptr<ForecastingModel> MakeModel(const std::string& name,
-                                            int64_t num_entities,
-                                            int64_t in_channels,
-                                            const Tensor& adjacency,
-                                            const ModelSizing& sizing,
-                                            Rng& rng) {
+/// Dispatches to the family builders; returns null on unknown names so the
+/// public entry points can report the error their own way (Status vs CHECK).
+std::unique_ptr<ForecastingModel> MakeModelOrNull(
+    const std::string& name, int64_t num_entities, int64_t in_channels,
+    const Tensor& adjacency, const ModelSizing& sizing, Rng& rng) {
   // --- RNN family -----------------------------------------------------------
   if (name == "RNN") {
     return MakeRnnFamily(name, false, false, false, num_entities, in_channels,
@@ -158,8 +155,65 @@ std::unique_ptr<ForecastingModel> MakeModel(const std::string& name,
     config.adjacency = adjacency;
     return std::make_unique<Stgcn>(config, rng);
   }
-  ENHANCENET_CHECK(false) << "unknown model name: " << name;
   return nullptr;
+}
+
+}  // namespace
+
+Status TryMakeModel(const std::string& name, int64_t num_entities,
+                    int64_t in_channels, const Tensor& adjacency,
+                    const ModelSizing& sizing, Rng& rng,
+                    std::unique_ptr<ForecastingModel>* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("TryMakeModel: out is null");
+  }
+  if (num_entities <= 0) {
+    return Status::InvalidArgument("TryMakeModel: num_entities must be > 0");
+  }
+  if (in_channels <= 0) {
+    return Status::InvalidArgument("TryMakeModel: in_channels must be > 0");
+  }
+  bool known = false;
+  for (const std::string& candidate : ListModelNames()) {
+    if (candidate == name) known = true;
+  }
+  if (!known) {
+    std::string names;
+    for (const std::string& candidate : ListModelNames()) {
+      names += names.empty() ? candidate : ", " + candidate;
+    }
+    return Status::NotFound("unknown model name '" + name +
+                            "' (expected one of " + names + ")");
+  }
+  // Graph-convolutional variants CHECK on a well-formed adjacency inside
+  // their constructors; turn that into a recoverable error here.
+  const bool graph_free = name == "RNN" || name == "D-RNN" || name == "TCN" ||
+                          name == "WaveNet" || name == "D-TCN" ||
+                          name == "LSTM";
+  if (!graph_free &&
+      (adjacency.dim() != 2 || adjacency.size(0) != num_entities ||
+       adjacency.size(1) != num_entities)) {
+    return Status::InvalidArgument(
+        "model '" + name + "' needs a [" + std::to_string(num_entities) +
+        ", " + std::to_string(num_entities) + "] adjacency matrix (got " +
+        ShapeToString(adjacency.shape()) + ")");
+  }
+  *out = MakeModelOrNull(name, num_entities, in_channels, adjacency, sizing,
+                         rng);
+  return Status::Ok();
+}
+
+std::unique_ptr<ForecastingModel> MakeModel(const std::string& name,
+                                            int64_t num_entities,
+                                            int64_t in_channels,
+                                            const Tensor& adjacency,
+                                            const ModelSizing& sizing,
+                                            Rng& rng) {
+  std::unique_ptr<ForecastingModel> model;
+  const Status status = TryMakeModel(name, num_entities, in_channels,
+                                     adjacency, sizing, rng, &model);
+  ENHANCENET_CHECK(status.ok()) << status.ToString();
+  return model;
 }
 
 std::vector<std::string> ListModelNames() {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "models/forecasting_model.h"
 #include "tensor/tensor.h"
 
@@ -45,8 +46,18 @@ struct ModelSizing {
 /// DCRNN is the paper's GRNN base configuration (an encoder-decoder GRU
 /// with 2-hop bidirectional diffusion convolution [21]); WaveNet is the TCN
 /// base. `adjacency` is the raw distance-kernel matrix; it may be empty for
-/// graph-free models. CHECK-fails on unknown names (ListModelNames gives
-/// the valid set).
+/// graph-free models.
+///
+/// An unknown `name` is a user error (it typically arrives from a CLI flag
+/// or a serving request), so it is reported as Status::NotFound listing the
+/// valid set; `*out` is left untouched on failure.
+Status TryMakeModel(const std::string& name, int64_t num_entities,
+                    int64_t in_channels, const Tensor& adjacency,
+                    const ModelSizing& sizing, Rng& rng,
+                    std::unique_ptr<ForecastingModel>* out);
+
+/// CHECK-failing convenience wrapper around TryMakeModel for tests and
+/// benches whose model names are compile-time constants.
 std::unique_ptr<ForecastingModel> MakeModel(const std::string& name,
                                             int64_t num_entities,
                                             int64_t in_channels,

@@ -83,7 +83,7 @@ std::vector<ag::Variable> RnnModel::StepSupports(
 }
 
 ag::Variable RnnModel::Forward(const Tensor& x, const Tensor* teacher,
-                               float teacher_prob, Rng& rng) {
+                               float teacher_prob, Rng& rng) const {
   ENHANCENET_CHECK_EQ(x.dim(), 4);
   const int64_t batch = x.size(0);
   const int64_t n = x.size(1);

@@ -53,7 +53,7 @@ class RnnModel : public ForecastingModel {
   RnnModel(const RnnModelConfig& config, Rng& rng);
 
   autograd::Variable Forward(const Tensor& x, const Tensor* teacher,
-                             float teacher_prob, Rng& rng) override;
+                             float teacher_prob, Rng& rng) const override;
 
   const RnnModelConfig& config() const { return config_; }
 

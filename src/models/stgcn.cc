@@ -98,7 +98,7 @@ ag::Variable Stgcn::TemporalGlu(const ag::Variable& x,
 }
 
 ag::Variable Stgcn::Forward(const Tensor& x, const Tensor* /*teacher*/,
-                            float /*teacher_prob*/, Rng& rng) {
+                            float /*teacher_prob*/, Rng& rng) const {
   ENHANCENET_CHECK_EQ(x.dim(), 4);
   const int64_t batch = x.size(0);
   const int64_t n = x.size(1);

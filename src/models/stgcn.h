@@ -36,7 +36,7 @@ class Stgcn : public ForecastingModel {
   Stgcn(const StgcnConfig& config, Rng& rng);
 
   autograd::Variable Forward(const Tensor& x, const Tensor* teacher,
-                             float teacher_prob, Rng& rng) override;
+                             float teacher_prob, Rng& rng) const override;
 
   const StgcnConfig& config() const { return config_; }
 

@@ -66,7 +66,7 @@ class TcnModel : public ForecastingModel {
   TcnModel(const TcnModelConfig& config, Rng& rng);
 
   autograd::Variable Forward(const Tensor& x, const Tensor* teacher,
-                             float teacher_prob, Rng& rng) override;
+                             float teacher_prob, Rng& rng) const override;
 
   const TcnModelConfig& config() const { return config_; }
 

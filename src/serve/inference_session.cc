@@ -1,0 +1,143 @@
+#include "serve/inference_session.h"
+
+#include <cmath>
+#include <utility>
+
+#include "autograd/grad_mode.h"
+#include "common/stopwatch.h"
+#include "io/checkpoint.h"
+
+namespace enhancenet {
+namespace serve {
+
+Status InferenceSession::Create(const SessionConfig& config,
+                                const data::StandardScaler& scaler,
+                                std::unique_ptr<InferenceSession>* out) {
+  if (out == nullptr) {
+    return Status::InvalidArgument("InferenceSession::Create: out is null");
+  }
+  if (scaler.num_channels() != config.in_channels) {
+    return Status::InvalidArgument(
+        "scaler fitted on " + std::to_string(scaler.num_channels()) +
+        " channels but the session config declares " +
+        std::to_string(config.in_channels));
+  }
+  if (config.target_channel < 0 ||
+      config.target_channel >= config.in_channels) {
+    return Status::InvalidArgument(
+        "target_channel " + std::to_string(config.target_channel) +
+        " out of range [0, " + std::to_string(config.in_channels) + ")");
+  }
+  Rng rng(config.seed);
+  std::unique_ptr<models::ForecastingModel> model;
+  ENHANCENET_RETURN_IF_ERROR(models::TryMakeModel(
+      config.model_name, config.num_entities, config.in_channels,
+      config.adjacency, config.sizing, rng, &model));
+  if (!config.checkpoint_path.empty()) {
+    ENHANCENET_RETURN_IF_ERROR(
+        io::LoadCheckpoint(config.checkpoint_path, model.get()));
+  }
+  model->SetTraining(false);
+  out->reset(new InferenceSession(config, std::move(model), scaler));
+  return Status::Ok();
+}
+
+InferenceSession::InferenceSession(
+    SessionConfig config, std::unique_ptr<models::ForecastingModel> model,
+    const data::StandardScaler& scaler)
+    : config_(std::move(config)), model_(std::move(model)), scaler_(scaler) {}
+
+Status InferenceSession::Validate(const Tensor& history) const {
+  if (history.numel() == 0 || (history.dim() != 3 && history.dim() != 4)) {
+    return Status::InvalidArgument(
+        "history must be [N, H, C] or [B, N, H, C], got " +
+        ShapeToString(history.shape()));
+  }
+  const int64_t offset = history.dim() == 4 ? 1 : 0;
+  const int64_t n = history.size(offset);
+  const int64_t h = history.size(offset + 1);
+  const int64_t c = history.size(offset + 2);
+  if (n != config_.num_entities || h != model_->history() ||
+      c != config_.in_channels) {
+    return Status::InvalidArgument(
+        "history shape " + ShapeToString(history.shape()) +
+        " does not match the session's model (expected N=" +
+        std::to_string(config_.num_entities) +
+        ", H=" + std::to_string(model_->history()) +
+        ", C=" + std::to_string(config_.in_channels) + ")");
+  }
+  const float* p = history.data();
+  for (int64_t i = 0; i < history.numel(); ++i) {
+    if (!std::isfinite(p[i])) {
+      return Status::InvalidArgument(
+          "history contains a non-finite value at flat index " +
+          std::to_string(i));
+    }
+  }
+  return Status::Ok();
+}
+
+Tensor InferenceSession::ScaleWindow(const Tensor& history) const {
+  if (history.dim() == 3) return scaler_.Transform(history);
+  // [B,N,H,C]: fold batch and entity into the scaler's rank-3 contract;
+  // z-scoring is per channel, so the fold does not change any element.
+  const Shape shape = history.shape();
+  Tensor folded = history.Reshape({shape[0] * shape[1], shape[2], shape[3]});
+  return scaler_.Transform(folded).Reshape(shape);
+}
+
+Tensor InferenceSession::UnscaleForecast(const Tensor& forecast) const {
+  return scaler_.InverseTarget(forecast, config_.target_channel);
+}
+
+Status InferenceSession::Predict(const PredictRequest& request,
+                                 PredictResponse* response) const {
+  if (response == nullptr) {
+    return Status::InvalidArgument("Predict: response is null");
+  }
+  Stopwatch timer;
+  const Status valid = Validate(request.history);
+  if (!valid.ok()) {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.rejected;
+    return valid;
+  }
+  const bool single = request.history.dim() == 3;
+  const int64_t batch = single ? 1 : request.history.size(0);
+  Tensor x = request.scaled_input ? request.history
+                                  : ScaleWindow(request.history);
+  if (single) {
+    x = x.Reshape({1, config_.num_entities, model_->history(),
+                   config_.in_channels});
+  }
+
+  Tensor pred;
+  {
+    // Eval-mode forward never draws from the Rng, so a throwaway local one
+    // keeps Predict safely re-entrant across threads.
+    autograd::NoGradGuard no_grad;
+    Rng rng(config_.seed);
+    pred = model_->Predict(x, rng).data();  // [B, N, F]
+  }
+  if (!request.scaled_output) pred = UnscaleForecast(pred);
+  response->forecast =
+      single ? pred.Reshape({config_.num_entities, model_->horizon()}) : pred;
+  response->latency_ms = timer.ElapsedMillis();
+
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.windows += batch;
+  ++stats_.forwards;
+  stats_.total_latency_ms += response->latency_ms;
+  if (response->latency_ms > stats_.max_latency_ms) {
+    stats_.max_latency_ms = response->latency_ms;
+  }
+  return Status::Ok();
+}
+
+Stats InferenceSession::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace enhancenet

@@ -1,0 +1,122 @@
+#ifndef ENHANCENET_SERVE_INFERENCE_SESSION_H_
+#define ENHANCENET_SERVE_INFERENCE_SESSION_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+#include "data/dataset.h"
+#include "models/model_factory.h"
+#include "serve/stats.h"
+#include "tensor/tensor.h"
+
+namespace enhancenet {
+namespace serve {
+
+/// Everything needed to reconstruct a trained model for serving: the factory
+/// name and sizing it was trained with, the (optional) checkpoint holding
+/// its weights, and the scaler fitted on its training split.
+struct SessionConfig {
+  std::string model_name = "D-GRNN";
+  int64_t num_entities = 0;
+  int64_t in_channels = 1;
+  /// Channel predictions are made for; must be < in_channels.
+  int64_t target_channel = 0;
+  /// Raw distance-kernel adjacency [N, N]; may be empty for graph-free
+  /// models (RNN, D-RNN, TCN, WaveNet, D-TCN, LSTM).
+  Tensor adjacency;
+  models::ModelSizing sizing;
+  /// Binary weight checkpoint (io::SaveCheckpoint). Empty serves the
+  /// freshly-initialized weights — useful in tests only.
+  std::string checkpoint_path;
+  /// Seed for weight initialization before the checkpoint overwrites it.
+  /// Irrelevant to predictions when a checkpoint is loaded.
+  uint64_t seed = 2024;
+};
+
+/// One forecasting request.
+struct PredictRequest {
+  /// History window: [N, H, C] for a single window or [B, N, H, C] for a
+  /// caller-assembled batch. Raw (unscaled) units unless `scaled_input`.
+  Tensor history;
+  /// When true, `history` is already z-scored with the session's scaler
+  /// (e.g. it came from a WindowDataset batch).
+  bool scaled_input = false;
+  /// When true, the forecast is returned in scaled units instead of being
+  /// passed through the scaler's inverse transform.
+  bool scaled_output = false;
+};
+
+/// A served forecast.
+struct PredictResponse {
+  /// [N, F] for single-window requests, [B, N, F] for batched ones. Real
+  /// (unscaled) target-channel units unless the request set scaled_output.
+  Tensor forecast;
+  /// Wall-clock time spent inside Predict, including validation and
+  /// (de)scaling.
+  double latency_ms = 0.0;
+};
+
+/// A thread-safe serving handle owning a model, its weights, and the scaler
+/// it was trained with.
+///
+/// Construction is fallible (Status) — unknown model names, missing or
+/// mismatched checkpoints, and inconsistent configs are reported, never
+/// CHECK-aborted. Predict validates every request (rank, shape, finiteness)
+/// before the model sees it, so malformed input also surfaces as Status.
+///
+/// Forwards run in eval mode under autograd::NoGradGuard: no graph is
+/// recorded, predictions are bitwise identical to the training-time eval
+/// path, and — because eval-mode Forward is const and draws nothing from
+/// the Rng — any number of threads may call Predict concurrently.
+class InferenceSession {
+ public:
+  /// Builds the model, loads the checkpoint (if any), and switches to eval
+  /// mode. On failure `*out` is untouched.
+  static Status Create(const SessionConfig& config,
+                       const data::StandardScaler& scaler,
+                       std::unique_ptr<InferenceSession>* out);
+
+  /// Validates, scales, forwards, and unscales one request. Thread-safe.
+  Status Predict(const PredictRequest& request,
+                 PredictResponse* response) const;
+
+  /// Shape/finiteness validation only (no forward). MicroBatcher uses this
+  /// to reject bad requests before they join a batch.
+  Status Validate(const Tensor& history) const;
+
+  /// Applies the session scaler to a raw history window (any rank whose
+  /// last dimension is the channel count).
+  Tensor ScaleWindow(const Tensor& history) const;
+
+  /// Inverse-transforms a scaled forecast back to real target-channel units.
+  Tensor UnscaleForecast(const Tensor& forecast) const;
+
+  /// Counter snapshot; `forwards` here counts Predict calls (the
+  /// MicroBatcher layers its own occupancy accounting on top).
+  Stats stats() const;
+
+  const models::ForecastingModel& model() const { return *model_; }
+  int64_t num_entities() const { return config_.num_entities; }
+  int64_t in_channels() const { return config_.in_channels; }
+  int64_t history() const { return model_->history(); }
+  int64_t horizon() const { return model_->horizon(); }
+
+ private:
+  InferenceSession(SessionConfig config,
+                   std::unique_ptr<models::ForecastingModel> model,
+                   const data::StandardScaler& scaler);
+
+  SessionConfig config_;
+  std::unique_ptr<models::ForecastingModel> model_;
+  data::StandardScaler scaler_;
+
+  mutable std::mutex stats_mu_;
+  mutable Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_SERVE_INFERENCE_SESSION_H_

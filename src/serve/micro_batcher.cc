@@ -1,0 +1,139 @@
+#include "serve/micro_batcher.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "tensor/tensor_ops.h"
+
+namespace enhancenet {
+namespace serve {
+
+MicroBatcher::MicroBatcher(const InferenceSession* session,
+                           const MicroBatcherConfig& config)
+    : session_(session), config_(config) {
+  if (config_.max_batch_size < 1) config_.max_batch_size = 1;
+  if (config_.max_wait_ms < 0.0) config_.max_wait_ms = 0.0;
+}
+
+void MicroBatcher::RunBatch(const std::shared_ptr<Batch>& batch) {
+  const int64_t n = session_->num_entities();
+  const int64_t b = static_cast<int64_t>(batch->inputs.size());
+  std::vector<Tensor> lifted;
+  lifted.reserve(batch->inputs.size());
+  for (const Tensor& window : batch->inputs) {
+    lifted.push_back(
+        window.Reshape({1, n, session_->history(), session_->in_channels()}));
+  }
+  PredictRequest batched;
+  batched.history = ops::Concat(lifted, 0);  // [B,N,H,C]
+  batched.scaled_input = true;
+  batched.scaled_output = true;
+  PredictResponse response;
+  const Status status = session_->Predict(batched, &response);
+
+  std::vector<Tensor> outputs;
+  if (status.ok()) {
+    outputs.reserve(batch->inputs.size());
+    for (int64_t i = 0; i < b; ++i) {
+      outputs.push_back(ops::Slice(response.forecast, 0, i, 1)
+                            .Reshape({n, session_->horizon()}));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch->outputs = std::move(outputs);
+    batch->status = status;
+    batch->done = true;
+    ++stats_.forwards;
+  }
+  cv_.notify_all();
+}
+
+Status MicroBatcher::Predict(const PredictRequest& request,
+                             PredictResponse* response) {
+  if (response == nullptr) {
+    return Status::InvalidArgument("Predict: response is null");
+  }
+  Stopwatch timer;
+  if (request.history.dim() != 3) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    return Status::InvalidArgument(
+        "micro-batcher coalesces single windows [N, H, C]; got " +
+        ShapeToString(request.history.shape()) +
+        " (send pre-assembled batches straight to the session)");
+  }
+  const Status valid = session_->Validate(request.history);
+  if (!valid.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    return valid;
+  }
+  // Scale outside the batch so a batch is always homogeneous (scaled in,
+  // scaled out) regardless of each member's request flags.
+  Tensor scaled =
+      request.scaled_input ? request.history : session_->ScaleWindow(request.history);
+
+  std::shared_ptr<Batch> batch;
+  size_t index = 0;
+  bool leader = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (open_batch_ == nullptr) {
+      batch = std::make_shared<Batch>();
+      open_batch_ = batch;
+      leader = true;
+    } else {
+      batch = open_batch_;
+    }
+    batch->inputs.push_back(std::move(scaled));
+    index = batch->inputs.size() - 1;
+    const bool full =
+        static_cast<int64_t>(batch->inputs.size()) >= config_.max_batch_size;
+    if (leader) {
+      // Wait for followers until the batch fills or the deadline passes,
+      // then take the batch out of circulation and run it.
+      cv_.wait_for(
+          lock, std::chrono::duration<double, std::milli>(config_.max_wait_ms),
+          [&] {
+            return static_cast<int64_t>(batch->inputs.size()) >=
+                   config_.max_batch_size;
+          });
+      batch->closed = true;
+      if (open_batch_ == batch) open_batch_ = nullptr;
+    } else if (full) {
+      // This join filled the batch: retire it and wake the leader early.
+      batch->closed = true;
+      open_batch_ = nullptr;
+      cv_.notify_all();
+    }
+  }
+  if (leader) RunBatch(batch);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [&] { return batch->done; });
+  }
+  if (!batch->status.ok()) return batch->status;
+
+  Tensor forecast = batch->outputs[index];
+  if (!request.scaled_output) forecast = session_->UnscaleForecast(forecast);
+  response->forecast = std::move(forecast);
+  response->latency_ms = timer.ElapsedMillis();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.windows;
+  stats_.total_latency_ms += response->latency_ms;
+  if (response->latency_ms > stats_.max_latency_ms) {
+    stats_.max_latency_ms = response->latency_ms;
+  }
+  return Status::Ok();
+}
+
+Stats MicroBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace enhancenet

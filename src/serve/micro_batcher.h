@@ -1,0 +1,78 @@
+#ifndef ENHANCENET_SERVE_MICRO_BATCHER_H_
+#define ENHANCENET_SERVE_MICRO_BATCHER_H_
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/inference_session.h"
+#include "serve/stats.h"
+
+namespace enhancenet {
+namespace serve {
+
+struct MicroBatcherConfig {
+  /// A batch is launched as soon as this many windows have joined it.
+  int64_t max_batch_size = 8;
+  /// ... or once the first (leader) request has waited this long.
+  double max_wait_ms = 2.0;
+};
+
+/// Coalesces concurrent single-window Predict calls into one batched model
+/// forward.
+///
+/// The expensive part of correlated-time-series inference is batched GEMM
+/// over all N entities; stacking B concurrent requests into one [B,N,H,C]
+/// forward amortizes filter generation and keeps the tiled GEMM kernels
+/// (which already fan out over the ParallelFor pool) working on larger
+/// operands. Policy: the first request to arrive becomes the batch *leader*
+/// and waits up to `max_wait_ms` for followers; the batch launches early the
+/// moment it reaches `max_batch_size`. Followers block until the leader
+/// distributes their slice of the batched forecast.
+///
+/// Requests failing validation are rejected individually before joining a
+/// batch, so one malformed request can never poison its neighbours.
+/// Thread-safe; Predict blocks the calling thread (at most
+/// max_wait_ms + one forward).
+class MicroBatcher {
+ public:
+  /// `session` is borrowed and must outlive the batcher.
+  MicroBatcher(const InferenceSession* session,
+               const MicroBatcherConfig& config);
+
+  /// Serves one single-window request ([N, H, C] only — callers with a
+  /// pre-assembled batch should go straight to the session).
+  Status Predict(const PredictRequest& request, PredictResponse* response);
+
+  /// Counter snapshot: `windows`/`forwards` is the realized mean batch
+  /// occupancy, latencies are per request (queueing included).
+  Stats stats() const;
+
+ private:
+  /// One in-flight coalesced batch; lives on the heap so late followers can
+  /// keep a reference after the batcher moves on to the next batch.
+  struct Batch {
+    std::vector<Tensor> inputs;    // scaled [N,H,C] windows, joining order
+    std::vector<Tensor> outputs;   // scaled [N,F] forecasts, same order
+    Status status;                 // forward outcome, shared by all members
+    bool closed = false;           // no longer accepting joiners
+    bool done = false;             // outputs/status are final
+  };
+
+  /// Runs the batched forward for `batch` and publishes the results.
+  void RunBatch(const std::shared_ptr<Batch>& batch);
+
+  const InferenceSession* session_;
+  MicroBatcherConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::shared_ptr<Batch> open_batch_;
+  Stats stats_;
+};
+
+}  // namespace serve
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_SERVE_MICRO_BATCHER_H_

@@ -1,0 +1,35 @@
+#ifndef ENHANCENET_SERVE_STATS_H_
+#define ENHANCENET_SERVE_STATS_H_
+
+#include <cstdint>
+
+namespace enhancenet {
+namespace serve {
+
+/// Snapshot of serving counters. InferenceSession and MicroBatcher each keep
+/// one behind a mutex and hand out copies, so readers never race writers.
+///
+/// `forwards` counts model forward passes while `windows` counts the
+/// requests they served; their ratio is the mean batch occupancy — the
+/// micro-batcher's effectiveness metric (1.0 means no coalescing happened).
+struct Stats {
+  int64_t windows = 0;            // successfully served prediction windows
+  int64_t rejected = 0;           // requests failing validation
+  int64_t forwards = 0;           // batched model forward passes executed
+  double total_latency_ms = 0.0;  // summed per-request wall latency
+  double max_latency_ms = 0.0;
+
+  double mean_latency_ms() const {
+    return windows == 0 ? 0.0 : total_latency_ms / static_cast<double>(windows);
+  }
+  double mean_batch_occupancy() const {
+    return forwards == 0
+               ? 0.0
+               : static_cast<double>(windows) / static_cast<double>(forwards);
+  }
+};
+
+}  // namespace serve
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_SERVE_STATS_H_

@@ -2,8 +2,11 @@
 
 #include <cmath>
 #include <functional>
+#include <stdexcept>
 #include <string>
+#include <thread>
 
+#include "autograd/grad_mode.h"
 #include "autograd/variable.h"
 #include "gtest/gtest.h"
 #include "tensor/tensor_ops.h"
@@ -71,6 +74,59 @@ TEST(VariableTest, NoGradInputsSkipGraphConstruction) {
   ag::Variable c = ag::Add(a, b);
   EXPECT_FALSE(c.requires_grad());
   EXPECT_TRUE(c.node()->is_leaf);  // recorded as a constant
+}
+
+TEST(GradModeTest, NoGradGuardDetachesOpsOnGradInputs) {
+  ag::Variable w = ag::Variable::Leaf(Tensor::Ones({2, 2}), true);
+  EXPECT_TRUE(ag::GradMode::IsEnabled());
+  {
+    ag::NoGradGuard no_grad;
+    EXPECT_FALSE(ag::GradMode::IsEnabled());
+    ag::Variable y = ag::Square(w);
+    // Same forward values, but no graph: leaf result, no parents, no
+    // backward closure, requires_grad off.
+    EXPECT_EQ(y.data().at({0, 0}), 1.0f);
+    EXPECT_FALSE(y.requires_grad());
+    EXPECT_TRUE(y.node()->is_leaf);
+    EXPECT_TRUE(y.node()->parents.empty());
+    EXPECT_FALSE(static_cast<bool>(y.node()->backward_fn));
+  }
+  // Mode restored: the same op records again.
+  EXPECT_TRUE(ag::GradMode::IsEnabled());
+  ag::Variable z = ag::Square(w);
+  EXPECT_TRUE(z.requires_grad());
+  EXPECT_FALSE(z.node()->is_leaf);
+}
+
+TEST(GradModeTest, GuardsNestAndRestoreOnException) {
+  {
+    ag::NoGradGuard outer;
+    {
+      ag::NoGradGuard inner;
+      EXPECT_FALSE(ag::GradMode::IsEnabled());
+    }
+    // Inner guard restores the *outer* disabled state, not enabled.
+    EXPECT_FALSE(ag::GradMode::IsEnabled());
+  }
+  EXPECT_TRUE(ag::GradMode::IsEnabled());
+
+  try {
+    ag::NoGradGuard guard;
+    throw std::runtime_error("unwind");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_TRUE(ag::GradMode::IsEnabled());  // RAII restored during unwind
+}
+
+TEST(GradModeTest, GuardIsPerThread) {
+  ag::NoGradGuard no_grad;
+  bool other_thread_enabled = false;
+  std::thread probe(
+      [&] { other_thread_enabled = ag::GradMode::IsEnabled(); });
+  probe.join();
+  // Disabling grad on this (serving) thread leaves trainer threads alone.
+  EXPECT_TRUE(other_thread_enabled);
+  EXPECT_FALSE(ag::GradMode::IsEnabled());
 }
 
 TEST(VariableTest, DiamondGraphAccumulatesBothPaths) {

@@ -255,6 +255,30 @@ TEST(CheckpointTest, RejectsShapeMismatch) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointTest, ShapeMismatchNamesParameterAndBothShapes) {
+  models::ModelSizing small;
+  small.rnn_hidden = 8;
+  models::ModelSizing big;
+  big.rnn_hidden = 16;
+  Rng rng(24);
+  auto a = models::MakeModel("RNN", 8, 1, Tensor(), small, rng);
+  auto b = models::MakeModel("RNN", 8, 1, Tensor(), big, rng);
+  const std::string path = TempPath("shape_msg.encp");
+  ASSERT_TRUE(io::SaveCheckpoint(path, *a).ok());
+  const Status status = io::LoadCheckpoint(path, b.get());
+  ASSERT_FALSE(status.ok());
+  // The message must identify the offending parameter by name and report
+  // both sides of the mismatch so a misconfigured server is debuggable.
+  const std::string& msg = status.message();
+  EXPECT_NE(msg.find("shape mismatch for parameter '"), std::string::npos)
+      << msg;
+  // Both sides of the mismatch are rendered (GRU gate matrices: [in+hidden,
+  // 2*hidden], so hidden 8 vs 16 gives [9, 16] vs [17, 32]).
+  EXPECT_NE(msg.find("checkpoint has [9, 16]"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("module has [17, 32]"), std::string::npos) << msg;
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointTest, RejectsGarbageFile) {
   const std::string path = TempPath("garbage.encp");
   WriteFile(path, "this is not a checkpoint");

@@ -362,5 +362,67 @@ TEST(StgcnTest, GraphChangesOutput) {
                              1e-5f));
 }
 
+TEST(ModelFactoryTest, TryMakeModelUnknownNameIsNotFound) {
+  Rng rng(60);
+  std::unique_ptr<models::ForecastingModel> model;
+  const Status status = models::TryMakeModel(
+      "NOT-A-MODEL", kEntities, 1, TestAdjacency(), TinySizing(), rng, &model);
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  // The message lists the valid set and the out param stays untouched.
+  EXPECT_NE(status.message().find("NOT-A-MODEL"), std::string::npos);
+  EXPECT_NE(status.message().find("D-GRNN"), std::string::npos);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(ModelFactoryTest, TryMakeModelValidNameProducesWorkingModel) {
+  Rng rng(61);
+  std::unique_ptr<models::ForecastingModel> model;
+  const Status status = models::TryMakeModel(
+      "D-GRNN", kEntities, 1, TestAdjacency(), TinySizing(), rng, &model);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_NE(model, nullptr);
+  model->SetTraining(false);
+  Rng eval_rng(62);
+  Tensor x = Tensor::RandUniform({kBatch, kEntities, kHistory, 1}, eval_rng,
+                                 -1.0f, 1.0f);
+  ag::Variable pred = model->Predict(x, eval_rng);
+  EXPECT_EQ(ShapeToString(pred.data().shape()), "[2, 6, 12]");
+}
+
+TEST(ModelFactoryTest, TryMakeModelGraphModelNeedsAdjacency) {
+  Rng rng(63);
+  std::unique_ptr<models::ForecastingModel> model;
+  const Status status = models::TryMakeModel(
+      "GRNN", kEntities, 1, Tensor(), TinySizing(), rng, &model);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(model, nullptr);
+  // Graph-free models accept an empty adjacency.
+  EXPECT_TRUE(models::TryMakeModel("RNN", kEntities, 1, Tensor(), TinySizing(),
+                                   rng, &model)
+                  .ok());
+  EXPECT_NE(model, nullptr);
+}
+
+TEST(ModelFactoryTest, TryMakeModelRejectsBadDimensions) {
+  Rng rng(64);
+  std::unique_ptr<models::ForecastingModel> model;
+  EXPECT_EQ(models::TryMakeModel("RNN", 0, 1, Tensor(), TinySizing(), rng,
+                                 &model)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(models::TryMakeModel("RNN", kEntities, 0, Tensor(), TinySizing(),
+                                 rng, &model)
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(model, nullptr);
+}
+
+TEST(ModelFactoryDeathTest, MakeModelStillChecksOnUnknownName) {
+  Rng rng(65);
+  EXPECT_DEATH(models::MakeModel("NOT-A-MODEL", kEntities, 1, TestAdjacency(),
+                                 TinySizing(), rng),
+               "unknown model name");
+}
+
 }  // namespace
 }  // namespace enhancenet
