@@ -12,6 +12,8 @@
 #include "data/synthetic.h"
 #include "graph/adjacency.h"
 #include "models/arima.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace enhancenet {
 namespace bench {
@@ -308,6 +310,18 @@ void AppendRunsCsv(const std::string& path,
            << run.predict_millis << '\n';
     }
   }
+}
+
+void MaybeExportMetrics() {
+  const char* path = std::getenv("ENHANCENET_METRICS_OUT");
+  if (path == nullptr || path[0] == '\0') return;
+  const Status written = obs::WriteMetricsJson(obs::Registry::Global(), path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "metrics export failed: %s\n",
+                 written.ToString().c_str());
+    return;
+  }
+  std::fprintf(stderr, "metrics snapshot written to %s\n", path);
 }
 
 }  // namespace bench

@@ -77,6 +77,12 @@ void PrintTableBlock(const std::string& title,
 /// creates the file with a header if needed.
 void AppendRunsCsv(const std::string& path, const std::vector<ModelRun>& runs);
 
+/// When ENHANCENET_METRICS_OUT is set, writes the process metrics registry
+/// as a JSON snapshot to that path (same format as the CLI's --metrics-out),
+/// so benchmark runs leave their counters/histograms next to the
+/// BENCH_*.json timings. No-op otherwise.
+void MaybeExportMetrics();
+
 }  // namespace bench
 }  // namespace enhancenet
 

@@ -18,6 +18,7 @@
 #include <unordered_set>
 
 #include "autograd/grad_mode.h"
+#include "bench_common.h"
 #include "common/logging.h"
 #include "data/synthetic.h"
 #include "graph/adjacency.h"
@@ -201,4 +202,11 @@ BENCHMARK_CAPTURE(BM_SessionPredictBatched, DGTCN, "D-GTCN")
 }  // namespace
 }  // namespace enhancenet
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  enhancenet::bench::MaybeExportMetrics();
+  return 0;
+}

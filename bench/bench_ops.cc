@@ -9,10 +9,12 @@
 #include <benchmark/benchmark.h>
 
 #include "autograd/ops.h"
+#include "bench_common.h"
 #include "core/damgn.h"
 #include "core/dfgn.h"
 #include "graph/adjacency.h"
 #include "graph/graph_conv.h"
+#include "obs/metrics.h"
 #include "tensor/tensor_ops.h"
 
 namespace enhancenet {
@@ -31,6 +33,23 @@ void BM_Gemm(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_GemmProfiled(benchmark::State& state) {
+  // Same kernel as BM_Gemm with the opt-in profiling hooks live; the
+  // BENCH_ops.json delta between the two is the observability overhead the
+  // registry adds to a hot kernel (budget: < 2%).
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  obs::SetProfilingEnabled(true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::MatMul(a, b));
+  }
+  obs::SetProfilingEnabled(false);
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_GemmProfiled)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_BatchGemmEntityFilters(benchmark::State& state) {
   // The fundamental D-RNN operation: per-entity filters as one bmm.
@@ -122,4 +141,11 @@ BENCHMARK(BM_DamgnCombined)->Arg(32)->Arg(128)->Arg(207);
 }  // namespace
 }  // namespace enhancenet
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  enhancenet::bench::MaybeExportMetrics();
+  return 0;
+}

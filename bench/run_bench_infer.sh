@@ -19,6 +19,9 @@ if [[ ! -x "$BUILD_DIR/bench/bench_infer" ]]; then
   cmake --build "$BUILD_DIR" -j --target bench_infer
 fi
 
+# The metrics snapshot (counters + histograms, same JSON schema as the
+# CLI's --metrics-out) lands next to the timings.
+ENHANCENET_METRICS_OUT="${ENHANCENET_METRICS_OUT:-$ROOT/BENCH_infer_metrics.json}" \
 "$BUILD_DIR/bench/bench_infer" \
   --benchmark_format=json \
   ${BENCHMARK_FILTER:+--benchmark_filter="$BENCHMARK_FILTER"} \

@@ -8,19 +8,31 @@
 #   BENCHMARK_FILTER='BM_Gemm' bench/run_bench_ops.sh
 #   BUILD_DIR=/tmp/build bench/run_bench_ops.sh
 #   ENHANCENET_NUM_THREADS=1 bench/run_bench_ops.sh   # serial baseline
+#   BENCHMARK_REPETITIONS=1 bench/run_bench_ops.sh    # quick single-shot run
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
 OUT="$ROOT/BENCH_ops.json"
+# Single-shot timings on a shared single-core runner drift by ±5-25% between
+# benchmark families measured seconds apart. Randomly interleaved repetitions
+# sample each family across the whole run, so the recorded medians compare
+# families (e.g. BM_Gemm vs BM_GemmProfiled) against the same machine state.
+REPS="${BENCHMARK_REPETITIONS:-5}"
 
 if [[ ! -x "$BUILD_DIR/bench/bench_ops" ]]; then
   cmake -B "$BUILD_DIR" -S "$ROOT"
   cmake --build "$BUILD_DIR" -j --target bench_ops
 fi
 
+# The metrics snapshot (counters + histograms, same JSON schema as the
+# CLI's --metrics-out) lands next to the timings.
+ENHANCENET_METRICS_OUT="${ENHANCENET_METRICS_OUT:-$ROOT/BENCH_ops_metrics.json}" \
 "$BUILD_DIR/bench/bench_ops" \
   --benchmark_format=json \
+  --benchmark_repetitions="$REPS" \
+  --benchmark_enable_random_interleaving=true \
+  --benchmark_report_aggregates_only=true \
   ${BENCHMARK_FILTER:+--benchmark_filter="$BENCHMARK_FILTER"} \
   > "$OUT"
 

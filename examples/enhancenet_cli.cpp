@@ -15,6 +15,10 @@
 //   ./build/examples/enhancenet_cli train --series series.csv \
 //       --distances dist.csv --channels 2 --model GTCN --epochs 10 \
 //       --checkpoint model.encp
+//
+//   # observability: dump a metrics snapshot (and kernel profiling counters)
+//   ./build/examples/enhancenet_cli train --synthetic eb --epochs 2 \
+//       --metrics-out=metrics.json --profile
 
 #include <cstdio>
 #include <cstring>
@@ -28,6 +32,8 @@
 #include "io/checkpoint.h"
 #include "io/csv.h"
 #include "models/model_factory.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "serve/inference_session.h"
 #include "train/trainer.h"
 
@@ -50,13 +56,23 @@ struct Args {
   }
 };
 
+// Accepts `--key value`, `--key=value`, and bare boolean flags (`--profile`,
+// stored as "1"). A token following a bare flag that itself starts with
+// `--` begins the next flag rather than being swallowed as a value.
 Args ParseArgs(int argc, char** argv) {
   Args args;
   if (argc >= 2) args.command = argv[1];
-  for (int i = 2; i + 1 < argc; i += 2) {
+  for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
     if (key.rfind("--", 0) == 0) key = key.substr(2);
-    args.flags[key] = argv[i + 1];
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      args.flags[key.substr(0, eq)] = key.substr(eq + 1);
+    } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.flags[key] = argv[++i];
+    } else {
+      args.flags[key] = "1";
+    }
   }
   return args;
 }
@@ -70,8 +86,27 @@ int Usage() {
       "  --model NAME             any of the model-zoo names (default D-DA-GRNN)\n"
       "  --epochs E               training epochs (default 3)\n"
       "  --checkpoint PATH        weights file to save (train) / load (predict)\n"
-      "  --out PATH               forecast CSV (predict; default forecast.csv)\n");
+      "  --out PATH               forecast CSV (predict; default forecast.csv)\n"
+      "  --metrics-out PATH       write a JSON metrics snapshot on exit\n"
+      "  --profile                record tensor-kernel profiling counters\n");
   return 2;
+}
+
+// Dumps the process metrics registry to --metrics-out (if given). Called on
+// every successful exit so train and predict runs both leave a snapshot.
+int FinishWithMetrics(const Args& args, int exit_code) {
+  const std::string metrics_out = args.Get("metrics-out");
+  if (!metrics_out.empty()) {
+    const Status written =
+        obs::WriteMetricsJson(obs::Registry::Global(), metrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "metrics write failed: %s\n",
+                   written.ToString().c_str());
+      return exit_code == 0 ? 1 : exit_code;
+    }
+    std::printf("metrics snapshot written to %s\n", metrics_out.c_str());
+  }
+  return exit_code;
 }
 
 data::CtsData LoadData(const Args& args, bool* ok) {
@@ -110,6 +145,7 @@ data::CtsData LoadData(const Args& args, bool* ok) {
 int main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv);
   if (args.command != "train" && args.command != "predict") return Usage();
+  if (args.flags.count("profile")) obs::SetProfilingEnabled(true);
 
   bool ok = false;
   data::CtsData dataset = LoadData(args, &ok);
@@ -166,7 +202,45 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("weights saved to %s\n", checkpoint.c_str());
-    return 0;
+
+    // Serve smoke through the inference subsystem: reload the checkpoint we
+    // just wrote and serve the most recent test window. Besides exercising
+    // the save->load->serve path end to end, it means a train-only run's
+    // metrics snapshot also carries the serve latency histograms.
+    serve::SessionConfig sc;
+    sc.model_name = model_name;
+    sc.num_entities = dataset.num_entities();
+    sc.in_channels = dataset.num_channels();
+    sc.target_channel = dataset.target_channel;
+    sc.adjacency = adjacency;
+    sc.sizing = sizing;
+    sc.checkpoint_path = checkpoint;
+    std::unique_ptr<serve::InferenceSession> session;
+    const Status created =
+        serve::InferenceSession::Create(sc, scaler, &session);
+    if (!created.ok()) {
+      std::fprintf(stderr, "serve smoke failed: %s\n",
+                   created.ToString().c_str());
+      return 1;
+    }
+    data::WindowDataset test(scaled, dataset.series, dataset.target_channel,
+                             splits.val_end, splits.total, 12, 12, 1);
+    if (test.num_windows() > 0) {
+      const data::Batch batch = test.MakeBatch({test.num_windows() - 1});
+      serve::PredictRequest request;
+      request.history = batch.x;    // [1, N, H, C], already z-scored
+      request.scaled_input = true;
+      serve::PredictResponse response;
+      const Status served = session->Predict(request, &response);
+      if (!served.ok()) {
+        std::fprintf(stderr, "serve smoke predict failed: %s\n",
+                     served.ToString().c_str());
+        return 1;
+      }
+      std::printf("serve smoke: latest test window served in %.2f ms\n",
+                  response.latency_ms);
+    }
+    return FinishWithMetrics(args, 0);
   }
 
   // predict: serve the checkpoint through the inference subsystem. All
@@ -228,5 +302,5 @@ int main(int argc, char** argv) {
               "latency %.2f ms\n",
               (long long)stats.windows, (long long)stats.forwards,
               response.latency_ms);
-  return 0;
+  return FinishWithMetrics(args, 0);
 }

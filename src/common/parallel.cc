@@ -9,8 +9,39 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace enhancenet {
 namespace {
+
+// Opt-in (obs::ProfilingEnabled) accounting of how ParallelFor carves work:
+// regions dispatched to the pool vs. run inline, chunk counts, and what
+// fraction of the available workers a region can actually occupy. The off
+// path costs one relaxed atomic load per region.
+struct ParallelProfile {
+  obs::Counter* regions;
+  obs::Counter* inline_regions;
+  obs::Counter* chunks;
+  obs::Histogram* chunks_per_region;
+  obs::Histogram* shard_utilization;
+
+  static ParallelProfile& Get() {
+    static ParallelProfile profile = [] {
+      obs::Registry& registry = obs::Registry::Global();
+      ParallelProfile p;
+      p.regions = registry.GetCounter("parallel.regions");
+      p.inline_regions = registry.GetCounter("parallel.inline_regions");
+      p.chunks = registry.GetCounter("parallel.chunks");
+      p.chunks_per_region = registry.GetHistogram(
+          "parallel.chunks_per_region", {1, 2, 4, 8, 16, 32, 64, 128});
+      p.shard_utilization = registry.GetHistogram(
+          "parallel.shard_utilization",
+          {0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0});
+      return p;
+    }();
+    return profile;
+  }
+};
 
 thread_local bool tls_in_parallel_region = false;
 
@@ -195,6 +226,7 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   if (grain < 1) grain = 1;
   const int threads = GetNumThreads();
   if (threads <= 1 || n <= grain || tls_in_parallel_region) {
+    if (obs::ProfilingEnabled()) ParallelProfile::Get().inline_regions->Add();
     fn(begin, end);
     return;
   }
@@ -206,8 +238,18 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   const int64_t chunk_size = CeilDiv(n, max_chunks);
   const int64_t num_chunks = CeilDiv(n, chunk_size);
   if (num_chunks <= 1) {
+    if (obs::ProfilingEnabled()) ParallelProfile::Get().inline_regions->Add();
     fn(begin, end);
     return;
+  }
+  if (obs::ProfilingEnabled()) {
+    ParallelProfile& profile = ParallelProfile::Get();
+    profile.regions->Add();
+    profile.chunks->Add(num_chunks);
+    profile.chunks_per_region->Observe(static_cast<double>(num_chunks));
+    profile.shard_utilization->Observe(
+        static_cast<double>(std::min<int64_t>(num_chunks, threads)) /
+        static_cast<double>(threads));
   }
   const std::function<void(int64_t)> chunk_fn = [&](int64_t chunk) {
     const int64_t b = begin + chunk * chunk_size;

@@ -10,7 +10,11 @@ namespace data {
 
 Splits ChronologicalSplits(int64_t total_steps, double train_frac,
                            double val_frac) {
-  ENHANCENET_CHECK_GT(total_steps, 0);
+  // Each split needs at least one step, and the clamps below assume
+  // 1 <= total_steps - 2 (std::clamp is UB when hi < lo).
+  ENHANCENET_CHECK_GE(total_steps, 3)
+      << "ChronologicalSplits needs >= 3 steps to give train/val/test at "
+         "least one step each";
   ENHANCENET_CHECK(train_frac > 0 && val_frac >= 0 &&
                    train_frac + val_frac < 1.0)
       << "bad split fractions";

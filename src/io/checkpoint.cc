@@ -1,10 +1,13 @@
 #include "io/checkpoint.h"
 
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 namespace enhancenet {
 namespace io {
@@ -27,25 +30,40 @@ bool ReadPod(std::ifstream& file, T* value) {
 }  // namespace
 
 Status SaveCheckpoint(const std::string& path, const nn::Module& module) {
-  std::ofstream file(path, std::ios::binary);
-  if (!file.is_open()) {
-    return Status::NotFound("cannot open " + path + " for writing");
+  // Crash safety: the final file must never exist in a partially-written
+  // state, so everything is written to <path>.tmp and renamed into place
+  // only after every byte landed. A crash at any point leaves either no
+  // file at `path` or the previous complete one; the only torn artifact is
+  // the temp file, which LoadCheckpoint never looks at.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream file(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!file.is_open()) {
+      return Status::NotFound("cannot open " + tmp_path + " for writing");
+    }
+    const auto named = module.NamedParameters();
+    file.write(kMagic, sizeof(kMagic));
+    WritePod(file, kVersion);
+    WritePod(file, static_cast<uint64_t>(named.size()));
+    for (const auto& [name, param] : named) {
+      WritePod(file, static_cast<uint32_t>(name.size()));
+      file.write(name.data(), static_cast<std::streamsize>(name.size()));
+      const Shape& shape = param.shape();
+      WritePod(file, static_cast<uint32_t>(shape.size()));
+      for (int64_t d : shape) WritePod(file, d);
+      file.write(reinterpret_cast<const char*>(param.data().data()),
+                 static_cast<std::streamsize>(param.numel() * sizeof(float)));
+    }
+    file.flush();
+    if (!file.good()) {
+      file.close();
+      std::remove(tmp_path.c_str());
+      return Status::Internal("write to " + tmp_path + " failed");
+    }
   }
-  const auto named = module.NamedParameters();
-  file.write(kMagic, sizeof(kMagic));
-  WritePod(file, kVersion);
-  WritePod(file, static_cast<uint64_t>(named.size()));
-  for (const auto& [name, param] : named) {
-    WritePod(file, static_cast<uint32_t>(name.size()));
-    file.write(name.data(), static_cast<std::streamsize>(name.size()));
-    const Shape& shape = param.shape();
-    WritePod(file, static_cast<uint32_t>(shape.size()));
-    for (int64_t d : shape) WritePod(file, d);
-    file.write(reinterpret_cast<const char*>(param.data().data()),
-               static_cast<std::streamsize>(param.numel() * sizeof(float)));
-  }
-  if (!file.good()) {
-    return Status::Internal("write to " + path + " failed");
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("rename " + tmp_path + " -> " + path + " failed");
   }
   return Status::Ok();
 }
@@ -88,6 +106,12 @@ Status LoadCheckpoint(const std::string& path, nn::Module* module) {
     return Status::FailedPrecondition(msg.str());
   }
 
+  // Transactional load: every payload is staged into a scratch buffer and
+  // the module is only touched after the entire file has been read and
+  // validated. A truncated tail or mid-file corruption therefore leaves the
+  // module's parameters bitwise identical to before the call.
+  std::vector<std::pair<autograd::Variable, std::vector<float>>> staged;
+  staged.reserve(static_cast<size_t>(count));
   for (uint64_t i = 0; i < count; ++i) {
     uint32_t name_len = 0;
     if (!ReadPod(file, &name_len) || name_len > 4096) {
@@ -117,13 +141,20 @@ Status LoadCheckpoint(const std::string& path, nn::Module* module) {
           "': checkpoint has " + ShapeToString(shape) + ", module has " +
           ShapeToString(it->second.shape()));
     }
-    file.read(reinterpret_cast<char*>(it->second.mutable_data().data()),
-              static_cast<std::streamsize>(NumElements(shape) *
-                                           sizeof(float)));
+    std::vector<float> scratch(static_cast<size_t>(NumElements(shape)));
+    file.read(reinterpret_cast<char*>(scratch.data()),
+              static_cast<std::streamsize>(scratch.size() * sizeof(float)));
     if (!file.good()) {
       return Status::InvalidArgument(path + ": truncated data for '" + name +
                                      "'");
     }
+    staged.emplace_back(it->second, std::move(scratch));
+  }
+
+  // Commit point: all reads and checks passed.
+  for (auto& [param, scratch] : staged) {
+    std::memcpy(param.mutable_data().data(), scratch.data(),
+                scratch.size() * sizeof(float));
   }
   return Status::Ok();
 }

@@ -24,6 +24,13 @@ namespace io {
 ///   ...
 ///   auto fresh = models::MakeModel(...same config & seed...);
 ///   io::LoadCheckpoint("model.encp", fresh.get());
+///
+/// Crash safety: saving writes <path>.tmp and renames it into place, so a
+/// kill at any point leaves either no file or the previous complete file at
+/// `path` — never a torn one with a valid header. Loading is transactional:
+/// the module is modified only after the whole file has been read and every
+/// name/shape check passed, so a failed load leaves the parameters bitwise
+/// untouched.
 Status SaveCheckpoint(const std::string& path, const nn::Module& module);
 
 /// Restores every parameter of `module` from the checkpoint. The checkpoint

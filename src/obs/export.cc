@@ -1,0 +1,145 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace enhancenet {
+namespace obs {
+namespace {
+
+// JSON has no literal for non-finite numbers; quote them so a gauge holding
+// inf/nan cannot corrupt the document.
+void AppendDouble(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << '"' << (std::isnan(v) ? "nan" : (v > 0 ? "inf" : "-inf")) << '"';
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out << buf;
+}
+
+void AppendQuoted(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out << '\\';
+    out << c;
+  }
+  out << '"';
+}
+
+void AppendHistogramJson(std::ostream& out, const Histogram& h) {
+  out << "{\"count\": " << h.Count() << ", \"sum\": ";
+  AppendDouble(out, h.Sum());
+  out << ", \"min\": ";
+  AppendDouble(out, h.Min());
+  out << ", \"max\": ";
+  AppendDouble(out, h.Max());
+  out << ", \"buckets\": [";
+  const std::vector<double>& bounds = h.bounds();
+  const std::vector<int64_t> counts = h.BucketCounts();
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << "{\"le\": ";
+    if (i < bounds.size()) {
+      AppendDouble(out, bounds[i]);
+    } else {
+      out << "\"inf\"";
+    }
+    out << ", \"count\": " << counts[i] << "}";
+  }
+  out << "]}";
+}
+
+}  // namespace
+
+void ExportText(const Registry& registry, std::ostream& out) {
+  for (const auto& [name, counter] : registry.Counters()) {
+    out << "counter " << name << " " << counter->Get() << "\n";
+  }
+  for (const auto& [name, gauge] : registry.Gauges()) {
+    out << "gauge " << name << " " << gauge->Get() << "\n";
+  }
+  for (const auto& [name, histogram] : registry.Histograms()) {
+    out << "histogram " << name << " count=" << histogram->Count()
+        << " sum=" << histogram->Sum() << " min=" << histogram->Min()
+        << " max=" << histogram->Max() << " mean=" << histogram->Mean();
+    const std::vector<double>& bounds = histogram->bounds();
+    const std::vector<int64_t> counts = histogram->BucketCounts();
+    for (size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;
+      out << " le_";
+      if (i < bounds.size()) {
+        out << bounds[i];
+      } else {
+        out << "inf";
+      }
+      out << "=" << counts[i];
+    }
+    out << "\n";
+  }
+}
+
+void ExportJson(const Registry& registry, std::ostream& out) {
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : registry.Counters()) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(out, name);
+    out << ": " << counter->Get();
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : registry.Gauges()) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(out, name);
+    out << ": ";
+    AppendDouble(out, gauge->Get());
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : registry.Histograms()) {
+    out << (first ? "\n    " : ",\n    ");
+    first = false;
+    AppendQuoted(out, name);
+    out << ": ";
+    AppendHistogramJson(out, *histogram);
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string ExportJsonString(const Registry& registry) {
+  std::ostringstream out;
+  ExportJson(registry, out);
+  return out.str();
+}
+
+Status WriteMetricsJson(const Registry& registry, const std::string& path) {
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream file(tmp_path, std::ios::trunc);
+    if (!file.is_open()) {
+      return Status::NotFound("cannot open " + tmp_path + " for writing");
+    }
+    ExportJson(registry, file);
+    file.flush();
+    if (!file.good()) {
+      file.close();
+      std::remove(tmp_path.c_str());
+      return Status::Internal("write to " + tmp_path + " failed");
+    }
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::Internal("rename " + tmp_path + " -> " + path + " failed");
+  }
+  return Status::Ok();
+}
+
+}  // namespace obs
+}  // namespace enhancenet

@@ -1,0 +1,40 @@
+#ifndef ENHANCENET_OBS_EXPORT_H_
+#define ENHANCENET_OBS_EXPORT_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace enhancenet {
+namespace obs {
+
+/// Human-readable snapshot, one metric per line:
+///   counter tensor.gemm.calls 128
+///   gauge train.lr 0.01
+///   histogram serve.session.latency_ms count=4 sum=1.9 min=0.4 max=0.6 ...
+void ExportText(const Registry& registry, std::ostream& out);
+
+/// Machine-readable snapshot:
+/// {
+///   "counters": {"name": int, ...},
+///   "gauges": {"name": double, ...},
+///   "histograms": {"name": {"count": int, "sum": double, "min": double,
+///                           "max": double,
+///                           "buckets": [{"le": double-or-"inf",
+///                                        "count": int}, ...]}, ...}
+/// }
+/// Keys are name-sorted, so equal registry states serialize identically.
+void ExportJson(const Registry& registry, std::ostream& out);
+
+std::string ExportJsonString(const Registry& registry);
+
+/// Writes the JSON snapshot to `path` (crash-safely: temp file + rename,
+/// like io::SaveCheckpoint).
+Status WriteMetricsJson(const Registry& registry, const std::string& path);
+
+}  // namespace obs
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_OBS_EXPORT_H_

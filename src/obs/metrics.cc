@@ -1,0 +1,207 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace obs {
+namespace {
+
+void AtomicAdd(std::atomic<double>& target, double delta) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value < current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (value > current && !target.compare_exchange_weak(
+                                current, value, std::memory_order_relaxed)) {
+  }
+}
+
+bool ProfileEnvSet() {
+  const char* value = std::getenv("ENHANCENET_PROFILE");
+  return value != nullptr && value[0] != '\0' && value[0] != '0';
+}
+
+std::atomic<bool>& ProfilingFlag() {
+  static std::atomic<bool> flag{ProfileEnvSet()};
+  return flag;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    ENHANCENET_CHECK_LT(bounds_[i - 1], bounds_[i])
+        << "histogram bounds must be strictly ascending";
+  }
+}
+
+void Histogram::Observe(double value) {
+  // lower_bound, not upper_bound: buckets are `le` (value <= bound), so an
+  // observation exactly on a bound belongs to that bound's bucket.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, value);
+  AtomicMin(min_, value);
+  AtomicMax(max_, value);
+}
+
+double Histogram::Min() const {
+  const double v = min_.load(std::memory_order_relaxed);
+  return v == std::numeric_limits<double>::infinity() ? 0.0 : v;
+}
+
+double Histogram::Max() const {
+  const double v = max_.load(std::memory_order_relaxed);
+  return v == -std::numeric_limits<double>::infinity() ? 0.0 : v;
+}
+
+double Histogram::Mean() const {
+  const int64_t n = Count();
+  return n == 0 ? 0.0 : Sum() / static_cast<double>(n);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+const std::vector<double>& LatencyBucketsMs() {
+  static const std::vector<double> buckets = {
+      0.05, 0.1, 0.25, 0.5, 1.0,   2.5,   5.0,    10.0,
+      25.0, 50.0, 100.0, 250.0, 500.0, 1000.0, 2500.0, 10000.0};
+  return buckets;
+}
+
+const std::vector<double>& OccupancyBuckets() {
+  static const std::vector<double> buckets = {1, 2, 3, 4, 6, 8, 12, 16, 24, 32};
+  return buckets;
+}
+
+Registry& Registry::Global() {
+  // Leaked intentionally: instrumented threads may outlive static teardown.
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Registry::Shard& Registry::ShardFor(const std::string& name) {
+  return shards_[std::hash<std::string>{}(name) % kShards];
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.gauges[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const std::vector<double>& bounds) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& slot = shard.histograms[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(bounds);
+  } else {
+    ENHANCENET_CHECK(slot->bounds() == bounds)
+        << "histogram '" << name << "' re-registered with different bounds";
+  }
+  return slot.get();
+}
+
+std::map<std::string, Counter*> Registry::Counters() const {
+  std::map<std::string, Counter*> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, counter] : shard.counters) {
+      out.emplace(name, counter.get());
+    }
+  }
+  return out;
+}
+
+std::map<std::string, Gauge*> Registry::Gauges() const {
+  std::map<std::string, Gauge*> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, gauge] : shard.gauges) {
+      out.emplace(name, gauge.get());
+    }
+  }
+  return out;
+}
+
+std::map<std::string, Histogram*> Registry::Histograms() const {
+  std::map<std::string, Histogram*> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, histogram] : shard.histograms) {
+      out.emplace(name, histogram.get());
+    }
+  }
+  return out;
+}
+
+void Registry::ResetForTest() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [name, counter] : shard.counters) counter->Reset();
+    for (auto& [name, gauge] : shard.gauges) gauge->Reset();
+    for (auto& [name, histogram] : shard.histograms) histogram->Reset();
+  }
+}
+
+bool ProfilingEnabled() {
+  return ProfilingFlag().load(std::memory_order_relaxed);
+}
+
+void SetProfilingEnabled(bool enabled) {
+  ProfilingFlag().store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace enhancenet

@@ -1,0 +1,143 @@
+#ifndef ENHANCENET_OBS_METRICS_H_
+#define ENHANCENET_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace enhancenet {
+namespace obs {
+
+/// Process-wide metrics: named counters, gauges, and fixed-bucket histograms
+/// behind a lock-striped registry.
+///
+/// Naming scheme (see DESIGN.md §7): dotted lowercase `layer.component.what`
+/// with the unit as a suffix where one applies — `train.epoch_ms`,
+/// `serve.batcher.batch_occupancy`, `tensor.gemm.calls`. Names are created on
+/// first Get*() and live for the process lifetime, so call sites may cache
+/// the returned pointer (the intended hot-path pattern: one registry lookup,
+/// then lock-free atomic updates per event).
+///
+/// Cost model: Counter::Add and Gauge::Set are one relaxed atomic RMW/store.
+/// Histogram::Observe is a branchless-ish bucket walk plus a handful of
+/// relaxed atomics — cheap enough for per-batch (trainer) and per-request
+/// (serving) use. Registry lookups take a shard mutex and are meant to be
+/// amortized away by pointer caching.
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (loss, lr, best epoch, ...).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Get() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: cumulative-style buckets defined by ascending
+/// upper bounds (a trailing +inf bucket is implicit), plus count/sum/min/max.
+/// All updates are relaxed atomics, so Observe never blocks and concurrent
+/// observers never serialize; snapshots taken mid-update may be off by the
+/// in-flight observation, which is fine for monitoring.
+class Histogram {
+ public:
+  /// `bounds` must be strictly ascending upper bucket bounds.
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest observed value; 0.0 when Count() == 0.
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, size bounds().size() + 1 (the last is the overflow
+  /// bucket for values above every bound).
+  std::vector<int64_t> BucketCounts() const;
+
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<int64_t>> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Default bucket bounds for wall-latency histograms, in milliseconds
+/// (50µs .. 10s, roughly exponential).
+const std::vector<double>& LatencyBucketsMs();
+
+/// Default bucket bounds for micro-batch occupancy histograms.
+const std::vector<double>& OccupancyBuckets();
+
+/// Lock-striped name -> metric map. Metrics are created on first request and
+/// never destroyed (stable pointers). The same name may exist independently
+/// as a counter, a gauge, and a histogram; exporters keep the kinds apart.
+class Registry {
+ public:
+  /// The process-wide registry every built-in instrumentation site uses.
+  static Registry& Global();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// First creation fixes the bucket bounds; subsequent calls with the same
+  /// name must pass identical bounds (CHECK-enforced).
+  Histogram* GetHistogram(const std::string& name,
+                          const std::vector<double>& bounds);
+
+  /// Name-sorted snapshots of the live metric handles (for exporters).
+  std::map<std::string, Counter*> Counters() const;
+  std::map<std::string, Gauge*> Gauges() const;
+  std::map<std::string, Histogram*> Histograms() const;
+
+  /// Zeroes every metric's value. Registered names and handed-out pointers
+  /// stay valid — intended for test isolation, not production use.
+  void ResetForTest();
+
+ private:
+  static constexpr int kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+  Shard& ShardFor(const std::string& name);
+
+  Shard shards_[kShards];
+};
+
+/// Opt-in switch for the tensor-backend profiling hooks (GEMM/Concat call
+/// counts, ParallelFor shard accounting). Off by default so the hot kernels
+/// pay only one relaxed load per call; initialized from ENHANCENET_PROFILE.
+bool ProfilingEnabled();
+void SetProfilingEnabled(bool enabled);
+
+}  // namespace obs
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_OBS_METRICS_H_

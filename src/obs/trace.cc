@@ -1,0 +1,40 @@
+#include "obs/trace.h"
+
+#include <vector>
+
+namespace enhancenet {
+namespace obs {
+namespace {
+
+// Live span names of the calling thread, outermost first.
+thread_local std::vector<const char*> tls_span_stack;
+
+std::string JoinedPath() {
+  std::string path;
+  for (const char* name : tls_span_stack) {
+    if (!path.empty()) path += '.';
+    path += name;
+  }
+  return path;
+}
+
+}  // namespace
+
+TraceSpan::TraceSpan(const char* name, Registry* registry)
+    : registry_(registry) {
+  tls_span_stack.push_back(name);
+}
+
+TraceSpan::~TraceSpan() {
+  const double elapsed_ms = watch_.ElapsedMillis();
+  registry_->GetHistogram("trace." + JoinedPath(), LatencyBucketsMs())
+      ->Observe(elapsed_ms);
+  tls_span_stack.pop_back();
+}
+
+int TraceSpan::Depth() { return static_cast<int>(tls_span_stack.size()); }
+
+std::string TraceSpan::CurrentPath() { return JoinedPath(); }
+
+}  // namespace obs
+}  // namespace enhancenet

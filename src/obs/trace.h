@@ -1,0 +1,77 @@
+#ifndef ENHANCENET_OBS_TRACE_H_
+#define ENHANCENET_OBS_TRACE_H_
+
+#include <string>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+
+namespace enhancenet {
+namespace obs {
+
+/// RAII timer: records the scope's wall time (milliseconds) into a histogram
+/// on destruction. The histogram pointer is typically a cached registry
+/// lookup, so the per-scope cost is one clock read on entry and one clock
+/// read plus a histogram Observe on exit.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram) : histogram_(histogram) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->Observe(watch_.ElapsedMillis());
+  }
+
+  /// Elapsed time so far, without stopping the timer.
+  double ElapsedMillis() const { return watch_.ElapsedMillis(); }
+
+  /// Detaches the timer: nothing is recorded at destruction.
+  void Cancel() { histogram_ = nullptr; }
+
+ private:
+  Histogram* histogram_;
+  Stopwatch watch_;
+};
+
+/// A nested trace span. Spans form a per-thread stack: a span opened while
+/// another is live on the same thread becomes its child, and its wall time
+/// is recorded under the dotted concatenation of every live span name —
+///
+///   TraceSpan epoch("train.epoch");
+///   ...
+///     TraceSpan batch("batch");   // records "trace.train.epoch.batch"
+///
+/// so the exporter output reads as a flattened call tree with per-node
+/// latency histograms. Span names should be compile-time literals; the
+/// stack stores the pointers, not copies.
+///
+/// Thread-local: spans on different threads never interleave, and a span
+/// must be destroyed on the thread that created it (guaranteed by RAII
+/// scoping).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name,
+                     Registry* registry = &Registry::Global());
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan();
+
+  /// Nesting depth of the calling thread's live spans (0 when none).
+  static int Depth();
+
+  /// Dotted path of the calling thread's live spans ("" when none).
+  static std::string CurrentPath();
+
+ private:
+  Registry* registry_;
+  Stopwatch watch_;
+};
+
+}  // namespace obs
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_OBS_TRACE_H_

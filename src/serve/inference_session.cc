@@ -45,7 +45,11 @@ Status InferenceSession::Create(const SessionConfig& config,
 InferenceSession::InferenceSession(
     SessionConfig config, std::unique_ptr<models::ForecastingModel> model,
     const data::StandardScaler& scaler)
-    : config_(std::move(config)), model_(std::move(model)), scaler_(scaler) {}
+    : config_(std::move(config)),
+      model_(std::move(model)),
+      scaler_(scaler),
+      metrics_(ServeMetrics::Create("serve.session",
+                                    /*with_occupancy=*/false)) {}
 
 Status InferenceSession::Validate(const Tensor& history) const {
   if (history.numel() == 0 || (history.dim() != 3 && history.dim() != 4)) {
@@ -98,8 +102,7 @@ Status InferenceSession::Predict(const PredictRequest& request,
   Stopwatch timer;
   const Status valid = Validate(request.history);
   if (!valid.ok()) {
-    std::lock_guard<std::mutex> lock(stats_mu_);
-    ++stats_.rejected;
+    metrics_.rejected->Add();
     return valid;
   }
   const bool single = request.history.dim() == 3;
@@ -124,20 +127,13 @@ Status InferenceSession::Predict(const PredictRequest& request,
       single ? pred.Reshape({config_.num_entities, model_->horizon()}) : pred;
   response->latency_ms = timer.ElapsedMillis();
 
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  stats_.windows += batch;
-  ++stats_.forwards;
-  stats_.total_latency_ms += response->latency_ms;
-  if (response->latency_ms > stats_.max_latency_ms) {
-    stats_.max_latency_ms = response->latency_ms;
-  }
+  metrics_.windows->Add(batch);
+  metrics_.forwards->Add();
+  metrics_.latency_ms->Observe(response->latency_ms);
   return Status::Ok();
 }
 
-Stats InferenceSession::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  return stats_;
-}
+Stats InferenceSession::stats() const { return metrics_.Snapshot(); }
 
 }  // namespace serve
 }  // namespace enhancenet

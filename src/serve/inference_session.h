@@ -2,7 +2,6 @@
 #define ENHANCENET_SERVE_INFERENCE_SESSION_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/status.h"
@@ -70,6 +69,11 @@ struct PredictResponse {
 /// recorded, predictions are bitwise identical to the training-time eval
 /// path, and — because eval-mode Forward is const and draws nothing from
 /// the Rng — any number of threads may call Predict concurrently.
+///
+/// Metrics: every session records into the process registry under the
+/// "serve.session." prefix (see ServeMetrics in stats.h); stats() is a
+/// snapshot of those metrics. Predict/Validate are virtual so tests can
+/// inject failing forwards under the MicroBatcher.
 class InferenceSession {
  public:
   /// Builds the model, loads the checkpoint (if any), and switches to eval
@@ -78,13 +82,15 @@ class InferenceSession {
                        const data::StandardScaler& scaler,
                        std::unique_ptr<InferenceSession>* out);
 
+  virtual ~InferenceSession() = default;
+
   /// Validates, scales, forwards, and unscales one request. Thread-safe.
-  Status Predict(const PredictRequest& request,
-                 PredictResponse* response) const;
+  virtual Status Predict(const PredictRequest& request,
+                         PredictResponse* response) const;
 
   /// Shape/finiteness validation only (no forward). MicroBatcher uses this
   /// to reject bad requests before they join a batch.
-  Status Validate(const Tensor& history) const;
+  virtual Status Validate(const Tensor& history) const;
 
   /// Applies the session scaler to a raw history window (any rank whose
   /// last dimension is the channel count).
@@ -93,7 +99,7 @@ class InferenceSession {
   /// Inverse-transforms a scaled forecast back to real target-channel units.
   Tensor UnscaleForecast(const Tensor& forecast) const;
 
-  /// Counter snapshot; `forwards` here counts Predict calls (the
+  /// Metrics snapshot; `forwards` here counts Predict calls (the
   /// MicroBatcher layers its own occupancy accounting on top).
   Stats stats() const;
 
@@ -103,17 +109,19 @@ class InferenceSession {
   int64_t history() const { return model_->history(); }
   int64_t horizon() const { return model_->horizon(); }
 
- private:
+ protected:
+  /// Protected so test doubles (e.g. a failing-forward session for
+  /// poisoned-batch coverage) can subclass; production code goes through
+  /// Create().
   InferenceSession(SessionConfig config,
                    std::unique_ptr<models::ForecastingModel> model,
                    const data::StandardScaler& scaler);
 
+ private:
   SessionConfig config_;
   std::unique_ptr<models::ForecastingModel> model_;
   data::StandardScaler scaler_;
-
-  mutable std::mutex stats_mu_;
-  mutable Stats stats_;
+  ServeMetrics metrics_;
 };
 
 }  // namespace serve

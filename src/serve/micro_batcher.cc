@@ -11,7 +11,9 @@ namespace serve {
 
 MicroBatcher::MicroBatcher(const InferenceSession* session,
                            const MicroBatcherConfig& config)
-    : session_(session), config_(config) {
+    : session_(session),
+      config_(config),
+      metrics_(ServeMetrics::Create("serve.batcher", /*with_occupancy=*/true)) {
   if (config_.max_batch_size < 1) config_.max_batch_size = 1;
   if (config_.max_wait_ms < 0.0) config_.max_wait_ms = 0.0;
 }
@@ -40,12 +42,14 @@ void MicroBatcher::RunBatch(const std::shared_ptr<Batch>& batch) {
                             .Reshape({n, session_->horizon()}));
     }
   }
+  metrics_.forwards->Add();
+  metrics_.batch_occupancy->Observe(static_cast<double>(b));
+  if (!status.ok()) metrics_.forward_errors->Add();
   {
     std::lock_guard<std::mutex> lock(mu_);
     batch->outputs = std::move(outputs);
     batch->status = status;
     batch->done = true;
-    ++stats_.forwards;
   }
   cv_.notify_all();
 }
@@ -57,8 +61,7 @@ Status MicroBatcher::Predict(const PredictRequest& request,
   }
   Stopwatch timer;
   if (request.history.dim() != 3) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.rejected;
+    metrics_.rejected->Add();
     return Status::InvalidArgument(
         "micro-batcher coalesces single windows [N, H, C]; got " +
         ShapeToString(request.history.shape()) +
@@ -66,8 +69,7 @@ Status MicroBatcher::Predict(const PredictRequest& request,
   }
   const Status valid = session_->Validate(request.history);
   if (!valid.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.rejected;
+    metrics_.rejected->Add();
     return valid;
   }
   // Scale outside the batch so a batch is always homogeneous (scaled in,
@@ -121,19 +123,12 @@ Status MicroBatcher::Predict(const PredictRequest& request,
   response->forecast = std::move(forecast);
   response->latency_ms = timer.ElapsedMillis();
 
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.windows;
-  stats_.total_latency_ms += response->latency_ms;
-  if (response->latency_ms > stats_.max_latency_ms) {
-    stats_.max_latency_ms = response->latency_ms;
-  }
+  metrics_.windows->Add();
+  metrics_.latency_ms->Observe(response->latency_ms);
   return Status::Ok();
 }
 
-Stats MicroBatcher::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
-}
+Stats MicroBatcher::stats() const { return metrics_.Snapshot(); }
 
 }  // namespace serve
 }  // namespace enhancenet

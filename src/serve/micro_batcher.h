@@ -45,8 +45,10 @@ class MicroBatcher {
   /// pre-assembled batch should go straight to the session).
   Status Predict(const PredictRequest& request, PredictResponse* response);
 
-  /// Counter snapshot: `windows`/`forwards` is the realized mean batch
-  /// occupancy, latencies are per request (queueing included).
+  /// Metrics snapshot: `windows`/`forwards` is the realized mean batch
+  /// occupancy, latencies are per request (queueing included). Backed by
+  /// the process registry under the "serve.batcher." prefix, including a
+  /// `serve.batcher.batch_occupancy` histogram observed once per forward.
   Stats stats() const;
 
  private:
@@ -69,7 +71,7 @@ class MicroBatcher {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::shared_ptr<Batch> open_batch_;
-  Stats stats_;
+  ServeMetrics metrics_;
 };
 
 }  // namespace serve

@@ -2,12 +2,15 @@
 #define ENHANCENET_SERVE_STATS_H_
 
 #include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
 
 namespace enhancenet {
 namespace serve {
 
-/// Snapshot of serving counters. InferenceSession and MicroBatcher each keep
-/// one behind a mutex and hand out copies, so readers never race writers.
+/// Snapshot of the serving metrics (see ServeMetrics below). Kept as a plain
+/// value type so callers can print or diff it without touching the registry.
 ///
 /// `forwards` counts model forward passes while `windows` counts the
 /// requests they served; their ratio is the mean batch occupancy — the
@@ -16,6 +19,7 @@ struct Stats {
   int64_t windows = 0;            // successfully served prediction windows
   int64_t rejected = 0;           // requests failing validation
   int64_t forwards = 0;           // batched model forward passes executed
+  int64_t forward_errors = 0;     // forwards that returned a non-OK status
   double total_latency_ms = 0.0;  // summed per-request wall latency
   double max_latency_ms = 0.0;
 
@@ -26,6 +30,55 @@ struct Stats {
     return forwards == 0
                ? 0.0
                : static_cast<double>(windows) / static_cast<double>(forwards);
+  }
+};
+
+/// Registry handles backing one serving component's counters and histograms.
+/// All metrics live in obs::Registry::Global() under `<prefix>.`:
+///
+///   <prefix>.windows / .rejected / .forwards / .forward_errors   counters
+///   <prefix>.latency_ms                                          histogram
+///   <prefix>.batch_occupancy             histogram (micro-batcher only)
+///
+/// InferenceSession uses prefix "serve.session", MicroBatcher
+/// "serve.batcher". Instances with the same prefix share metrics (the
+/// normal fleet view); tests that need exact counts reset the registry in
+/// their fixture.
+struct ServeMetrics {
+  obs::Counter* windows = nullptr;
+  obs::Counter* rejected = nullptr;
+  obs::Counter* forwards = nullptr;
+  obs::Counter* forward_errors = nullptr;
+  obs::Histogram* latency_ms = nullptr;
+  obs::Histogram* batch_occupancy = nullptr;  // only set when requested
+
+  static ServeMetrics Create(const std::string& prefix,
+                             bool with_occupancy) {
+    obs::Registry& registry = obs::Registry::Global();
+    ServeMetrics m;
+    m.windows = registry.GetCounter(prefix + ".windows");
+    m.rejected = registry.GetCounter(prefix + ".rejected");
+    m.forwards = registry.GetCounter(prefix + ".forwards");
+    m.forward_errors = registry.GetCounter(prefix + ".forward_errors");
+    m.latency_ms = registry.GetHistogram(prefix + ".latency_ms",
+                                         obs::LatencyBucketsMs());
+    if (with_occupancy) {
+      m.batch_occupancy = registry.GetHistogram(prefix + ".batch_occupancy",
+                                                obs::OccupancyBuckets());
+    }
+    return m;
+  }
+
+  /// Point-in-time snapshot; total/max latency come from the histogram.
+  Stats Snapshot() const {
+    Stats s;
+    s.windows = windows->Get();
+    s.rejected = rejected->Get();
+    s.forwards = forwards->Get();
+    s.forward_errors = forward_errors->Get();
+    s.total_latency_ms = latency_ms->Sum();
+    s.max_latency_ms = latency_ms->Max();
+    return s;
   }
 };
 

@@ -8,10 +8,41 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "obs/metrics.h"
 
 namespace enhancenet {
 namespace ops {
 namespace {
+
+// Opt-in (obs::ProfilingEnabled) accounting for the kernels that dominate
+// training and serving cost. Handles are resolved once; the off path is a
+// single relaxed atomic load per op call, so the hooks are safe to leave
+// compiled into release builds.
+struct OpsProfile {
+  obs::Counter* gemm_calls;
+  obs::Counter* gemm_flops;
+  obs::Counter* batch_gemm_calls;
+  obs::Counter* batch_gemm_slices;
+  obs::Counter* batch_gemm_flops;
+  obs::Counter* concat_calls;
+  obs::Counter* concat_elements;
+
+  static OpsProfile& Get() {
+    static OpsProfile profile = [] {
+      obs::Registry& registry = obs::Registry::Global();
+      OpsProfile p;
+      p.gemm_calls = registry.GetCounter("tensor.gemm.calls");
+      p.gemm_flops = registry.GetCounter("tensor.gemm.flops");
+      p.batch_gemm_calls = registry.GetCounter("tensor.batch_gemm.calls");
+      p.batch_gemm_slices = registry.GetCounter("tensor.batch_gemm.slices");
+      p.batch_gemm_flops = registry.GetCounter("tensor.batch_gemm.flops");
+      p.concat_calls = registry.GetCounter("tensor.concat.calls");
+      p.concat_elements = registry.GetCounter("tensor.concat.elements");
+      return p;
+    }();
+    return profile;
+  }
+};
 
 #define ENHANCENET_RESTRICT __restrict__
 
@@ -638,6 +669,11 @@ Tensor Gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   ENHANCENET_CHECK_EQ(k, kb) << "gemm inner dims: " << ShapeToString(a.shape())
                              << " x " << ShapeToString(b.shape());
   const int64_t n = trans_b ? b.size(0) : b.size(1);
+  if (obs::ProfilingEnabled()) {
+    OpsProfile& profile = OpsProfile::Get();
+    profile.gemm_calls->Add();
+    profile.gemm_flops->Add(2 * m * k * n);
+  }
   Tensor c(Shape{m, n});
   GemmDispatch(a.data(), a.size(1), trans_a, b.data(), b.size(1), trans_b,
                c.data(), m, k, n);
@@ -659,6 +695,12 @@ Tensor BatchGemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   ENHANCENET_CHECK_EQ(k, kb) << "bmm inner dims: " << ShapeToString(a.shape())
                              << " x " << ShapeToString(b.shape());
   const int64_t n = trans_b ? b.size(1) : b.size(2);
+  if (obs::ProfilingEnabled()) {
+    OpsProfile& profile = OpsProfile::Get();
+    profile.batch_gemm_calls->Add();
+    profile.batch_gemm_slices->Add(batch);
+    profile.batch_gemm_flops->Add(batch * 2 * m * k * n);
+  }
   Tensor c(Shape{batch, m, n});
 
   // Zero-copy per-slice pointers: slice i of a dense [B, R, C] tensor is the
@@ -761,6 +803,11 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
   }
   out_shape[static_cast<size_t>(axis)] = axis_total;
   Tensor out = Tensor::Uninitialized(out_shape);
+  if (obs::ProfilingEnabled()) {
+    OpsProfile& profile = OpsProfile::Get();
+    profile.concat_calls->Add();
+    profile.concat_elements->Add(out.numel());
+  }
 
   // outer = product of dims before axis; inner = product after.
   int64_t outer = 1;

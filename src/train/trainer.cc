@@ -7,12 +7,57 @@
 #include "autograd/ops.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "optim/optimizer.h"
 
 namespace enhancenet {
 namespace train {
 
 namespace ag = ::enhancenet::autograd;
+
+namespace {
+
+// Registry handles for the training loop, resolved once per process. Epoch
+// wall time includes validation (it is the real cadence an operator sees);
+// batch wall time covers forward+backward+step.
+struct TrainMetrics {
+  obs::Counter* epochs;
+  obs::Counter* batches;
+  obs::Counter* grad_clip_events;
+  obs::Counter* early_stop_events;
+  obs::Histogram* epoch_ms;
+  obs::Histogram* batch_ms;
+  obs::Gauge* loss;
+  obs::Gauge* val_mae;
+  obs::Gauge* lr;
+  obs::Gauge* grad_norm;
+  obs::Gauge* best_epoch;
+
+  static TrainMetrics& Get() {
+    static TrainMetrics metrics = [] {
+      obs::Registry& registry = obs::Registry::Global();
+      TrainMetrics m;
+      m.epochs = registry.GetCounter("train.epochs");
+      m.batches = registry.GetCounter("train.batches");
+      m.grad_clip_events = registry.GetCounter("train.grad_clip.events");
+      m.early_stop_events = registry.GetCounter("train.early_stop.events");
+      m.epoch_ms =
+          registry.GetHistogram("train.epoch_ms", obs::LatencyBucketsMs());
+      m.batch_ms =
+          registry.GetHistogram("train.batch_ms", obs::LatencyBucketsMs());
+      m.loss = registry.GetGauge("train.loss");
+      m.val_mae = registry.GetGauge("train.val_mae");
+      m.lr = registry.GetGauge("train.lr");
+      m.grad_norm = registry.GetGauge("train.grad_norm");
+      m.best_epoch = registry.GetGauge("train.best_epoch");
+      return m;
+    }();
+    return metrics;
+  }
+};
+
+}  // namespace
 
 Trainer::Trainer(models::ForecastingModel* model,
                  const data::StandardScaler* scaler, int64_t target_channel,
@@ -57,6 +102,8 @@ ag::Variable Trainer::Loss(const ag::Variable& pred_scaled,
 
 TrainResult Trainer::Train(const data::WindowDataset& train_set,
                            const data::WindowDataset& val_set, Rng& rng) {
+  TrainMetrics& metrics = TrainMetrics::Get();
+  obs::TraceSpan train_span("train");
   TrainResult result;
   optim::Adam optimizer(model_->Parameters(), config_.learning_rate);
   optim::StepDecaySchedule schedule(config_.learning_rate,
@@ -70,6 +117,8 @@ TrainResult Trainer::Train(const data::WindowDataset& train_set,
   double total_epoch_seconds = 0.0;
 
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("epoch");
+    Stopwatch epoch_wall;  // full epoch, validation included
     if (config_.use_step_decay) {
       optimizer.set_lr(schedule.LrForEpoch(epoch));
     }
@@ -79,6 +128,7 @@ TrainResult Trainer::Train(const data::WindowDataset& train_set,
     int64_t batches = 0;
     for (const auto& indices :
          train_set.ShuffledBatches(config_.batch_size, rng)) {
+      obs::ScopedTimer batch_timer(metrics.batch_ms);
       const data::Batch batch = train_set.MakeBatch(indices);
       const float teacher_prob =
           config_.use_scheduled_sampling
@@ -92,9 +142,13 @@ TrainResult Trainer::Train(const data::WindowDataset& train_set,
       ag::Variable loss = Loss(pred, batch.y_raw);
       model_->ZeroGrad();
       loss.Backward();
-      optim::ClipGradNorm(optimizer.params(), config_.grad_clip_norm);
+      const float grad_norm =
+          optim::ClipGradNorm(optimizer.params(), config_.grad_clip_norm);
+      metrics.grad_norm->Set(grad_norm);
+      if (grad_norm > config_.grad_clip_norm) metrics.grad_clip_events->Add();
       optimizer.Step();
       loss_sum += loss.data().item();
+      metrics.batches->Add();
       ++batches;
       ++global_batch_;
     }
@@ -106,6 +160,11 @@ TrainResult Trainer::Train(const data::WindowDataset& train_set,
     Evaluate(val_set, &val_acc, rng);
     const double val_mae = val_acc.Overall().mae;
     result.epoch_val_mae.push_back(val_mae);
+    metrics.epochs->Add();
+    metrics.epoch_ms->Observe(epoch_wall.ElapsedMillis());
+    metrics.loss->Set(result.epoch_train_loss.back());
+    metrics.val_mae->Set(val_mae);
+    metrics.lr->Set(optimizer.lr());
     if (config_.verbose) {
       std::cerr << "[" << model_->name() << "] epoch " << epoch
                 << " train_loss=" << result.epoch_train_loss.back()
@@ -117,13 +176,17 @@ TrainResult Trainer::Train(const data::WindowDataset& train_set,
     if (val_mae < best_val) {
       best_val = val_mae;
       result.best_epoch = epoch;
+      metrics.best_epoch->Set(static_cast<double>(epoch));
       best_weights.clear();
       for (const auto& param : model_->Parameters()) {
         best_weights.push_back(param.data().Clone());
       }
     }
     stale_epochs = significant ? 0 : stale_epochs + 1;
-    if (config_.patience > 0 && stale_epochs >= config_.patience) break;
+    if (config_.patience > 0 && stale_epochs >= config_.patience) {
+      metrics.early_stop_events->Add();
+      break;
+    }
   }
 
   // Restore the best weights.
@@ -146,6 +209,9 @@ TrainResult Trainer::Train(const data::WindowDataset& train_set,
 ErrorStats Trainer::Evaluate(const data::WindowDataset& dataset,
                              MetricAccumulator* accumulator, Rng& rng) {
   ENHANCENET_CHECK(accumulator != nullptr);
+  // Save/restore the caller's mode: forcing training mode on exit would
+  // corrupt eval-mode callers (e.g. a post-training test evaluation).
+  const bool was_training = model_->training();
   model_->SetTraining(false);
   for (const auto& indices :
        dataset.SequentialBatches(config_.batch_size)) {
@@ -155,7 +221,7 @@ ErrorStats Trainer::Evaluate(const data::WindowDataset& dataset,
         scaler_->InverseTarget(pred.data(), target_channel_);
     accumulator->Add(pred_real, batch.y_raw);
   }
-  model_->SetTraining(true);
+  model_->SetTraining(was_training);
   return accumulator->Overall();
 }
 
@@ -163,6 +229,7 @@ double Trainer::MeasurePredictMillis(const data::WindowDataset& dataset,
                                      int reps, Rng& rng) {
   ENHANCENET_CHECK_GT(reps, 0);
   ENHANCENET_CHECK_GT(dataset.num_windows(), 0);
+  const bool was_training = model_->training();
   model_->SetTraining(false);
   const data::Batch batch = dataset.MakeBatch({0});
   // Warm-up run (first call may allocate).
@@ -170,7 +237,7 @@ double Trainer::MeasurePredictMillis(const data::WindowDataset& dataset,
   Stopwatch timer;
   for (int r = 0; r < reps; ++r) model_->Predict(batch.x, rng);
   const double millis = timer.ElapsedMillis() / static_cast<double>(reps);
-  model_->SetTraining(true);
+  model_->SetTraining(was_training);
   return millis;
 }
 

@@ -37,6 +37,20 @@ TEST(SplitsTest, TinySeriesStaysOrdered) {
   EXPECT_GE(s.train_end, 1);
 }
 
+TEST(SplitsTest, MinimumThreeStepsSplitsOnePerSection) {
+  data::Splits s = data::ChronologicalSplits(3);
+  EXPECT_EQ(s.train_end, 1);
+  EXPECT_EQ(s.val_end, 2);
+  EXPECT_EQ(s.total, 3);
+}
+
+TEST(SplitsDeathTest, FewerThanThreeStepsIsChecked) {
+  // Below 3 steps the clamp bounds invert (std::clamp would be UB), so the
+  // precondition must fail loudly instead.
+  EXPECT_DEATH(data::ChronologicalSplits(2), "needs >= 3 steps");
+  EXPECT_DEATH(data::ChronologicalSplits(0), "needs >= 3 steps");
+}
+
 // ---------------------------------------------------------------------------
 // StandardScaler
 // ---------------------------------------------------------------------------

@@ -1,5 +1,10 @@
+#include <sys/stat.h>
+
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
+#include <vector>
 
 #include "data/synthetic.h"
 #include "graph/adjacency.h"
@@ -296,6 +301,159 @@ TEST(CheckpointTest, MissingFileIsNotFound) {
                                  rng);
   EXPECT_EQ(io::LoadCheckpoint("/nonexistent/x.encp", model.get()).code(),
             StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// Crash safety: atomic save, transactional load.
+// ---------------------------------------------------------------------------
+
+/// Flattened copy of all parameter payloads, for bitwise comparison.
+std::vector<float> SnapshotParams(const nn::Module& module) {
+  std::vector<float> snapshot;
+  for (const auto& param : module.Parameters()) {
+    const float* p = param.data().data();
+    snapshot.insert(snapshot.end(), p, p + param.numel());
+  }
+  return snapshot;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+TEST(CheckpointTest, SaveLeavesNoTempFile) {
+  Rng rng(31);
+  auto model = models::MakeModel("RNN", 4, 1, Tensor(), models::ModelSizing(),
+                                 rng);
+  const std::string path = TempPath("atomic.encp");
+  ASSERT_TRUE(io::SaveCheckpoint(path, *model).ok());
+  EXPECT_TRUE(FileExists(path));
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, FailedRenameCleansUpTempFile) {
+  Rng rng(32);
+  auto model = models::MakeModel("RNN", 4, 1, Tensor(), models::ModelSizing(),
+                                 rng);
+  // A directory at the destination makes the final rename fail after the
+  // temp file was fully written; the temp must not be left behind.
+  const std::string path = TempPath("blocked.encp");
+  ASSERT_EQ(::mkdir(path.c_str(), 0755), 0);
+  const Status status = io::SaveCheckpoint(path, *model);
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(FileExists(path + ".tmp"));
+  ::rmdir(path.c_str());
+}
+
+TEST(CheckpointTest, UnwritablePathIsStatusNotAbort) {
+  Rng rng(33);
+  auto model = models::MakeModel("RNN", 4, 1, Tensor(), models::ModelSizing(),
+                                 rng);
+  EXPECT_FALSE(io::SaveCheckpoint("/nonexistent/dir/x.encp", *model).ok());
+}
+
+TEST(CheckpointTest, EveryTruncationIsRejectedAndLeavesModuleUntouched) {
+  // Kill-at-any-point: no strict prefix of a checkpoint is loadable, and a
+  // failed load leaves the destination module bitwise identical. Together
+  // with the rename-into-place save this means an interrupted save/load
+  // cycle can never corrupt weights: the file at `path` is always either
+  // absent or complete, and a bad file never half-applies.
+  models::ModelSizing sizing;
+  sizing.rnn_hidden = 4;
+  Rng rng(34);
+  auto source = models::MakeModel("RNN", 3, 1, Tensor(), sizing, rng);
+  const std::string path = TempPath("full.encp");
+  ASSERT_TRUE(io::SaveCheckpoint(path, *source).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 16u);
+
+  Rng rng2(35);
+  auto target = models::MakeModel("RNN", 3, 1, Tensor(), sizing, rng2);
+  const std::vector<float> before = SnapshotParams(*target);
+
+  const std::string truncated_path = TempPath("truncated.encp");
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    WriteFile(truncated_path, bytes.substr(0, len));
+    const Status status = io::LoadCheckpoint(truncated_path, target.get());
+    ASSERT_FALSE(status.ok()) << "prefix of " << len << " bytes loaded";
+    const std::vector<float> after = SnapshotParams(*target);
+    ASSERT_EQ(after.size(), before.size());
+    ASSERT_EQ(std::memcmp(after.data(), before.data(),
+                          before.size() * sizeof(float)),
+              0)
+        << "prefix of " << len << " bytes modified the module";
+  }
+  std::remove(truncated_path.c_str());
+
+  // Sanity: the complete file still loads, and only then do params change.
+  ASSERT_TRUE(io::LoadCheckpoint(path, target.get()).ok());
+  const std::vector<float> after = SnapshotParams(*target);
+  EXPECT_NE(std::memcmp(after.data(), before.data(),
+                        before.size() * sizeof(float)),
+            0);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MidFileShapeMismatchLeavesModuleUntouched) {
+  // Transactionality beyond truncation: a file whose early parameters are
+  // perfectly valid but whose *last* one mismatches must not half-apply the
+  // early ones. The file is crafted in the checkpoint wire format: real
+  // names/shapes/payloads for every parameter except the final shape, whose
+  // leading dimension is off by one.
+  models::ModelSizing sizing;
+  sizing.rnn_hidden = 4;
+  Rng rng(36);
+  auto target = models::MakeModel("RNN", 3, 1, Tensor(), sizing, rng);
+  const auto named = target->NamedParameters();
+  ASSERT_GT(named.size(), 1u);
+
+  const std::string path = TempPath("mismatch_tail.encp");
+  {
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    file.write("ENCP", 4);
+    const uint32_t version = 1;
+    file.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    const uint64_t count = named.size();
+    file.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (size_t i = 0; i < named.size(); ++i) {
+      const auto& [name, param] = named[i];
+      const uint32_t name_len = static_cast<uint32_t>(name.size());
+      file.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+      file.write(name.data(), name_len);
+      Shape shape = param.shape();
+      if (i + 1 == named.size()) shape[0] += 1;  // poison the tail
+      const uint32_t rank = static_cast<uint32_t>(shape.size());
+      file.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+      for (int64_t d : shape) {
+        file.write(reinterpret_cast<const char*>(&d), sizeof(d));
+      }
+      // Payload sized to the (possibly poisoned) shape, filled with a value
+      // distinct from the live weights so a partial apply would be visible.
+      const std::vector<float> payload(
+          static_cast<size_t>(NumElements(shape)), 123.25f);
+      file.write(reinterpret_cast<const char*>(payload.data()),
+                 static_cast<std::streamsize>(payload.size() * sizeof(float)));
+    }
+  }
+
+  const std::vector<float> before = SnapshotParams(*target);
+  EXPECT_EQ(io::LoadCheckpoint(path, target.get()).code(),
+            StatusCode::kFailedPrecondition);
+  const std::vector<float> after = SnapshotParams(*target);
+  ASSERT_EQ(after.size(), before.size());
+  EXPECT_EQ(std::memcmp(after.data(), before.data(),
+                        before.size() * sizeof(float)),
+            0);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,348 @@
+// Tests for the observability layer: registry semantics, RAII timers and
+// trace spans, exporters, profiling gating of the tensor-backend hooks, and
+// an end-to-end CLI run whose --metrics-out snapshot is parsed back.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "tensor/tensor_ops.h"
+
+namespace enhancenet {
+namespace {
+
+class ObsTest : public ::testing::Test {
+ protected:
+  // Counters like serve.* / train.* / tensor.* are process-global; zero them
+  // so every test sees exact values.
+  void SetUp() override { obs::Registry::Global().ResetForTest(); }
+};
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge / Histogram semantics
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, CounterAddsAndResets) {
+  obs::Counter* c = obs::Registry::Global().GetCounter("test.counter");
+  EXPECT_EQ(c->Get(), 0);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->Get(), 42);
+  c->Reset();
+  EXPECT_EQ(c->Get(), 0);
+}
+
+TEST_F(ObsTest, RegistryReturnsStablePointers) {
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Counter* a = registry.GetCounter("test.stable");
+  obs::Counter* b = registry.GetCounter("test.stable");
+  EXPECT_EQ(a, b);
+  registry.ResetForTest();
+  // Reset zeroes values but never invalidates handed-out handles.
+  EXPECT_EQ(registry.GetCounter("test.stable"), a);
+  a->Add(7);
+  EXPECT_EQ(b->Get(), 7);
+}
+
+TEST_F(ObsTest, GaugeIsLastWriteWins) {
+  obs::Gauge* g = obs::Registry::Global().GetGauge("test.gauge");
+  g->Set(1.5);
+  g->Set(-3.25);
+  EXPECT_DOUBLE_EQ(g->Get(), -3.25);
+}
+
+TEST_F(ObsTest, HistogramBucketsAreLeSemantics) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.Observe(0.5);   // le=1
+  h.Observe(1.0);   // le=1: a value on the bound belongs to that bucket
+  h.Observe(1.5);   // le=2
+  h.Observe(4.0);   // le=4
+  h.Observe(100.0); // overflow
+  const std::vector<int64_t> counts = h.BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(h.Count(), 5);
+  EXPECT_DOUBLE_EQ(h.Sum(), 107.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.5);
+  EXPECT_DOUBLE_EQ(h.Max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 107.0 / 5.0);
+}
+
+TEST_F(ObsTest, EmptyHistogramReportsZeros) {
+  obs::Histogram h({1.0});
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_DOUBLE_EQ(h.Min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST_F(ObsTest, ConcurrentUpdatesAreExact) {
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Counter* counter = registry.GetCounter("test.concurrent.counter");
+  obs::Histogram* histogram =
+      registry.GetHistogram("test.concurrent.hist", {0.25, 0.5, 0.75});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Add();
+        histogram->Observe(static_cast<double>((t + i) % 4) / 4.0);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->Get(), kThreads * kPerThread);
+  EXPECT_EQ(histogram->Count(), kThreads * kPerThread);
+  int64_t bucket_total = 0;
+  for (const int64_t c : histogram->BucketCounts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, kThreads * kPerThread);
+}
+
+// ---------------------------------------------------------------------------
+// ScopedTimer / TraceSpan
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, ScopedTimerRecordsOnDestruction) {
+  obs::Histogram h(obs::LatencyBucketsMs());
+  {
+    obs::ScopedTimer timer(&h);
+    EXPECT_EQ(h.Count(), 0);  // nothing recorded while the scope is live
+  }
+  EXPECT_EQ(h.Count(), 1);
+  EXPECT_GE(h.Sum(), 0.0);
+}
+
+TEST_F(ObsTest, CancelledScopedTimerRecordsNothing) {
+  obs::Histogram h(obs::LatencyBucketsMs());
+  {
+    obs::ScopedTimer timer(&h);
+    timer.Cancel();
+  }
+  EXPECT_EQ(h.Count(), 0);
+}
+
+TEST_F(ObsTest, TraceSpansNestIntoDottedHistogramNames) {
+  obs::Registry& registry = obs::Registry::Global();
+  EXPECT_EQ(obs::TraceSpan::Depth(), 0);
+  {
+    obs::TraceSpan outer("outer");
+    EXPECT_EQ(obs::TraceSpan::Depth(), 1);
+    EXPECT_EQ(obs::TraceSpan::CurrentPath(), "outer");
+    {
+      obs::TraceSpan inner("inner");
+      EXPECT_EQ(obs::TraceSpan::Depth(), 2);
+      EXPECT_EQ(obs::TraceSpan::CurrentPath(), "outer.inner");
+    }
+    EXPECT_EQ(obs::TraceSpan::Depth(), 1);
+  }
+  EXPECT_EQ(obs::TraceSpan::Depth(), 0);
+  EXPECT_EQ(registry
+                .GetHistogram("trace.outer", obs::LatencyBucketsMs())
+                ->Count(),
+            1);
+  EXPECT_EQ(registry
+                .GetHistogram("trace.outer.inner", obs::LatencyBucketsMs())
+                ->Count(),
+            1);
+}
+
+TEST_F(ObsTest, TraceSpansAreThreadLocal) {
+  obs::TraceSpan outer("main_thread_span");
+  std::thread other([] {
+    // A sibling thread starts from an empty span stack.
+    EXPECT_EQ(obs::TraceSpan::Depth(), 0);
+    obs::TraceSpan span("other_thread_span");
+    EXPECT_EQ(obs::TraceSpan::CurrentPath(), "other_thread_span");
+  });
+  other.join();
+  EXPECT_EQ(obs::TraceSpan::CurrentPath(), "main_thread_span");
+}
+
+// ---------------------------------------------------------------------------
+// Profiling gating of the tensor-backend hooks
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, GemmCountersOnlyRecordWhenProfilingEnabled) {
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Counter* calls = registry.GetCounter("tensor.gemm.calls");
+  obs::Counter* flops = registry.GetCounter("tensor.gemm.flops");
+  Rng rng(5);
+  Tensor a = Tensor::Randn({4, 6}, rng);
+  Tensor b = Tensor::Randn({6, 8}, rng);
+
+  ASSERT_FALSE(obs::ProfilingEnabled());  // default off
+  ops::MatMul(a, b);
+  EXPECT_EQ(calls->Get(), 0);
+  EXPECT_EQ(flops->Get(), 0);
+
+  obs::SetProfilingEnabled(true);
+  ops::MatMul(a, b);
+  obs::SetProfilingEnabled(false);
+  EXPECT_EQ(calls->Get(), 1);
+  EXPECT_EQ(flops->Get(), 2 * 4 * 6 * 8);
+
+  ops::MatMul(a, b);  // off again: no further counts
+  EXPECT_EQ(calls->Get(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST_F(ObsTest, TextExportListsEveryKind) {
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetCounter("test.export.counter")->Add(3);
+  registry.GetGauge("test.export.gauge")->Set(1.5);
+  registry.GetHistogram("test.export.hist", {1.0, 2.0})->Observe(0.5);
+  std::ostringstream out;
+  obs::ExportText(registry, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("counter test.export.counter 3"), std::string::npos);
+  EXPECT_NE(text.find("gauge test.export.gauge 1.5"), std::string::npos);
+  EXPECT_NE(text.find("histogram test.export.hist count=1"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, JsonExportIsWellFormedAndSorted) {
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetCounter("test.json.b")->Add(2);
+  registry.GetCounter("test.json.a")->Add(1);
+  registry.GetHistogram("test.json.hist", {1.0})->Observe(5.0);  // overflow
+  const std::string json = obs::ExportJsonString(registry);
+  // Sorted keys: a before b.
+  const size_t pos_a = json.find("\"test.json.a\": 1");
+  const size_t pos_b = json.find("\"test.json.b\": 2");
+  ASSERT_NE(pos_a, std::string::npos) << json;
+  ASSERT_NE(pos_b, std::string::npos) << json;
+  EXPECT_LT(pos_a, pos_b);
+  // The implicit overflow bucket exports with a quoted "inf" bound.
+  EXPECT_NE(json.find("{\"le\": \"inf\", \"count\": 1}"), std::string::npos)
+      << json;
+  // Braces balance (cheap well-formedness check; full parsing happens in the
+  // CLI integration test below).
+  int depth = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ObsTest, NonFiniteGaugeIsQuotedInJson) {
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetGauge("test.json.inf")->Set(
+      std::numeric_limits<double>::infinity());
+  const std::string json = obs::ExportJsonString(registry);
+  EXPECT_NE(json.find("\"test.json.inf\": \"inf\""), std::string::npos)
+      << json;
+}
+
+TEST_F(ObsTest, WriteMetricsJsonIsAtomic) {
+  obs::Registry& registry = obs::Registry::Global();
+  registry.GetCounter("test.write.counter")->Add(9);
+  const std::string path = ::testing::TempDir() + "/obs_snapshot.json";
+  ASSERT_TRUE(obs::WriteMetricsJson(registry, path).ok());
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"test.write.counter\": 9"),
+            std::string::npos);
+  // No temp file left behind, and a bad destination is a Status, not abort.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.is_open());
+  EXPECT_FALSE(obs::WriteMetricsJson(registry, "/nonexistent/dir/x.json").ok());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a 2-epoch CLI train run emits a parseable snapshot with
+// deterministic counters, serve latency buckets, and (under --profile) GEMM
+// call counts.
+// ---------------------------------------------------------------------------
+
+/// Extracts the integer following `"key": ` (counters). -1 when absent.
+int64_t ExtractCounter(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t pos = json.find(needle);
+  if (pos == std::string::npos) return -1;
+  return std::atoll(json.c_str() + pos + needle.size());
+}
+
+/// Sums the per-bucket counts of histogram `name`. -1 when absent.
+int64_t SumHistogramBuckets(const std::string& json, const std::string& name) {
+  const std::string needle = "\"" + name + "\": {";
+  const size_t start = json.find(needle);
+  if (start == std::string::npos) return -1;
+  const size_t end = json.find("]}", start);
+  const std::string object = json.substr(start, end - start);
+  int64_t total = 0;
+  size_t pos = object.find("\"buckets\": [");
+  while ((pos = object.find("\"count\": ", pos)) != std::string::npos) {
+    pos += 9;
+    total += std::atoll(object.c_str() + pos);
+  }
+  return total;
+}
+
+TEST_F(ObsTest, CliTrainRunEmitsParseableMetricsSnapshot) {
+#ifndef ENHANCENET_CLI_PATH
+  GTEST_SKIP() << "CLI path not wired in";
+#else
+  const std::string checkpoint = ::testing::TempDir() + "/obs_cli.encp";
+  const std::string metrics = ::testing::TempDir() + "/obs_cli_metrics.json";
+  const std::string command = std::string(ENHANCENET_CLI_PATH) +
+                              " train --synthetic eb --model D-GRNN" +
+                              " --epochs 2 --checkpoint " + checkpoint +
+                              " --metrics-out=" + metrics +
+                              " --profile > /dev/null 2>&1";
+  ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+  std::ifstream in(metrics);
+  ASSERT_TRUE(in.is_open()) << metrics;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+
+  // Deterministic trainer counters: exactly the requested epochs ran, with
+  // the same batch count each epoch.
+  EXPECT_EQ(ExtractCounter(json, "train.epochs"), 2) << json;
+  const int64_t batches = ExtractCounter(json, "train.batches");
+  EXPECT_GT(batches, 0);
+  EXPECT_EQ(batches % 2, 0);
+
+  // The post-train serve smoke produced serve latency histogram mass.
+  EXPECT_EQ(ExtractCounter(json, "serve.session.windows"), 1);
+  EXPECT_EQ(ExtractCounter(json, "serve.session.forwards"), 1);
+  EXPECT_EQ(SumHistogramBuckets(json, "serve.session.latency_ms"), 1);
+
+  // Trainer epoch timing histogram carries one sample per epoch.
+  EXPECT_EQ(SumHistogramBuckets(json, "train.epoch_ms"), 2);
+
+  // --profile turned the tensor-backend hooks on.
+  EXPECT_GT(ExtractCounter(json, "tensor.gemm.calls"), 0);
+  EXPECT_GT(ExtractCounter(json, "tensor.gemm.flops"), 0);
+
+  std::remove(checkpoint.c_str());
+  std::remove(metrics.c_str());
+#endif
+}
+
+}  // namespace
+}  // namespace enhancenet

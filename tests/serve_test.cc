@@ -9,6 +9,7 @@
 #include "graph/adjacency.h"
 #include "gtest/gtest.h"
 #include "io/checkpoint.h"
+#include "obs/metrics.h"
 #include "serve/inference_session.h"
 #include "serve/micro_batcher.h"
 #include "tensor/tensor_ops.h"
@@ -46,6 +47,9 @@ models::ModelSizing TinySizing() {
 class ServeTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Serve metrics are process-global (shared "serve.*" registry names);
+    // zero them so each test sees exact counts.
+    obs::Registry::Global().ResetForTest();
     data_ = data::MakeEbLike(kEntities, 2, /*seed=*/5);
     adjacency_ = graph::GaussianKernelAdjacency(data_.distances);
     scaler_.Fit(data_.series, 0, data_.num_steps() * 7 / 10);
@@ -472,6 +476,120 @@ TEST_F(ServeTest, MicroBatcherRejectsWithoutPoisoningBatch) {
   const serve::Stats stats = batcher.stats();
   EXPECT_EQ(stats.rejected, 2);
   EXPECT_EQ(stats.windows, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Registry-backed serve metrics: occupancy/latency histograms under a full
+// batch, and under a poisoned batch whose forward fails.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, MicroBatcherFullBatchRecordsOccupancyAndLatency) {
+  auto session = MakeSession();
+  serve::MicroBatcherConfig bc;
+  bc.max_batch_size = 4;
+  bc.max_wait_ms = 2000.0;  // generous so all four threads share one forward
+  serve::MicroBatcher batcher(session.get(), bc);
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      serve::PredictRequest request;
+      request.history = RawWindow(45 + 17 * t);
+      serve::PredictResponse response;
+      if (!batcher.Predict(request, &response).ok()) {
+        ++failures[static_cast<size_t>(t)];
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) ASSERT_EQ(failures[t], 0);
+
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Histogram* occupancy = registry.GetHistogram(
+      "serve.batcher.batch_occupancy", obs::OccupancyBuckets());
+  obs::Histogram* latency = registry.GetHistogram(
+      "serve.batcher.latency_ms", obs::LatencyBucketsMs());
+
+  // One observation per forward; total occupancy mass equals the windows
+  // served. With the generous wait this is normally a single forward of 4.
+  const serve::Stats stats = batcher.stats();
+  EXPECT_EQ(occupancy->Count(), stats.forwards);
+  EXPECT_EQ(static_cast<int64_t>(occupancy->Sum()), kThreads);
+  EXPECT_GE(occupancy->Max(), 1.0);
+  EXPECT_LE(occupancy->Max(), 4.0);
+
+  // One latency observation per served window, all mass in finite buckets.
+  EXPECT_EQ(latency->Count(), kThreads);
+  EXPECT_GT(latency->Sum(), 0.0);
+  int64_t bucket_total = 0;
+  for (const int64_t c : latency->BucketCounts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, kThreads);
+}
+
+/// Failing-forward test double: validation passes (so requests join a
+/// batch), but the batched forward itself errors — the "poisoned batch"
+/// case a real model hits on e.g. resource exhaustion.
+class FailingSession : public serve::InferenceSession {
+ public:
+  FailingSession(serve::SessionConfig config,
+                 std::unique_ptr<models::ForecastingModel> model,
+                 const data::StandardScaler& scaler)
+      : InferenceSession(std::move(config), std::move(model), scaler) {}
+
+  Status Predict(const serve::PredictRequest&,
+                 serve::PredictResponse*) const override {
+    return Status::Internal("injected forward failure");
+  }
+};
+
+TEST_F(ServeTest, MicroBatcherPoisonedBatchCountsForwardErrors) {
+  serve::SessionConfig config = Config();
+  Rng rng(21);
+  auto model = models::MakeModel("D-GRNN", kEntities, 1, adjacency_,
+                                 TinySizing(), rng);
+  FailingSession session(config, std::move(model), scaler_);
+
+  serve::MicroBatcherConfig bc;
+  bc.max_batch_size = 2;
+  bc.max_wait_ms = 2000.0;
+  serve::MicroBatcher batcher(&session, bc);
+
+  constexpr int kThreads = 2;
+  std::vector<std::thread> threads;
+  std::vector<StatusCode> codes(kThreads, StatusCode::kOk);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      serve::PredictRequest request;
+      request.history = RawWindow(60 + 9 * t);
+      serve::PredictResponse response;
+      codes[static_cast<size_t>(t)] = batcher.Predict(request, &response).code();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // Every member of the poisoned batch gets the forward's error, and nobody
+  // hangs waiting for results that will never come.
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(codes[t], StatusCode::kInternal);
+  }
+
+  const serve::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.windows, 0);         // nothing was served
+  EXPECT_EQ(stats.rejected, 0);        // validation passed
+  EXPECT_GE(stats.forwards, 1);
+  EXPECT_EQ(stats.forward_errors, stats.forwards);
+
+  // Occupancy is still observed for failed forwards (capacity was spent),
+  // but no latency samples exist since no request completed.
+  obs::Registry& registry = obs::Registry::Global();
+  obs::Histogram* occupancy = registry.GetHistogram(
+      "serve.batcher.batch_occupancy", obs::OccupancyBuckets());
+  obs::Histogram* latency = registry.GetHistogram(
+      "serve.batcher.latency_ms", obs::LatencyBucketsMs());
+  EXPECT_EQ(occupancy->Count(), stats.forwards);
+  EXPECT_EQ(static_cast<int64_t>(occupancy->Sum()), kThreads);
+  EXPECT_EQ(latency->Count(), 0);
 }
 
 // ---------------------------------------------------------------------------

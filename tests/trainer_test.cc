@@ -150,6 +150,31 @@ TEST(TrainerTest, MeasurePredictMillisPositiveAndStable) {
   EXPECT_LT(millis, 10000.0);
 }
 
+TEST(TrainerTest, EvaluateAndMeasureRestorePriorTrainingMode) {
+  // Evaluate/MeasurePredictMillis must put the model back in whatever mode
+  // the caller had it in — forcing training mode on exit would silently
+  // corrupt eval-mode callers (e.g. a serving path reusing the model).
+  TrainFixture fixture;
+  auto model = fixture.MakeRnn(2);
+  train::TrainerConfig config;
+  train::Trainer trainer(model.get(), &fixture.scaler, 0, config);
+  Rng rng(41);
+  train::MetricAccumulator acc(12);
+
+  model->SetTraining(false);
+  trainer.Evaluate(*fixture.test, &acc, rng);
+  EXPECT_FALSE(model->training());
+  trainer.MeasurePredictMillis(*fixture.test, 1, rng);
+  EXPECT_FALSE(model->training());
+
+  model->SetTraining(true);
+  train::MetricAccumulator acc2(12);
+  trainer.Evaluate(*fixture.test, &acc2, rng);
+  EXPECT_TRUE(model->training());
+  trainer.MeasurePredictMillis(*fixture.test, 1, rng);
+  EXPECT_TRUE(model->training());
+}
+
 TEST(TrainerTest, EvaluateUsesRealUnits) {
   TrainFixture fixture;
   auto model = fixture.MakeRnn(2);
