@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Runs the training-throughput benchmarks and records the results as
+# BENCH_train.json at the repo root. Each model is measured in both the
+# baseline configuration (system-allocator semantics, unfused kernels,
+# keep-everything backward — the pre-PR hot path) and the optimized one
+# (caching allocator + fused cell/optimizer kernels + eager backward
+# release), so the file carries its own baseline and the speedup is
+# reproducible from a single run.
+#
+# Usage:
+#   bench/run_bench_train.sh                    # RNN + D-GRNN, both configs
+#   BENCHMARK_FILTER='DGRNN' bench/run_bench_train.sh
+#   BUILD_DIR=/tmp/build bench/run_bench_train.sh
+#   ENHANCENET_NUM_THREADS=1 bench/run_bench_train.sh   # serial kernels
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build}"
+OUT="$ROOT/BENCH_train.json"
+
+if [[ ! -x "$BUILD_DIR/bench/bench_train" ]]; then
+  cmake -B "$BUILD_DIR" -S "$ROOT"
+  cmake --build "$BUILD_DIR" -j --target bench_train
+fi
+
+# The metrics snapshot (counters + histograms, same JSON schema as the
+# CLI's --metrics-out) lands next to the timings; it includes the
+# tensor.alloc.* pool counters.
+# Medians over randomly interleaved repetitions: on a shared single-core
+# runner two configurations timed seconds apart drift by hypervisor steal
+# (see DESIGN.md §7); interleaving samples both across the same machine
+# states so the recorded ratio is the kernels', not the scheduler's.
+ENHANCENET_METRICS_OUT="${ENHANCENET_METRICS_OUT:-$ROOT/BENCH_train_metrics.json}" \
+"$BUILD_DIR/bench/bench_train" \
+  --benchmark_format=json \
+  --benchmark_repetitions="${BENCHMARK_REPETITIONS:-5}" \
+  --benchmark_enable_random_interleaving \
+  ${BENCHMARK_FILTER:+--benchmark_filter="$BENCHMARK_FILTER"} \
+  > "$OUT"
+
+echo "wrote $OUT"
+
+# Convenience: print the baseline/optimized epoch-time ratio per model.
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$OUT" <<'EOF'
+import json, sys
+benchmarks = json.load(open(sys.argv[1]))["benchmarks"]
+
+def median_row(name):
+    agg = [b for b in benchmarks
+           if b["name"] == f"{name}_median" or
+           (b.get("run_name") == name and b.get("aggregate_name") == "median")]
+    if agg:
+        return agg[0]
+    plain = [b for b in benchmarks if b["name"] == name]
+    return plain[0] if plain else None
+
+for model in ("RNN", "DGRNN"):
+    base = median_row(f"BM_TrainStep/{model}_baseline")
+    opt = median_row(f"BM_TrainStep/{model}_optimized")
+    if not base or not opt:
+        continue
+    speedup = base["real_time"] / opt["real_time"]
+    print(f"{model}: {speedup:.2f}x median step speedup "
+          f"(allocs/step {base['allocs_per_step']:.1f} -> "
+          f"{opt['allocs_per_step']:.2f}, "
+          f"hit rate {opt['pool_hit_rate']*100:.1f}%)")
+EOF
+fi

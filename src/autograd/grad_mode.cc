@@ -1,16 +1,52 @@
 #include "autograd/grad_mode.h"
 
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
 namespace enhancenet {
 namespace autograd {
 namespace {
 
 thread_local bool grad_enabled = true;
 
+std::atomic<bool>& FusedFlag() {
+  static std::atomic<bool> flag = [] {
+    const char* value = std::getenv("ENHANCENET_FUSED");
+    return !(value != nullptr && std::strcmp(value, "0") == 0);
+  }();
+  return flag;
+}
+
+std::atomic<bool>& EagerReleaseFlag() {
+  static std::atomic<bool> flag = [] {
+    const char* value = std::getenv("ENHANCENET_EAGER_RELEASE");
+    return !(value != nullptr && std::strcmp(value, "0") == 0);
+  }();
+  return flag;
+}
+
 }  // namespace
 
 bool GradMode::IsEnabled() { return grad_enabled; }
 
 void GradMode::SetEnabled(bool enabled) { grad_enabled = enabled; }
+
+bool FusedKernels::IsEnabled() {
+  return FusedFlag().load(std::memory_order_relaxed);
+}
+
+void FusedKernels::SetEnabled(bool enabled) {
+  FusedFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool EagerBackwardRelease::IsEnabled() {
+  return EagerReleaseFlag().load(std::memory_order_relaxed);
+}
+
+void EagerBackwardRelease::SetEnabled(bool enabled) {
+  EagerReleaseFlag().store(enabled, std::memory_order_relaxed);
+}
 
 NoGradGuard::NoGradGuard() : previous_(grad_enabled) { grad_enabled = false; }
 

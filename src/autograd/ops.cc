@@ -1,9 +1,12 @@
 #include "autograd/ops.h"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "autograd/grad_mode.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "tensor/tensor_ops.h"
 
 namespace enhancenet {
@@ -53,11 +56,28 @@ void MaybeAccumulate(Variable v, const Tensor& g) {
   if (v.requires_grad()) v.AccumulateGrad(g);
 }
 
+/// Rvalue form: a freshly computed gradient temp is adopted as the grad
+/// buffer instead of being deep-cloned. Only for tensors with private
+/// storage — never the upstream grad_out, which fans out to siblings.
+void MaybeAccumulate(Variable v, Tensor&& g) {
+  if (v.requires_grad()) v.AccumulateGrad(std::move(g));
+}
+
 /// Reduces a broadcast gradient back to the operand's shape and accumulates.
 void AccumulateBroadcast(Variable v, const Tensor& g) {
   if (!v.requires_grad()) return;
   if (g.shape() == v.shape()) {
     v.AccumulateGrad(g);
+  } else {
+    v.AccumulateGrad(ops::ReduceToShape(g, v.shape()));
+  }
+}
+
+/// Rvalue form; same private-storage contract as MaybeAccumulate above.
+void AccumulateBroadcast(Variable v, Tensor&& g) {
+  if (!v.requires_grad()) return;
+  if (g.shape() == v.shape()) {
+    v.AccumulateGrad(std::move(g));
   } else {
     v.AccumulateGrad(ops::ReduceToShape(g, v.shape()));
   }
@@ -314,6 +334,479 @@ Variable SoftmaxLastDim(const Variable& v) {
     Tensor s = ops::Sum(gy, -1, /*keepdim=*/true);
     v.AccumulateGrad(ops::Mul(y, ops::Sub(g, s)));
   });
+}
+
+namespace {
+
+/// Same numerically-stable formula as ops::Sigmoid, so fused forwards agree
+/// with the unfused Sigmoid op to the last bit on each gate value.
+inline float StableSigmoid(float x) {
+  if (x >= 0.0f) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
+/// Elementwise work below this many output elements runs inline (mirrors the
+/// tensor backend's serial threshold).
+constexpr int64_t kFusedSerialNumel = 16 * 1024;
+
+int64_t RowGrain(int64_t hidden) {
+  return std::max<int64_t>(1, kFusedSerialNumel / std::max<int64_t>(hidden, 1));
+}
+
+/// True when an op over these inputs must record a graph (and therefore save
+/// its activations for the fused backward).
+bool RecordsAny(const Variable& a, const Variable& b, const Variable& c) {
+  return GradMode::IsEnabled() &&
+         (a.requires_grad() || b.requires_grad() || c.requires_grad());
+}
+
+}  // namespace
+
+Variable FusedGruCell(const Variable& gx, const Variable& gh,
+                      const Variable& h) {
+  const int64_t hs = h.size(-1);
+  ENHANCENET_CHECK_EQ(gx.size(-1), 3 * hs);
+  ENHANCENET_CHECK_EQ(gh.size(-1), 3 * hs);
+  const int64_t rows = h.numel() / hs;
+  ENHANCENET_CHECK_EQ(gx.numel(), rows * 3 * hs);
+  ENHANCENET_CHECK_EQ(gh.numel(), rows * 3 * hs);
+
+  const bool record = RecordsAny(gx, gh, h);
+  Tensor out = Tensor::Uninitialized(h.shape());
+  // Saved activations for the fused backward; never allocated in no-grad
+  // mode (the same contract the unfused ops honor via Records()).
+  Tensor r_saved = record ? Tensor::Uninitialized(h.shape()) : Tensor();
+  Tensor u_saved = record ? Tensor::Uninitialized(h.shape()) : Tensor();
+  Tensor c_saved = record ? Tensor::Uninitialized(h.shape()) : Tensor();
+
+  {
+    const float* pgx = gx.data().data();
+    const float* pgh = gh.data().data();
+    const float* ph = h.data().data();
+    float* po = out.data();
+    float* pr = record ? r_saved.data() : nullptr;
+    float* pu = record ? u_saved.data() : nullptr;
+    float* pc = record ? c_saved.data() : nullptr;
+    ParallelFor(0, rows, RowGrain(hs), [=](int64_t r0, int64_t r1) {
+      for (int64_t row = r0; row < r1; ++row) {
+        const float* gxr = pgx + row * 3 * hs;
+        const float* ghr = pgh + row * 3 * hs;
+        const float* hr = ph + row * hs;
+        float* orow = po + row * hs;
+        for (int64_t k = 0; k < hs; ++k) {
+          const float rv = StableSigmoid(gxr[k] + ghr[k]);
+          const float uv = StableSigmoid(gxr[hs + k] + ghr[hs + k]);
+          const float cv = std::tanh(gxr[2 * hs + k] + rv * ghr[2 * hs + k]);
+          orow[k] = uv * hr[k] + (1.0f - uv) * cv;
+          if (pr != nullptr) {
+            pr[row * hs + k] = rv;
+            pu[row * hs + k] = uv;
+            pc[row * hs + k] = cv;
+          }
+        }
+      }
+    });
+  }
+
+  return MakeResult(
+      std::move(out), "fused_gru_cell", {gx, gh, h},
+      [gx, gh, h, r_saved, u_saved, c_saved, rows, hs](const Tensor& g) {
+        Tensor dgx = Tensor::Uninitialized(gx.shape());
+        Tensor dgh = Tensor::Uninitialized(gh.shape());
+        Tensor dh = Tensor::Uninitialized(h.shape());
+        const float* pg = g.data();
+        const float* pr = r_saved.data();
+        const float* pu = u_saved.data();
+        const float* pc = c_saved.data();
+        const float* ph = h.data().data();
+        const float* pgh_in = gh.data().data();
+        float* pdgx = dgx.data();
+        float* pdgh = dgh.data();
+        float* pdh = dh.data();
+        ParallelFor(0, rows, RowGrain(hs), [=](int64_t r0, int64_t r1) {
+          for (int64_t row = r0; row < r1; ++row) {
+            const int64_t base = row * hs;
+            const int64_t base3 = row * 3 * hs;
+            for (int64_t k = 0; k < hs; ++k) {
+              const float gv = pg[base + k];
+              const float rv = pr[base + k];
+              const float uv = pu[base + k];
+              const float cv = pc[base + k];
+              const float hv = ph[base + k];
+              const float ghc = pgh_in[base3 + 2 * hs + k];
+              // h' = u h + (1-u) c with c = tanh(gx_c + r gh_c),
+              // r/u = σ(gx + gh slices); chain rule in one pass.
+              const float dpre_c = gv * (1.0f - uv) * (1.0f - cv * cv);
+              const float dpre_u =
+                  gv * (hv - cv) * uv * (1.0f - uv);
+              const float dpre_r = dpre_c * ghc * rv * (1.0f - rv);
+              pdgx[base3 + k] = dpre_r;
+              pdgx[base3 + hs + k] = dpre_u;
+              pdgx[base3 + 2 * hs + k] = dpre_c;
+              pdgh[base3 + k] = dpre_r;
+              pdgh[base3 + hs + k] = dpre_u;
+              pdgh[base3 + 2 * hs + k] = dpre_c * rv;
+              pdh[base + k] = gv * uv;
+            }
+          }
+        });
+        MaybeAccumulate(gx, std::move(dgx));
+        MaybeAccumulate(gh, std::move(dgh));
+        MaybeAccumulate(h, std::move(dh));
+      });
+}
+
+void FusedLstmCell(const Variable& gates, const Variable& c_prev,
+                   Variable* h_new, Variable* c_new) {
+  ENHANCENET_CHECK(h_new != nullptr && c_new != nullptr);
+  const int64_t hs = c_prev.size(-1);
+  ENHANCENET_CHECK_EQ(gates.size(-1), 4 * hs);
+  const int64_t rows = c_prev.numel() / hs;
+  ENHANCENET_CHECK_EQ(gates.numel(), rows * 4 * hs);
+
+  const bool record = RecordsAny(gates, c_prev, c_prev);
+  Tensor h_out = Tensor::Uninitialized(c_prev.shape());
+  Tensor c_out = Tensor::Uninitialized(c_prev.shape());
+  Tensor i_saved = record ? Tensor::Uninitialized(c_prev.shape()) : Tensor();
+  Tensor f_saved = record ? Tensor::Uninitialized(c_prev.shape()) : Tensor();
+  Tensor g_saved = record ? Tensor::Uninitialized(c_prev.shape()) : Tensor();
+  Tensor o_saved = record ? Tensor::Uninitialized(c_prev.shape()) : Tensor();
+  Tensor t_saved = record ? Tensor::Uninitialized(c_prev.shape()) : Tensor();
+
+  {
+    const float* pga = gates.data().data();
+    const float* pcp = c_prev.data().data();
+    float* pho = h_out.data();
+    float* pco = c_out.data();
+    float* pi = record ? i_saved.data() : nullptr;
+    float* pf = record ? f_saved.data() : nullptr;
+    float* pgg = record ? g_saved.data() : nullptr;
+    float* po = record ? o_saved.data() : nullptr;
+    float* pt = record ? t_saved.data() : nullptr;
+    ParallelFor(0, rows, RowGrain(hs), [=](int64_t r0, int64_t r1) {
+      for (int64_t row = r0; row < r1; ++row) {
+        const float* garow = pga + row * 4 * hs;
+        const int64_t base = row * hs;
+        for (int64_t k = 0; k < hs; ++k) {
+          const float iv = StableSigmoid(garow[k]);
+          const float fv = StableSigmoid(garow[hs + k]);
+          const float gv = std::tanh(garow[2 * hs + k]);
+          const float ov = StableSigmoid(garow[3 * hs + k]);
+          const float cv = fv * pcp[base + k] + iv * gv;
+          const float tv = std::tanh(cv);
+          pco[base + k] = cv;
+          pho[base + k] = ov * tv;
+          if (pi != nullptr) {
+            pi[base + k] = iv;
+            pf[base + k] = fv;
+            pgg[base + k] = gv;
+            po[base + k] = ov;
+            pt[base + k] = tv;
+          }
+        }
+      }
+    });
+  }
+
+  // Two result nodes over the same parents and saved activations. Each node
+  // owns the complete chain rule for its own output, so the gradients the
+  // next time step sends into h' and c' both reach gates/c_prev, in any
+  // order the topological sweep fires them.
+  *c_new = MakeResult(
+      std::move(c_out), "fused_lstm_c", {gates, c_prev},
+      [gates, c_prev, i_saved, f_saved, g_saved, rows, hs](const Tensor& g) {
+        Tensor dgates = Tensor::Uninitialized(gates.shape());
+        Tensor dc = Tensor::Uninitialized(c_prev.shape());
+        const float* pg = g.data();
+        const float* pi = i_saved.data();
+        const float* pf = f_saved.data();
+        const float* pgg = g_saved.data();
+        const float* pcp = c_prev.data().data();
+        float* pdg = dgates.data();
+        float* pdc = dc.data();
+        ParallelFor(0, rows, RowGrain(hs), [=](int64_t r0, int64_t r1) {
+          for (int64_t row = r0; row < r1; ++row) {
+            const int64_t base = row * hs;
+            const int64_t base4 = row * 4 * hs;
+            for (int64_t k = 0; k < hs; ++k) {
+              const float gc = pg[base + k];
+              const float iv = pi[base + k];
+              const float fv = pf[base + k];
+              const float gv = pgg[base + k];
+              // c' = f c_prev + i g; no o-gate term through this output.
+              pdg[base4 + k] = gc * gv * iv * (1.0f - iv);
+              pdg[base4 + hs + k] =
+                  gc * pcp[base + k] * fv * (1.0f - fv);
+              pdg[base4 + 2 * hs + k] = gc * iv * (1.0f - gv * gv);
+              pdg[base4 + 3 * hs + k] = 0.0f;
+              pdc[base + k] = gc * fv;
+            }
+          }
+        });
+        MaybeAccumulate(gates, std::move(dgates));
+        MaybeAccumulate(c_prev, std::move(dc));
+      });
+  *h_new = MakeResult(
+      std::move(h_out), "fused_lstm_h", {gates, c_prev},
+      [gates, c_prev, i_saved, f_saved, g_saved, o_saved, t_saved, rows,
+       hs](const Tensor& g) {
+        Tensor dgates = Tensor::Uninitialized(gates.shape());
+        Tensor dc = Tensor::Uninitialized(c_prev.shape());
+        const float* pg = g.data();
+        const float* pi = i_saved.data();
+        const float* pf = f_saved.data();
+        const float* pgg = g_saved.data();
+        const float* po = o_saved.data();
+        const float* pt = t_saved.data();
+        const float* pcp = c_prev.data().data();
+        float* pdg = dgates.data();
+        float* pdc = dc.data();
+        ParallelFor(0, rows, RowGrain(hs), [=](int64_t r0, int64_t r1) {
+          for (int64_t row = r0; row < r1; ++row) {
+            const int64_t base = row * hs;
+            const int64_t base4 = row * 4 * hs;
+            for (int64_t k = 0; k < hs; ++k) {
+              const float gh = pg[base + k];
+              const float iv = pi[base + k];
+              const float fv = pf[base + k];
+              const float gv = pgg[base + k];
+              const float ov = po[base + k];
+              const float tv = pt[base + k];
+              // h' = o tanh(c'); route the tanh(c') term through the whole
+              // c' = f c_prev + i g expression.
+              const float dcn = gh * ov * (1.0f - tv * tv);
+              pdg[base4 + k] = dcn * gv * iv * (1.0f - iv);
+              pdg[base4 + hs + k] =
+                  dcn * pcp[base + k] * fv * (1.0f - fv);
+              pdg[base4 + 2 * hs + k] = dcn * iv * (1.0f - gv * gv);
+              pdg[base4 + 3 * hs + k] = gh * tv * ov * (1.0f - ov);
+              pdc[base + k] = dcn * fv;
+            }
+          }
+        });
+        MaybeAccumulate(gates, std::move(dgates));
+        MaybeAccumulate(c_prev, std::move(dc));
+      });
+}
+
+Variable GruCombine(const Variable& u, const Variable& h, const Variable& c) {
+  ENHANCENET_CHECK(u.shape() == h.shape() && u.shape() == c.shape())
+      << "GruCombine shape mismatch: " << ShapeToString(u.shape()) << " vs "
+      << ShapeToString(h.shape()) << " vs " << ShapeToString(c.shape());
+  const int64_t n = u.numel();
+
+  Tensor out = Tensor::Uninitialized(u.shape());
+  {
+    const float* pu = u.data().data();
+    const float* ph = h.data().data();
+    const float* pc = c.data().data();
+    float* po = out.data();
+    ParallelFor(0, n, kFusedSerialNumel, [=](int64_t lo, int64_t hi) {
+      for (int64_t i = lo; i < hi; ++i) {
+        po[i] = pu[i] * ph[i] + (1.0f - pu[i]) * pc[i];
+      }
+    });
+  }
+
+  return MakeResult(
+      std::move(out), "gru_combine", {u, h, c},
+      [u, h, c, n](const Tensor& g) {
+        Tensor du = Tensor::Uninitialized(u.shape());
+        Tensor dh = Tensor::Uninitialized(u.shape());
+        Tensor dc = Tensor::Uninitialized(u.shape());
+        const float* pg = g.data();
+        const float* pu = u.data().data();
+        const float* ph = h.data().data();
+        const float* pc = c.data().data();
+        float* pdu = du.data();
+        float* pdh = dh.data();
+        float* pdc = dc.data();
+        ParallelFor(0, n, kFusedSerialNumel, [=](int64_t lo, int64_t hi) {
+          for (int64_t i = lo; i < hi; ++i) {
+            pdu[i] = pg[i] * (ph[i] - pc[i]);
+            pdh[i] = pg[i] * pu[i];
+            pdc[i] = pg[i] * (1.0f - pu[i]);
+          }
+        });
+        MaybeAccumulate(u, std::move(du));
+        MaybeAccumulate(h, std::move(dh));
+        MaybeAccumulate(c, std::move(dc));
+      });
+}
+
+void FusedGruGates(const Variable& gates, const Variable& h, Variable* rh,
+                   Variable* u) {
+  ENHANCENET_CHECK(rh != nullptr && u != nullptr);
+  const int64_t hs = h.size(-1);
+  ENHANCENET_CHECK_EQ(gates.size(-1), 2 * hs);
+  const int64_t rows = h.numel() / hs;
+  ENHANCENET_CHECK_EQ(gates.numel(), rows * 2 * hs);
+
+  const bool record = RecordsAny(gates, h, h);
+  Tensor rh_out = Tensor::Uninitialized(h.shape());
+  Tensor u_out = Tensor::Uninitialized(h.shape());
+  Tensor r_saved = record ? Tensor::Uninitialized(h.shape()) : Tensor();
+
+  {
+    const float* pg = gates.data().data();
+    const float* ph = h.data().data();
+    float* prh = rh_out.data();
+    float* pu = u_out.data();
+    float* pr = record ? r_saved.data() : nullptr;
+    ParallelFor(0, rows, RowGrain(hs), [=](int64_t r0, int64_t r1) {
+      for (int64_t row = r0; row < r1; ++row) {
+        const float* grow = pg + row * 2 * hs;
+        for (int64_t k = 0; k < hs; ++k) {
+          const float rv = StableSigmoid(grow[k]);
+          prh[row * hs + k] = rv * ph[row * hs + k];
+          pu[row * hs + k] = StableSigmoid(grow[hs + k]);
+          if (pr != nullptr) pr[row * hs + k] = rv;
+        }
+      }
+    });
+  }
+
+  // u's value is its own node data; keep a storage-sharing handle for the
+  // backward (node data is never mutated, so the alias is read-only).
+  Tensor u_saved = record ? u_out : Tensor();
+
+  *rh = MakeResult(
+      std::move(rh_out), "fused_gru_rh", {gates, h},
+      [gates, h, r_saved, rows, hs](const Tensor& g) {
+        Tensor dgates = Tensor::Uninitialized(gates.shape());
+        Tensor dh = Tensor::Uninitialized(h.shape());
+        const float* pg = g.data();
+        const float* pr = r_saved.data();
+        const float* ph = h.data().data();
+        float* pdg = dgates.data();
+        float* pdh = dh.data();
+        ParallelFor(0, rows, RowGrain(hs), [=](int64_t r0, int64_t r1) {
+          for (int64_t row = r0; row < r1; ++row) {
+            const int64_t base = row * hs;
+            const int64_t base2 = row * 2 * hs;
+            for (int64_t k = 0; k < hs; ++k) {
+              const float gv = pg[base + k];
+              const float rv = pr[base + k];
+              // rh = σ(gates_r) ⊙ h; the u half owes nothing to this output.
+              pdg[base2 + k] = gv * ph[base + k] * rv * (1.0f - rv);
+              pdg[base2 + hs + k] = 0.0f;
+              pdh[base + k] = gv * rv;
+            }
+          }
+        });
+        MaybeAccumulate(gates, std::move(dgates));
+        MaybeAccumulate(h, std::move(dh));
+      });
+  *u = MakeResult(
+      std::move(u_out), "fused_gru_u", {gates},
+      [gates, u_saved, rows, hs](const Tensor& g) {
+        Tensor dgates = Tensor::Uninitialized(gates.shape());
+        const float* pg = g.data();
+        const float* pu = u_saved.data();
+        float* pdg = dgates.data();
+        ParallelFor(0, rows, RowGrain(hs), [=](int64_t r0, int64_t r1) {
+          for (int64_t row = r0; row < r1; ++row) {
+            const int64_t base = row * hs;
+            const int64_t base2 = row * 2 * hs;
+            for (int64_t k = 0; k < hs; ++k) {
+              const float uv = pu[base + k];
+              pdg[base2 + k] = 0.0f;
+              pdg[base2 + hs + k] = pg[base + k] * uv * (1.0f - uv);
+            }
+          }
+        });
+        MaybeAccumulate(gates, std::move(dgates));
+      });
+}
+
+Variable AdjacencyMatMul(const Variable& adj, const Variable& x) {
+  ENHANCENET_CHECK_EQ(adj.data().dim(), 2);
+  ENHANCENET_CHECK_EQ(x.data().dim(), 3);
+  const int64_t batch = x.size(0);
+  const int64_t n = x.size(1);
+  const int64_t channels = x.size(2);
+  ENHANCENET_CHECK_EQ(adj.size(0), n);
+  ENHANCENET_CHECK_EQ(adj.size(1), n);
+
+  Tensor out = Tensor::Uninitialized(x.shape());
+  {
+    const float* pa = adj.data().data();
+    const float* px = x.data().data();
+    float* po = out.data();
+    ParallelFor(0, batch * n, RowGrain(channels), [=](int64_t r0, int64_t r1) {
+      for (int64_t row = r0; row < r1; ++row) {
+        const int64_t b = row / n;
+        const int64_t i = row % n;
+        float* orow = po + row * channels;
+        std::fill(orow, orow + channels, 0.0f);
+        const float* arow = pa + i * n;
+        const float* xb = px + b * n * channels;
+        for (int64_t j = 0; j < n; ++j) {
+          const float a = arow[j];
+          if (a == 0.0f) continue;  // diffusion supports are often sparse
+          const float* xrow = xb + j * channels;
+          for (int64_t c = 0; c < channels; ++c) orow[c] += a * xrow[c];
+        }
+      }
+    });
+  }
+
+  return MakeResult(
+      std::move(out), "adj_matmul", {adj, x},
+      [adj, x, batch, n, channels](const Tensor& g) {
+        const float* pg = g.data();
+        const float* pa = adj.data().data();
+        const float* px = x.data().data();
+        if (x.requires_grad()) {
+          // dx[b,j,:] = Σ_i adj[i,j] · g[b,i,:]  (Aᵀ applied in-layout).
+          Tensor dx = Tensor::Uninitialized(x.shape());
+          float* pdx = dx.data();
+          ParallelFor(0, batch * n, RowGrain(channels),
+                      [=](int64_t r0, int64_t r1) {
+                        for (int64_t row = r0; row < r1; ++row) {
+                          const int64_t b = row / n;
+                          const int64_t j = row % n;
+                          float* drow = pdx + row * channels;
+                          std::fill(drow, drow + channels, 0.0f);
+                          const float* gb = pg + b * n * channels;
+                          for (int64_t i = 0; i < n; ++i) {
+                            const float a = pa[i * n + j];
+                            if (a == 0.0f) continue;
+                            const float* grow = gb + i * channels;
+                            for (int64_t c = 0; c < channels; ++c) {
+                              drow[c] += a * grow[c];
+                            }
+                          }
+                        }
+                      });
+          MaybeAccumulate(x, std::move(dx));
+        }
+        if (adj.requires_grad()) {
+          // dA[i,j] = Σ_b Σ_c g[b,i,c] · x[b,j,c].
+          Tensor da = Tensor::Uninitialized(adj.shape());
+          float* pda = da.data();
+          ParallelFor(0, n, RowGrain(n), [=](int64_t i0, int64_t i1) {
+            for (int64_t i = i0; i < i1; ++i) {
+              for (int64_t j = 0; j < n; ++j) {
+                float s = 0.0f;
+                for (int64_t b = 0; b < batch; ++b) {
+                  const float* grow = pg + (b * n + i) * channels;
+                  const float* xrow = px + (b * n + j) * channels;
+                  for (int64_t c = 0; c < channels; ++c) {
+                    s += grow[c] * xrow[c];
+                  }
+                }
+                pda[i * n + j] = s;
+              }
+            }
+          });
+          MaybeAccumulate(adj, std::move(da));
+        }
+      });
 }
 
 Variable Dropout(const Variable& v, float p, bool training, Rng& rng) {

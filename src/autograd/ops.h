@@ -55,6 +55,59 @@ Variable Sum(const Variable& v, int64_t axis, bool keepdim);
 Variable Mean(const Variable& v, int64_t axis, bool keepdim);
 Variable SoftmaxLastDim(const Variable& v);
 
+// --- fused recurrent-cell kernels --------------------------------------------
+// Single-pass replacements for the Slice/Sigmoid/Tanh/Mul chains inside the
+// recurrent cells. Each op computes its outputs in one ParallelFor sweep and
+// records one graph node with a matching single-pass backward, instead of the
+// ~10 tiny nodes (and their per-node output + backward-aux allocations) the
+// unfused chain emits per cell step. Forward values match the unfused chain
+// bitwise (same per-element arithmetic order); gradients agree to float
+// rounding (the unfused graph accumulates partial grads in a different
+// order). See DESIGN.md §8 for the equivalence argument.
+
+/// Fused GRU cell tail. Inputs are the two gate GEMM outputs
+///   gx = x·Wx + b  [rows, 3H] (gate order r, u, candidate)
+///   gh = h·Wh      [rows, 3H]
+/// and the previous hidden state h [rows, H]. Computes
+///   r = σ(gx_r + gh_r),  u = σ(gx_u + gh_u),
+///   c = tanh(gx_c + r ⊙ gh_c),  h' = u ⊙ h + (1-u) ⊙ c.
+/// Leading dimensions may be any rank (flattened to rows); the last dim of
+/// gx/gh must be exactly 3x that of h.
+Variable FusedGruCell(const Variable& gx, const Variable& gh,
+                      const Variable& h);
+
+/// Fused LSTM cell tail. `gates` [rows, 4H] holds the summed pre-activations
+/// in gate order i, f, g, o; `c_prev` is [rows, H]. Computes
+///   i = σ(g_i), f = σ(g_f), g = tanh(g_g), o = σ(g_o),
+///   c' = f ⊙ c_prev + i ⊙ g,  h' = o ⊙ tanh(c').
+/// Emits two graph nodes (h', c') that share one saved-activation set; each
+/// node owns the complete chain rule for its output, so gradients arriving
+/// through h' and c' (both feed the next step) accumulate correctly.
+void FusedLstmCell(const Variable& gates, const Variable& c_prev,
+                   Variable* h_new, Variable* c_new);
+
+/// Fused GRU state combine: u ⊙ h + (1-u) ⊙ c in one pass. Used by cells
+/// whose gates come from separate graph transforms (core::EnhanceGruCell,
+/// where the candidate depends on r through a second graph convolution).
+/// All three inputs must share one shape.
+Variable GruCombine(const Variable& u, const Variable& h, const Variable& c);
+
+/// Fused r/u gate tail for cells whose candidate needs r before its own
+/// transform (core::EnhanceGruCell): from `gates` [rows, 2H] (order r, u)
+/// and h [rows, H] computes
+///   r = σ(gates_r),  *rh = r ⊙ h,  *u = σ(gates_u)
+/// as two graph nodes instead of the five-node Slice/Sigmoid/Mul chain.
+/// r itself is not exposed — callers only consume r through rh.
+void FusedGruGates(const Variable& gates, const Variable& h, Variable* rh,
+                   Variable* u);
+
+/// Fused graph-convolution mix for a 2-D adjacency: out[b,i,:] = Σ_j
+/// adj[i,j] · x[b,j,:] with adj [N,N] and x [B,N,C], computed directly in
+/// [B,N,C] layout. Replaces the Transpose/Reshape/MatMul/Reshape/Transpose
+/// five-node chain (and its two full-tensor copies in each direction) that
+/// the unfused path pays per support application.
+Variable AdjacencyMatMul(const Variable& adj, const Variable& x);
+
 // --- regularization ----------------------------------------------------------
 /// Inverted dropout: zeroes elements with probability p and scales the rest
 /// by 1/(1-p). Identity when !training or p == 0.

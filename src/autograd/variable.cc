@@ -2,7 +2,9 @@
 
 #include <unordered_set>
 
+#include "autograd/grad_mode.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "tensor/tensor_ops.h"
 
 namespace enhancenet {
@@ -76,7 +78,31 @@ void Variable::AccumulateGrad(const Tensor& g) const {
       << " does not match data shape " << ShapeToString(node_->data.shape())
       << " (op " << node_->op_name << ")";
   if (!node_->grad_defined) {
+    // Clone: `g` may be shared (an upstream grad_out headed to several
+    // parents) and the buffer is mutated by later contributions.
     node_->grad = g.Clone();
+    node_->grad_defined = true;
+  } else {
+    ops::AxpyInPlace(1.0f, g, &node_->grad);
+  }
+}
+
+void Variable::AccumulateGrad(Tensor&& g) const {
+  ENHANCENET_CHECK(defined());
+  ENHANCENET_CHECK(g.shape() == node_->data.shape())
+      << "gradient shape " << ShapeToString(g.shape())
+      << " does not match data shape " << ShapeToString(node_->data.shape())
+      << " (op " << node_->op_name << ")";
+  if (!node_->grad_defined) {
+    // Adopting the temp (instead of cloning it) is part of the optimized
+    // training hot path, so it rides the FusedKernels toggle: with the
+    // toggle off this degrades to the clone-always pre-optimization
+    // behavior, which keeps in-process baseline benchmarking honest.
+    if (FusedKernels::IsEnabled()) {
+      node_->grad = std::move(g);
+    } else {
+      node_->grad = g.Clone();
+    }
     node_->grad_defined = true;
   } else {
     ops::AxpyInPlace(1.0f, g, &node_->grad);
@@ -113,13 +139,38 @@ void Variable::Backward() {
   AccumulateGrad(Tensor::Ones(node_->data.shape()));
 
   // Reverse topological order: every node's grad is complete before its
-  // backward_fn fires.
+  // backward_fn fires (all of a node's consumers fire earlier in the sweep).
+  // That same ordering makes eager release safe: once a node's backward_fn
+  // has run, nothing later in the sweep reads its grad or its closure, so
+  // both can be dropped immediately — the closure's captured aux tensors
+  // (saved activations, masks) are the bulk of backward-pass memory. Data
+  // tensors and leaf grads are user-visible and always kept.
+  const bool release = EagerBackwardRelease::IsEnabled();
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     Node* node = *it;
     if (node->backward_fn && node->grad_defined) {
       node->backward_fn(node->grad);
     }
+    if (release && !node->is_leaf) {
+      node->grad = Tensor();
+      node->grad_defined = false;
+      node->backward_fn = nullptr;
+    }
   }
+
+  // What the finished graph still pins: every node's data plus whatever
+  // gradients remain (all of them in keep-everything mode, leaves only under
+  // eager release).
+  int64_t live_bytes = 0;
+  for (Node* node : topo) {
+    live_bytes += node->data.numel() * static_cast<int64_t>(sizeof(float));
+    if (node->grad_defined) {
+      live_bytes += node->grad.numel() * static_cast<int64_t>(sizeof(float));
+    }
+  }
+  static obs::Gauge* live_gauge =
+      obs::Registry::Global().GetGauge("autograd.graph.live_bytes");
+  live_gauge->Set(live_bytes);
 }
 
 Variable Variable::Detach() const {

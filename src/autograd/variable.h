@@ -76,6 +76,13 @@ class Variable {
   /// const because it mutates the shared node, not the handle.
   void AccumulateGrad(const Tensor& g) const;
 
+  /// Move form for freshly-computed gradient tensors nothing else holds: the
+  /// first contribution is adopted as the grad buffer outright instead of
+  /// being deep-cloned. Callers must not pass a tensor whose storage is
+  /// shared (e.g. an upstream grad_out fanned out to several parents) —
+  /// later contributions are accumulated into the buffer in place.
+  void AccumulateGrad(Tensor&& g) const;
+
   /// Runs reverse-mode differentiation from this (scalar) variable: seeds
   /// d self/d self = 1 and propagates through the graph in reverse
   /// topological order. CHECK-fails if this variable is not a single element.

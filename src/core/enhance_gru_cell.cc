@@ -1,5 +1,6 @@
 #include "core/enhance_gru_cell.h"
 
+#include "autograd/grad_mode.h"
 #include "common/logging.h"
 #include "graph/graph_conv.h"
 #include "nn/init.h"
@@ -87,17 +88,28 @@ ag::Variable EnhanceGruCell::Forward(
   ag::Variable mixed_ru =
       graph::MixSupports(xh, supports, /*include_self=*/true);
   ag::Variable gates = Transform(mixed_ru, w_ru, b_ru_, mixed_in_, 2 * hidden);
-  ag::Variable r = ag::Sigmoid(ag::Slice(gates, -1, 0, hidden));
-  ag::Variable u = ag::Sigmoid(ag::Slice(gates, -1, hidden, hidden));
+  ag::Variable u;
+  ag::Variable xrh;
+  if (ag::FusedKernels::IsEnabled()) {
+    // Single-pass r/u gate tail; r is consumed only through r ⊙ h.
+    ag::Variable rh;
+    ag::FusedGruGates(gates, h, &rh, &u);
+    xrh = ag::Concat({x, rh}, -1);  // candidate input (Equation 5)
+  } else {
+    ag::Variable r = ag::Sigmoid(ag::Slice(gates, -1, 0, hidden));
+    u = ag::Sigmoid(ag::Slice(gates, -1, hidden, hidden));
 
-  // Candidate state (Equation 5).
-  ag::Variable xrh = ag::Concat({x, ag::Mul(r, h)}, -1);
+    // Candidate state (Equation 5).
+    xrh = ag::Concat({x, ag::Mul(r, h)}, -1);
+  }
   ag::Variable mixed_c =
       graph::MixSupports(xrh, supports, /*include_self=*/true);
   ag::Variable candidate =
       ag::Tanh(Transform(mixed_c, w_c, b_c_, mixed_in_, hidden));
 
-  // h' = u ⊙ h + (1-u) ⊙ ĥ (Equation 6).
+  // h' = u ⊙ h + (1-u) ⊙ ĥ (Equation 6). The candidate depends on r through
+  // a second graph convolution, so only the final combine fuses here.
+  if (ag::FusedKernels::IsEnabled()) return ag::GruCombine(u, h, candidate);
   ag::Variable one_minus_u = ag::AddScalar(ag::Neg(u), 1.0f);
   return ag::Add(ag::Mul(u, h), ag::Mul(one_minus_u, candidate));
 }

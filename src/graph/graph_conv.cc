@@ -1,5 +1,7 @@
 #include "graph/graph_conv.h"
 
+#include "autograd/grad_mode.h"
+#include "autograd/ops.h"
 #include "common/logging.h"
 #include "nn/init.h"
 
@@ -16,6 +18,8 @@ ag::Variable ApplyAdjacency(const ag::Variable& adj, const ag::Variable& x) {
   if (adj.data().dim() == 2) {
     ENHANCENET_CHECK_EQ(adj.size(0), n);
     ENHANCENET_CHECK_EQ(adj.size(1), n);
+    // Fused path: A · X computed directly in [B,N,C] layout, one graph node.
+    if (ag::FusedKernels::IsEnabled()) return ag::AdjacencyMatMul(adj, x);
     // [B,N,C] -> [N,B,C] -> [N, B*C];  A · X  -> back.
     ag::Variable xt = ag::Reshape(ag::Transpose(x, 0, 1), {n, batch * channels});
     ag::Variable mixed = ag::MatMul(adj, xt);

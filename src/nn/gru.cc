@@ -1,5 +1,7 @@
 #include "nn/gru.h"
 
+#include "autograd/grad_mode.h"
+#include "autograd/ops.h"
 #include "common/logging.h"
 #include "nn/init.h"
 
@@ -25,6 +27,8 @@ ag::Variable GruCell::Forward(const ag::Variable& x,
 
   ag::Variable gx = ag::Add(ag::MatMul(x, wx_), bias_);  // [rows, 3C']
   ag::Variable gh = ag::MatMul(h, wh_);                  // [rows, 3C']
+
+  if (ag::FusedKernels::IsEnabled()) return ag::FusedGruCell(gx, gh, h);
 
   ag::Variable r = ag::Sigmoid(
       ag::Add(ag::Slice(gx, -1, 0, hs), ag::Slice(gh, -1, 0, hs)));
@@ -58,6 +62,12 @@ LstmCell::State LstmCell::Forward(const ag::Variable& x,
 
   ag::Variable gates =
       ag::Add(ag::Add(ag::MatMul(x, wx_), ag::MatMul(state.h, wh_)), bias_);
+
+  if (ag::FusedKernels::IsEnabled()) {
+    State next;
+    ag::FusedLstmCell(gates, state.c, &next.h, &next.c);
+    return next;
+  }
 
   ag::Variable i = ag::Sigmoid(ag::Slice(gates, -1, 0, hs));
   ag::Variable f = ag::Sigmoid(ag::Slice(gates, -1, hs, hs));

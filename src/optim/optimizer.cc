@@ -2,11 +2,62 @@
 
 #include <cmath>
 
+#include "autograd/grad_mode.h"
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "tensor/tensor_ops.h"
 
 namespace enhancenet {
 namespace optim {
+
+namespace {
+
+/// Range-update helpers shared by the fused (ParallelFor) and scalar-loop
+/// optimizer paths. Each element's update depends only on index j, so the
+/// result is invariant to how [0, n) is partitioned — and because both paths
+/// execute this exact code, fused and scalar steps are bitwise identical.
+constexpr int64_t kStepGrain = 16 * 1024;
+
+void SgdPlainRange(float* p, const float* g, float lr, int64_t lo,
+                   int64_t hi) {
+  for (int64_t j = lo; j < hi; ++j) p[j] -= lr * g[j];
+}
+
+void SgdMomentumRange(float* p, float* vel, const float* g, float lr,
+                      float momentum, int64_t lo, int64_t hi) {
+  // v = momentum * v + g;  p -= lr * v
+  for (int64_t j = lo; j < hi; ++j) {
+    vel[j] = momentum * vel[j] + g[j];
+    p[j] -= lr * vel[j];
+  }
+}
+
+void AdamRange(float* p, float* m, float* v, const float* g, float lr,
+               float beta1, float beta2, float eps, float weight_decay,
+               float bc1, float bc2, int64_t lo, int64_t hi) {
+  for (int64_t j = lo; j < hi; ++j) {
+    float gj = g[j];
+    if (weight_decay > 0.0f) gj += weight_decay * p[j];
+    m[j] = beta1 * m[j] + (1.0f - beta1) * gj;
+    v[j] = beta2 * v[j] + (1.0f - beta2) * gj * gj;
+    const float m_hat = m[j] / bc1;
+    const float v_hat = v[j] / bc2;
+    p[j] -= lr * m_hat / (std::sqrt(v_hat) + eps);
+  }
+}
+
+/// Runs `range(lo, hi)` over [0, n): one ParallelFor sweep when the fused
+/// kernels are enabled, a single serial call otherwise.
+template <typename RangeFn>
+void RunStep(int64_t n, RangeFn&& range) {
+  if (autograd::FusedKernels::IsEnabled()) {
+    ParallelFor(0, n, kStepGrain, range);
+  } else {
+    range(0, n);
+  }
+}
+
+}  // namespace
 
 Optimizer::Optimizer(std::vector<autograd::Variable> params, float lr)
     : params_(std::move(params)), lr_(lr) {
@@ -31,21 +82,25 @@ Sgd::Sgd(std::vector<autograd::Variable> params, float lr, float momentum)
 void Sgd::Step() {
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
+    // Parameters that never saw a gradient this step (unused branches) are
+    // skipped entirely: no velocity decay, no parameter touch, no pass over
+    // the elements — identical in the fused and scalar paths.
     if (!p.has_grad()) continue;
-    const Tensor& g = p.grad();
+    const float* pg = p.grad().data();
+    float* pp = p.mutable_data().data();
+    const int64_t n = p.numel();
     if (momentum_ > 0.0f) {
-      Tensor& vel = velocity_[i];
-      // v = momentum * v + g;  p -= lr * v
-      float* pv = vel.data();
-      const float* pg = g.data();
-      float* pp = p.mutable_data().data();
-      const int64_t n = vel.numel();
-      for (int64_t j = 0; j < n; ++j) {
-        pv[j] = momentum_ * pv[j] + pg[j];
-        pp[j] -= lr_ * pv[j];
-      }
+      float* pv = velocity_[i].data();
+      const float lr = lr_;
+      const float momentum = momentum_;
+      RunStep(n, [=](int64_t lo, int64_t hi) {
+        SgdMomentumRange(pp, pv, pg, lr, momentum, lo, hi);
+      });
     } else {
-      ops::AxpyInPlace(-lr_, g, &p.mutable_data());
+      const float lr = lr_;
+      RunStep(n, [=](int64_t lo, int64_t hi) {
+        SgdPlainRange(pp, pg, lr, lo, hi);
+      });
     }
   }
 }
@@ -71,21 +126,24 @@ void Adam::Step() {
   const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& p = params_[i];
+    // Gradient-free parameters skip the whole element pass: t_ still
+    // advances (global step count), but m/v stay untouched, matching the
+    // semantics of per-parameter "skip if unused".
     if (!p.has_grad()) continue;
     const float* pg = p.grad().data();
     float* pm = m_[i].data();
     float* pv = v_[i].data();
     float* pp = p.mutable_data().data();
     const int64_t n = p.numel();
-    for (int64_t j = 0; j < n; ++j) {
-      float g = pg[j];
-      if (weight_decay_ > 0.0f) g += weight_decay_ * pp[j];
-      pm[j] = beta1_ * pm[j] + (1.0f - beta1_) * g;
-      pv[j] = beta2_ * pv[j] + (1.0f - beta2_) * g * g;
-      const float m_hat = pm[j] / bc1;
-      const float v_hat = pv[j] / bc2;
-      pp[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
-    }
+    const float lr = lr_;
+    const float beta1 = beta1_;
+    const float beta2 = beta2_;
+    const float eps = eps_;
+    const float weight_decay = weight_decay_;
+    RunStep(n, [=](int64_t lo, int64_t hi) {
+      AdamRange(pp, pm, pv, pg, lr, beta1, beta2, eps, weight_decay, bc1, bc2,
+                lo, hi);
+    });
   }
 }
 

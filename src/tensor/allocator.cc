@@ -1,0 +1,200 @@
+#include "tensor/allocator.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace enhancenet {
+namespace {
+
+constexpr int64_t kMinBucketLog2 = 5;   // 32 floats
+constexpr int64_t kMaxBucketLog2 = 26;  // 64 Mi floats
+
+int64_t Log2Ceil(int64_t n) {
+  int64_t log2 = 0;
+  while ((int64_t{1} << log2) < n) ++log2;
+  return log2;
+}
+
+bool CachingEnabledFromEnv() {
+  const char* value = std::getenv("ENHANCENET_ALLOCATOR");
+  if (value == nullptr || value[0] == '\0') return true;
+  const std::string choice(value);
+  if (choice == "caching") return true;
+  if (choice == "system") return false;
+  ENHANCENET_CHECK(false) << "ENHANCENET_ALLOCATOR must be 'caching' or "
+                          << "'system' (got '" << choice << "')";
+  return true;
+}
+
+}  // namespace
+
+/// Cached obs handles so every alloc/free is a registry-free relaxed store.
+struct TensorAllocator::Metrics {
+  obs::Counter* pool_hits;
+  obs::Counter* pool_misses;
+  obs::Counter* oversize;
+  obs::Gauge* bytes_outstanding;
+  obs::Gauge* bytes_cached;
+  obs::Gauge* bytes_high_water;
+
+  Metrics() {
+    obs::Registry& registry = obs::Registry::Global();
+    pool_hits = registry.GetCounter("tensor.alloc.pool_hits");
+    pool_misses = registry.GetCounter("tensor.alloc.pool_misses");
+    oversize = registry.GetCounter("tensor.alloc.oversize");
+    bytes_outstanding = registry.GetGauge("tensor.alloc.bytes_outstanding");
+    bytes_cached = registry.GetGauge("tensor.alloc.bytes_cached");
+    bytes_high_water = registry.GetGauge("tensor.alloc.bytes_high_water");
+  }
+};
+
+TensorAllocator& TensorAllocator::Global() {
+  static TensorAllocator* allocator = [] {
+    auto* a = new TensorAllocator(/*export_metrics=*/true);  // leaked
+    a->set_caching_enabled(CachingEnabledFromEnv());
+    return a;
+  }();
+  return *allocator;
+}
+
+TensorAllocator::TensorAllocator(bool export_metrics)
+    : buckets_(static_cast<size_t>(kMaxBucketLog2 + 1)),
+      caching_enabled_(true) {
+  if (export_metrics) metrics_ = new Metrics();
+}
+
+TensorAllocator::~TensorAllocator() {
+  // Blocks still outstanding hold a deleter that points at this instance;
+  // non-global instances must not be destroyed before their tensors.
+  Trim();
+  delete metrics_;
+}
+
+int64_t TensorAllocator::BucketNumel(int64_t numel) {
+  ENHANCENET_CHECK_GE(numel, 0) << "negative allocation";
+  if (numel > kMaxBucketNumel) return -1;
+  const int64_t log2 = std::max(Log2Ceil(numel), kMinBucketLog2);
+  return int64_t{1} << log2;
+}
+
+std::shared_ptr<float[]> TensorAllocator::Allocate(int64_t numel) {
+  const int64_t capacity = BucketNumel(numel);
+
+  if (capacity < 0) {
+    // Oversize: straight to the system allocator, never cached.
+    const int64_t count = std::max<int64_t>(numel, 1);
+    float* block = new float[static_cast<size_t>(count)];
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.requests;
+      ++stats_.oversize;
+      if (metrics_ != nullptr) metrics_->oversize->Add();
+      stats_.bytes_outstanding += count * static_cast<int64_t>(sizeof(float));
+      stats_.bytes_high_water =
+          std::max(stats_.bytes_high_water, stats_.bytes_outstanding);
+      PushStatsLocked();
+    }
+    return std::shared_ptr<float[]>(
+        block, [this, count](float* p) {
+          OnFree(p, count, /*pooled=*/false);
+        });
+  }
+
+  const size_t bucket = static_cast<size_t>(Log2Ceil(capacity));
+  float* block = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+    std::vector<float*>& free_list = buckets_[bucket];
+    if (!free_list.empty()) {
+      block = free_list.back();
+      free_list.pop_back();
+      ++stats_.pool_hits;
+      if (metrics_ != nullptr) metrics_->pool_hits->Add();
+      stats_.bytes_cached -= capacity * static_cast<int64_t>(sizeof(float));
+    } else {
+      ++stats_.pool_misses;
+      if (metrics_ != nullptr) metrics_->pool_misses->Add();
+    }
+    stats_.bytes_outstanding += capacity * static_cast<int64_t>(sizeof(float));
+    stats_.bytes_high_water =
+        std::max(stats_.bytes_high_water, stats_.bytes_outstanding);
+    PushStatsLocked();
+  }
+  if (block == nullptr) {
+    block = new float[static_cast<size_t>(capacity)];
+  }
+  return std::shared_ptr<float[]>(
+      block, [this, capacity](float* p) {
+        OnFree(p, capacity, /*pooled=*/true);
+      });
+}
+
+void TensorAllocator::OnFree(float* block, int64_t capacity, bool pooled) {
+  bool cache = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.bytes_outstanding -= capacity * static_cast<int64_t>(sizeof(float));
+    cache = pooled && caching_enabled_;
+    if (cache) {
+      buckets_[static_cast<size_t>(Log2Ceil(capacity))].push_back(block);
+      stats_.bytes_cached += capacity * static_cast<int64_t>(sizeof(float));
+    }
+    PushStatsLocked();
+  }
+  if (!cache) delete[] block;
+}
+
+AllocatorStats TensorAllocator::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void TensorAllocator::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t outstanding = stats_.bytes_outstanding;
+  const int64_t cached = stats_.bytes_cached;
+  stats_ = AllocatorStats();
+  stats_.bytes_outstanding = outstanding;
+  stats_.bytes_cached = cached;
+  stats_.bytes_high_water = outstanding;
+  PushStatsLocked();
+}
+
+void TensorAllocator::Trim() {
+  std::vector<float*> to_free;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::vector<float*>& free_list : buckets_) {
+      to_free.insert(to_free.end(), free_list.begin(), free_list.end());
+      free_list.clear();
+    }
+    stats_.bytes_cached = 0;
+    PushStatsLocked();
+  }
+  for (float* block : to_free) delete[] block;
+}
+
+bool TensorAllocator::caching_enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return caching_enabled_;
+}
+
+void TensorAllocator::set_caching_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  caching_enabled_ = enabled;
+}
+
+void TensorAllocator::PushStatsLocked() {
+  if (metrics_ == nullptr) return;
+  metrics_->bytes_outstanding->Set(
+      static_cast<double>(stats_.bytes_outstanding));
+  metrics_->bytes_cached->Set(static_cast<double>(stats_.bytes_cached));
+  metrics_->bytes_high_water->Set(
+      static_cast<double>(stats_.bytes_high_water));
+}
+
+}  // namespace enhancenet

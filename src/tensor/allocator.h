@@ -1,0 +1,111 @@
+#ifndef ENHANCENET_TENSOR_ALLOCATOR_H_
+#define ENHANCENET_TENSOR_ALLOCATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace enhancenet {
+
+/// Point-in-time view of the allocator's accounting. All byte figures refer
+/// to float storage handed out by Allocate (bucket-rounded capacity, not the
+/// requested numel).
+struct AllocatorStats {
+  int64_t requests = 0;      ///< Allocate() calls.
+  int64_t pool_hits = 0;     ///< served from a bucket free list
+  int64_t pool_misses = 0;   ///< bucketable size, but the free list was empty
+  int64_t oversize = 0;      ///< above kMaxBucketNumel; bypassed the pool
+  int64_t bytes_outstanding = 0;  ///< held by live tensors right now
+  int64_t bytes_cached = 0;       ///< parked on free lists, ready for reuse
+  int64_t bytes_high_water = 0;   ///< peak of bytes_outstanding since reset
+
+  /// Fraction of bucketable requests served from the pool (0 when none).
+  double HitRate() const {
+    const int64_t bucketable = pool_hits + pool_misses;
+    return bucketable == 0
+               ? 0.0
+               : static_cast<double>(pool_hits) / static_cast<double>(bucketable);
+  }
+};
+
+/// Thread-safe, size-bucketed caching allocator for Tensor storage.
+///
+/// Allocate() rounds the requested element count up to a power-of-two bucket
+/// and pops a recycled block from that bucket's free list when one is
+/// available; the returned shared_ptr's deleter pushes the block back instead
+/// of freeing it. In steady state a training step therefore performs zero
+/// heap allocations for tensor storage: every shape the step produces was
+/// produced by the previous step too, so every request is a pool hit.
+///
+/// Requests above kMaxBucketNumel bypass the pool entirely (allocated and
+/// freed through the system allocator, still counted in the outstanding
+/// stats) so a single giant tensor can never pin its high-water mark as
+/// cached-but-idle memory.
+///
+/// `ENHANCENET_ALLOCATOR=system` disables caching for the process-wide
+/// instance (every free list stays empty; blocks are freed on release) as an
+/// escape hatch for leak hunting with external heap tools. Accounting is
+/// identical in both modes, so tests written against the stats run anywhere.
+///
+/// Outstanding/high-water/cached bytes and hit/miss counts are mirrored into
+/// the obs registry (`tensor.alloc.*`) by the global instance.
+class TensorAllocator {
+ public:
+  /// Smallest bucket: requests below this round up to it.
+  static constexpr int64_t kMinBucketNumel = 1 << 5;  // 32 floats
+  /// Largest cached bucket (64 Mi floats = 256 MiB); larger requests bypass
+  /// the pool.
+  static constexpr int64_t kMaxBucketNumel = 1 << 26;
+
+  /// The process-wide instance used by Tensor storage. Never destroyed
+  /// (leaked, like the obs registry), so pooled deleters outlive every
+  /// static-storage tensor.
+  static TensorAllocator& Global();
+
+  /// `export_metrics` mirrors stats into the obs registry; only the global
+  /// instance should pass true.
+  explicit TensorAllocator(bool export_metrics = false);
+  ~TensorAllocator();
+
+  TensorAllocator(const TensorAllocator&) = delete;
+  TensorAllocator& operator=(const TensorAllocator&) = delete;
+
+  /// Storage for `numel` floats (>= 0; zero-element requests get a 1-float
+  /// block). Contents are NOT initialized — recycled blocks hold stale data.
+  std::shared_ptr<float[]> Allocate(int64_t numel);
+
+  AllocatorStats GetStats() const;
+
+  /// Zeroes the counters and restarts the high-water mark from the current
+  /// outstanding bytes. Live blocks and free lists are untouched.
+  void ResetStats();
+
+  /// Frees every cached block. Storage owned by live tensors is unaffected.
+  void Trim();
+
+  bool caching_enabled() const;
+  /// Runtime override of the ENHANCENET_ALLOCATOR default (tests, benches).
+  /// Disabling does not free already-cached blocks; call Trim() for that.
+  void set_caching_enabled(bool enabled);
+
+  /// Bucket capacity (in floats) for a request, or -1 when the request is
+  /// oversize and must bypass the pool. Exposed for tests.
+  static int64_t BucketNumel(int64_t numel);
+
+ private:
+  struct Metrics;  // cached obs registry handles
+
+  void OnFree(float* block, int64_t capacity, bool pooled);
+  void PushStatsLocked();
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<float*>> buckets_;  // free lists, by log2 capacity
+  bool caching_enabled_;
+  AllocatorStats stats_;
+  Metrics* metrics_ = nullptr;  // null unless export_metrics
+};
+
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_TENSOR_ALLOCATOR_H_

@@ -1,9 +1,11 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
 #include "common/logging.h"
+#include "tensor/allocator.h"
 
 namespace enhancenet {
 
@@ -33,18 +35,19 @@ Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)), numel_(NumElements(shape_)) {
   ENHANCENET_CHECK_LE(shape_.size(), 4u)
       << "rank > 4 not supported: " << ShapeToString(shape_);
-  const size_t count = static_cast<size_t>(std::max<int64_t>(numel_, 1));
-  storage_ = std::shared_ptr<float[]>(new float[count]());  // zeroed
+  storage_ = TensorAllocator::Global().Allocate(numel_);
+  // Pooled blocks are recycled, so zero-initialization is explicit.
+  std::fill(storage_.get(), storage_.get() + std::max<int64_t>(numel_, 1),
+            0.0f);
 }
 
 Tensor Tensor::Uninitialized(Shape shape) {
-  Tensor t;  // small throwaway allocation
+  Tensor t(kUninitializedTag{});
   t.shape_ = std::move(shape);
   t.numel_ = NumElements(t.shape_);
   ENHANCENET_CHECK_LE(t.shape_.size(), 4u)
       << "rank > 4 not supported: " << ShapeToString(t.shape_);
-  const size_t count = static_cast<size_t>(std::max<int64_t>(t.numel_, 1));
-  t.storage_ = std::shared_ptr<float[]>(new float[count]);  // uninitialized
+  t.storage_ = TensorAllocator::Global().Allocate(t.numel_);
   return t;
 }
 

@@ -100,6 +100,11 @@ class Tensor {
   std::string ToString(int64_t max_elements = 64) const;
 
  private:
+  /// Tag for the Uninitialized factory: skips the storage allocation the
+  /// default constructor would perform (the factory installs its own).
+  struct kUninitializedTag {};
+  explicit Tensor(kUninitializedTag) : numel_(0) {}
+
   Tensor(std::shared_ptr<float[]> storage, Shape shape);
 
   int64_t FlatIndex(std::initializer_list<int64_t> index) const;

@@ -1,0 +1,344 @@
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_mode.h"
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "common/rng.h"
+#include "nn/gru.h"
+#include "tensor/allocator.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+
+namespace enhancenet {
+namespace {
+
+namespace ag = ::enhancenet::autograd;
+
+constexpr float kGradTol = 1e-6f;
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  EXPECT_EQ(a.numel(), b.numel());
+  float max_diff = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return max_diff;
+}
+
+/// RAII toggle so a failing assertion can't leave the process-global fused
+/// flag in a surprising state for later tests.
+class FusedScope {
+ public:
+  explicit FusedScope(bool enabled) : previous_(ag::FusedKernels::IsEnabled()) {
+    ag::FusedKernels::SetEnabled(enabled);
+  }
+  ~FusedScope() { ag::FusedKernels::SetEnabled(previous_); }
+
+ private:
+  bool previous_;
+};
+
+/// Unfused reference for the GRU cell tail, mirroring the legacy op chain.
+ag::Variable UnfusedGruTail(const ag::Variable& gx, const ag::Variable& gh,
+                            const ag::Variable& h, int64_t hs) {
+  ag::Variable r = ag::Sigmoid(
+      ag::Add(ag::Slice(gx, -1, 0, hs), ag::Slice(gh, -1, 0, hs)));
+  ag::Variable u = ag::Sigmoid(
+      ag::Add(ag::Slice(gx, -1, hs, hs), ag::Slice(gh, -1, hs, hs)));
+  ag::Variable candidate = ag::Tanh(ag::Add(
+      ag::Slice(gx, -1, 2 * hs, hs), ag::Mul(r, ag::Slice(gh, -1, 2 * hs, hs))));
+  ag::Variable one_minus_u = ag::AddScalar(ag::Neg(u), 1.0f);
+  return ag::Add(ag::Mul(u, h), ag::Mul(one_minus_u, candidate));
+}
+
+TEST(FusedGruCellTest, ForwardAndGradMatchUnfusedChain) {
+  Rng rng(7);
+  const int64_t rows = 6;
+  const int64_t hs = 5;
+  const Tensor gx0 = Tensor::Randn({rows, 3 * hs}, rng);
+  const Tensor gh0 = Tensor::Randn({rows, 3 * hs}, rng);
+  const Tensor h0 = Tensor::Randn({rows, hs}, rng);
+  const Tensor upstream = Tensor::Randn({rows, hs}, rng);
+
+  auto run = [&](bool fused) {
+    ag::Variable gx = ag::Variable::Leaf(gx0.Clone(), /*requires_grad=*/true);
+    ag::Variable gh = ag::Variable::Leaf(gh0.Clone(), /*requires_grad=*/true);
+    ag::Variable h = ag::Variable::Leaf(h0.Clone(), /*requires_grad=*/true);
+    ag::Variable out = fused ? ag::FusedGruCell(gx, gh, h)
+                             : UnfusedGruTail(gx, gh, h, hs);
+    // Non-uniform upstream gradient so every element's chain rule is probed.
+    ag::Variable loss = ag::SumAll(
+        ag::Mul(out, ag::Variable::Leaf(upstream.Clone(), false)));
+    loss.Backward();
+    return std::vector<Tensor>{out.data().Clone(), gx.grad().Clone(),
+                               gh.grad().Clone(), h.grad().Clone()};
+  };
+
+  std::vector<Tensor> fused = run(true);
+  std::vector<Tensor> reference = run(false);
+  EXPECT_LE(MaxAbsDiff(fused[0], reference[0]), kGradTol) << "forward";
+  EXPECT_LE(MaxAbsDiff(fused[1], reference[1]), kGradTol) << "d gx";
+  EXPECT_LE(MaxAbsDiff(fused[2], reference[2]), kGradTol) << "d gh";
+  EXPECT_LE(MaxAbsDiff(fused[3], reference[3]), kGradTol) << "d h";
+}
+
+TEST(FusedLstmCellTest, ForwardAndGradMatchUnfusedChain) {
+  Rng rng(11);
+  const int64_t rows = 4;
+  const int64_t hs = 6;
+  const Tensor gates0 = Tensor::Randn({rows, 4 * hs}, rng);
+  const Tensor c0 = Tensor::Randn({rows, hs}, rng);
+  const Tensor up_h = Tensor::Randn({rows, hs}, rng);
+  const Tensor up_c = Tensor::Randn({rows, hs}, rng);
+
+  auto run = [&](bool fused) {
+    ag::Variable gates =
+        ag::Variable::Leaf(gates0.Clone(), /*requires_grad=*/true);
+    ag::Variable c_prev = ag::Variable::Leaf(c0.Clone(), /*requires_grad=*/true);
+    ag::Variable h_new, c_new;
+    if (fused) {
+      ag::FusedLstmCell(gates, c_prev, &h_new, &c_new);
+    } else {
+      ag::Variable i = ag::Sigmoid(ag::Slice(gates, -1, 0, hs));
+      ag::Variable f = ag::Sigmoid(ag::Slice(gates, -1, hs, hs));
+      ag::Variable g = ag::Tanh(ag::Slice(gates, -1, 2 * hs, hs));
+      ag::Variable o = ag::Sigmoid(ag::Slice(gates, -1, 3 * hs, hs));
+      c_new = ag::Add(ag::Mul(f, c_prev), ag::Mul(i, g));
+      h_new = ag::Mul(o, ag::Tanh(c_new));
+    }
+    // Send distinct gradients into both outputs, as the next step would.
+    ag::Variable loss = ag::Add(
+        ag::SumAll(ag::Mul(h_new, ag::Variable::Leaf(up_h.Clone(), false))),
+        ag::SumAll(ag::Mul(c_new, ag::Variable::Leaf(up_c.Clone(), false))));
+    loss.Backward();
+    return std::vector<Tensor>{h_new.data().Clone(), c_new.data().Clone(),
+                               gates.grad().Clone(), c_prev.grad().Clone()};
+  };
+
+  std::vector<Tensor> fused = run(true);
+  std::vector<Tensor> reference = run(false);
+  EXPECT_LE(MaxAbsDiff(fused[0], reference[0]), kGradTol) << "h'";
+  EXPECT_LE(MaxAbsDiff(fused[1], reference[1]), kGradTol) << "c'";
+  EXPECT_LE(MaxAbsDiff(fused[2], reference[2]), kGradTol) << "d gates";
+  EXPECT_LE(MaxAbsDiff(fused[3], reference[3]), kGradTol) << "d c_prev";
+}
+
+TEST(GruCombineTest, ForwardAndGradMatchUnfusedChain) {
+  Rng rng(13);
+  const Tensor u0 = Tensor::Randn({3, 4, 5}, rng);
+  const Tensor h0 = Tensor::Randn({3, 4, 5}, rng);
+  const Tensor c0 = Tensor::Randn({3, 4, 5}, rng);
+  const Tensor upstream = Tensor::Randn({3, 4, 5}, rng);
+
+  auto run = [&](bool fused) {
+    ag::Variable u = ag::Variable::Leaf(u0.Clone(), /*requires_grad=*/true);
+    ag::Variable h = ag::Variable::Leaf(h0.Clone(), /*requires_grad=*/true);
+    ag::Variable c = ag::Variable::Leaf(c0.Clone(), /*requires_grad=*/true);
+    ag::Variable out;
+    if (fused) {
+      out = ag::GruCombine(u, h, c);
+    } else {
+      ag::Variable one_minus_u = ag::AddScalar(ag::Neg(u), 1.0f);
+      out = ag::Add(ag::Mul(u, h), ag::Mul(one_minus_u, c));
+    }
+    ag::Variable loss = ag::SumAll(
+        ag::Mul(out, ag::Variable::Leaf(upstream.Clone(), false)));
+    loss.Backward();
+    return std::vector<Tensor>{out.data().Clone(), u.grad().Clone(),
+                               h.grad().Clone(), c.grad().Clone()};
+  };
+
+  std::vector<Tensor> fused = run(true);
+  std::vector<Tensor> reference = run(false);
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_LE(MaxAbsDiff(fused[i], reference[i]), kGradTol) << "tensor " << i;
+  }
+}
+
+TEST(FusedGruGatesTest, ForwardAndGradMatchUnfusedChain) {
+  Rng rng(23);
+  const int64_t rows = 7;
+  const int64_t hs = 4;
+  const Tensor gates0 = Tensor::Randn({rows, 2 * hs}, rng);
+  const Tensor h0 = Tensor::Randn({rows, hs}, rng);
+  const Tensor up_rh = Tensor::Randn({rows, hs}, rng);
+  const Tensor up_u = Tensor::Randn({rows, hs}, rng);
+
+  auto run = [&](bool fused) {
+    ag::Variable gates =
+        ag::Variable::Leaf(gates0.Clone(), /*requires_grad=*/true);
+    ag::Variable h = ag::Variable::Leaf(h0.Clone(), /*requires_grad=*/true);
+    ag::Variable rh, u;
+    if (fused) {
+      ag::FusedGruGates(gates, h, &rh, &u);
+    } else {
+      ag::Variable r = ag::Sigmoid(ag::Slice(gates, -1, 0, hs));
+      u = ag::Sigmoid(ag::Slice(gates, -1, hs, hs));
+      rh = ag::Mul(r, h);
+    }
+    // Distinct upstream gradients into both outputs so each node's chain
+    // rule (including the zero half of dgates) is probed independently.
+    ag::Variable loss = ag::Add(
+        ag::SumAll(ag::Mul(rh, ag::Variable::Leaf(up_rh.Clone(), false))),
+        ag::SumAll(ag::Mul(u, ag::Variable::Leaf(up_u.Clone(), false))));
+    loss.Backward();
+    return std::vector<Tensor>{rh.data().Clone(), u.data().Clone(),
+                               gates.grad().Clone(), h.grad().Clone()};
+  };
+
+  std::vector<Tensor> fused = run(true);
+  std::vector<Tensor> reference = run(false);
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_LE(MaxAbsDiff(fused[i], reference[i]), kGradTol) << "tensor " << i;
+  }
+}
+
+TEST(AdjacencyMatMulTest, ForwardAndGradMatchTransposeChain) {
+  Rng rng(29);
+  const int64_t batch = 3;
+  const int64_t n = 5;
+  const int64_t channels = 4;
+  Tensor adj0 = Tensor::Randn({n, n}, rng);
+  // Exercise the sparse skip: zero out a few entries.
+  adj0.data()[1] = 0.0f;
+  adj0.data()[n + 2] = 0.0f;
+  adj0.data()[3 * n] = 0.0f;
+  const Tensor x0 = Tensor::Randn({batch, n, channels}, rng);
+  const Tensor upstream = Tensor::Randn({batch, n, channels}, rng);
+
+  auto run = [&](bool fused) {
+    ag::Variable adj = ag::Variable::Leaf(adj0.Clone(), /*requires_grad=*/true);
+    ag::Variable x = ag::Variable::Leaf(x0.Clone(), /*requires_grad=*/true);
+    ag::Variable out;
+    if (fused) {
+      out = ag::AdjacencyMatMul(adj, x);
+    } else {
+      // The legacy ApplyAdjacency chain: through [N, B*C] and back.
+      ag::Variable xt =
+          ag::Reshape(ag::Transpose(x, 0, 1), {n, batch * channels});
+      ag::Variable mixed = ag::MatMul(adj, xt);
+      out = ag::Transpose(ag::Reshape(mixed, {n, batch, channels}), 0, 1);
+    }
+    ag::Variable loss = ag::SumAll(
+        ag::Mul(out, ag::Variable::Leaf(upstream.Clone(), false)));
+    loss.Backward();
+    return std::vector<Tensor>{out.data().Clone(), adj.grad().Clone(),
+                               x.grad().Clone()};
+  };
+
+  std::vector<Tensor> fused = run(true);
+  std::vector<Tensor> reference = run(false);
+  EXPECT_LE(MaxAbsDiff(fused[0], reference[0]), kGradTol) << "forward";
+  EXPECT_LE(MaxAbsDiff(fused[1], reference[1]), kGradTol) << "d adj";
+  EXPECT_LE(MaxAbsDiff(fused[2], reference[2]), kGradTol) << "d x";
+}
+
+// End-to-end wiring check: the whole cell (GEMMs included) agrees across the
+// fused/unfused paths, including the gradients that reach the parameters.
+TEST(FusedCellWiringTest, GruCellAgreesAcrossToggle) {
+  Rng rng(17);
+  nn::GruCell cell(3, 4, rng);
+  const Tensor x0 = Tensor::Randn({5, 3}, rng);
+  const Tensor h0 = Tensor::Randn({5, 4}, rng);
+
+  auto run = [&](bool fused) {
+    FusedScope scope(fused);
+    ag::Variable out = cell.Forward(ag::Variable::Leaf(x0.Clone(), false),
+                                    ag::Variable::Leaf(h0.Clone(), false));
+    ag::Variable loss = ag::MeanAll(ag::Square(out));
+    for (auto& p : cell.Parameters()) p.ZeroGrad();
+    loss.Backward();
+    std::vector<Tensor> result{out.data().Clone()};
+    for (const auto& p : cell.Parameters()) result.push_back(p.grad().Clone());
+    return result;
+  };
+
+  std::vector<Tensor> fused = run(true);
+  std::vector<Tensor> reference = run(false);
+  ASSERT_EQ(fused.size(), reference.size());
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_LE(MaxAbsDiff(fused[i], reference[i]), kGradTol) << "tensor " << i;
+  }
+}
+
+TEST(FusedCellWiringTest, LstmCellAgreesAcrossToggle) {
+  Rng rng(19);
+  nn::LstmCell cell(3, 4, rng);
+  const Tensor x0 = Tensor::Randn({5, 3}, rng);
+
+  auto run = [&](bool fused) {
+    FusedScope scope(fused);
+    nn::LstmCell::State state{ag::Variable::Leaf(Tensor::Zeros({5, 4}), false),
+                              ag::Variable::Leaf(Tensor::Zeros({5, 4}), false)};
+    for (int t = 0; t < 3; ++t) {
+      state = cell.Forward(ag::Variable::Leaf(x0.Clone(), false), state);
+    }
+    ag::Variable loss = ag::MeanAll(ag::Square(state.h));
+    for (auto& p : cell.Parameters()) p.ZeroGrad();
+    loss.Backward();
+    std::vector<Tensor> result{state.h.data().Clone(), state.c.data().Clone()};
+    for (const auto& p : cell.Parameters()) result.push_back(p.grad().Clone());
+    return result;
+  };
+
+  std::vector<Tensor> fused = run(true);
+  std::vector<Tensor> reference = run(false);
+  ASSERT_EQ(fused.size(), reference.size());
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_LE(MaxAbsDiff(fused[i], reference[i]), kGradTol) << "tensor " << i;
+  }
+}
+
+TEST(FusedOpsTest, NoGradModeReturnsDetachedLeaves) {
+  Rng rng(23);
+  ag::NoGradGuard no_grad;
+  ag::Variable gx = ag::Variable::Leaf(Tensor::Randn({2, 9}, rng), true);
+  ag::Variable gh = ag::Variable::Leaf(Tensor::Randn({2, 9}, rng), true);
+  ag::Variable h = ag::Variable::Leaf(Tensor::Randn({2, 3}, rng), true);
+  ag::Variable out = ag::FusedGruCell(gx, gh, h);
+  EXPECT_FALSE(out.requires_grad());
+  EXPECT_TRUE(out.node()->is_leaf);
+
+  ag::Variable gates = ag::Variable::Leaf(Tensor::Randn({2, 12}, rng), true);
+  ag::Variable h_new, c_new;
+  ag::FusedLstmCell(gates, h, &h_new, &c_new);
+  EXPECT_FALSE(h_new.requires_grad());
+  EXPECT_FALSE(c_new.requires_grad());
+}
+
+// Eager backward release: for a 12-step rollout, dropping each node's grad
+// and closure as soon as it has propagated keeps the peak outstanding bytes
+// during Backward() strictly below the keep-everything sweep's peak.
+TEST(EagerBackwardReleaseTest, BoundsPeakMemoryOnGruRollout) {
+  Rng rng(29);
+  nn::GruCell cell(8, 32, rng);
+  const Tensor x0 = Tensor::Randn({16, 8}, rng);
+  TensorAllocator& allocator = TensorAllocator::Global();
+
+  auto peak_of_backward = [&](bool release) {
+    ag::EagerBackwardRelease::SetEnabled(release);
+    ag::Variable h = ag::Variable::Leaf(Tensor::Zeros({16, 32}), false);
+    for (int t = 0; t < 12; ++t) {
+      h = cell.Forward(ag::Variable::Leaf(x0.Clone(), false), h);
+    }
+    ag::Variable loss = ag::MeanAll(ag::Square(h));
+    for (auto& p : cell.Parameters()) p.ZeroGrad();
+    allocator.ResetStats();  // high-water restarts at the post-forward level
+    loss.Backward();
+    const int64_t peak = allocator.GetStats().bytes_high_water;
+    ag::EagerBackwardRelease::SetEnabled(true);
+    return peak;
+  };
+
+  const int64_t peak_keep = peak_of_backward(false);
+  const int64_t peak_release = peak_of_backward(true);
+  EXPECT_LT(peak_release, peak_keep)
+      << "release=" << peak_release << " keep=" << peak_keep;
+}
+
+}  // namespace
+}  // namespace enhancenet

@@ -1,7 +1,11 @@
 #include "optim/optimizer.h"
 
 #include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
 
+#include "autograd/grad_mode.h"
 #include "autograd/ops.h"
 #include "gtest/gtest.h"
 #include "tensor/tensor_ops.h"
@@ -105,6 +109,95 @@ TEST(OptimizerTest, SetLrTakesEffect) {
   w.AccumulateGrad(Tensor::Ones({1}));
   sgd.Step();
   EXPECT_NEAR(w.data().data()[0], -0.5f, 1e-6f);
+}
+
+// ---------------------------------------------------------------------------
+// Fused (ParallelFor) vs scalar-loop steps: bitwise identity
+// ---------------------------------------------------------------------------
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+/// Runs `steps` optimizer steps over two parameters (one left gradient-free
+/// on odd steps to exercise the skip path) and returns the final data.
+template <typename MakeOptimizer>
+std::vector<Tensor> RunSteps(MakeOptimizer make_optimizer, bool fused,
+                             int steps) {
+  ag::FusedKernels::SetEnabled(fused);
+  Rng rng(77);
+  ag::Variable a = ag::Variable::Leaf(Tensor::Randn({1000}, rng), true);
+  ag::Variable b = ag::Variable::Leaf(Tensor::Randn({37}, rng), true);
+  auto optimizer = make_optimizer(std::vector<ag::Variable>{a, b});
+  Rng grad_rng(99);
+  for (int i = 0; i < steps; ++i) {
+    optimizer->ZeroGrad();
+    a.AccumulateGrad(Tensor::Randn({1000}, grad_rng));
+    if (i % 2 == 0) b.AccumulateGrad(Tensor::Randn({37}, grad_rng));
+    optimizer->Step();
+  }
+  ag::FusedKernels::SetEnabled(true);
+  return {a.data().Clone(), b.data().Clone()};
+}
+
+TEST(FusedOptimizerTest, SgdPlainBitwiseMatchesScalarLoop) {
+  auto make = [](std::vector<ag::Variable> params) {
+    return std::make_unique<optim::Sgd>(std::move(params), 0.05f);
+  };
+  std::vector<Tensor> fused = RunSteps(make, /*fused=*/true, 7);
+  std::vector<Tensor> scalar = RunSteps(make, /*fused=*/false, 7);
+  EXPECT_TRUE(BitwiseEqual(fused[0], scalar[0]));
+  EXPECT_TRUE(BitwiseEqual(fused[1], scalar[1]));
+}
+
+TEST(FusedOptimizerTest, SgdMomentumBitwiseMatchesScalarLoop) {
+  auto make = [](std::vector<ag::Variable> params) {
+    return std::make_unique<optim::Sgd>(std::move(params), 0.05f,
+                                        /*momentum=*/0.9f);
+  };
+  std::vector<Tensor> fused = RunSteps(make, /*fused=*/true, 7);
+  std::vector<Tensor> scalar = RunSteps(make, /*fused=*/false, 7);
+  EXPECT_TRUE(BitwiseEqual(fused[0], scalar[0]));
+  EXPECT_TRUE(BitwiseEqual(fused[1], scalar[1]));
+}
+
+TEST(FusedOptimizerTest, AdamBitwiseMatchesScalarLoop) {
+  auto make = [](std::vector<ag::Variable> params) {
+    return std::make_unique<optim::Adam>(std::move(params), 0.01f);
+  };
+  std::vector<Tensor> fused = RunSteps(make, /*fused=*/true, 7);
+  std::vector<Tensor> scalar = RunSteps(make, /*fused=*/false, 7);
+  EXPECT_TRUE(BitwiseEqual(fused[0], scalar[0]));
+  EXPECT_TRUE(BitwiseEqual(fused[1], scalar[1]));
+}
+
+TEST(FusedOptimizerTest, AdamWeightDecayBitwiseMatchesScalarLoop) {
+  auto make = [](std::vector<ag::Variable> params) {
+    return std::make_unique<optim::Adam>(std::move(params), 0.01f, 0.9f,
+                                         0.999f, 1e-8f,
+                                         /*weight_decay=*/0.01f);
+  };
+  std::vector<Tensor> fused = RunSteps(make, /*fused=*/true, 7);
+  std::vector<Tensor> scalar = RunSteps(make, /*fused=*/false, 7);
+  EXPECT_TRUE(BitwiseEqual(fused[0], scalar[0]));
+  EXPECT_TRUE(BitwiseEqual(fused[1], scalar[1]));
+}
+
+TEST(FusedOptimizerTest, SgdMomentumSkipsParametersWithoutGradient) {
+  for (const bool fused : {true, false}) {
+    ag::FusedKernels::SetEnabled(fused);
+    ag::Variable a = ag::Variable::Leaf(Tensor::Ones({2}), true);
+    ag::Variable b = ag::Variable::Leaf(Tensor::Ones({2}), true);
+    optim::Sgd sgd({a, b}, 0.1f, /*momentum=*/0.9f);
+    a.AccumulateGrad(Tensor::Ones({2}));
+    sgd.Step();
+    EXPECT_NE(a.data().data()[0], 1.0f);
+    // No gradient: no velocity decay, no parameter touch.
+    EXPECT_EQ(b.data().data()[0], 1.0f);
+  }
+  ag::FusedKernels::SetEnabled(true);
 }
 
 // ---------------------------------------------------------------------------
