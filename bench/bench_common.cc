@@ -14,15 +14,11 @@
 #include "models/arima.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "runtime/env.h"
 
 namespace enhancenet {
 namespace bench {
 namespace {
-
-bool EnvSet(const char* name) {
-  const char* value = std::getenv(name);
-  return value != nullptr && value[0] != '\0' && value[0] != '0';
-}
 
 struct DataScale {
   int64_t traffic_sensors;
@@ -56,8 +52,8 @@ void PrintStatsCells(const train::ErrorStats& stats) {
 }  // namespace
 
 Mode ModeFromEnv() {
-  if (EnvSet("ENHANCENET_QUICK")) return Mode::kQuick;
-  if (EnvSet("ENHANCENET_FULL")) return Mode::kFull;
+  if (runtime::EnvQuickMode()) return Mode::kQuick;
+  if (runtime::EnvFullMode()) return Mode::kFull;
   return Mode::kDefault;
 }
 
@@ -313,8 +309,8 @@ void AppendRunsCsv(const std::string& path,
 }
 
 void MaybeExportMetrics() {
-  const char* path = std::getenv("ENHANCENET_METRICS_OUT");
-  if (path == nullptr || path[0] == '\0') return;
+  const char* path = runtime::EnvMetricsOut();
+  if (path == nullptr) return;
   const Status written = obs::WriteMetricsJson(obs::Registry::Global(), path);
   if (!written.ok()) {
     std::fprintf(stderr, "metrics export failed: %s\n",

@@ -15,6 +15,7 @@
 #include "graph/adjacency.h"
 #include "graph/graph_conv.h"
 #include "obs/metrics.h"
+#include "runtime/context.h"
 #include "tensor/tensor_ops.h"
 
 namespace enhancenet {
@@ -42,11 +43,11 @@ void BM_GemmProfiled(benchmark::State& state) {
   Rng rng(1);
   Tensor a = Tensor::Randn({n, n}, rng);
   Tensor b = Tensor::Randn({n, n}, rng);
-  obs::SetProfilingEnabled(true);
+  runtime::SetProfilingEnabled(true);
   for (auto _ : state) {
     benchmark::DoNotOptimize(ops::MatMul(a, b));
   }
-  obs::SetProfilingEnabled(false);
+  runtime::SetProfilingEnabled(false);
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_GemmProfiled)->Arg(32)->Arg(64)->Arg(128);

@@ -22,6 +22,7 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -32,7 +33,8 @@
 #include "data/synthetic.h"
 #include "graph/adjacency.h"
 #include "optim/optimizer.h"
-#include "tensor/allocator.h"
+#include "runtime/allocator.h"
+#include "runtime/context.h"
 
 namespace enhancenet {
 namespace {
@@ -121,8 +123,19 @@ void Configure(bool optimized) {
 void RestoreDefaults() { Configure(true); }
 
 void BM_TrainStep(benchmark::State& state, const char* model_name,
-                  bool optimized) {
+                  bool optimized, bool bind_context = false) {
   Configure(optimized);
+  // The *_context rows run the optimized configuration with an explicitly
+  // bound RuntimeContext (shared default allocator/exec, own workspace), so
+  // BENCH_train.json records what the per-step Current() lookup costs:
+  // run_bench_train.sh divides the context row's median by the optimized
+  // row's and stores the ratio as context_overhead.
+  std::optional<runtime::RuntimeContext> context;
+  std::optional<runtime::RuntimeContext::Bind> bind;
+  if (bind_context) {
+    context.emplace();
+    bind.emplace(*context);
+  }
   TrainSetup setup(model_name);
   TensorAllocator& allocator = TensorAllocator::Global();
 
@@ -159,9 +172,13 @@ BENCHMARK_CAPTURE(BM_TrainStep, RNN_baseline, "RNN", false)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_TrainStep, RNN_optimized, "RNN", true)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TrainStep, RNN_context, "RNN", true, true)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_TrainStep, DGRNN_baseline, "D-GRNN", false)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_TrainStep, DGRNN_optimized, "D-GRNN", true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TrainStep, DGRNN_context, "D-GRNN", true, true)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

@@ -1,0 +1,43 @@
+# Lint: environment access is centralized in src/runtime/env.cc. Any other
+# getenv call bypasses the validated accessors (runtime/env.h) and breaks the
+# "unknown/ malformed ENHANCENET_* values are fatal" contract, so this script
+# fails the test suite when one appears.
+#
+# Run as a CTest test:
+#   cmake -DREPO_ROOT=<repo> -P cmake/lint_no_getenv.cmake
+
+if(NOT DEFINED REPO_ROOT)
+  message(FATAL_ERROR "lint_no_getenv: pass -DREPO_ROOT=<repo root>")
+endif()
+
+file(GLOB_RECURSE candidates
+    "${REPO_ROOT}/src/*.cc" "${REPO_ROOT}/src/*.h"
+    "${REPO_ROOT}/tests/*.cc" "${REPO_ROOT}/tests/*.h"
+    "${REPO_ROOT}/bench/*.cc" "${REPO_ROOT}/bench/*.h"
+    "${REPO_ROOT}/examples/*.cc" "${REPO_ROOT}/examples/*.cpp"
+    "${REPO_ROOT}/examples/*.h")
+
+set(violations "")
+foreach(path ${candidates})
+  # Only src/runtime/ may read the environment. Skip build trees that may
+  # nest under the scanned directories.
+  if(path MATCHES "/src/runtime/" OR path MATCHES "/build/")
+    continue()
+  endif()
+  file(READ "${path}" contents)
+  # Plain string search: "getenv" matches std::getenv and ::getenv but not
+  # setenv/unsetenv (tests use those to stage env-var scenarios).
+  string(FIND "${contents}" "getenv" hit)
+  if(NOT hit EQUAL -1)
+    list(APPEND violations "${path}")
+  endif()
+endforeach()
+
+if(violations)
+  list(JOIN violations "\n  " pretty)
+  message(FATAL_ERROR
+      "getenv outside src/runtime/ — route it through runtime/env.h:\n"
+      "  ${pretty}")
+endif()
+
+message(STATUS "lint_no_getenv: clean")

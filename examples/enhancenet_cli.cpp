@@ -34,6 +34,7 @@
 #include "models/model_factory.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "runtime/context.h"
 #include "serve/inference_session.h"
 #include "train/trainer.h"
 
@@ -145,7 +146,7 @@ data::CtsData LoadData(const Args& args, bool* ok) {
 int main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv);
   if (args.command != "train" && args.command != "predict") return Usage();
-  if (args.flags.count("profile")) obs::SetProfilingEnabled(true);
+  if (args.flags.count("profile")) runtime::SetProfilingEnabled(true);
 
   bool ok = false;
   data::CtsData dataset = LoadData(args, &ok);

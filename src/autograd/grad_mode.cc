@@ -1,56 +1,47 @@
 #include "autograd/grad_mode.h"
 
-#include <atomic>
-#include <cstdlib>
-#include <cstring>
+#include "runtime/context.h"
 
 namespace enhancenet {
 namespace autograd {
-namespace {
 
-thread_local bool grad_enabled = true;
+// All state lives on the runtime layer: the per-thread recording flag in
+// runtime::ThreadGradEnabled (so ParallelFor can propagate it into workers
+// without depending on autograd), and the fused/eager-release toggles on the
+// current RuntimeContext's exec config (env-seeded once by runtime/env.cc).
+// These classes are the autograd-facing facade over that state.
 
-std::atomic<bool>& FusedFlag() {
-  static std::atomic<bool> flag = [] {
-    const char* value = std::getenv("ENHANCENET_FUSED");
-    return !(value != nullptr && std::strcmp(value, "0") == 0);
-  }();
-  return flag;
+bool GradMode::IsEnabled() { return runtime::ThreadGradEnabled(); }
+
+void GradMode::SetEnabled(bool enabled) {
+  runtime::SetThreadGradEnabled(enabled);
 }
-
-std::atomic<bool>& EagerReleaseFlag() {
-  static std::atomic<bool> flag = [] {
-    const char* value = std::getenv("ENHANCENET_EAGER_RELEASE");
-    return !(value != nullptr && std::strcmp(value, "0") == 0);
-  }();
-  return flag;
-}
-
-}  // namespace
-
-bool GradMode::IsEnabled() { return grad_enabled; }
-
-void GradMode::SetEnabled(bool enabled) { grad_enabled = enabled; }
 
 bool FusedKernels::IsEnabled() {
-  return FusedFlag().load(std::memory_order_relaxed);
+  return runtime::RuntimeContext::Current().exec().fused_kernels.load(
+      std::memory_order_relaxed);
 }
 
 void FusedKernels::SetEnabled(bool enabled) {
-  FusedFlag().store(enabled, std::memory_order_relaxed);
+  runtime::RuntimeContext::Current().exec().fused_kernels.store(
+      enabled, std::memory_order_relaxed);
 }
 
 bool EagerBackwardRelease::IsEnabled() {
-  return EagerReleaseFlag().load(std::memory_order_relaxed);
+  return runtime::RuntimeContext::Current().exec().eager_release.load(
+      std::memory_order_relaxed);
 }
 
 void EagerBackwardRelease::SetEnabled(bool enabled) {
-  EagerReleaseFlag().store(enabled, std::memory_order_relaxed);
+  runtime::RuntimeContext::Current().exec().eager_release.store(
+      enabled, std::memory_order_relaxed);
 }
 
-NoGradGuard::NoGradGuard() : previous_(grad_enabled) { grad_enabled = false; }
+NoGradGuard::NoGradGuard() : previous_(runtime::ThreadGradEnabled()) {
+  runtime::SetThreadGradEnabled(false);
+}
 
-NoGradGuard::~NoGradGuard() { grad_enabled = previous_; }
+NoGradGuard::~NoGradGuard() { runtime::SetThreadGradEnabled(previous_); }
 
 }  // namespace autograd
 }  // namespace enhancenet

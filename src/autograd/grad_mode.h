@@ -15,7 +15,12 @@ namespace autograd {
 /// eval path.
 ///
 /// The flag is per-thread, so an inference thread running under NoGradGuard
-/// never affects a trainer thread building graphs concurrently.
+/// never affects a trainer thread building graphs concurrently. ParallelFor
+/// propagates the calling thread's flag into its pool workers, so a no-grad
+/// scope stays no-grad inside parallel regions.
+///
+/// Facade over runtime::ThreadGradEnabled (runtime/context.h), where the
+/// thread_local itself lives.
 class GradMode {
  public:
   /// True (the default) when ops record the computation graph.
@@ -24,7 +29,9 @@ class GradMode {
   static void SetEnabled(bool enabled);
 };
 
-/// Process-wide switch for the fused recurrent-cell and optimizer kernels
+/// Switch (on the current RuntimeContext's exec config; contexts share the
+/// default config unless built with private_exec) for the fused
+/// recurrent-cell and optimizer kernels
 /// (FusedGruCell / FusedLstmCell / GruCombine and the ParallelFor optimizer
 /// steps), plus backward's move-adoption of freshly computed gradient temps
 /// (Variable::AccumulateGrad's rvalue form). On by default;
@@ -38,7 +45,8 @@ class FusedKernels {
   static void SetEnabled(bool enabled);
 };
 
-/// Process-wide switch for eager release of backward-pass state. When on
+/// Switch (on the current RuntimeContext's exec config, like FusedKernels)
+/// for eager release of backward-pass state. When on
 /// (the default), Backward() drops each non-leaf node's gradient buffer and
 /// backward closure — including the closure's captured activations — as soon
 /// as that node has propagated to its parents, so peak memory during a long

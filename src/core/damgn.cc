@@ -1,8 +1,11 @@
 #include "core/damgn.h"
 
+#include "autograd/grad_mode.h"
 #include "common/logging.h"
 #include "graph/adjacency.h"
 #include "nn/init.h"
+#include "runtime/context.h"
+#include "tensor/tensor_ops.h"
 
 namespace enhancenet {
 namespace core {
@@ -47,6 +50,30 @@ ag::Variable Damgn::DynamicC(const ag::Variable& x) const {
   // C[i,j] = exp(θ(x_i)ᵀ φ(x_j)) / Σ_j exp(θ(x_i)ᵀ φ(x_j))   (Equation 16)
   ag::Variable e_src = theta_.Forward(x);  // [B, N, e]
   ag::Variable e_dst = phi_.Forward(x);    // [B, N, e]
+  if (!ag::GradMode::IsEnabled()) {
+    // No-grad fast path: stage the φ-transpose and raw attention scores in
+    // the bound context's Workspace arena instead of fresh allocations, so
+    // serving reuses the same two blocks every step. The Into kernels run
+    // the exact code the recording path runs, so values stay bitwise
+    // identical; the result adopts its workspace block and parks it back on
+    // the arena when the last alias drops.
+    runtime::Workspace& ws = runtime::RuntimeContext::Current().workspace();
+    const Tensor& src = e_src.data();
+    const Tensor& dst = e_dst.data();
+    const int64_t batch = src.size(0);
+    const int64_t n = src.size(1);
+    const int64_t e = src.size(2);
+    Tensor dst_t =
+        Tensor::WithStorage(ws.Acquire(batch * e * n), Shape{batch, e, n});
+    ops::TransposeInto(dst, 1, 2, &dst_t);
+    Tensor scores =
+        Tensor::WithStorage(ws.Acquire(batch * n * n), Shape{batch, n, n});
+    ops::BatchMatMulInto(src, dst_t, &scores);
+    Tensor probs =
+        Tensor::WithStorage(ws.Acquire(batch * n * n), Shape{batch, n, n});
+    ops::SoftmaxLastDimInto(scores, &probs);
+    return ag::Variable::Leaf(std::move(probs), /*requires_grad=*/false);
+  }
   ag::Variable scores =
       ag::BatchMatMul(e_src, ag::Transpose(e_dst, 1, 2));  // [B, N, N]
   return ag::SoftmaxLastDim(scores);

@@ -1,7 +1,6 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <functional>
 #include <limits>
 
@@ -30,16 +29,6 @@ void AtomicMax(std::atomic<double>& target, double value) {
   while (value > current && !target.compare_exchange_weak(
                                 current, value, std::memory_order_relaxed)) {
   }
-}
-
-bool ProfileEnvSet() {
-  const char* value = std::getenv("ENHANCENET_PROFILE");
-  return value != nullptr && value[0] != '\0' && value[0] != '0';
-}
-
-std::atomic<bool>& ProfilingFlag() {
-  static std::atomic<bool> flag{ProfileEnvSet()};
-  return flag;
 }
 
 }  // namespace
@@ -193,14 +182,6 @@ void Registry::ResetForTest() {
     for (auto& [name, gauge] : shard.gauges) gauge->Reset();
     for (auto& [name, histogram] : shard.histograms) histogram->Reset();
   }
-}
-
-bool ProfilingEnabled() {
-  return ProfilingFlag().load(std::memory_order_relaxed);
-}
-
-void SetProfilingEnabled(bool enabled) {
-  ProfilingFlag().store(enabled, std::memory_order_relaxed);
 }
 
 }  // namespace obs

@@ -131,11 +131,9 @@ class Registry {
   Shard shards_[kShards];
 };
 
-/// Opt-in switch for the tensor-backend profiling hooks (GEMM/Concat call
-/// counts, ParallelFor shard accounting). Off by default so the hot kernels
-/// pay only one relaxed load per call; initialized from ENHANCENET_PROFILE.
-bool ProfilingEnabled();
-void SetProfilingEnabled(bool enabled);
+// The tensor-backend profiling switch used to live here; it is now part of
+// the execution config on runtime::RuntimeContext (see runtime/context.h),
+// keeping this library free of configuration state.
 
 }  // namespace obs
 }  // namespace enhancenet

@@ -1,5 +1,6 @@
 #include "obs/trace.h"
 
+#include <utility>
 #include <vector>
 
 namespace enhancenet {
@@ -35,6 +36,15 @@ TraceSpan::~TraceSpan() {
 int TraceSpan::Depth() { return static_cast<int>(tls_span_stack.size()); }
 
 std::string TraceSpan::CurrentPath() { return JoinedPath(); }
+
+std::vector<const char*> TraceSpan::SnapshotStack() { return tls_span_stack; }
+
+ScopedTraceStack::ScopedTraceStack(std::vector<const char*> stack) {
+  saved_.swap(tls_span_stack);
+  tls_span_stack = std::move(stack);
+}
+
+ScopedTraceStack::~ScopedTraceStack() { tls_span_stack.swap(saved_); }
 
 }  // namespace obs
 }  // namespace enhancenet

@@ -2,6 +2,7 @@
 #define ENHANCENET_OBS_TRACE_H_
 
 #include <string>
+#include <vector>
 
 #include "common/stopwatch.h"
 #include "obs/metrics.h"
@@ -66,9 +67,31 @@ class TraceSpan {
   /// Dotted path of the calling thread's live spans ("" when none).
   static std::string CurrentPath();
 
+  /// Copy of the calling thread's live span stack, outermost first. Pass it
+  /// to ScopedTraceStack on another thread to continue the trace tree there
+  /// (the names are compile-time literals, so the copy stays valid).
+  static std::vector<const char*> SnapshotStack();
+
  private:
   Registry* registry_;
   Stopwatch watch_;
+};
+
+/// RAII scope that installs a span-stack snapshot as the calling thread's
+/// trace stack, restoring the previous stack on destruction. ParallelFor
+/// wraps every chunk in one so spans opened inside a parallel region nest
+/// under the caller's spans instead of silently starting a fresh tree on
+/// each pool worker. Spans opened inside the scope must close inside it.
+class ScopedTraceStack {
+ public:
+  explicit ScopedTraceStack(std::vector<const char*> stack);
+  ~ScopedTraceStack();
+
+  ScopedTraceStack(const ScopedTraceStack&) = delete;
+  ScopedTraceStack& operator=(const ScopedTraceStack&) = delete;
+
+ private:
+  std::vector<const char*> saved_;
 };
 
 }  // namespace obs

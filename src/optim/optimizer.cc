@@ -4,7 +4,7 @@
 
 #include "autograd/grad_mode.h"
 #include "common/logging.h"
-#include "common/parallel.h"
+#include "runtime/parallel.h"
 #include "tensor/tensor_ops.h"
 
 namespace enhancenet {

@@ -1,9 +1,8 @@
-#ifndef ENHANCENET_TENSOR_ALLOCATOR_H_
-#define ENHANCENET_TENSOR_ALLOCATOR_H_
+#ifndef ENHANCENET_RUNTIME_ALLOCATOR_H_
+#define ENHANCENET_RUNTIME_ALLOCATOR_H_
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 namespace enhancenet {
@@ -29,7 +28,21 @@ struct AllocatorStats {
   }
 };
 
-/// Thread-safe, size-bucketed caching allocator for Tensor storage.
+/// Per-shard hit/miss accounting (see GetShardStats).
+struct AllocatorShardStats {
+  int64_t pool_hits = 0;
+  int64_t pool_misses = 0;
+
+  double HitRate() const {
+    const int64_t bucketable = pool_hits + pool_misses;
+    return bucketable == 0
+               ? 0.0
+               : static_cast<double>(pool_hits) / static_cast<double>(bucketable);
+  }
+};
+
+/// Thread-safe, size-bucketed, shard-able caching allocator for Tensor
+/// storage.
 ///
 /// Allocate() rounds the requested element count up to a power-of-two bucket
 /// and pops a recycled block from that bucket's free list when one is
@@ -38,18 +51,32 @@ struct AllocatorStats {
 /// heap allocations for tensor storage: every shape the step produces was
 /// produced by the previous step too, so every request is a pool hit.
 ///
+/// Sharding: the free lists are split into `num_shards` independently locked
+/// shards, and each OS thread is pinned to the shard `ordinal % num_shards`
+/// (ordinals assigned in first-allocation order, so a single-threaded
+/// process always uses shard 0 and sees exactly the pre-shard accounting).
+/// Allocations and frees from the same thread touch the same shard lock, so
+/// concurrent sessions on different threads never contend; a block freed on
+/// a different thread than it was allocated on simply migrates shards.
+///
 /// Requests above kMaxBucketNumel bypass the pool entirely (allocated and
 /// freed through the system allocator, still counted in the outstanding
 /// stats) so a single giant tensor can never pin its high-water mark as
 /// cached-but-idle memory.
 ///
-/// `ENHANCENET_ALLOCATOR=system` disables caching for the process-wide
+/// `ENHANCENET_ALLOCATOR=system` disables caching for the default context's
 /// instance (every free list stays empty; blocks are freed on release) as an
 /// escape hatch for leak hunting with external heap tools. Accounting is
 /// identical in both modes, so tests written against the stats run anywhere.
 ///
-/// Outstanding/high-water/cached bytes and hit/miss counts are mirrored into
-/// the obs registry (`tensor.alloc.*`) by the global instance.
+/// Lifetime: the allocator's free lists and counters live in a state block
+/// shared with every outstanding deleter, so an instance may be destroyed
+/// while its tensors are still alive — late frees release their block
+/// directly instead of touching the retired pool.
+///
+/// Outstanding/high-water/cached bytes, hit/miss counts, and per-shard hit
+/// rates (`tensor.alloc.shard.<i>.hit_rate`) are mirrored into the obs
+/// registry by metric-exporting instances (the default context's).
 class TensorAllocator {
  public:
   /// Smallest bucket: requests below this round up to it.
@@ -57,15 +84,18 @@ class TensorAllocator {
   /// Largest cached bucket (64 Mi floats = 256 MiB); larger requests bypass
   /// the pool.
   static constexpr int64_t kMaxBucketNumel = 1 << 26;
+  /// Default shard count: enough that a handful of sessions rarely collide.
+  static constexpr int kDefaultShards = 8;
 
-  /// The process-wide instance used by Tensor storage. Never destroyed
-  /// (leaked, like the obs registry), so pooled deleters outlive every
-  /// static-storage tensor.
+  /// The default context's instance (runtime::RuntimeContext::Default()).
+  /// Never destroyed, so pooled deleters outlive every static-storage
+  /// tensor. Contexts with a private allocator route around this entirely.
   static TensorAllocator& Global();
 
-  /// `export_metrics` mirrors stats into the obs registry; only the global
-  /// instance should pass true.
-  explicit TensorAllocator(bool export_metrics = false);
+  /// `export_metrics` mirrors stats into the obs registry; only the default
+  /// context's instance should pass true.
+  explicit TensorAllocator(bool export_metrics = false,
+                           int num_shards = kDefaultShards);
   ~TensorAllocator();
 
   TensorAllocator(const TensorAllocator&) = delete;
@@ -76,6 +106,12 @@ class TensorAllocator {
   std::shared_ptr<float[]> Allocate(int64_t numel);
 
   AllocatorStats GetStats() const;
+
+  /// Per-shard hit/miss counts, indexed by shard. Summing them reproduces
+  /// GetStats().pool_hits / pool_misses.
+  std::vector<AllocatorShardStats> GetShardStats() const;
+
+  int num_shards() const;
 
   /// Zeroes the counters and restarts the high-water mark from the current
   /// outstanding bytes. Live blocks and free lists are untouched.
@@ -95,17 +131,15 @@ class TensorAllocator {
 
  private:
   struct Metrics;  // cached obs registry handles
+  struct Shard;
+  struct State;
 
-  void OnFree(float* block, int64_t capacity, bool pooled);
-  void PushStatsLocked();
+  static void OnFree(State& state, float* block, int64_t capacity,
+                     bool pooled);
 
-  mutable std::mutex mu_;
-  std::vector<std::vector<float*>> buckets_;  // free lists, by log2 capacity
-  bool caching_enabled_;
-  AllocatorStats stats_;
-  Metrics* metrics_ = nullptr;  // null unless export_metrics
+  std::shared_ptr<State> state_;
 };
 
 }  // namespace enhancenet
 
-#endif  // ENHANCENET_TENSOR_ALLOCATOR_H_
+#endif  // ENHANCENET_RUNTIME_ALLOCATOR_H_

@@ -1,0 +1,96 @@
+#include "runtime/env.h"
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace runtime {
+namespace {
+
+// Each accessor owns its static so the variables parse independently: a
+// death test for one variable must be able to run before (and without)
+// forcing the others through their first parse in the parent process.
+
+bool ParseBool(const char* name, bool default_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || value[0] == '\0') return default_value;
+  const std::string choice(value);
+  if (choice == "1" || choice == "true" || choice == "on") return true;
+  if (choice == "0" || choice == "false" || choice == "off") return false;
+  ENHANCENET_CHECK(false) << name << " must be one of 0/false/off or "
+                          << "1/true/on (got '" << choice << "')";
+  return default_value;
+}
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ParseNumThreads() {
+  const char* value = std::getenv("ENHANCENET_NUM_THREADS");
+  if (value == nullptr || value[0] == '\0') return HardwareThreads();
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  ENHANCENET_CHECK(end != value && *end == '\0' && v >= 1 && v <= 4096)
+      << "ENHANCENET_NUM_THREADS must be an integer in [1, 4096] (got '"
+      << value << "')";
+  return static_cast<int>(v);
+}
+
+bool ParseAllocatorCaching() {
+  const char* value = std::getenv("ENHANCENET_ALLOCATOR");
+  if (value == nullptr || value[0] == '\0') return true;
+  const std::string choice(value);
+  if (choice == "caching") return true;
+  if (choice == "system") return false;
+  ENHANCENET_CHECK(false) << "ENHANCENET_ALLOCATOR must be 'caching' or "
+                          << "'system' (got '" << choice << "')";
+  return true;
+}
+
+}  // namespace
+
+int EnvNumThreads() {
+  static const int value = ParseNumThreads();
+  return value;
+}
+
+bool EnvAllocatorCaching() {
+  static const bool value = ParseAllocatorCaching();
+  return value;
+}
+
+bool EnvFusedKernels() {
+  static const bool value = ParseBool("ENHANCENET_FUSED", true);
+  return value;
+}
+
+bool EnvEagerRelease() {
+  static const bool value = ParseBool("ENHANCENET_EAGER_RELEASE", true);
+  return value;
+}
+
+bool EnvProfiling() {
+  static const bool value = ParseBool("ENHANCENET_PROFILE", false);
+  return value;
+}
+
+// The benchmark-harness variables re-parse on every call (they are read at
+// most a handful of times per process, and tests toggle them at runtime);
+// only the library variables above cache for the process lifetime.
+
+bool EnvQuickMode() { return ParseBool("ENHANCENET_QUICK", false); }
+
+bool EnvFullMode() { return ParseBool("ENHANCENET_FULL", false); }
+
+const char* EnvMetricsOut() {
+  const char* path = std::getenv("ENHANCENET_METRICS_OUT");
+  return (path == nullptr || path[0] == '\0') ? nullptr : path;
+}
+
+}  // namespace runtime
+}  // namespace enhancenet

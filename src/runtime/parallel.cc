@@ -1,23 +1,24 @@
-#include "common/parallel.h"
+#include "runtime/parallel.h"
 
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
-#include <cstdlib>
 #include <exception>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "runtime/context.h"
 
 namespace enhancenet {
 namespace {
 
-// Opt-in (obs::ProfilingEnabled) accounting of how ParallelFor carves work:
-// regions dispatched to the pool vs. run inline, chunk counts, and what
-// fraction of the available workers a region can actually occupy. The off
-// path costs one relaxed atomic load per region.
+// Opt-in (runtime::ProfilingEnabled) accounting of how ParallelFor carves
+// work: regions dispatched to the pool vs. run inline, chunk counts, and
+// what fraction of the available workers a region can actually occupy. The
+// off path costs one relaxed atomic load per region.
 struct ParallelProfile {
   obs::Counter* regions;
   obs::Counter* inline_regions;
@@ -44,25 +45,6 @@ struct ParallelProfile {
 };
 
 thread_local bool tls_in_parallel_region = false;
-
-int HardwareThreads() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
-}
-
-int DefaultNumThreads() {
-  if (const char* env = std::getenv("ENHANCENET_NUM_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 1 && v <= 4096) return static_cast<int>(v);
-  }
-  return HardwareThreads();
-}
-
-std::atomic<int>& NumThreadsSetting() {
-  static std::atomic<int> setting{DefaultNumThreads()};
-  return setting;
-}
 
 // Persistent worker pool. One parallel region runs at a time (outer regions
 // from distinct user threads serialize on run_mutex_); nested regions run
@@ -210,11 +192,13 @@ int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
 }  // namespace
 
 int GetNumThreads() {
-  return NumThreadsSetting().load(std::memory_order_relaxed);
+  return runtime::RuntimeContext::Current().exec().num_threads.load(
+      std::memory_order_relaxed);
 }
 
 void SetNumThreads(int n) {
-  NumThreadsSetting().store(std::max(n, 1), std::memory_order_relaxed);
+  runtime::RuntimeContext::Current().exec().num_threads.store(
+      std::max(n, 1), std::memory_order_relaxed);
 }
 
 bool InParallelRegion() { return tls_in_parallel_region; }
@@ -226,7 +210,9 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   if (grain < 1) grain = 1;
   const int threads = GetNumThreads();
   if (threads <= 1 || n <= grain || tls_in_parallel_region) {
-    if (obs::ProfilingEnabled()) ParallelProfile::Get().inline_regions->Add();
+    if (runtime::ProfilingEnabled()) {
+      ParallelProfile::Get().inline_regions->Add();
+    }
     fn(begin, end);
     return;
   }
@@ -238,11 +224,13 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   const int64_t chunk_size = CeilDiv(n, max_chunks);
   const int64_t num_chunks = CeilDiv(n, chunk_size);
   if (num_chunks <= 1) {
-    if (obs::ProfilingEnabled()) ParallelProfile::Get().inline_regions->Add();
+    if (runtime::ProfilingEnabled()) {
+      ParallelProfile::Get().inline_regions->Add();
+    }
     fn(begin, end);
     return;
   }
-  if (obs::ProfilingEnabled()) {
+  if (runtime::ProfilingEnabled()) {
     ParallelProfile& profile = ParallelProfile::Get();
     profile.regions->Add();
     profile.chunks->Add(num_chunks);
@@ -251,7 +239,19 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
         static_cast<double>(std::min<int64_t>(num_chunks, threads)) /
         static_cast<double>(threads));
   }
+  // Snapshot the caller's thread state once per region; every chunk —
+  // whether it lands on a pool worker or back on the caller — re-installs
+  // it, so kernels observe the same context, gradient mode, and trace stack
+  // on every participating thread. Re-installation on the caller itself is
+  // an idempotent TLS write, and RAII unwinds the state even when fn throws.
+  runtime::RuntimeContext* bound_context =
+      runtime::detail::BoundContextOrNull();
+  const bool grad_enabled = runtime::ThreadGradEnabled();
+  const std::vector<const char*> trace_stack = obs::TraceSpan::SnapshotStack();
   const std::function<void(int64_t)> chunk_fn = [&](int64_t chunk) {
+    runtime::detail::ScopedContext context_scope(bound_context);
+    runtime::detail::ScopedThreadGrad grad_scope(grad_enabled);
+    obs::ScopedTraceStack trace_scope(trace_stack);
     const int64_t b = begin + chunk * chunk_size;
     const int64_t e = std::min(end, b + chunk_size);
     fn(b, e);

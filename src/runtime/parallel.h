@@ -1,5 +1,5 @@
-#ifndef ENHANCENET_COMMON_PARALLEL_H_
-#define ENHANCENET_COMMON_PARALLEL_H_
+#ifndef ENHANCENET_RUNTIME_PARALLEL_H_
+#define ENHANCENET_RUNTIME_PARALLEL_H_
 
 #include <cstdint>
 #include <functional>
@@ -18,19 +18,28 @@ namespace enhancenet {
 /// does. Kernels must therefore never accumulate across chunk boundaries
 /// into shared state.
 ///
+/// Thread-state propagation: each chunk runs under the caller's bound
+/// RuntimeContext, gradient mode (runtime::ThreadGradEnabled), and obs
+/// trace-span stack — thread_local state that a raw pool worker would
+/// otherwise silently reset to its defaults. A kernel that allocates inside
+/// a parallel region therefore uses the same allocator on every thread, and
+/// a no-grad scope stays no-grad inside the region.
+///
 /// Thread count resolution:
-///   * default: ENHANCENET_NUM_THREADS env var if set to a positive integer,
+///   * default: ENHANCENET_NUM_THREADS (validated by runtime/env.h) if set,
 ///     otherwise std::thread::hardware_concurrency();
-///   * SetNumThreads() overrides at runtime (tests, benchmarks);
+///   * SetNumThreads() overrides at runtime (tests, benchmarks) by writing
+///     the current context's exec config;
 ///   * a value of 1 is exactly the historical serial behavior — ParallelFor
 ///     invokes `fn(begin, end)` inline and never touches the pool.
 
-/// Threads used by subsequent ParallelFor calls (>= 1).
+/// Threads used by subsequent ParallelFor calls (>= 1). Reads the calling
+/// thread's current RuntimeContext.
 int GetNumThreads();
 
-/// Overrides the thread count at runtime; values < 1 are clamped to 1.
-/// Workers are spawned lazily, so raising the count is cheap until the next
-/// parallel region actually runs.
+/// Overrides the thread count of the current context at runtime; values < 1
+/// are clamped to 1. Workers are spawned lazily, so raising the count is
+/// cheap until the next parallel region actually runs.
 void SetNumThreads(int n);
 
 /// True while the calling thread is executing inside a ParallelFor chunk.
@@ -55,4 +64,4 @@ double ParallelSum(int64_t n, const std::function<double(int64_t, int64_t)>& blo
 
 }  // namespace enhancenet
 
-#endif  // ENHANCENET_COMMON_PARALLEL_H_
+#endif  // ENHANCENET_RUNTIME_PARALLEL_H_

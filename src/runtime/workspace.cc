@@ -1,0 +1,85 @@
+#include "runtime/workspace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace runtime {
+
+struct Workspace::State {
+  mutable std::mutex mu;
+  std::unordered_map<int64_t, std::vector<float*>> free_lists;
+  WorkspaceStats stats;
+  // Set by ~Workspace: blocks released afterwards are freed directly.
+  std::atomic<bool> retired{false};
+
+  ~State() {
+    for (auto& [numel, blocks] : free_lists) {
+      for (float* block : blocks) delete[] block;
+    }
+  }
+};
+
+Workspace::Workspace() : state_(std::make_shared<State>()) {}
+
+Workspace::~Workspace() {
+  state_->retired.store(true, std::memory_order_relaxed);
+}
+
+std::shared_ptr<float[]> Workspace::Acquire(int64_t numel) {
+  ENHANCENET_CHECK_GE(numel, 0) << "negative workspace acquisition";
+  const int64_t count = std::max<int64_t>(numel, 1);
+  float* block = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->stats.acquires;
+    auto it = state_->free_lists.find(count);
+    if (it != state_->free_lists.end() && !it->second.empty()) {
+      block = it->second.back();
+      it->second.pop_back();
+      ++state_->stats.hits;
+      state_->stats.bytes_cached -=
+          count * static_cast<int64_t>(sizeof(float));
+    }
+  }
+  if (block == nullptr) block = new float[static_cast<size_t>(count)];
+  // The deleter shares ownership of the state block, so releasing a block
+  // after the workspace itself is gone frees it instead of reviving a dead
+  // free list.
+  std::shared_ptr<State> state = state_;
+  return std::shared_ptr<float[]>(block, [state, count](float* p) {
+    if (state->retired.load(std::memory_order_relaxed)) {
+      delete[] p;
+      return;
+    }
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->free_lists[count].push_back(p);
+    state->stats.bytes_cached += count * static_cast<int64_t>(sizeof(float));
+  });
+}
+
+void Workspace::Trim() {
+  std::vector<float*> to_free;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    for (auto& [numel, blocks] : state_->free_lists) {
+      to_free.insert(to_free.end(), blocks.begin(), blocks.end());
+      blocks.clear();
+    }
+    state_->stats.bytes_cached = 0;
+  }
+  for (float* block : to_free) delete[] block;
+}
+
+WorkspaceStats Workspace::GetStats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->stats;
+}
+
+}  // namespace runtime
+}  // namespace enhancenet

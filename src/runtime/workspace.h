@@ -1,0 +1,65 @@
+#ifndef ENHANCENET_RUNTIME_WORKSPACE_H_
+#define ENHANCENET_RUNTIME_WORKSPACE_H_
+
+#include <cstdint>
+#include <memory>
+
+namespace enhancenet {
+namespace runtime {
+
+/// Point-in-time view of a workspace's accounting.
+struct WorkspaceStats {
+  int64_t acquires = 0;     ///< Acquire() calls
+  int64_t hits = 0;         ///< served from a cached block
+  int64_t bytes_cached = 0; ///< parked, ready for reuse
+
+  double HitRate() const {
+    return acquires == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(acquires);
+  }
+};
+
+/// A reusable arena for per-step scratch buffers (attention score matrices,
+/// softmax temporaries, transposed embedding blocks).
+///
+/// Unlike the bucketed TensorAllocator, the workspace keys its free lists by
+/// the exact element count: step-scoped scratch shapes repeat identically
+/// every step, so exact matching wastes no capacity on power-of-two
+/// rounding, and the arena stays as small as one step's live set.
+///
+/// Acquire() returns an UNINITIALIZED block whose deleter parks it back on
+/// the free list; in steady state a step performs zero heap allocations for
+/// scratch. The state block is owned jointly by the workspace and every
+/// outstanding deleter, so a block released after the workspace is destroyed
+/// is freed directly instead of touching a dead free list.
+///
+/// Thread-safety: Acquire and release are mutex-protected; a workspace may
+/// be shared by the threads of one session, but each RuntimeContext owns its
+/// own workspace so contexts never contend with each other.
+class Workspace {
+ public:
+  Workspace();
+  ~Workspace();
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Storage for `numel` floats (>= 0; zero-element requests get a 1-float
+  /// block). Contents are NOT initialized — recycled blocks hold stale data.
+  std::shared_ptr<float[]> Acquire(int64_t numel);
+
+  /// Frees every cached block. Outstanding blocks are unaffected.
+  void Trim();
+
+  WorkspaceStats GetStats() const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace runtime
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_RUNTIME_WORKSPACE_H_

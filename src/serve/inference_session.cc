@@ -99,6 +99,10 @@ Status InferenceSession::Predict(const PredictRequest& request,
   if (response == nullptr) {
     return Status::InvalidArgument("Predict: response is null");
   }
+  // Every allocation below (scaling, forward temporaries, unscaling) comes
+  // from this session's private context, so concurrent sessions never meet
+  // on an allocator mutex.
+  runtime::RuntimeContext::Bind bind_context(context_);
   Stopwatch timer;
   const Status valid = Validate(request.history);
   if (!valid.ok()) {

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "data/dataset.h"
 #include "models/model_factory.h"
+#include "runtime/context.h"
 #include "serve/stats.h"
 #include "tensor/tensor.h"
 
@@ -104,6 +105,13 @@ class InferenceSession {
   Stats stats() const;
 
   const models::ForecastingModel& model() const { return *model_; }
+
+  /// The session's private runtime context: its own allocator (so two
+  /// sessions never contend on a free-list mutex, and a session never
+  /// shares pooled blocks with the trainer) and its own workspace arena.
+  /// Exec config is shared with the default context.
+  runtime::RuntimeContext& context() const { return context_; }
+
   int64_t num_entities() const { return config_.num_entities; }
   int64_t in_channels() const { return config_.in_channels; }
   int64_t history() const { return model_->history(); }
@@ -122,6 +130,11 @@ class InferenceSession {
   std::unique_ptr<models::ForecastingModel> model_;
   data::StandardScaler scaler_;
   ServeMetrics metrics_;
+  /// Bound inside Predict. Mutable because binding a context is an
+  /// implementation detail of the logically-const forward; RuntimeContext
+  /// itself is safe to bind from many threads at once.
+  mutable runtime::RuntimeContext context_{
+      runtime::RuntimeContext::Options{.private_allocator = true}};
 };
 
 }  // namespace serve

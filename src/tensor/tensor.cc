@@ -5,7 +5,7 @@
 #include <sstream>
 
 #include "common/logging.h"
-#include "tensor/allocator.h"
+#include "runtime/context.h"
 
 namespace enhancenet {
 
@@ -35,7 +35,7 @@ Tensor::Tensor(Shape shape)
     : shape_(std::move(shape)), numel_(NumElements(shape_)) {
   ENHANCENET_CHECK_LE(shape_.size(), 4u)
       << "rank > 4 not supported: " << ShapeToString(shape_);
-  storage_ = TensorAllocator::Global().Allocate(numel_);
+  storage_ = runtime::RuntimeContext::Current().allocator().Allocate(numel_);
   // Pooled blocks are recycled, so zero-initialization is explicit.
   std::fill(storage_.get(), storage_.get() + std::max<int64_t>(numel_, 1),
             0.0f);
@@ -47,8 +47,16 @@ Tensor Tensor::Uninitialized(Shape shape) {
   t.numel_ = NumElements(t.shape_);
   ENHANCENET_CHECK_LE(t.shape_.size(), 4u)
       << "rank > 4 not supported: " << ShapeToString(t.shape_);
-  t.storage_ = TensorAllocator::Global().Allocate(t.numel_);
+  t.storage_ =
+      runtime::RuntimeContext::Current().allocator().Allocate(t.numel_);
   return t;
+}
+
+Tensor Tensor::WithStorage(std::shared_ptr<float[]> storage, Shape shape) {
+  ENHANCENET_CHECK(storage != nullptr) << "WithStorage: null storage";
+  ENHANCENET_CHECK_LE(shape.size(), 4u)
+      << "rank > 4 not supported: " << ShapeToString(shape);
+  return Tensor(std::move(storage), std::move(shape));
 }
 
 Tensor::Tensor(std::shared_ptr<float[]> storage, Shape shape)

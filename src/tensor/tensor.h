@@ -62,6 +62,13 @@ class Tensor {
   /// Factory: i.i.d. Uniform[lo, hi) entries drawn from `rng`.
   static Tensor RandUniform(Shape shape, Rng& rng, float lo, float hi);
 
+  /// Factory: adopts caller-provided storage (e.g. a runtime::Workspace
+  /// block) without copying. `storage` must hold at least the shape's
+  /// element count (and at least 1 float); contents are left as-is. The
+  /// tensor shares ownership, so the storage's own deleter decides where
+  /// the block goes when the last alias drops.
+  static Tensor WithStorage(std::shared_ptr<float[]> storage, Shape shape);
+
   const Shape& shape() const { return shape_; }
   int64_t dim() const { return static_cast<int64_t>(shape_.size()); }
   /// Size of dimension `d`; negative `d` counts from the end.

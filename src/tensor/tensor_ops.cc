@@ -7,14 +7,15 @@
 #include <vector>
 
 #include "common/logging.h"
-#include "common/parallel.h"
 #include "obs/metrics.h"
+#include "runtime/context.h"
+#include "runtime/parallel.h"
 
 namespace enhancenet {
 namespace ops {
 namespace {
 
-// Opt-in (obs::ProfilingEnabled) accounting for the kernels that dominate
+// Opt-in (runtime::ProfilingEnabled) accounting for the kernels that dominate
 // training and serving cost. Handles are resolved once; the off path is a
 // single relaxed atomic load per op call, so the hooks are safe to leave
 // compiled into release builds.
@@ -456,12 +457,12 @@ void GemmDispatch(const float* a, int64_t lda, bool trans_a, const float* b,
 
 constexpr int64_t kTransposeBlock = 32;
 
-Tensor MaterializeTranspose2D(const Tensor& t) {
+// Writes the [cols, rows] transpose of rank-2 `t` into `po`, which must hold
+// t.numel() floats. Every element is overwritten; no zeroing required.
+void MaterializeTranspose2DInto(const Tensor& t, float* po) {
   const int64_t rows = t.size(0);
   const int64_t cols = t.size(1);
-  Tensor out = Tensor::Uninitialized(Shape{cols, rows});
   const float* p = t.data();
-  float* po = out.data();
   // Blocked: a kTransposeBlock x kTransposeBlock tile of the input stays in
   // L1 while it is written out column-contiguously. Parallel over output
   // rows (= input columns); pure scatter-free writes, so any partition is
@@ -478,6 +479,11 @@ Tensor MaterializeTranspose2D(const Tensor& t) {
       }
     }
   });
+}
+
+Tensor MaterializeTranspose2D(const Tensor& t) {
+  Tensor out = Tensor::Uninitialized(Shape{t.size(1), t.size(0)});
+  MaterializeTranspose2DInto(t, out.data());
   return out;
 }
 
@@ -669,7 +675,7 @@ Tensor Gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   ENHANCENET_CHECK_EQ(k, kb) << "gemm inner dims: " << ShapeToString(a.shape())
                              << " x " << ShapeToString(b.shape());
   const int64_t n = trans_b ? b.size(0) : b.size(1);
-  if (obs::ProfilingEnabled()) {
+  if (runtime::ProfilingEnabled()) {
     OpsProfile& profile = OpsProfile::Get();
     profile.gemm_calls->Add();
     profile.gemm_flops->Add(2 * m * k * n);
@@ -684,25 +690,43 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return Gemm(a, b, /*trans_a=*/false, /*trans_b=*/false);
 }
 
-Tensor BatchGemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+namespace {
+
+struct BatchGemmDims {
+  int64_t batch, m, k, n;
+};
+
+// Shape checks shared by BatchGemm and BatchMatMulInto.
+BatchGemmDims CheckBatchGemmDims(const Tensor& a, const Tensor& b, bool trans_a,
+                                 bool trans_b) {
   ENHANCENET_CHECK_EQ(a.dim(), 3);
   ENHANCENET_CHECK_EQ(b.dim(), 3);
   ENHANCENET_CHECK_EQ(a.size(0), b.size(0)) << "batch dims differ";
-  const int64_t batch = a.size(0);
-  const int64_t m = trans_a ? a.size(2) : a.size(1);
-  const int64_t k = trans_a ? a.size(1) : a.size(2);
+  BatchGemmDims d;
+  d.batch = a.size(0);
+  d.m = trans_a ? a.size(2) : a.size(1);
+  d.k = trans_a ? a.size(1) : a.size(2);
   const int64_t kb = trans_b ? b.size(2) : b.size(1);
-  ENHANCENET_CHECK_EQ(k, kb) << "bmm inner dims: " << ShapeToString(a.shape())
-                             << " x " << ShapeToString(b.shape());
-  const int64_t n = trans_b ? b.size(1) : b.size(2);
-  if (obs::ProfilingEnabled()) {
+  ENHANCENET_CHECK_EQ(d.k, kb) << "bmm inner dims: " << ShapeToString(a.shape())
+                               << " x " << ShapeToString(b.shape());
+  d.n = trans_b ? b.size(1) : b.size(2);
+  return d;
+}
+
+// Runs the batched product into `pc`, which must point at batch*m*n ZEROED
+// floats — the inner kernels accumulate C += op(A)*op(B).
+void BatchGemmIntoRaw(const Tensor& a, const Tensor& b, bool trans_a,
+                      bool trans_b, const BatchGemmDims& d, float* pc) {
+  const int64_t batch = d.batch;
+  const int64_t m = d.m;
+  const int64_t k = d.k;
+  const int64_t n = d.n;
+  if (runtime::ProfilingEnabled()) {
     OpsProfile& profile = OpsProfile::Get();
     profile.batch_gemm_calls->Add();
     profile.batch_gemm_slices->Add(batch);
     profile.batch_gemm_flops->Add(batch * 2 * m * k * n);
   }
-  Tensor c(Shape{batch, m, n});
-
   // Zero-copy per-slice pointers: slice i of a dense [B, R, C] tensor is the
   // dense [R, C] block at offset i*R*C.
   const int64_t a_stride = a.size(1) * a.size(2);
@@ -712,7 +736,6 @@ Tensor BatchGemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
   const int64_t ldb = b.size(2);
   const float* pa = a.data();
   const float* pb = b.data();
-  float* pc = c.data();
   const int64_t slice_flops = 2 * m * k * n;
   if (slice_flops > kSmallGemmFlops) {
     // Big slices: let the tiled kernel parallelize over rows inside each
@@ -733,12 +756,65 @@ Tensor BatchGemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
       }
     });
   }
+}
+
+}  // namespace
+
+Tensor BatchGemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  const BatchGemmDims d = CheckBatchGemmDims(a, b, trans_a, trans_b);
+  Tensor c(Shape{d.batch, d.m, d.n});
+  BatchGemmIntoRaw(a, b, trans_a, trans_b, d, c.data());
   return c;
 }
 
 Tensor BatchMatMul(const Tensor& a, const Tensor& b) {
   return BatchGemm(a, b, /*trans_a=*/false, /*trans_b=*/false);
 }
+
+void BatchMatMulInto(const Tensor& a, const Tensor& b, Tensor* out) {
+  ENHANCENET_CHECK(out != nullptr);
+  const BatchGemmDims d =
+      CheckBatchGemmDims(a, b, /*trans_a=*/false, /*trans_b=*/false);
+  const Shape expected{d.batch, d.m, d.n};
+  ENHANCENET_CHECK(out->shape() == expected)
+      << "BatchMatMulInto: out shape " << ShapeToString(out->shape())
+      << " != " << ShapeToString(expected);
+  // The GEMM kernels accumulate, and `out` may be recycled workspace memory
+  // holding stale values — zero it first.
+  std::fill(out->data(), out->data() + out->numel(), 0.0f);
+  BatchGemmIntoRaw(a, b, /*trans_a=*/false, /*trans_b=*/false, d, out->data());
+}
+
+namespace {
+
+// Generic-rank transpose (d0/d1 already resolved, d0 != d1, rank > 2) writing
+// into `po`, which must hold t.numel() floats. Fully overwrites.
+void TransposeOdometerInto(const Tensor& t, int64_t d0, int64_t d1,
+                           const Shape& out_shape, float* po) {
+  const int64_t rank = t.dim();
+  const auto in_strides = RowMajorStrides(t.shape());
+  auto moved_strides = in_strides;
+  std::swap(moved_strides[static_cast<size_t>(d0)],
+            moved_strides[static_cast<size_t>(d1)]);
+
+  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
+  const float* p = t.data();
+  const int64_t n = t.numel();
+  int64_t ii = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    po[i] = p[ii];
+    for (int64_t d = rank - 1; d >= 0; --d) {
+      const size_t du = static_cast<size_t>(d);
+      ++index[du];
+      ii += moved_strides[du];
+      if (index[du] < out_shape[du]) break;
+      ii -= moved_strides[du] * out_shape[du];
+      index[du] = 0;
+    }
+  }
+}
+
+}  // namespace
 
 Tensor Transpose(const Tensor& t, int64_t d0, int64_t d1) {
   const int64_t rank = t.dim();
@@ -753,29 +829,31 @@ Tensor Transpose(const Tensor& t, int64_t d0, int64_t d1) {
   std::swap(out_shape[static_cast<size_t>(d0)],
             out_shape[static_cast<size_t>(d1)]);
   Tensor out = Tensor::Uninitialized(out_shape);
-
-  const auto in_strides = RowMajorStrides(t.shape());
-  auto moved_strides = in_strides;
-  std::swap(moved_strides[static_cast<size_t>(d0)],
-            moved_strides[static_cast<size_t>(d1)]);
-
-  std::vector<int64_t> index(static_cast<size_t>(rank), 0);
-  const float* p = t.data();
-  float* po = out.data();
-  const int64_t n = t.numel();
-  int64_t ii = 0;
-  for (int64_t i = 0; i < n; ++i) {
-    po[i] = p[ii];
-    for (int64_t d = rank - 1; d >= 0; --d) {
-      const size_t du = static_cast<size_t>(d);
-      ++index[du];
-      ii += moved_strides[du];
-      if (index[du] < out_shape[du]) break;
-      ii -= moved_strides[du] * out_shape[du];
-      index[du] = 0;
-    }
-  }
+  TransposeOdometerInto(t, d0, d1, out_shape, out.data());
   return out;
+}
+
+void TransposeInto(const Tensor& t, int64_t d0, int64_t d1, Tensor* out) {
+  ENHANCENET_CHECK(out != nullptr);
+  const int64_t rank = t.dim();
+  if (d0 < 0) d0 += rank;
+  if (d1 < 0) d1 += rank;
+  ENHANCENET_CHECK(d0 >= 0 && d0 < rank && d1 >= 0 && d1 < rank);
+  Shape out_shape = t.shape();
+  std::swap(out_shape[static_cast<size_t>(d0)],
+            out_shape[static_cast<size_t>(d1)]);
+  ENHANCENET_CHECK(out->shape() == out_shape)
+      << "TransposeInto: out shape " << ShapeToString(out->shape())
+      << " != " << ShapeToString(out_shape);
+  if (d0 == d1) {
+    std::copy(t.data(), t.data() + t.numel(), out->data());
+    return;
+  }
+  if (rank == 2) {
+    MaterializeTranspose2DInto(t, out->data());
+    return;
+  }
+  TransposeOdometerInto(t, d0, d1, out_shape, out->data());
 }
 
 Tensor Transpose2D(const Tensor& t) {
@@ -803,7 +881,7 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
   }
   out_shape[static_cast<size_t>(axis)] = axis_total;
   Tensor out = Tensor::Uninitialized(out_shape);
-  if (obs::ProfilingEnabled()) {
+  if (runtime::ProfilingEnabled()) {
     OpsProfile& profile = OpsProfile::Get();
     profile.concat_calls->Add();
     profile.concat_elements->Add(out.numel());
@@ -959,13 +1037,13 @@ Tensor Mean(const Tensor& t, int64_t axis, bool keepdim) {
   return MulScalar(s, 1.0f / static_cast<float>(t.size(resolved)));
 }
 
-Tensor SoftmaxLastDim(const Tensor& t) {
-  ENHANCENET_CHECK_GE(t.dim(), 1);
+namespace {
+
+// Row-wise softmax of `t` into `po` (t.numel() floats). Fully overwrites.
+void SoftmaxRowsInto(const Tensor& t, float* po) {
   const int64_t cols = t.size(-1);
   const int64_t rows = t.numel() / cols;
-  Tensor out = Tensor::Uninitialized(t.shape());
   const float* p = t.data();
-  float* po = out.data();
   const int64_t grain =
       std::max<int64_t>(1, kSerialNumel / std::max<int64_t>(cols, 1));
   For1D(rows, grain, [=](int64_t r0, int64_t r1) {
@@ -983,7 +1061,24 @@ Tensor SoftmaxLastDim(const Tensor& t) {
       for (int64_t c = 0; c < cols; ++c) orow[c] *= inv;
     }
   });
+}
+
+}  // namespace
+
+Tensor SoftmaxLastDim(const Tensor& t) {
+  ENHANCENET_CHECK_GE(t.dim(), 1);
+  Tensor out = Tensor::Uninitialized(t.shape());
+  SoftmaxRowsInto(t, out.data());
   return out;
+}
+
+void SoftmaxLastDimInto(const Tensor& t, Tensor* out) {
+  ENHANCENET_CHECK(out != nullptr);
+  ENHANCENET_CHECK_GE(t.dim(), 1);
+  ENHANCENET_CHECK(out->shape() == t.shape())
+      << "SoftmaxLastDimInto: out shape " << ShapeToString(out->shape())
+      << " != " << ShapeToString(t.shape());
+  SoftmaxRowsInto(t, out->data());
 }
 
 bool AllClose(const Tensor& a, const Tensor& b, float atol, float rtol) {

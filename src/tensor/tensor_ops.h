@@ -76,12 +76,22 @@ Tensor BatchGemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b);
 /// C[B,M,N] = A[B,M,K] * B[B,K,N].
 Tensor BatchMatMul(const Tensor& a, const Tensor& b);
 
+/// BatchMatMul into caller-provided storage (e.g. a runtime::Workspace
+/// block). `out` must already have shape [B,M,N]; its contents are
+/// discarded. Numerically identical to BatchMatMul.
+void BatchMatMulInto(const Tensor& a, const Tensor& b, Tensor* out);
+
 // ---------------------------------------------------------------------------
 // Movement / restructuring (all produce fresh storage)
 // ---------------------------------------------------------------------------
 
 /// Swaps dimensions d0 and d1 (copy).
 Tensor Transpose(const Tensor& t, int64_t d0, int64_t d1);
+
+/// Transpose into caller-provided storage. `out` must already have the
+/// swapped shape; every element is overwritten. Numerically identical to
+/// Transpose.
+void TransposeInto(const Tensor& t, int64_t d0, int64_t d1, Tensor* out);
 
 /// 2-D transpose convenience.
 Tensor Transpose2D(const Tensor& t);
@@ -109,6 +119,10 @@ Tensor Sum(const Tensor& t, int64_t axis, bool keepdim);
 Tensor Mean(const Tensor& t, int64_t axis, bool keepdim);
 /// Numerically stable softmax over the last dimension.
 Tensor SoftmaxLastDim(const Tensor& t);
+
+/// SoftmaxLastDim into caller-provided storage. `out` must have t's shape;
+/// every element is overwritten. Numerically identical to SoftmaxLastDim.
+void SoftmaxLastDimInto(const Tensor& t, Tensor* out);
 
 // ---------------------------------------------------------------------------
 // Comparisons (for tests)

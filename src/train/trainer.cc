@@ -102,6 +102,7 @@ ag::Variable Trainer::Loss(const ag::Variable& pred_scaled,
 
 TrainResult Trainer::Train(const data::WindowDataset& train_set,
                            const data::WindowDataset& val_set, Rng& rng) {
+  runtime::RuntimeContext::Bind bind_context(context_);
   TrainMetrics& metrics = TrainMetrics::Get();
   obs::TraceSpan train_span("train");
   TrainResult result;
@@ -209,6 +210,7 @@ TrainResult Trainer::Train(const data::WindowDataset& train_set,
 ErrorStats Trainer::Evaluate(const data::WindowDataset& dataset,
                              MetricAccumulator* accumulator, Rng& rng) {
   ENHANCENET_CHECK(accumulator != nullptr);
+  runtime::RuntimeContext::Bind bind_context(context_);
   // Save/restore the caller's mode: forcing training mode on exit would
   // corrupt eval-mode callers (e.g. a post-training test evaluation).
   const bool was_training = model_->training();
@@ -229,6 +231,7 @@ double Trainer::MeasurePredictMillis(const data::WindowDataset& dataset,
                                      int reps, Rng& rng) {
   ENHANCENET_CHECK_GT(reps, 0);
   ENHANCENET_CHECK_GT(dataset.num_windows(), 0);
+  runtime::RuntimeContext::Bind bind_context(context_);
   const bool was_training = model_->training();
   model_->SetTraining(false);
   const data::Batch batch = dataset.MakeBatch({0});

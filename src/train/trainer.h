@@ -5,6 +5,7 @@
 
 #include "data/dataset.h"
 #include "models/forecasting_model.h"
+#include "runtime/context.h"
 #include "train/metrics.h"
 
 namespace enhancenet {
@@ -80,6 +81,11 @@ class Trainer {
   int64_t target_channel_;
   TrainerConfig config_;
   int64_t global_batch_ = 0;
+  /// Bound for the duration of Train/Evaluate/MeasurePredictMillis. Shares
+  /// the default context's allocator and exec config (so global knobs and
+  /// stats behave exactly as before) but owns a private Workspace, keeping
+  /// the trainer's scratch arena out of any concurrently-serving session's.
+  runtime::RuntimeContext context_;
 };
 
 }  // namespace train

@@ -1,4 +1,4 @@
-#include "tensor/allocator.h"
+#include "runtime/allocator.h"
 
 #include <atomic>
 #include <cstdint>

@@ -9,7 +9,7 @@
 #include "autograd/variable.h"
 #include "common/rng.h"
 #include "nn/gru.h"
-#include "tensor/allocator.h"
+#include "runtime/allocator.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
 

@@ -16,6 +16,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "runtime/context.h"
 #include "tensor/tensor_ops.h"
 
 namespace enhancenet {
@@ -185,14 +186,14 @@ TEST_F(ObsTest, GemmCountersOnlyRecordWhenProfilingEnabled) {
   Tensor a = Tensor::Randn({4, 6}, rng);
   Tensor b = Tensor::Randn({6, 8}, rng);
 
-  ASSERT_FALSE(obs::ProfilingEnabled());  // default off
+  ASSERT_FALSE(runtime::ProfilingEnabled());  // default off
   ops::MatMul(a, b);
   EXPECT_EQ(calls->Get(), 0);
   EXPECT_EQ(flops->Get(), 0);
 
-  obs::SetProfilingEnabled(true);
+  runtime::SetProfilingEnabled(true);
   ops::MatMul(a, b);
-  obs::SetProfilingEnabled(false);
+  runtime::SetProfilingEnabled(false);
   EXPECT_EQ(calls->Get(), 1);
   EXPECT_EQ(flops->Get(), 2 * 4 * 6 * 8);
 
@@ -338,6 +339,13 @@ TEST_F(ObsTest, CliTrainRunEmitsParseableMetricsSnapshot) {
   // --profile turned the tensor-backend hooks on.
   EXPECT_GT(ExtractCounter(json, "tensor.gemm.calls"), 0);
   EXPECT_GT(ExtractCounter(json, "tensor.gemm.flops"), 0);
+
+  // The default allocator exports per-shard hit-rate gauges; a single-thread
+  // run allocates exclusively on shard 0, and a 2-epoch train recycles
+  // enough blocks to push its hit rate up.
+  EXPECT_NE(json.find("\"tensor.alloc.shard.0.hit_rate\""), std::string::npos)
+      << json;
+  EXPECT_GT(ExtractCounter(json, "tensor.alloc.pool_hits"), 0);
 
   std::remove(checkpoint.c_str());
   std::remove(metrics.c_str());

@@ -1,4 +1,4 @@
-#include "common/parallel.h"
+#include "runtime/parallel.h"
 
 #include <atomic>
 #include <cstdint>

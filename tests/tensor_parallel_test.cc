@@ -7,7 +7,7 @@
 #include <cstring>
 #include <functional>
 
-#include "common/parallel.h"
+#include "runtime/parallel.h"
 #include "gtest/gtest.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
