@@ -8,12 +8,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "autograd/grad_mode.h"
 #include "autograd/ops.h"
 #include "bench_common.h"
 #include "core/damgn.h"
 #include "core/dfgn.h"
 #include "graph/adjacency.h"
 #include "graph/graph_conv.h"
+#include "graph/sparse_adjacency.h"
 #include "obs/metrics.h"
 #include "runtime/context.h"
 #include "tensor/tensor_ops.h"
@@ -139,12 +143,132 @@ void BM_DamgnCombined(benchmark::State& state) {
 }
 BENCHMARK(BM_DamgnCombined)->Arg(32)->Arg(128)->Arg(207);
 
+// --- sparse top-k dynamic adjacency (DESIGN.md §10) -------------------------
+//
+// Dense-vs-sparse N-sweep for the adjacency-application stage. The dense row
+// is the [B,N,N]·[B,N,C] batched GEMM the dense dynamic path pays per
+// support; the sparse row applies a k-neighbour CSR pattern to the same
+// signal. The pattern is built once outside the timing loop — what is
+// measured is the per-step apply cost, the term that scales O(N²) vs O(N·k).
+// N = 10240 rows (and the dense 10k GEMM) only run under ENHANCENET_FULL=1;
+// they are registered in main() so default runs stay minutes, not hours.
+
+constexpr int64_t kSparseChannels = 32;
+
+/// A uniform-degree k-neighbour CSR pattern with a deterministic strided
+/// column layout. Content does not matter for apply throughput; building it
+/// synthetically keeps the N=10k sweep from materializing a 400 MB dense
+/// matrix just to select neighbours from it.
+graph::SparseAdjacency MakeStridedPattern(int64_t n, int64_t k, Rng& rng) {
+  graph::SparseAdjacency sparse;
+  sparse.index.batch = 1;
+  sparse.index.n = n;
+  sparse.index.nnz = n * k;
+  sparse.index.cols = Tensor::Uninitialized({1, n, k});
+  sparse.index.row_offsets = Tensor::Uninitialized({n + 1});
+  const int64_t stride = std::max<int64_t>(1, n / k);
+  float* pc = sparse.index.cols.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t s = 0; s < k; ++s) {
+      pc[i * k + s] = static_cast<float>((i + s * stride) % n);
+    }
+  }
+  float* po = sparse.index.row_offsets.data();
+  for (int64_t r = 0; r <= n; ++r) po[r] = static_cast<float>(r * k);
+  ag::BuildSparseTranspose(&sparse.index);
+  sparse.values =
+      ag::Variable::Leaf(Tensor::Randn({1, n, k}, rng), /*requires_grad=*/false);
+  return sparse;
+}
+
+void BM_AdjacencyApplyDense(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  ag::Variable adj = ag::Variable::Leaf(Tensor::Randn({1, n, n}, rng), false);
+  ag::Variable x =
+      ag::Variable::Leaf(Tensor::Randn({1, n, kSparseChannels}, rng), false);
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::ApplyAdjacency(adj, x));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * kSparseChannels);
+}
+BENCHMARK(BM_AdjacencyApplyDense)->Arg(208)->Arg(1024);
+
+void BM_AdjacencyApplySparse(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t k = state.range(1);
+  Rng rng(1);
+  const graph::SparseAdjacency sparse = MakeStridedPattern(n, k, rng);
+  ag::Variable x =
+      ag::Variable::Leaf(Tensor::Randn({1, n, kSparseChannels}, rng), false);
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::ApplySparseAdjacency(sparse, x));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * k * kSparseChannels);
+}
+BENCHMARK(BM_AdjacencyApplySparse)
+    ->Args({208, 8})
+    ->Args({208, 16})
+    ->Args({208, 32})
+    ->Args({1024, 8})
+    ->Args({1024, 16})
+    ->Args({1024, 32})
+    ->Args({10240, 8})
+    ->Args({10240, 16})
+    ->Args({10240, 32});
+
+void BM_TopKSparsify(benchmark::State& state) {
+  // Selection cost: one replace-the-minimum scan over each dense row.
+  const int64_t n = state.range(0);
+  const int64_t k = state.range(1);
+  Rng rng(1);
+  Tensor dense = Tensor::Randn({1, n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::TopKSparsify(dense, k));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_TopKSparsify)->Args({208, 16})->Args({1024, 16});
+
+void BM_DamgnSparseDynamicC(benchmark::State& state) {
+  // End-to-end sparse dynamic adjacency build: θ/φ embeddings, raw scores,
+  // top-k selection, restricted softmax, CSC transpose. The dense
+  // counterpart is BM_DamgnCombined.
+  const int64_t n = state.range(0);
+  const int64_t k = state.range(1);
+  Rng rng(1);
+  Tensor dist = Tensor::RandUniform({n, n}, rng, 0.1f, 10.0f);
+  Tensor adjacency = graph::GaussianKernelAdjacency(dist);
+  core::Damgn damgn(adjacency, n, /*in_channels=*/1, /*mem_dim=*/10,
+                    /*embed_dim=*/8, rng);
+  ag::Variable x = ag::Variable::Leaf(Tensor::Randn({8, n, 1}, rng), false);
+  ag::NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(damgn.SparseDynamicC(x, k));
+  }
+}
+BENCHMARK(BM_DamgnSparseDynamicC)->Args({208, 16})->Args({1024, 16});
+
+/// ENHANCENET_FULL=1 rows: the 10k dense GEMM (a ~2 GFLOP step that exists
+/// to show the O(N²) wall) and the 10k selection scan.
+void RegisterFullScaleSparseBenchmarks() {
+  benchmark::RegisterBenchmark("BM_AdjacencyApplyDense", BM_AdjacencyApplyDense)
+      ->Arg(10240);
+  benchmark::RegisterBenchmark("BM_TopKSparsify", BM_TopKSparsify)
+      ->Args({10240, 16});
+}
+
 }  // namespace
 }  // namespace enhancenet
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (enhancenet::bench::ModeFromEnv() == enhancenet::bench::Mode::kFull) {
+    enhancenet::RegisterFullScaleSparseBenchmarks();
+  }
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   enhancenet::bench::MaybeExportMetrics();

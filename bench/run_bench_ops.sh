@@ -37,3 +37,49 @@ ENHANCENET_METRICS_OUT="${ENHANCENET_METRICS_OUT:-$ROOT/BENCH_ops_metrics.json}"
   > "$OUT"
 
 echo "wrote $OUT"
+
+# Post-process: record the dense-vs-sparse adjacency-apply N-sweep as a
+# top-level sparse_vs_dense key (median over the interleaved repetitions,
+# so both families sampled the same machine states). The sparse PR's
+# acceptance bar is >= 5x at N=1024, k=16.
+if command -v python3 > /dev/null 2>&1; then
+  python3 - "$OUT" <<'EOF'
+import json, sys
+path = sys.argv[1]
+doc = json.load(open(path))
+benchmarks = doc["benchmarks"]
+
+def median_time(name):
+    rows = [b for b in benchmarks
+            if b.get("run_name") == name and
+            b.get("aggregate_name") == "median"]
+    if not rows:
+        rows = [b for b in benchmarks if b["name"] == name]
+    return rows[0]["real_time"] if rows else None
+
+sweep = {}
+for n in (208, 1024, 10240):
+    dense = median_time(f"BM_AdjacencyApplyDense/{n}")
+    if dense is None:
+        continue
+    for k in (8, 16, 32):
+        sparse = median_time(f"BM_AdjacencyApplySparse/{n}/{k}")
+        if sparse is None:
+            continue
+        key = f"N{n}_k{k}"
+        sweep[key] = {
+            "dense_ns": dense,
+            "sparse_ns": sparse,
+            "speedup": dense / sparse,
+        }
+        print(f"adjacency apply {key}: dense {dense/1e3:.1f}us, "
+              f"sparse {sparse/1e3:.1f}us -> {dense/sparse:.1f}x")
+
+if sweep:
+    doc["sparse_vs_dense"] = sweep
+    with open(path, "w") as f:
+        json.dump(doc, f, indent=1)
+        f.write("\n")
+    print(f"recorded sparse_vs_dense in {path}")
+EOF
+fi

@@ -81,9 +81,46 @@ for model in ("RNN", "DGRNN"):
 
 if context_overhead:
     doc["context_overhead"] = context_overhead
+
+# Sparse top-k summary (DESIGN.md §10): dense-vs-sparse step time at N=208
+# plus the accuracy-vs-k curve of the dense-trained model evaluated sparse.
+# The PR's acceptance bar: some k <= 32 within 2% MAE of dense, allocs/step
+# still 0 with the sparse path enabled.
+sparse = {"train_step": {}, "accuracy_vs_k": {}}
+for k in (0, 8, 16, 32):
+    label = "N208_dense" if k == 0 else f"N208_k{k}"
+    step = median_row(f"BM_TrainStepSweep/{label}")
+    if step:
+        sparse["train_step"][label] = {
+            "step_ms": step["real_time"],
+            "allocs_per_step": step["allocs_per_step"],
+            "pool_hit_rate": step["pool_hit_rate"],
+        }
+    acc = median_row(f"BM_AccuracyVsK/{label}/iterations:1")
+    if acc:
+        sparse["accuracy_vs_k"][label] = {
+            "mae": acc["mae"],
+            "mae_vs_dense_pct": acc["mae_vs_dense_pct"],
+        }
+    tr = median_row(f"BM_AccuracyVsKTrained/{label}/iterations:1")
+    if tr:
+        sparse["accuracy_vs_k"][label + "_trained"] = {
+            "mae": tr["mae"],
+            "mae_vs_dense_pct": tr["mae_vs_dense_pct"],
+        }
+for label, row in sparse["train_step"].items():
+    print(f"sweep {label}: {row['step_ms']:.0f} ms/step, "
+          f"allocs/step {row['allocs_per_step']:.2f}")
+for label, row in sparse["accuracy_vs_k"].items():
+    print(f"accuracy {label}: mae {row['mae']:.4f} "
+          f"({row['mae_vs_dense_pct']:+.2f}% vs dense)")
+if sparse["train_step"] or sparse["accuracy_vs_k"]:
+    doc["sparse_topk"] = sparse
+
+if context_overhead or sparse["train_step"] or sparse["accuracy_vs_k"]:
     with open(path, "w") as f:
         json.dump(doc, f, indent=1)
         f.write("\n")
-    print(f"recorded context_overhead in {path}")
+    print(f"recorded summary keys in {path}")
 EOF
 fi

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the sparse top-k adjacency suite (ctest -L sparse) under
+# ThreadSanitizer. The sparse kernels' determinism contract — every output
+# row written entirely by its owning ParallelFor chunk, gather-only reads —
+# is exactly the kind of claim TSan can falsify, so this is the verification
+# step for the sparse PR's threading story.
+#
+# Usage:
+#   bench/run_sparse_tsan.sh                # build build-tsan/ and run
+#   TSAN_BUILD_DIR=/tmp/tsan bench/run_sparse_tsan.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DENHANCENET_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target sparse_test
+
+# Force a real parallel run: the determinism tests exercise 8 threads
+# explicitly, and the rest of the suite inherits this count.
+ENHANCENET_NUM_THREADS=8 ctest --test-dir "$BUILD_DIR" -L sparse \
+  --output-on-failure
+
+echo "sparse suite clean under ThreadSanitizer"

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "autograd/grad_mode.h"
 #include "common/logging.h"
+#include "runtime/context.h"
 #include "runtime/parallel.h"
 #include "tensor/tensor_ops.h"
 
@@ -805,6 +807,433 @@ Variable AdjacencyMatMul(const Variable& adj, const Variable& x) {
             }
           });
           MaybeAccumulate(adj, std::move(da));
+        }
+      });
+}
+
+namespace {
+
+/// Float-encoded indices are exact integers only below 2^24.
+constexpr int64_t kMaxFloatIndex = int64_t{1} << 24;
+
+/// Storage for sparse-attention results: allocator-backed when the graph is
+/// recorded (the tensors outlive the op as node data / saved activations),
+/// Workspace-backed on the no-grad serving path so every step reuses the
+/// same arena blocks.
+Tensor SparseStage(bool record, Shape shape) {
+  if (record) return Tensor::Uninitialized(std::move(shape));
+  runtime::Workspace& ws = runtime::RuntimeContext::Current().workspace();
+  const int64_t numel = NumElements(shape);
+  return Tensor::WithStorage(ws.Acquire(numel), std::move(shape));
+}
+
+/// A Workspace-staged temporary that dies at the end of the op's forward
+/// pass (used in recorded mode too — nothing retains it).
+Tensor WorkspaceTemp(Shape shape) {
+  runtime::Workspace& ws = runtime::RuntimeContext::Current().workspace();
+  const int64_t numel = NumElements(shape);
+  return Tensor::WithStorage(ws.Acquire(numel), std::move(shape));
+}
+
+void BuildSparseTransposeImpl(SparseIndex* index, bool record) {
+  const int64_t rows = index->batch * index->n;
+  const int64_t n = index->n;
+  const int64_t nnz = index->nnz;
+  index->t_row_offsets = SparseStage(record, {rows + 1});
+  index->t_perm = SparseStage(record, {nnz});
+  const float* pc = index->cols.data();
+  const float* po = index->row_offsets.data();
+  float* pto = index->t_row_offsets.data();
+  float* ptp = index->t_perm.data();
+  // Deterministic counting sort over the entries, O(nnz) and serial: count
+  // entries per target column, prefix-sum into offsets, then append entries
+  // in their natural (source-row ascending) order. Transposed rows therefore
+  // list their entries sorted by source row, independent of thread count.
+  std::fill(pto, pto + rows + 1, 0.0f);
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t batch_base = (r / n) * n;
+    const int64_t e0 = static_cast<int64_t>(po[r]);
+    const int64_t e1 = static_cast<int64_t>(po[r + 1]);
+    for (int64_t e = e0; e < e1; ++e) {
+      pto[batch_base + static_cast<int64_t>(pc[e]) + 1] += 1.0f;
+    }
+  }
+  for (int64_t r = 0; r < rows; ++r) pto[r + 1] += pto[r];
+  Tensor cursor = WorkspaceTemp({rows});
+  float* pcur = cursor.data();
+  std::copy(pto, pto + rows, pcur);
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t batch_base = (r / n) * n;
+    const int64_t e0 = static_cast<int64_t>(po[r]);
+    const int64_t e1 = static_cast<int64_t>(po[r + 1]);
+    for (int64_t e = e0; e < e1; ++e) {
+      const int64_t tr = batch_base + static_cast<int64_t>(pc[e]);
+      const int64_t w = static_cast<int64_t>(pcur[tr]);
+      ptp[w] = static_cast<float>(e);
+      pcur[tr] = static_cast<float>(w + 1);
+    }
+  }
+}
+
+/// Entries per row of a uniform-degree pattern.
+int64_t SparseDegree(const SparseIndex& index) {
+  return index.nnz / (index.batch * index.n);
+}
+
+/// y[b,i,:] = Σ_{e in CSR row (b,i)} values[e] · x[b, cols[e], :].
+void SparseApplyCsr(const SparseIndex& idx, const float* pv, const float* px,
+                    int64_t channels, float* po) {
+  const int64_t n = idx.n;
+  const float* pc = idx.cols.data();
+  const float* poff = idx.row_offsets.data();
+  ParallelFor(0, idx.batch * n, RowGrain(channels),
+              [=](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  const int64_t b = r / n;
+                  float* orow = po + r * channels;
+                  std::fill(orow, orow + channels, 0.0f);
+                  const float* xb = px + b * n * channels;
+                  const int64_t e0 = static_cast<int64_t>(poff[r]);
+                  const int64_t e1 = static_cast<int64_t>(poff[r + 1]);
+                  for (int64_t e = e0; e < e1; ++e) {
+                    const float a = pv[e];
+                    const float* xrow =
+                        xb + static_cast<int64_t>(pc[e]) * channels;
+                    for (int64_t c = 0; c < channels; ++c) {
+                      orow[c] += a * xrow[c];
+                    }
+                  }
+                }
+              });
+}
+
+/// y[b,j,:] = Σ_{e with cols[e]==j} values[e] · x[b, row(e), :] — the
+/// transposed apply, driven by the CSC half so each output row is owned by
+/// one chunk (gather, never scatter).
+void SparseApplyCsc(const SparseIndex& idx, const float* pv, const float* px,
+                    int64_t channels, float* po) {
+  const int64_t n = idx.n;
+  const int64_t kk = SparseDegree(idx);
+  const float* ptoff = idx.t_row_offsets.data();
+  const float* ptp = idx.t_perm.data();
+  ParallelFor(0, idx.batch * n, RowGrain(channels),
+              [=](int64_t r0, int64_t r1) {
+                for (int64_t tr = r0; tr < r1; ++tr) {
+                  const int64_t b = tr / n;
+                  float* orow = po + tr * channels;
+                  std::fill(orow, orow + channels, 0.0f);
+                  const float* xb = px + b * n * channels;
+                  const int64_t w0 = static_cast<int64_t>(ptoff[tr]);
+                  const int64_t w1 = static_cast<int64_t>(ptoff[tr + 1]);
+                  for (int64_t w = w0; w < w1; ++w) {
+                    const int64_t e = static_cast<int64_t>(ptp[w]);
+                    const int64_t src_row = e / kk;  // uniform degree
+                    const float* xrow =
+                        xb + (src_row % n) * channels;
+                    const float a = pv[e];
+                    for (int64_t c = 0; c < channels; ++c) {
+                      orow[c] += a * xrow[c];
+                    }
+                  }
+                }
+              });
+}
+
+/// dvalues[e] = Σ_c g[b, out_row(e), c] · x[b, in_row(e), c], where for the
+/// plain apply out=CSR row / in=column and for the transposed apply the two
+/// swap. Parallel over CSR rows: every entry is owned by exactly one chunk.
+void SparseValueGrad(const SparseIndex& idx, bool transpose_adj,
+                     const float* pg, const float* px, int64_t channels,
+                     float* pdv) {
+  const int64_t n = idx.n;
+  const float* pc = idx.cols.data();
+  const float* poff = idx.row_offsets.data();
+  ParallelFor(0, idx.batch * n, RowGrain(channels),
+              [=](int64_t r0, int64_t r1) {
+                for (int64_t r = r0; r < r1; ++r) {
+                  const int64_t b = r / n;
+                  const int64_t i = r % n;
+                  const float* gb = pg + b * n * channels;
+                  const float* xb = px + b * n * channels;
+                  const int64_t e0 = static_cast<int64_t>(poff[r]);
+                  const int64_t e1 = static_cast<int64_t>(poff[r + 1]);
+                  for (int64_t e = e0; e < e1; ++e) {
+                    const int64_t j = static_cast<int64_t>(pc[e]);
+                    const float* grow =
+                        gb + (transpose_adj ? j : i) * channels;
+                    const float* xrow =
+                        xb + (transpose_adj ? i : j) * channels;
+                    float s = 0.0f;
+                    for (int64_t c = 0; c < channels; ++c) {
+                      s += grow[c] * xrow[c];
+                    }
+                    pdv[e] = s;
+                  }
+                }
+              });
+}
+
+}  // namespace
+
+void BuildSparseTranspose(SparseIndex* index) {
+  ENHANCENET_CHECK(index != nullptr);
+  ENHANCENET_CHECK_GT(index->nnz, 0);
+  BuildSparseTransposeImpl(index, /*record=*/true);
+}
+
+Variable AttentionProbs(const Variable& e_src, const Variable& e_dst) {
+  const Tensor& src = e_src.data();
+  const Tensor& dst = e_dst.data();
+  ENHANCENET_CHECK_EQ(src.dim(), 3);
+  ENHANCENET_CHECK(dst.shape() == src.shape());
+  const int64_t batch = src.size(0);
+  const int64_t n = src.size(1);
+  const int64_t e = src.size(2);
+  const bool record = GradMode::IsEnabled() &&
+                      (e_src.requires_grad() || e_dst.requires_grad());
+  Tensor probs;
+  {
+    Tensor dst_t = WorkspaceTemp({batch, e, n});
+    ops::TransposeInto(dst, 1, 2, &dst_t);
+    Tensor scores = WorkspaceTemp({batch, n, n});
+    ops::BatchMatMulInto(src, dst_t, &scores);
+    probs = SparseStage(record, {batch, n, n});
+    ops::SoftmaxLastDimInto(scores, &probs);
+  }
+  Tensor y = probs;  // alias saved for the backward pass
+  return MakeResult(
+      std::move(probs), "attention_probs", {e_src, e_dst},
+      [e_src, e_dst, y](const Tensor& g) {
+        // dscores = y ⊙ (g − Σ_last g⊙y); chain through scores = src·dstᵀ.
+        Tensor gy = ops::Mul(g, y);
+        Tensor s = ops::Sum(gy, -1, /*keepdim=*/true);
+        Tensor dscores = ops::Mul(y, ops::Sub(g, s));
+        if (e_src.requires_grad()) {
+          MaybeAccumulate(e_src, ops::BatchMatMul(dscores, e_dst.data()));
+        }
+        if (e_dst.requires_grad()) {
+          MaybeAccumulate(e_dst, ops::BatchGemm(dscores, e_src.data(),
+                                                /*trans_a=*/true,
+                                                /*trans_b=*/false));
+        }
+      });
+}
+
+Variable TopKAttention(const Variable& e_src, const Variable& e_dst, int64_t k,
+                       SparseIndex* index) {
+  ENHANCENET_CHECK(index != nullptr);
+  const Tensor& src = e_src.data();
+  const Tensor& dst = e_dst.data();
+  ENHANCENET_CHECK_EQ(src.dim(), 3);
+  ENHANCENET_CHECK(dst.shape() == src.shape());
+  ENHANCENET_CHECK_GE(k, 1);
+  const int64_t batch = src.size(0);
+  const int64_t n = src.size(1);
+  const int64_t e = src.size(2);
+  const int64_t kk = std::min(k, n);
+  const int64_t rows = batch * n;
+  const int64_t nnz = rows * kk;
+  ENHANCENET_CHECK_LT(nnz, kMaxFloatIndex)
+      << "sparse adjacency too large for float-encoded indices";
+  const bool record = GradMode::IsEnabled() &&
+                      (e_src.requires_grad() || e_dst.requires_grad());
+  Tensor values;
+  {
+    Tensor dst_t = WorkspaceTemp({batch, e, n});
+    ops::TransposeInto(dst, 1, 2, &dst_t);
+    Tensor scores = WorkspaceTemp({batch, n, n});
+    ops::BatchMatMulInto(src, dst_t, &scores);
+
+    values = SparseStage(record, {batch, n, kk});
+    index->cols = SparseStage(record, {batch, n, kk});
+    index->row_offsets = SparseStage(record, {rows + 1});
+    index->batch = batch;
+    index->n = n;
+    index->nnz = nnz;
+
+    const float* ps = scores.data();
+    float* pv = values.data();
+    float* pc = index->cols.data();
+    ParallelFor(0, rows, RowGrain(n), [=](int64_t r0, int64_t r1) {
+      for (int64_t r = r0; r < r1; ++r) {
+        const float* srow = ps + r * n;
+        float* vrow = pv + r * kk;
+        float* crow = pc + r * kk;
+        // Row-local selection: keep a kk-sized working set in the output
+        // buffers and replace its minimum on a strictly greater score. The
+        // strict compare keeps the earliest (lowest) column among ties.
+        int64_t mn = 0;
+        for (int64_t j = 0; j < kk; ++j) {
+          vrow[j] = srow[j];
+          crow[j] = static_cast<float>(j);
+          if (srow[j] < vrow[mn]) mn = j;
+        }
+        for (int64_t j = kk; j < n; ++j) {
+          if (srow[j] > vrow[mn]) {
+            vrow[mn] = srow[j];
+            crow[mn] = static_cast<float>(j);
+            mn = 0;
+            for (int64_t s = 1; s < kk; ++s) {
+              if (vrow[s] < vrow[mn]) mn = s;
+            }
+          }
+        }
+        // Store selected columns ascending (insertion sort over kk entries)
+        // so a k >= N row reproduces the dense softmax order bitwise.
+        for (int64_t s = 1; s < kk; ++s) {
+          const float cv = crow[s];
+          const float vv = vrow[s];
+          int64_t t = s - 1;
+          while (t >= 0 && crow[t] > cv) {
+            crow[t + 1] = crow[t];
+            vrow[t + 1] = vrow[t];
+            --t;
+          }
+          crow[t + 1] = cv;
+          vrow[t + 1] = vv;
+        }
+        // Stable softmax over the selected raw scores — identical to the
+        // dense row's probabilities restricted to the selection and
+        // renormalized. Fully-masked rows fall back to uniform (the same
+        // guard ops::SoftmaxLastDim applies).
+        float mx = vrow[0];
+        for (int64_t s = 1; s < kk; ++s) mx = std::max(mx, vrow[s]);
+        if (mx == -std::numeric_limits<float>::infinity()) {
+          const float uniform = 1.0f / static_cast<float>(kk);
+          for (int64_t s = 0; s < kk; ++s) vrow[s] = uniform;
+          continue;
+        }
+        double denom = 0.0;
+        for (int64_t s = 0; s < kk; ++s) {
+          vrow[s] = std::exp(vrow[s] - mx);
+          denom += vrow[s];
+        }
+        const float inv = static_cast<float>(1.0 / denom);
+        for (int64_t s = 0; s < kk; ++s) vrow[s] *= inv;
+      }
+    });
+    float* po = index->row_offsets.data();
+    for (int64_t r = 0; r <= rows; ++r) {
+      po[r] = static_cast<float>(r * kk);
+    }
+    BuildSparseTransposeImpl(index, record);
+  }
+  SparseIndex idx = *index;  // shared-handle copy for the closure
+  Tensor y = values;
+  return MakeResult(
+      values, "topk_attention", {e_src, e_dst},
+      [e_src, e_dst, idx, y, batch, n, e, kk](const Tensor& g) {
+        const int64_t rows = batch * n;
+        const float* pg = g.data();
+        const float* py = y.data();
+        const float* pc = idx.cols.data();
+        // Softmax backward restricted to the selected entries (the selection
+        // itself is piecewise constant, so unselected scores get zero grad).
+        Tensor dsel = Tensor::Uninitialized({batch, n, kk});
+        float* pd = dsel.data();
+        ParallelFor(0, rows, RowGrain(kk), [=](int64_t r0, int64_t r1) {
+          for (int64_t r = r0; r < r1; ++r) {
+            const float* grow = pg + r * kk;
+            const float* yrow = py + r * kk;
+            float* drow = pd + r * kk;
+            float dot = 0.0f;
+            for (int64_t s = 0; s < kk; ++s) dot += grow[s] * yrow[s];
+            for (int64_t s = 0; s < kk; ++s) {
+              drow[s] = yrow[s] * (grow[s] - dot);
+            }
+          }
+        });
+        if (e_src.requires_grad()) {
+          // de_src[b,i,:] = Σ_s dsel[b,i,s] · e_dst[b, cols[b,i,s], :].
+          Tensor de_src = Tensor::Uninitialized(e_src.shape());
+          const float* pdst = e_dst.data().data();
+          float* pds = de_src.data();
+          ParallelFor(0, rows, RowGrain(e), [=](int64_t r0, int64_t r1) {
+            for (int64_t r = r0; r < r1; ++r) {
+              const int64_t b = r / n;
+              float* orow = pds + r * e;
+              std::fill(orow, orow + e, 0.0f);
+              const float* dstb = pdst + b * n * e;
+              for (int64_t s = 0; s < kk; ++s) {
+                const float d = pd[r * kk + s];
+                const float* drow =
+                    dstb + static_cast<int64_t>(pc[r * kk + s]) * e;
+                for (int64_t c = 0; c < e; ++c) orow[c] += d * drow[c];
+              }
+            }
+          });
+          MaybeAccumulate(e_src, std::move(de_src));
+        }
+        if (e_dst.requires_grad()) {
+          // de_dst[b,j,:] = Σ_{entries with col j} dsel[e]·e_src[b,row(e),:]
+          // — gathered through the CSC half, one output row per chunk.
+          Tensor de_dst = Tensor::Uninitialized(e_dst.shape());
+          const float* psrc = e_src.data().data();
+          const float* ptoff = idx.t_row_offsets.data();
+          const float* ptp = idx.t_perm.data();
+          float* pdd = de_dst.data();
+          ParallelFor(0, rows, RowGrain(e), [=](int64_t r0, int64_t r1) {
+            for (int64_t tr = r0; tr < r1; ++tr) {
+              const int64_t b = tr / n;
+              float* orow = pdd + tr * e;
+              std::fill(orow, orow + e, 0.0f);
+              const float* srcb = psrc + b * n * e;
+              const int64_t w0 = static_cast<int64_t>(ptoff[tr]);
+              const int64_t w1 = static_cast<int64_t>(ptoff[tr + 1]);
+              for (int64_t w = w0; w < w1; ++w) {
+                const int64_t entry = static_cast<int64_t>(ptp[w]);
+                const float d = pd[entry];
+                const float* srow = srcb + ((entry / kk) % n) * e;
+                for (int64_t c = 0; c < e; ++c) orow[c] += d * srow[c];
+              }
+            }
+          });
+          MaybeAccumulate(e_dst, std::move(de_dst));
+        }
+      });
+}
+
+Variable SparseAdjacencyMatMul(const Variable& values, const SparseIndex& index,
+                               const Variable& x, bool transpose_adj) {
+  const Tensor& xt = x.data();
+  ENHANCENET_CHECK_EQ(xt.dim(), 3);
+  ENHANCENET_CHECK_EQ(xt.size(0), index.batch);
+  ENHANCENET_CHECK_EQ(xt.size(1), index.n);
+  ENHANCENET_CHECK_EQ(values.numel(), index.nnz);
+  ENHANCENET_CHECK_EQ(index.t_perm.numel(), index.nnz)
+      << "SparseAdjacencyMatMul needs the transpose half of the index";
+  const int64_t channels = xt.size(2);
+
+  Tensor out = Tensor::Uninitialized(xt.shape());
+  if (transpose_adj) {
+    SparseApplyCsc(index, values.data().data(), xt.data(), channels,
+                   out.data());
+  } else {
+    SparseApplyCsr(index, values.data().data(), xt.data(), channels,
+                   out.data());
+  }
+
+  SparseIndex idx = index;  // shared-handle copy for the closure
+  return MakeResult(
+      std::move(out), "sparse_adj_matmul", {values, x},
+      [values, x, idx, transpose_adj, channels](const Tensor& g) {
+        if (values.requires_grad()) {
+          Tensor dv = Tensor::Uninitialized(values.shape());
+          SparseValueGrad(idx, transpose_adj, g.data(), x.data().data(),
+                          channels, dv.data());
+          MaybeAccumulate(values, std::move(dv));
+        }
+        if (x.requires_grad()) {
+          // dx = Aᵀ·g for the plain apply, A·g for the transposed one.
+          Tensor dx = Tensor::Uninitialized(x.shape());
+          if (transpose_adj) {
+            SparseApplyCsr(idx, values.data().data(), g.data(), channels,
+                           dx.data());
+          } else {
+            SparseApplyCsc(idx, values.data().data(), g.data(), channels,
+                           dx.data());
+          }
+          MaybeAccumulate(x, std::move(dx));
         }
       });
 }

@@ -108,6 +108,62 @@ void FusedGruGates(const Variable& gates, const Variable& h, Variable* rh,
 /// the unfused path pays per support application.
 Variable AdjacencyMatMul(const Variable& adj, const Variable& x);
 
+// --- sparse dynamic adjacency ------------------------------------------------
+// Kernels for the top-k sparsified DAMGN attention (DESIGN.md §10). A sparse
+// adjacency is a CSR-style triple (row offsets, column indices, values) whose
+// index pattern is shared — as plain Tensors, so the storage rides the bound
+// RuntimeContext's allocator / Workspace exactly like activations do.
+
+/// Shared index pattern of a CSR-style sparse adjacency. Indices and offsets
+/// are float-encoded (exact for integers < 2^24; builders CHECK the bound) so
+/// they live in ordinary Tensors. Rows have uniform degree kk = nnz/(batch·n)
+/// — row_offsets is the authoritative CSR iteration bound, the uniform degree
+/// is what lets kernels map a flat entry back to its source row in O(1).
+/// The transpose half (t_row_offsets / t_perm) groups the same entries by
+/// target column; it is built once per pattern with a deterministic counting
+/// sort so transposed applies and backward passes stay bitwise-reproducible
+/// under any thread count.
+struct SparseIndex {
+  Tensor cols;           ///< [batch, n, kk] neighbour column of each entry
+  Tensor row_offsets;    ///< [batch·n + 1] CSR row offsets
+  Tensor t_row_offsets;  ///< [batch·n + 1] CSC (transpose) offsets
+  Tensor t_perm;         ///< [nnz] flat entry indices grouped by column
+  int64_t batch = 0;
+  int64_t n = 0;
+  int64_t nnz = 0;
+};
+
+/// Builds the transpose (CSC) half of `index` from cols/row_offsets.
+void BuildSparseTranspose(SparseIndex* index);
+
+/// Fused dense attention probabilities softmax(e_src·e_dstᵀ) over the last
+/// dim: e_src/e_dst [B,N,e] -> [B,N,N]. The φ-transpose and raw scores are
+/// staged in the bound context's Workspace in training too, so the recorded
+/// graph retains only the probability tensor (the unfused chain pins both
+/// full-size intermediates). Forward values are bitwise identical to the
+/// unfused BatchMatMul/Transpose/SoftmaxLastDim chain; gradients agree to
+/// float rounding (single-pass accumulation order differs).
+Variable AttentionProbs(const Variable& e_src, const Variable& e_dst);
+
+/// Fused top-k attention: selects, per row of the raw score matrix
+/// e_src·e_dstᵀ, the k strongest neighbours (row-local selection, no full
+/// sort; softmax is monotonic so selecting on raw scores equals selecting on
+/// probabilities), then softmax-normalizes the selected scores. Ties break
+/// toward the lowest column index and selected columns are stored ascending,
+/// so at k >= N the values reproduce the dense softmax row bitwise. Fully
+/// masked rows (every selected score -inf) fall back to uniform 1/kk.
+/// Returns values [B,N,kk] with kk = min(k,N) and fills `*index`.
+Variable TopKAttention(const Variable& e_src, const Variable& e_dst, int64_t k,
+                       SparseIndex* index);
+
+/// Sparse adjacency application y[b,i,:] = Σ_s values[b,i,s]·x[b,cols,:]
+/// (transpose_adj applies the transposed adjacency via the CSC half).
+/// Forward and the single-pass backward parallelise over entity rows; every
+/// output row is written entirely by its owning ParallelFor chunk, so results
+/// are bitwise invariant across thread counts.
+Variable SparseAdjacencyMatMul(const Variable& values, const SparseIndex& index,
+                               const Variable& x, bool transpose_adj = false);
+
 // --- regularization ----------------------------------------------------------
 /// Inverted dropout: zeroes elements with probability p and scales the rest
 /// by 1/(1-p). Identity when !training or p == 0.

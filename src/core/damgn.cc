@@ -50,48 +50,67 @@ ag::Variable Damgn::DynamicC(const ag::Variable& x) const {
   // C[i,j] = exp(θ(x_i)ᵀ φ(x_j)) / Σ_j exp(θ(x_i)ᵀ φ(x_j))   (Equation 16)
   ag::Variable e_src = theta_.Forward(x);  // [B, N, e]
   ag::Variable e_dst = phi_.Forward(x);    // [B, N, e]
-  if (!ag::GradMode::IsEnabled()) {
-    // No-grad fast path: stage the φ-transpose and raw attention scores in
-    // the bound context's Workspace arena instead of fresh allocations, so
-    // serving reuses the same two blocks every step. The Into kernels run
-    // the exact code the recording path runs, so values stay bitwise
-    // identical; the result adopts its workspace block and parks it back on
-    // the arena when the last alias drops.
-    runtime::Workspace& ws = runtime::RuntimeContext::Current().workspace();
-    const Tensor& src = e_src.data();
-    const Tensor& dst = e_dst.data();
-    const int64_t batch = src.size(0);
-    const int64_t n = src.size(1);
-    const int64_t e = src.size(2);
-    Tensor dst_t =
-        Tensor::WithStorage(ws.Acquire(batch * e * n), Shape{batch, e, n});
-    ops::TransposeInto(dst, 1, 2, &dst_t);
-    Tensor scores =
-        Tensor::WithStorage(ws.Acquire(batch * n * n), Shape{batch, n, n});
-    ops::BatchMatMulInto(src, dst_t, &scores);
-    Tensor probs =
-        Tensor::WithStorage(ws.Acquire(batch * n * n), Shape{batch, n, n});
-    ops::SoftmaxLastDimInto(scores, &probs);
-    return ag::Variable::Leaf(std::move(probs), /*requires_grad=*/false);
+  if (!ag::GradMode::IsEnabled() || ag::FusedKernels::IsEnabled()) {
+    // Fused attention node: the φ-transpose and raw scores are staged in the
+    // bound context's Workspace arena in training too, so the recorded graph
+    // retains only the [B,N,N] probabilities. Forward values are bitwise
+    // identical to the unfused chain below (same Into kernels); in no-grad
+    // mode the result adopts a workspace block and parks it back on the
+    // arena when the last alias drops — the historical serving fast path.
+    return ag::AttentionProbs(e_src, e_dst);
   }
   ag::Variable scores =
       ag::BatchMatMul(e_src, ag::Transpose(e_dst, 1, 2));  // [B, N, N]
   return ag::SoftmaxLastDim(scores);
 }
 
-ag::Variable Damgn::Combined(const ag::Variable& x) const {
-  // A' = λ_A·A + λ_B·B + λ_C·C_t                       (Equation 13)
-  ag::Variable static_part = ag::Add(ag::Mul(lambda_a_, static_adj_),
-                                     ag::Mul(lambda_b_, AdaptiveB()));
-  ag::Variable dynamic_part = ag::Mul(lambda_c_, DynamicC(x));  // [B, N, N]
-  return ag::Add(dynamic_part, static_part);  // broadcast over batch
+graph::SparseAdjacency Damgn::SparseDynamicC(const ag::Variable& x,
+                                             int64_t k) const {
+  ENHANCENET_CHECK_EQ(x.data().dim(), 3);
+  ENHANCENET_CHECK_EQ(x.size(1), num_entities_);
+  ENHANCENET_CHECK_EQ(x.size(2), in_channels_);
+  ag::Variable e_src = theta_.Forward(x);
+  ag::Variable e_dst = phi_.Forward(x);
+  graph::SparseAdjacency sparse;
+  sparse.values = ag::TopKAttention(e_src, e_dst, k, &sparse.index);
+  return sparse;
 }
 
-std::vector<ag::Variable> Damgn::CombinedSupports(const ag::Variable& x,
-                                                  int max_hops,
-                                                  bool bidirectional) const {
+ag::Variable Damgn::StaticMix() const {
+  return ag::Add(ag::Mul(lambda_a_, static_adj_),
+                 ag::Mul(lambda_b_, AdaptiveB()));
+}
+
+ag::Variable Damgn::Combined(const ag::Variable& x) const {
+  // A' = λ_A·A + λ_B·B + λ_C·C_t                       (Equation 13)
+  ag::Variable dynamic_part = ag::Mul(lambda_c_, DynamicC(x));  // [B, N, N]
+  return ag::Add(dynamic_part, StaticMix());  // broadcast over batch
+}
+
+std::vector<graph::Support> Damgn::CombinedSupports(const ag::Variable& x,
+                                                    int max_hops,
+                                                    bool bidirectional) const {
   ENHANCENET_CHECK_GE(max_hops, 1);
-  std::vector<ag::Variable> supports;
+  const int topk = runtime::RuntimeContext::Current().exec().topk.load(
+      std::memory_order_relaxed);
+  std::vector<graph::Support> supports;
+  if (topk > 0) {
+    // Sparse path: A' is kept split as S + λ_C·C_topk and applied
+    // hop-by-hop, so no [B,N,N] tensor (let alone its powers) is built.
+    ag::Variable s = StaticMix();
+    graph::SparseAdjacency c = SparseDynamicC(x, topk);
+    c.values = ag::Mul(lambda_c_, c.values);
+    for (int hop = 1; hop <= max_hops; ++hop) {
+      supports.emplace_back(s, c, hop, /*transposed=*/false);
+    }
+    if (bidirectional) {
+      ag::Variable st = ag::Transpose(s, 0, 1);
+      for (int hop = 1; hop <= max_hops; ++hop) {
+        supports.emplace_back(st, c, hop, /*transposed=*/true);
+      }
+    }
+    return supports;
+  }
   const ag::Variable combined = Combined(x);
   supports.push_back(combined);
   ag::Variable power = combined;

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "autograd/ops.h"
+#include "graph/graph_conv.h"
 #include "nn/linear.h"
 #include "nn/module.h"
 
@@ -43,6 +44,16 @@ class Damgn : public nn::Module {
   /// x: [B, N, C] -> [B, N, N]; row i is softmax over sources j.
   autograd::Variable DynamicC(const autograd::Variable& x) const;
 
+  /// Top-k sparsified C for the same batch of signals: the k strongest
+  /// attention neighbours per row, softmax-normalized over the selection
+  /// (DESIGN.md §10). Values are the *unscaled* probabilities — callers
+  /// multiply by λ_C.
+  graph::SparseAdjacency SparseDynamicC(const autograd::Variable& x,
+                                        int64_t k) const;
+
+  /// The static half of A' — λ_A·A + λ_B·B, [N, N].
+  autograd::Variable StaticMix() const;
+
   /// A' = λ_A·A + λ_B·B + λ_C·C_t, broadcast over the batch: [B, N, N].
   autograd::Variable Combined(const autograd::Variable& x) const;
 
@@ -50,9 +61,14 @@ class Damgn : public nn::Module {
   /// A (and (A')ᵏ in place of Aᵏ, Sec. V-A). With bidirectional=true the
   /// transposed supports are appended, mirroring the fwd/bwd static set:
   ///   { A', (A')², ..., A'ᵀ, (A'ᵀ)², ... }   each [B, N, N]
-  std::vector<autograd::Variable> CombinedSupports(const autograd::Variable& x,
-                                                   int max_hops,
-                                                   bool bidirectional) const;
+  ///
+  /// Honors ExecConfig::topk of the bound RuntimeContext: k=0 returns the
+  /// historical dense supports (bitwise unchanged); k>0 returns sparse
+  /// supports that apply S + λ_C·C_topk hop-by-hop without ever
+  /// materializing an [B,N,N] power.
+  std::vector<graph::Support> CombinedSupports(const autograd::Variable& x,
+                                               int max_hops,
+                                               bool bidirectional) const;
 
   /// The static (row-normalized) A as a constant Variable, [N, N].
   const autograd::Variable& static_adjacency() const { return static_adj_; }

@@ -74,7 +74,7 @@ EnhanceGruCell::Filters EnhanceGruCell::GenerateFilters() const {
 
 ag::Variable EnhanceGruCell::Forward(
     const ag::Variable& x, const ag::Variable& h,
-    const std::vector<ag::Variable>& supports, const Filters& filters) const {
+    const std::vector<graph::Support>& supports, const Filters& filters) const {
   ENHANCENET_CHECK_EQ(static_cast<int64_t>(supports.size()),
                       config_.num_supports);
   ENHANCENET_CHECK_EQ(x.size(2), config_.in_channels);

@@ -6,6 +6,7 @@
 
 #include "autograd/ops.h"
 #include "core/dfgn.h"
+#include "graph/graph_conv.h"
 #include "nn/module.h"
 
 namespace enhancenet {
@@ -64,14 +65,14 @@ class EnhanceGruCell : public nn::Module {
   /// ([N,N] or [B,N,N]). Returns the new hidden state [B,N,C'].
   autograd::Variable Forward(const autograd::Variable& x,
                              const autograd::Variable& h,
-                             const std::vector<autograd::Variable>& supports,
+                             const std::vector<graph::Support>& supports,
                              const Filters& filters) const;
 
   /// Convenience overload that generates filters internally (single-step
   /// uses; recurrent models should hoist GenerateFilters()).
   autograd::Variable Forward(
       const autograd::Variable& x, const autograd::Variable& h,
-      const std::vector<autograd::Variable>& supports) const {
+      const std::vector<graph::Support>& supports) const {
     return Forward(x, h, supports, GenerateFilters());
   }
 

@@ -69,7 +69,7 @@ EnhanceTcnLayer::EnhanceTcnLayer(const TcnLayerConfig& config,
 }
 
 EnhanceTcnLayer::Output EnhanceTcnLayer::Forward(
-    const ag::Variable& x, const std::vector<ag::Variable>& supports,
+    const ag::Variable& x, const std::vector<graph::Support>& supports,
     Rng& rng) const {
   ENHANCENET_CHECK_EQ(x.data().dim(), 4);
   ENHANCENET_CHECK_EQ(static_cast<int64_t>(supports.size()),

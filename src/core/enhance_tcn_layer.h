@@ -6,6 +6,7 @@
 
 #include "autograd/ops.h"
 #include "core/dfgn.h"
+#include "graph/graph_conv.h"
 #include "nn/linear.h"
 #include "nn/module.h"
 
@@ -64,7 +65,7 @@ class EnhanceTcnLayer : public nn::Module {
   /// x: [B,N,T,C]; supports: matrices of shape [N,N] or [B·T,N,N].
   /// `rng` drives dropout when training() is true.
   Output Forward(const autograd::Variable& x,
-                 const std::vector<autograd::Variable>& supports,
+                 const std::vector<graph::Support>& supports,
                  Rng& rng) const;
 
   const TcnLayerConfig& config() const { return config_; }

@@ -32,14 +32,29 @@ ag::Variable ApplyAdjacency(const ag::Variable& adj, const ag::Variable& x) {
   return ag::BatchMatMul(adj, x);
 }
 
+ag::Variable ApplySupport(const Support& support, const ag::Variable& x) {
+  if (!support.is_sparse()) return ApplyAdjacency(support.dense, x);
+  // Hop-by-hop application of (S + C)^h without materializing the power:
+  // each hop is a dense [N,N] apply plus a sparse top-k apply.
+  ag::Variable y = x;
+  for (int h = 0; h < support.hops; ++h) {
+    ag::Variable dynamic =
+        ApplySparseAdjacency(support.sparse, y, support.transposed);
+    y = support.static_part.defined()
+            ? ag::Add(ApplyAdjacency(support.static_part, y), dynamic)
+            : dynamic;
+  }
+  return y;
+}
+
 ag::Variable MixSupports(const ag::Variable& x,
-                         const std::vector<ag::Variable>& supports,
+                         const std::vector<Support>& supports,
                          bool include_self) {
   std::vector<ag::Variable> parts;
   parts.reserve(supports.size() + 1);
   if (include_self) parts.push_back(x);
-  for (const ag::Variable& support : supports) {
-    parts.push_back(ApplyAdjacency(support, x));
+  for (const Support& support : supports) {
+    parts.push_back(ApplySupport(support, x));
   }
   ENHANCENET_CHECK(!parts.empty());
   if (parts.size() == 1) return parts[0];
@@ -60,7 +75,7 @@ GraphConvLayer::GraphConvLayer(int64_t num_supports, int64_t in_channels,
 }
 
 ag::Variable GraphConvLayer::Forward(
-    const ag::Variable& x, const std::vector<ag::Variable>& supports) const {
+    const ag::Variable& x, const std::vector<Support>& supports) const {
   ENHANCENET_CHECK_EQ(static_cast<int64_t>(supports.size()), num_supports_);
   ENHANCENET_CHECK_EQ(x.size(-1), in_channels_);
   ag::Variable mixed = MixSupports(x, supports, /*include_self=*/true);

@@ -1,9 +1,11 @@
 #ifndef ENHANCENET_GRAPH_GRAPH_CONV_H_
 #define ENHANCENET_GRAPH_GRAPH_CONV_H_
 
+#include <utility>
 #include <vector>
 
 #include "autograd/ops.h"
+#include "graph/sparse_adjacency.h"
 #include "nn/module.h"
 
 namespace enhancenet {
@@ -16,6 +18,41 @@ namespace graph {
 autograd::Variable ApplyAdjacency(const autograd::Variable& adj,
                                   const autograd::Variable& x);
 
+/// One support matrix for graph convolution. Two representations:
+///
+///  * dense: an explicit adjacency (or materialized power (A')^h), applied
+///    with one ApplyAdjacency call — the historical path, bitwise unchanged.
+///  * sparse (DESIGN.md §10): the DAMGN combined adjacency split into a
+///    dense static part S = λ_A·A + λ_B·B and a sparse top-k dynamic part
+///    C (already λ_C-scaled). The h-hop support (S+C)^h is never
+///    materialized; ApplySupport applies y ← S·y + C·y  h times, keeping
+///    every step O(N·(N+k)·C) instead of the O(N³) power build.
+///
+/// The implicit Variable constructor keeps existing call sites (and brace
+/// initializer lists of plain adjacencies) compiling unchanged.
+struct Support {
+  Support(autograd::Variable adj)  // NOLINT: implicit on purpose
+      : dense(std::move(adj)) {}
+  Support(autograd::Variable static_part_, SparseAdjacency sparse_, int hops_,
+          bool transposed_)
+      : static_part(std::move(static_part_)),
+        sparse(std::move(sparse_)),
+        hops(hops_),
+        transposed(transposed_) {}
+
+  autograd::Variable dense;        ///< dense support, when !is_sparse()
+  autograd::Variable static_part;  ///< dense S (pre-transposed if transposed)
+  SparseAdjacency sparse;          ///< sparse dynamic part C
+  int hops = 1;                    ///< how many times (S+C)· is applied
+  bool transposed = false;         ///< apply Cᵀ (CSC half) instead of C
+
+  bool is_sparse() const { return sparse.defined(); }
+};
+
+/// Aggregates x over one support's neighbourhood (see Support above).
+autograd::Variable ApplySupport(const Support& support,
+                                const autograd::Variable& x);
+
 /// Concatenates the neighbourhood aggregations of all supports along the
 /// channel axis, optionally prefixed by the identity (0-hop) term:
 ///   out [B,N,(self + |supports|)·C]
@@ -23,7 +60,7 @@ autograd::Variable ApplyAdjacency(const autograd::Variable& adj,
 /// to a support set) to a single channel-mixing matmul, which can then be
 /// shared (Linear) or entity-specific (DFGN-generated bank).
 autograd::Variable MixSupports(const autograd::Variable& x,
-                               const std::vector<autograd::Variable>& supports,
+                               const std::vector<Support>& supports,
                                bool include_self);
 
 /// Graph convolution layer with entity-invariant (shared) channel weights:
@@ -36,9 +73,8 @@ class GraphConvLayer : public nn::Module {
                  int64_t out_channels, Rng& rng);
 
   /// x: [B,N,Cin]; supports: `num_supports` matrices, each [N,N] or [B,N,N].
-  autograd::Variable Forward(
-      const autograd::Variable& x,
-      const std::vector<autograd::Variable>& supports) const;
+  autograd::Variable Forward(const autograd::Variable& x,
+                             const std::vector<Support>& supports) const;
 
   int64_t num_supports() const { return num_supports_; }
 

@@ -1,0 +1,87 @@
+#include "graph/sparse_adjacency.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "runtime/parallel.h"
+
+namespace enhancenet {
+namespace graph {
+
+namespace ag = ::enhancenet::autograd;
+
+SparseAdjacency TopKSparsify(const Tensor& dense, int64_t k) {
+  ENHANCENET_CHECK(dense.dim() == 2 || dense.dim() == 3);
+  ENHANCENET_CHECK_GE(k, 1);
+  const int64_t batch = dense.dim() == 3 ? dense.size(0) : 1;
+  const int64_t n = dense.size(-2);
+  ENHANCENET_CHECK_EQ(dense.size(-1), n);
+  const int64_t kk = std::min(k, n);
+  const int64_t rows = batch * n;
+
+  SparseAdjacency sparse;
+  Tensor values = Tensor::Uninitialized({batch, n, kk});
+  sparse.index.cols = Tensor::Uninitialized({batch, n, kk});
+  sparse.index.row_offsets = Tensor::Uninitialized({rows + 1});
+  sparse.index.batch = batch;
+  sparse.index.n = n;
+  sparse.index.nnz = rows * kk;
+  ENHANCENET_CHECK_LT(sparse.index.nnz, int64_t{1} << 24)
+      << "sparse adjacency too large for float-encoded indices";
+
+  const float* pa = dense.data();
+  float* pv = values.data();
+  float* pc = sparse.index.cols.data();
+  ParallelFor(0, rows, std::max<int64_t>(1, 4096 / n),
+                       [=](int64_t r0, int64_t r1) {
+                         for (int64_t r = r0; r < r1; ++r) {
+                           const float* arow = pa + r * n;
+                           float* vrow = pv + r * kk;
+                           float* crow = pc + r * kk;
+                           // Replace-the-minimum scan; strict compare keeps
+                           // the lowest column among ties.
+                           int64_t mn = 0;
+                           for (int64_t j = 0; j < kk; ++j) {
+                             vrow[j] = arow[j];
+                             crow[j] = static_cast<float>(j);
+                             if (arow[j] < vrow[mn]) mn = j;
+                           }
+                           for (int64_t j = kk; j < n; ++j) {
+                             if (arow[j] > vrow[mn]) {
+                               vrow[mn] = arow[j];
+                               crow[mn] = static_cast<float>(j);
+                               mn = 0;
+                               for (int64_t s = 1; s < kk; ++s) {
+                                 if (vrow[s] < vrow[mn]) mn = s;
+                               }
+                             }
+                           }
+                           for (int64_t s = 1; s < kk; ++s) {
+                             const float cv = crow[s];
+                             const float vv = vrow[s];
+                             int64_t t = s - 1;
+                             while (t >= 0 && crow[t] > cv) {
+                               crow[t + 1] = crow[t];
+                               vrow[t + 1] = vrow[t];
+                               --t;
+                             }
+                             crow[t + 1] = cv;
+                             vrow[t + 1] = vv;
+                           }
+                         }
+                       });
+  float* po = sparse.index.row_offsets.data();
+  for (int64_t r = 0; r <= rows; ++r) po[r] = static_cast<float>(r * kk);
+  ag::BuildSparseTranspose(&sparse.index);
+  sparse.values = ag::Variable::Leaf(std::move(values), /*requires_grad=*/false);
+  return sparse;
+}
+
+ag::Variable ApplySparseAdjacency(const SparseAdjacency& adj,
+                                  const ag::Variable& x, bool transpose) {
+  ENHANCENET_CHECK(adj.defined());
+  return ag::SparseAdjacencyMatMul(adj.values, adj.index, x, transpose);
+}
+
+}  // namespace graph
+}  // namespace enhancenet

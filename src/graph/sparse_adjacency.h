@@ -1,0 +1,36 @@
+#ifndef ENHANCENET_GRAPH_SPARSE_ADJACENCY_H_
+#define ENHANCENET_GRAPH_SPARSE_ADJACENCY_H_
+
+#include "autograd/ops.h"
+
+namespace enhancenet {
+namespace graph {
+
+/// A CSR-style sparse adjacency: the top-k strongest neighbours of every
+/// entity row, as differentiable values [B,N,kk] plus a shared index pattern
+/// (row offsets, column indices and the deterministic transpose half). See
+/// DESIGN.md §10 for the layout and the k=0 compatibility rule.
+struct SparseAdjacency {
+  autograd::Variable values;
+  autograd::SparseIndex index;
+
+  bool defined() const { return index.nnz > 0; }
+};
+
+/// Keeps the k strongest entries of each row of a dense adjacency:
+/// [N,N] -> batch 1, [B,N,N] -> per-sample patterns. Row-local selection (no
+/// full sort); ties break toward the lowest column index and the selected
+/// columns are stored ascending. Values are copied as-is — no softmax, no
+/// renormalization — so the result is exactly the dense matrix with all but
+/// k entries per row dropped.
+SparseAdjacency TopKSparsify(const Tensor& dense, int64_t k);
+
+/// y = A·x (transpose=false) or Aᵀ·x (transpose=true), x [B,N,C].
+autograd::Variable ApplySparseAdjacency(const SparseAdjacency& adj,
+                                        const autograd::Variable& x,
+                                        bool transpose = false);
+
+}  // namespace graph
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_GRAPH_SPARSE_ADJACENCY_H_

@@ -72,7 +72,7 @@ const Tensor& RnnModel::entity_memories() const {
   return memory_->memory().data();
 }
 
-std::vector<ag::Variable> RnnModel::StepSupports(
+std::vector<graph::Support> RnnModel::StepSupports(
     const ag::Variable& signal_t) const {
   if (!config_.use_graph) return {};
   if (damgn_ != nullptr) {
@@ -120,7 +120,7 @@ ag::Variable RnnModel::Forward(const Tensor& x, const Tensor* teacher,
     ag::Variable x_t =
         ag::Reshape(ag::Slice(input, 2, t, 1), {batch, n, channels});
     ag::Variable target_t = ag::Slice(x_t, -1, 0, 1);  // [B,N,1]
-    const std::vector<ag::Variable> supports = StepSupports(target_t);
+    const std::vector<graph::Support> supports = StepSupports(target_t);
     ag::Variable layer_in = x_t;
     for (int64_t layer = 0; layer < layers; ++layer) {
       const size_t lu = static_cast<size_t>(layer);
@@ -142,7 +142,7 @@ ag::Variable RnnModel::Forward(const Tensor& x, const Tensor* teacher,
   std::vector<ag::Variable> outputs;
   outputs.reserve(static_cast<size_t>(config_.horizon));
   for (int64_t f = 0; f < config_.horizon; ++f) {
-    const std::vector<ag::Variable> supports = StepSupports(prev);
+    const std::vector<graph::Support> supports = StepSupports(prev);
     ag::Variable layer_in = prev;
     for (int64_t layer = 0; layer < layers; ++layer) {
       const size_t lu = static_cast<size_t>(layer);

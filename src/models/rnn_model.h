@@ -67,13 +67,13 @@ class RnnModel : public ForecastingModel {
  private:
   /// Supports for one step whose per-timestamp signal is `signal_t`
   /// ([B,N,1] target channel); static supports when DAMGN is off.
-  std::vector<autograd::Variable> StepSupports(
+  std::vector<graph::Support> StepSupports(
       const autograd::Variable& signal_t) const;
 
   RnnModelConfig config_;
   std::unique_ptr<core::EntityMemoryBank> memory_;
   std::unique_ptr<core::Damgn> damgn_;
-  std::vector<autograd::Variable> static_supports_;
+  std::vector<graph::Support> static_supports_;
   std::vector<std::unique_ptr<core::EnhanceGruCell>> encoder_;
   std::vector<std::unique_ptr<core::EnhanceGruCell>> decoder_;
   std::unique_ptr<nn::Linear> output_;  // hidden -> 1

@@ -108,7 +108,7 @@ ag::Variable TcnModel::Forward(const Tensor& x, const Tensor* /*teacher*/,
   // Supports are computed once and shared by every layer. Dynamic (DAMGN)
   // supports carry one adjacency per (sample, timestamp) pair in the folded
   // [B·T, N, N] layout.
-  std::vector<ag::Variable> supports;
+  std::vector<graph::Support> supports;
   if (config_.use_graph) {
     if (damgn_ != nullptr) {
       supports = damgn_->CombinedSupports(core::FoldTime(input),

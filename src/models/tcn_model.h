@@ -80,7 +80,7 @@ class TcnModel : public ForecastingModel {
   TcnModelConfig config_;
   std::unique_ptr<core::EntityMemoryBank> memory_;
   std::unique_ptr<core::Damgn> damgn_;
-  std::vector<autograd::Variable> static_supports_;
+  std::vector<graph::Support> static_supports_;
   autograd::Variable adaptive_e1_;  // Graph WaveNet source embedding
   autograd::Variable adaptive_e2_;  // Graph WaveNet target embedding
   std::unique_ptr<nn::Linear> input_proj_;

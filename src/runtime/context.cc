@@ -15,7 +15,8 @@ RuntimeContext::RuntimeContext(DefaultTag)
     : allocator_(std::make_shared<TensorAllocator>(
           /*export_metrics=*/true, TensorAllocator::kDefaultShards)),
       exec_(std::make_shared<ExecConfig>(EnvNumThreads(), EnvFusedKernels(),
-                                         EnvEagerRelease(), EnvProfiling())),
+                                         EnvEagerRelease(), EnvProfiling(),
+                                         EnvTopK())),
       workspace_(std::make_unique<Workspace>()) {
   // Parsed eagerly (not on first Allocate) so an invalid ENHANCENET_ALLOCATOR
   // aborts as soon as anything touches the default context.
@@ -44,7 +45,8 @@ RuntimeContext::RuntimeContext(const Options& options)
         d.num_threads.load(std::memory_order_relaxed),
         d.fused_kernels.load(std::memory_order_relaxed),
         d.eager_release.load(std::memory_order_relaxed),
-        d.profiling.load(std::memory_order_relaxed));
+        d.profiling.load(std::memory_order_relaxed),
+        d.topk.load(std::memory_order_relaxed));
   } else {
     exec_ = def.exec_;
   }

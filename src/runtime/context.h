@@ -16,16 +16,21 @@ namespace runtime {
 /// readers sit on hot paths (one load per kernel call) and the toggles are
 /// control-plane knobs, not synchronization.
 struct ExecConfig {
-  ExecConfig(int threads, bool fused, bool eager, bool profile)
+  ExecConfig(int threads, bool fused, bool eager, bool profile, int top_k = 0)
       : num_threads(threads),
         fused_kernels(fused),
         eager_release(eager),
-        profiling(profile) {}
+        profiling(profile),
+        topk(top_k) {}
 
   std::atomic<int> num_threads;
   std::atomic<bool> fused_kernels;
   std::atomic<bool> eager_release;
   std::atomic<bool> profiling;
+  /// Top-k sparsification of the DAMGN dynamic adjacency: 0 = dense
+  /// (bitwise-identical to the pre-sparse code path), k >= 1 keeps the k
+  /// strongest attention neighbours per entity row (DESIGN.md §10).
+  std::atomic<int> topk;
 };
 
 /// An explicit bundle of the runtime state that used to live in process-wide

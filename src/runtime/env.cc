@@ -52,6 +52,18 @@ bool ParseAllocatorCaching() {
   return true;
 }
 
+int ParseTopK() {
+  const char* value = std::getenv("ENHANCENET_TOPK");
+  if (value == nullptr || value[0] == '\0') return 0;
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  ENHANCENET_CHECK(end != value && *end == '\0' && v >= 0 &&
+                   v < (1L << 24))
+      << "ENHANCENET_TOPK must be an integer in [0, 2^24) (got '" << value
+      << "')";
+  return static_cast<int>(v);
+}
+
 }  // namespace
 
 int EnvNumThreads() {
@@ -76,6 +88,11 @@ bool EnvEagerRelease() {
 
 bool EnvProfiling() {
   static const bool value = ParseBool("ENHANCENET_PROFILE", false);
+  return value;
+}
+
+int EnvTopK() {
+  static const int value = ParseTopK();
   return value;
 }
 

@@ -37,6 +37,12 @@ bool EnvEagerRelease();
 /// ENHANCENET_PROFILE: tensor-backend profiling counters. Default off.
 bool EnvProfiling();
 
+/// ENHANCENET_TOPK: top-k sparsification of the DAMGN dynamic adjacency.
+/// 0 (default) keeps the dense path; k >= 1 keeps the k strongest attention
+/// neighbours per entity row. Set values must parse as an integer in
+/// [0, 2^24) (column indices are float-encoded, see DESIGN.md §10).
+int EnvTopK();
+
 /// ENHANCENET_QUICK: benchmark quick mode (fewer shapes). Default off.
 /// Unlike the library variables above, re-parsed on every call (tests and
 /// harness scripts toggle it at runtime).

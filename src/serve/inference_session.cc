@@ -10,6 +10,17 @@
 namespace enhancenet {
 namespace serve {
 
+namespace {
+
+runtime::RuntimeContext::Options SessionContextOptions(bool private_exec) {
+  runtime::RuntimeContext::Options options;
+  options.private_allocator = true;
+  options.private_exec = private_exec;
+  return options;
+}
+
+}  // namespace
+
 Status InferenceSession::Create(const SessionConfig& config,
                                 const data::StandardScaler& scaler,
                                 std::unique_ptr<InferenceSession>* out) {
@@ -49,7 +60,12 @@ InferenceSession::InferenceSession(
       model_(std::move(model)),
       scaler_(scaler),
       metrics_(ServeMetrics::Create("serve.session",
-                                    /*with_occupancy=*/false)) {}
+                                    /*with_occupancy=*/false)),
+      context_(SessionContextOptions(config_.topk >= 0)) {
+  if (config_.topk >= 0) {
+    context_.exec().topk.store(config_.topk, std::memory_order_relaxed);
+  }
+}
 
 Status InferenceSession::Validate(const Tensor& history) const {
   if (history.numel() == 0 || (history.dim() != 3 && history.dim() != 4)) {

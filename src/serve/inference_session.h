@@ -33,6 +33,12 @@ struct SessionConfig {
   /// Seed for weight initialization before the checkpoint overwrites it.
   /// Irrelevant to predictions when a checkpoint is loaded.
   uint64_t seed = 2024;
+  /// Top-k sparsification of the DAMGN dynamic adjacency for this session:
+  /// -1 inherits the process-wide setting (ENHANCENET_TOPK), 0 forces the
+  /// dense path, k >= 1 keeps k neighbours per row. A non-negative value
+  /// gives the session a private ExecConfig so the knob never leaks into
+  /// other sessions or the trainer.
+  int topk = -1;
 };
 
 /// One forecasting request.
@@ -109,7 +115,8 @@ class InferenceSession {
   /// The session's private runtime context: its own allocator (so two
   /// sessions never contend on a free-list mutex, and a session never
   /// shares pooled blocks with the trainer) and its own workspace arena.
-  /// Exec config is shared with the default context.
+  /// Exec config is shared with the default context unless the config set
+  /// a session-local topk.
   runtime::RuntimeContext& context() const { return context_; }
 
   int64_t num_entities() const { return config_.num_entities; }
@@ -132,9 +139,9 @@ class InferenceSession {
   ServeMetrics metrics_;
   /// Bound inside Predict. Mutable because binding a context is an
   /// implementation detail of the logically-const forward; RuntimeContext
-  /// itself is safe to bind from many threads at once.
-  mutable runtime::RuntimeContext context_{
-      runtime::RuntimeContext::Options{.private_allocator = true}};
+  /// itself is safe to bind from many threads at once. Constructed with a
+  /// private exec config when the session config pins a topk.
+  mutable runtime::RuntimeContext context_;
 };
 
 }  // namespace serve

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <functional>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -1052,6 +1053,14 @@ void SoftmaxRowsInto(const Tensor& t, float* po) {
       float* orow = po + r * cols;
       float mx = row[0];
       for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+      // Fully-masked row (every score -inf): exp(-inf - -inf) would turn the
+      // whole row into NaNs. Fall back to a uniform distribution instead;
+      // rows with any finite score are untouched (bitwise).
+      if (mx == -std::numeric_limits<float>::infinity()) {
+        const float uniform = 1.0f / static_cast<float>(cols);
+        for (int64_t c = 0; c < cols; ++c) orow[c] = uniform;
+        continue;
+      }
       double denom = 0.0;
       for (int64_t c = 0; c < cols; ++c) {
         orow[c] = std::exp(row[c] - mx);

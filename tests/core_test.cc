@@ -225,14 +225,15 @@ TEST_F(DamgnTest, CombinedSupportsCountsAndShapes) {
       damgn_.CombinedSupports(ag::Variable::Leaf(x, false), 2, true);
   ASSERT_EQ(supports.size(), 4u);
   for (const auto& s : supports) {
-    EXPECT_EQ(ShapeToString(s.shape()), "[2, 6, 6]");
+    EXPECT_EQ(ShapeToString(s.dense.shape()), "[2, 6, 6]");
   }
   // Second support is the batch square of the first.
-  Tensor sq = ops::BatchMatMul(supports[0].data(), supports[0].data());
-  ExpectTensorNear(supports[1].data(), sq, 1e-5f);
+  Tensor sq =
+      ops::BatchMatMul(supports[0].dense.data(), supports[0].dense.data());
+  ExpectTensorNear(supports[1].dense.data(), sq, 1e-5f);
   // Third is the transpose of the first.
-  ExpectTensorNear(supports[2].data(),
-                   ops::Transpose(supports[0].data(), 1, 2), 1e-6f);
+  ExpectTensorNear(supports[2].dense.data(),
+                   ops::Transpose(supports[0].dense.data(), 1, 2), 1e-6f);
 }
 
 TEST_F(DamgnTest, ParameterCountMatchesFormula) {
@@ -342,7 +343,7 @@ TEST(EnhanceGruCellTest, GraphVariantUsesSupports) {
   Rng rng(26);
   Tensor adjacency = RandomAdjacency(4, 26);
   const auto raw = graph::DiffusionSupports(adjacency, 1);
-  std::vector<ag::Variable> supports;
+  std::vector<graph::Support> supports;
   for (const auto& s : raw) supports.push_back(ag::Variable::Leaf(s, false));
 
   core::EnhanceGruCell cell(CellConfig(4, 2, 6, 2, false), nullptr, rng);
@@ -352,7 +353,7 @@ TEST(EnhanceGruCellTest, GraphVariantUsesSupports) {
   EXPECT_EQ(ShapeToString(out.shape()), "[2, 4, 6]");
 
   // Different supports change the result (graph actually used).
-  std::vector<ag::Variable> zero_supports = {
+  std::vector<graph::Support> zero_supports = {
       ag::Variable::Leaf(Tensor::Zeros({4, 4}), false),
       ag::Variable::Leaf(Tensor::Zeros({4, 4}), false)};
   ag::Variable out2 = cell.Forward(x, h, zero_supports);
@@ -394,7 +395,7 @@ TEST(EnhanceGruCellTest, GradCheckDfgnGraphPath) {
   Rng rng(28);
   Tensor adjacency = RandomAdjacency(3, 28);
   const auto raw = graph::DiffusionSupports(adjacency, 1);
-  std::vector<ag::Variable> supports;
+  std::vector<graph::Support> supports;
   for (const auto& s : raw) supports.push_back(ag::Variable::Leaf(s, false));
   core::EntityMemoryBank bank(3, 4, rng);
   auto config = CellConfig(3, 1, 2, 2, true);
@@ -545,7 +546,7 @@ TEST(EnhanceTcnLayerTest, GraphConvChangesOutput) {
   Rng rng(36);
   Tensor adjacency = RandomAdjacency(3, 36);
   const auto raw = graph::DiffusionSupports(adjacency, 1);
-  std::vector<ag::Variable> supports;
+  std::vector<graph::Support> supports;
   for (const auto& s : raw) supports.push_back(ag::Variable::Leaf(s, false));
 
   core::EnhanceTcnLayer layer(LayerConfig(3, 2, 4, 1, 2, false), nullptr,
@@ -555,7 +556,7 @@ TEST(EnhanceTcnLayerTest, GraphConvChangesOutput) {
   ag::Variable x =
       ag::Variable::Leaf(Tensor::Randn({1, 3, 6, 2}, rng), false);
   Tensor with_graph = layer.Forward(x, supports, drop).skip.data();
-  std::vector<ag::Variable> zeros = {
+  std::vector<graph::Support> zeros = {
       ag::Variable::Leaf(Tensor::Zeros({3, 3}), false),
       ag::Variable::Leaf(Tensor::Zeros({3, 3}), false)};
   Tensor without = layer.Forward(x, zeros, drop).skip.data();

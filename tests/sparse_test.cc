@@ -1,0 +1,489 @@
+// Sparse top-k dynamic adjacency suite (DESIGN.md §10).
+//
+// Covers the three layers of the sparse path:
+//  * graph::TopKSparsify — neighbour selection vs a reference argsort,
+//    tie-breaking, and full-k equivalence with the dense matmul;
+//  * ag::TopKAttention / ag::SparseAdjacencyMatMul — bitwise full-k parity
+//    with the dense softmax, gradients vs a masked-dense reference and vs
+//    central finite differences, and bitwise determinism across thread
+//    counts;
+//  * Damgn / training — sparse CombinedSupports parity with the dense
+//    supports at k=N, the all-masked-row softmax fallback, and the
+//    steady-state allocation-free training guarantee with sparse enabled.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/grad_mode.h"
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "common/rng.h"
+#include "core/damgn.h"
+#include "data/synthetic.h"
+#include "graph/adjacency.h"
+#include "graph/graph_conv.h"
+#include "graph/sparse_adjacency.h"
+#include "models/model_factory.h"
+#include "optim/optimizer.h"
+#include "runtime/allocator.h"
+#include "runtime/context.h"
+#include "runtime/parallel.h"
+#include "tensor/tensor.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace enhancenet {
+namespace {
+
+namespace ag = ::enhancenet::autograd;
+using ::enhancenet::testing::ExpectGradientsMatch;
+using ::enhancenet::testing::ExpectTensorNear;
+
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+/// Reference top-k: argsort by (value desc, column asc), keep k, return the
+/// selected columns in ascending column order.
+std::vector<int64_t> ReferenceTopK(const float* row, int64_t n, int64_t k) {
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+    if (row[a] != row[b]) return row[a] > row[b];
+    return a < b;
+  });
+  order.resize(std::min(k, n));
+  std::sort(order.begin(), order.end());
+  return order;
+}
+
+TEST(SparseTest, TopKSparsifyMatchesReferenceArgsort) {
+  Rng rng(17);
+  const int64_t batch = 3, n = 9, k = 4;
+  const Tensor dense = Tensor::Randn({batch, n, n}, rng);
+  const graph::SparseAdjacency sparse = graph::TopKSparsify(dense, k);
+  ASSERT_EQ(sparse.index.nnz, batch * n * k);
+  const float* pv = sparse.values.data().data();
+  const float* pc = sparse.index.cols.data();
+  for (int64_t r = 0; r < batch * n; ++r) {
+    const float* row = dense.data() + r * n;
+    const std::vector<int64_t> want = ReferenceTopK(row, n, k);
+    for (int64_t s = 0; s < k; ++s) {
+      EXPECT_EQ(static_cast<int64_t>(pc[r * k + s]), want[s])
+          << "row " << r << " slot " << s;
+      EXPECT_EQ(pv[r * k + s], row[want[s]]);
+    }
+  }
+  // CSR offsets are uniform-degree, CSC is a permutation of all entries.
+  const float* po = sparse.index.row_offsets.data();
+  for (int64_t r = 0; r <= batch * n; ++r) {
+    EXPECT_EQ(static_cast<int64_t>(po[r]), r * k);
+  }
+  std::vector<bool> seen(sparse.index.nnz, false);
+  const float* pt = sparse.index.t_perm.data();
+  for (int64_t e = 0; e < sparse.index.nnz; ++e) {
+    const int64_t entry = static_cast<int64_t>(pt[e]);
+    ASSERT_GE(entry, 0);
+    ASSERT_LT(entry, sparse.index.nnz);
+    EXPECT_FALSE(seen[entry]) << "t_perm repeats entry " << entry;
+    seen[entry] = true;
+  }
+}
+
+TEST(SparseTest, TopKSparsifyTieBreaksTowardLowestColumn) {
+  // Row of identical scores: the k lowest columns win.
+  const int64_t n = 6, k = 3;
+  Tensor dense = Tensor::Full({n, n}, 0.5f);
+  const graph::SparseAdjacency sparse = graph::TopKSparsify(dense, k);
+  const float* pc = sparse.index.cols.data();
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t s = 0; s < k; ++s) {
+      EXPECT_EQ(static_cast<int64_t>(pc[r * k + s]), s) << "row " << r;
+    }
+  }
+}
+
+TEST(SparseTest, FullKApplyMatchesDenseMatMul) {
+  Rng rng(5);
+  const int64_t batch = 2, n = 6, c = 5;
+  const Tensor dense = Tensor::Randn({batch, n, n}, rng);
+  const Tensor xt = Tensor::Randn({batch, n, c}, rng);
+  const graph::SparseAdjacency sparse = graph::TopKSparsify(dense, n);
+  const ag::Variable x = ag::Variable::Leaf(xt, /*requires_grad=*/false);
+  const ag::Variable a = ag::Variable::Leaf(dense, /*requires_grad=*/false);
+
+  const ag::Variable got = graph::ApplySparseAdjacency(sparse, x);
+  const ag::Variable want = ag::BatchMatMul(a, x);
+  ExpectTensorNear(got.data(), want.data(), 1e-6f);
+
+  const ag::Variable got_t =
+      graph::ApplySparseAdjacency(sparse, x, /*transpose=*/true);
+  const ag::Variable want_t = ag::BatchMatMul(ag::Transpose(a, 1, 2), x);
+  ExpectTensorNear(got_t.data(), want_t.data(), 1e-6f);
+}
+
+TEST(SparseTest, SparseAdjacencyMatMulGradCheck) {
+  Rng rng(23);
+  const int64_t batch = 1, n = 6, k = 3, c = 4;
+  const graph::SparseAdjacency pattern =
+      graph::TopKSparsify(Tensor::Randn({batch, n, n}, rng), k);
+  for (const bool transpose : {false, true}) {
+    ag::Variable values =
+        ag::Variable::Leaf(Tensor::Randn({batch, n, k}, rng), true);
+    ag::Variable x = ag::Variable::Leaf(Tensor::Randn({batch, n, c}, rng), true);
+    ExpectGradientsMatch(
+        [&]() {
+          return ag::SumAll(ag::Square(
+              ag::SparseAdjacencyMatMul(values, pattern.index, x, transpose)));
+        },
+        {values, x});
+  }
+}
+
+TEST(SparseTest, TopKAttentionFullKBitwiseMatchesDenseSoftmax) {
+  Rng rng(31);
+  const int64_t batch = 2, n = 5, e = 3;
+  const Tensor src = Tensor::Randn({batch, n, e}, rng);
+  const Tensor dst = Tensor::Randn({batch, n, e}, rng);
+  const ag::Variable e_src = ag::Variable::Leaf(src.Clone(), true);
+  const ag::Variable e_dst = ag::Variable::Leaf(dst.Clone(), true);
+
+  ag::SparseIndex index;
+  const ag::Variable sparse = ag::TopKAttention(e_src, e_dst, n, &index);
+
+  const ag::Variable dense = ag::SoftmaxLastDim(
+      ag::BatchMatMul(e_src, ag::Transpose(e_dst, 1, 2)));
+
+  // At k = N the selection keeps every column in ascending order and the
+  // restricted softmax runs over the very same scores in the same order, so
+  // the [B,N,k=N] values ARE the dense probability rows — bitwise.
+  ASSERT_EQ(sparse.numel(), dense.numel());
+  const float* ps = sparse.data().data();
+  const float* pd = dense.data().data();
+  for (int64_t i = 0; i < dense.numel(); ++i) {
+    EXPECT_EQ(ps[i], pd[i]) << "element " << i;
+  }
+  const float* pc = index.cols.data();
+  for (int64_t r = 0; r < batch * n; ++r) {
+    for (int64_t s = 0; s < n; ++s) {
+      EXPECT_EQ(static_cast<int64_t>(pc[r * n + s]), s);
+    }
+  }
+}
+
+TEST(SparseTest, TopKAttentionMatchesMaskedDenseReference) {
+  // Small k: the reference is the dense chain with unselected scores masked
+  // to -inf — mathematically the restricted softmax, and its e_src/e_dst
+  // gradients must match the sparse op's.
+  Rng rng(41);
+  const int64_t batch = 2, n = 7, e = 4, k = 3;
+  const Tensor src = Tensor::Randn({batch, n, e}, rng);
+  const Tensor dst = Tensor::Randn({batch, n, e}, rng);
+
+  ag::Variable e_src = ag::Variable::Leaf(src.Clone(), true);
+  ag::Variable e_dst = ag::Variable::Leaf(dst.Clone(), true);
+  ag::SparseIndex index;
+  ag::Variable values = ag::TopKAttention(e_src, e_dst, k, &index);
+  ag::Variable sparse_loss = ag::SumAll(ag::Square(values));
+  sparse_loss.Backward();
+
+  Tensor mask = Tensor::Full({batch, n, n}, -kInf);
+  const float* pc = index.cols.data();
+  for (int64_t r = 0; r < batch * n; ++r) {
+    for (int64_t s = 0; s < k; ++s) {
+      mask.data()[r * n + static_cast<int64_t>(pc[r * k + s])] = 0.0f;
+    }
+  }
+  ag::Variable e_src2 = ag::Variable::Leaf(src.Clone(), true);
+  ag::Variable e_dst2 = ag::Variable::Leaf(dst.Clone(), true);
+  ag::Variable probs = ag::SoftmaxLastDim(
+      ag::Add(ag::BatchMatMul(e_src2, ag::Transpose(e_dst2, 1, 2)),
+              ag::Variable::Leaf(mask, false)));
+  // Masked entries are exactly 0 after softmax, so squaring and summing
+  // gives the same loss as summing over the k kept entries.
+  ag::Variable dense_loss = ag::SumAll(ag::Square(probs));
+  dense_loss.Backward();
+
+  EXPECT_NEAR(sparse_loss.data().item(), dense_loss.data().item(), 1e-6f);
+  ExpectTensorNear(e_src.grad(), e_src2.grad(), 1e-5f);
+  ExpectTensorNear(e_dst.grad(), e_dst2.grad(), 1e-5f);
+}
+
+TEST(SparseTest, AttentionProbsMatchesUnfusedChain) {
+  Rng rng(53);
+  const int64_t batch = 2, n = 6, e = 4;
+  const Tensor src = Tensor::Randn({batch, n, e}, rng);
+  const Tensor dst = Tensor::Randn({batch, n, e}, rng);
+  const Tensor weight = Tensor::Randn({batch, n, n}, rng);
+
+  ag::Variable fs = ag::Variable::Leaf(src.Clone(), true);
+  ag::Variable fd = ag::Variable::Leaf(dst.Clone(), true);
+  ag::Variable fused = ag::AttentionProbs(fs, fd);
+  ag::SumAll(ag::Mul(fused, ag::Variable::Leaf(weight, false))).Backward();
+
+  ag::Variable us = ag::Variable::Leaf(src.Clone(), true);
+  ag::Variable ud = ag::Variable::Leaf(dst.Clone(), true);
+  ag::Variable unfused =
+      ag::SoftmaxLastDim(ag::BatchMatMul(us, ag::Transpose(ud, 1, 2)));
+  ag::SumAll(ag::Mul(unfused, ag::Variable::Leaf(weight, false))).Backward();
+
+  // Forward is bitwise identical (same Into kernels under the hood).
+  const float* pf = fused.data().data();
+  const float* pu = unfused.data().data();
+  for (int64_t i = 0; i < fused.numel(); ++i) {
+    EXPECT_EQ(pf[i], pu[i]) << "element " << i;
+  }
+  ExpectTensorNear(fs.grad(), us.grad(), 1e-5f);
+  ExpectTensorNear(fd.grad(), ud.grad(), 1e-5f);
+}
+
+TEST(SparseTest, SoftmaxAllMaskedRowFallsBackToUniform) {
+  // Regression: a fully -inf row used to produce exp(-inf-(-inf)) = NaN.
+  Tensor t = Tensor::FromVector({2, 3}, {-kInf, -kInf, -kInf,  //
+                                         0.0f, 1.0f, 2.0f});
+  const Tensor y = ops::SoftmaxLastDim(t);
+  const float* p = y.data();
+  EXPECT_FLOAT_EQ(p[0], 1.0f / 3.0f);
+  EXPECT_FLOAT_EQ(p[1], 1.0f / 3.0f);
+  EXPECT_FLOAT_EQ(p[2], 1.0f / 3.0f);
+  // Finite rows are untouched by the guard.
+  double denom = 0.0;
+  for (int i = 0; i < 3; ++i) denom += std::exp(static_cast<float>(i) - 2.0f);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_NEAR(p[3 + i],
+                std::exp(static_cast<float>(i) - 2.0f) / denom, 1e-6f);
+    EXPECT_TRUE(std::isfinite(p[3 + i]));
+  }
+}
+
+TEST(SparseTest, DynamicCAllMaskedRowsStayFinite) {
+  // Drive the attention scores to -inf through float overflow: θ ≫ 0 and
+  // φ ≪ 0 make every raw score -inf, the historical NaN trigger.
+  Rng rng(7);
+  const int64_t n = 5, c = 2;
+  core::Damgn damgn(Tensor::Ones({n, n}), n, c, /*mem_dim=*/3,
+                    /*embed_dim=*/4, rng);
+  for (auto& [name, param] : damgn.NamedParameters()) {
+    const float fill = name == "theta.weight"  ? 1e25f
+                       : name == "phi.weight" ? -1e25f
+                                               : 0.0f;
+    if (fill == 0.0f) continue;
+    float* p = param.mutable_data().data();
+    for (int64_t i = 0; i < param.numel(); ++i) p[i] = fill;
+  }
+  const ag::Variable x = ag::Variable::Leaf(Tensor::Ones({1, n, c}), false);
+  const float uniform = 1.0f / static_cast<float>(n);
+  {
+    ag::NoGradGuard no_grad;  // fused AttentionProbs path
+    const Tensor probs = damgn.DynamicC(x).data();
+    for (int64_t i = 0; i < probs.numel(); ++i) {
+      EXPECT_EQ(probs.data()[i], uniform) << "element " << i;
+    }
+  }
+  {
+    const Tensor probs = damgn.DynamicC(x).data();  // recorded unfused path
+    for (int64_t i = 0; i < probs.numel(); ++i) {
+      EXPECT_EQ(probs.data()[i], uniform) << "element " << i;
+    }
+  }
+  {
+    // The top-k restricted softmax has the same guard (uniform over the k
+    // selected neighbours).
+    ag::NoGradGuard no_grad;
+    const graph::SparseAdjacency sparse = damgn.SparseDynamicC(x, 3);
+    const Tensor values = sparse.values.data();
+    for (int64_t i = 0; i < values.numel(); ++i) {
+      EXPECT_EQ(values.data()[i], 1.0f / 3.0f) << "element " << i;
+    }
+  }
+}
+
+TEST(SparseTest, BitwiseDeterministicAcrossThreadCounts) {
+  Rng rng(67);
+  const int64_t batch = 2, n = 48, e = 8, k = 6, c = 16;
+  const Tensor src = Tensor::Randn({batch, n, e}, rng);
+  const Tensor dst = Tensor::Randn({batch, n, e}, rng);
+  const Tensor xin = Tensor::Randn({batch, n, c}, rng);
+
+  struct Run {
+    Tensor cols, values, y, yt, dsrc, ddst, dx;
+  };
+  const auto run = [&](int threads) {
+    SetNumThreads(threads);
+    ag::Variable e_src = ag::Variable::Leaf(src.Clone(), true);
+    ag::Variable e_dst = ag::Variable::Leaf(dst.Clone(), true);
+    ag::Variable x = ag::Variable::Leaf(xin.Clone(), true);
+    ag::SparseIndex index;
+    ag::Variable values = ag::TopKAttention(e_src, e_dst, k, &index);
+    ag::Variable y = ag::SparseAdjacencyMatMul(values, index, x);
+    ag::Variable yt =
+        ag::SparseAdjacencyMatMul(values, index, x, /*transpose_adj=*/true);
+    ag::Add(ag::SumAll(ag::Square(y)), ag::SumAll(ag::Square(yt))).Backward();
+    return Run{index.cols.Clone(), values.data().Clone(),
+               y.data().Clone(),   yt.data().Clone(),
+               e_src.grad().Clone(), e_dst.grad().Clone(), x.grad().Clone()};
+  };
+
+  const int restore = GetNumThreads();
+  const Run serial = run(1);
+  const Run parallel = run(8);
+  SetNumThreads(restore);
+
+  const auto expect_bitwise = [](const Tensor& a, const Tensor& b,
+                                 const char* what) {
+    ASSERT_EQ(a.numel(), b.numel());
+    for (int64_t i = 0; i < a.numel(); ++i) {
+      ASSERT_EQ(a.data()[i], b.data()[i]) << what << " element " << i;
+    }
+  };
+  expect_bitwise(serial.cols, parallel.cols, "cols");
+  expect_bitwise(serial.values, parallel.values, "values");
+  expect_bitwise(serial.y, parallel.y, "y");
+  expect_bitwise(serial.yt, parallel.yt, "yt");
+  expect_bitwise(serial.dsrc, parallel.dsrc, "d_src");
+  expect_bitwise(serial.ddst, parallel.ddst, "d_dst");
+  expect_bitwise(serial.dx, parallel.dx, "d_x");
+}
+
+TEST(SparseTest, DamgnSparseFullKMatchesDenseSupports) {
+  // With k = N the sparse hop-by-hop supports compute the same function as
+  // the dense materialized powers; losses and parameter gradients agree to
+  // float reassociation tolerance.
+  Rng rng(97);
+  const int64_t batch = 2, n = 6, c = 3;
+  core::Damgn damgn(Tensor::RandUniform({n, n}, rng, 0.0f, 1.0f), n, c,
+                    /*mem_dim=*/3, /*embed_dim=*/4, rng);
+  // Nonzero mixing coefficients so every term (A, B, C) participates.
+  for (auto& [name, param] : damgn.NamedParameters()) {
+    if (name == "lambda_a") param.mutable_data().data()[0] = 0.6f;
+    if (name == "lambda_b") param.mutable_data().data()[0] = 0.3f;
+    if (name == "lambda_c") param.mutable_data().data()[0] = 0.4f;
+  }
+  const ag::Variable x =
+      ag::Variable::Leaf(Tensor::Randn({batch, n, c}, rng), false);
+
+  const auto run = [&](int topk) {
+    runtime::RuntimeContext::Options options;
+    options.private_exec = true;
+    runtime::RuntimeContext context(options);
+    context.exec().topk.store(topk, std::memory_order_relaxed);
+    runtime::RuntimeContext::Bind bind(context);
+    damgn.ZeroGrad();
+    const std::vector<graph::Support> supports =
+        damgn.CombinedSupports(x, /*max_hops=*/2, /*bidirectional=*/true);
+    EXPECT_EQ(supports.size(), 4u);
+    ag::Variable loss =
+        ag::SumAll(ag::Square(graph::MixSupports(x, supports, true)));
+    loss.Backward();
+    std::vector<Tensor> grads;
+    for (const auto& param : damgn.Parameters()) {
+      grads.push_back(param.has_grad() ? param.grad().Clone() : Tensor());
+    }
+    return std::make_pair(loss.data().item(), std::move(grads));
+  };
+
+  const auto [dense_loss, dense_grads] = run(0);
+  const auto [sparse_loss, sparse_grads] = run(n);
+  EXPECT_NEAR(sparse_loss, dense_loss,
+              1e-5f * (1.0f + std::fabs(dense_loss)));
+  ASSERT_EQ(dense_grads.size(), sparse_grads.size());
+  for (size_t i = 0; i < dense_grads.size(); ++i) {
+    ASSERT_EQ(dense_grads[i].numel(), sparse_grads[i].numel()) << "param " << i;
+    const float* pd = dense_grads[i].data();
+    const float* ps = sparse_grads[i].data();
+    for (int64_t j = 0; j < dense_grads[i].numel(); ++j) {
+      EXPECT_NEAR(ps[j], pd[j], 1e-4f * (1.0f + std::fabs(pd[j])))
+          << "param " << i << " element " << j;
+    }
+  }
+}
+
+TEST(SparseTest, SparseTrainingStepsAreAllocationFree) {
+  // The ISSUE acceptance gate: steady-state training with the sparse path
+  // enabled draws every tensor from the caching allocator's pool — zero heap
+  // allocations per step after warmup.
+  runtime::RuntimeContext::Options options;
+  options.private_allocator = true;
+  options.private_exec = true;
+  runtime::RuntimeContext context(options);
+  context.exec().topk.store(4, std::memory_order_relaxed);
+  runtime::RuntimeContext::Bind bind(context);
+  ag::FusedKernels::SetEnabled(true);           // private exec: no restore
+  ag::EagerBackwardRelease::SetEnabled(true);
+
+  const int64_t entities = 12, batch_size = 2;
+  data::CtsData data = data::MakeEbLike(entities, 2, /*seed=*/7);
+  const int64_t train_end = data.num_steps() * 7 / 10;
+  data::StandardScaler scaler;
+  scaler.Fit(data.series, 0, train_end);
+  models::ModelSizing sizing;
+  sizing.rnn_hidden = 12;
+  sizing.rnn_hidden_dfgn = 8;
+  data::WindowDataset train(scaler.Transform(data.series), data.series,
+                            /*target_channel=*/0, 0, train_end, sizing.history,
+                            sizing.horizon);
+  Rng model_rng(11);
+  // D-DA-GRNN is the variant that owns a DAMGN (use_damgn=true), so topk>0
+  // actually routes every step through TopKAttention + SparseAdjacencyMatMul;
+  // plain D-GRNN has only static diffusion supports and would pass vacuously.
+  std::unique_ptr<models::ForecastingModel> model = models::MakeModel(
+      "D-DA-GRNN", entities, 1, graph::GaussianKernelAdjacency(data.distances),
+      sizing, model_rng);
+  model->SetTraining(true);
+  optim::Adam optimizer(model->Parameters(), 0.01f);
+  std::vector<int64_t> indices;
+  for (int64_t b = 0; b < batch_size; ++b) {
+    indices.push_back((b * 17) % train.num_windows());
+  }
+  data::Batch batch = train.MakeBatch(indices);
+
+  // Guard against a vacuous pass: with k=4 << N the forward must differ from
+  // the dense forward, proving the model really routes through the sparse
+  // DAMGN path (a model without a DAMGN ignores topk entirely).
+  {
+    ag::NoGradGuard no_grad;
+    Rng rng_sparse(9), rng_dense(9);
+    const Tensor sparse_pred = model->Predict(batch.x, rng_sparse).data();
+    context.exec().topk.store(0, std::memory_order_relaxed);
+    const Tensor dense_pred = model->Predict(batch.x, rng_dense).data();
+    context.exec().topk.store(4, std::memory_order_relaxed);
+    bool differs = false;
+    for (int64_t i = 0; i < sparse_pred.numel() && !differs; ++i) {
+      differs = sparse_pred.data()[i] != dense_pred.data()[i];
+    }
+    EXPECT_TRUE(differs)
+        << "topk=4 left the forward unchanged; the sparse path is not wired "
+           "into this model";
+  }
+
+  Rng step_rng(3);
+
+  const auto step = [&]() {
+    ag::Variable pred = model->Forward(batch.x, &batch.y_scaled,
+                                       /*teacher_prob=*/1.0f, step_rng);
+    ag::Variable loss = ag::MeanAll(
+        ag::Abs(ag::Sub(pred, ag::Variable::Leaf(batch.y_scaled, false))));
+    model->ZeroGrad();
+    loss.Backward();
+    optim::ClipGradNorm(optimizer.params(), 5.0f);
+    optimizer.Step();
+  };
+
+  for (int i = 0; i < 3; ++i) step();  // warm the pool
+  context.allocator().ResetStats();
+  for (int i = 0; i < 3; ++i) step();
+  const AllocatorStats stats = context.allocator().GetStats();
+  EXPECT_EQ(stats.pool_misses + stats.oversize, 0)
+      << "steady-state sparse training still heap-allocates: misses="
+      << stats.pool_misses << " oversize=" << stats.oversize;
+  EXPECT_GT(stats.HitRate(), 0.999);
+  EXPECT_GT(stats.requests, 0);
+}
+
+}  // namespace
+}  // namespace enhancenet
