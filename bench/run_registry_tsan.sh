@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Runs the serving-control-plane suite (ctest -L registry) under
+# ThreadSanitizer. The ModelRegistry's swap protocol — pointer flips under a
+# per-model mutex, in-flight requests draining on their own shared_ptr,
+# round-robin pools, mirrored shadow traffic — is exactly the kind of claim
+# TSan can falsify, so this is the verification step for the hot-swap
+# threading story (100 publishes against 4 threads of live traffic).
+#
+# Usage:
+#   bench/run_registry_tsan.sh              # build build-tsan/ and run
+#   TSAN_BUILD_DIR=/tmp/tsan bench/run_registry_tsan.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DENHANCENET_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target registry_test
+
+ctest --test-dir "$BUILD_DIR" -L registry --output-on-failure
+
+echo "registry suite clean under ThreadSanitizer"

@@ -19,6 +19,11 @@
 //   # observability: dump a metrics snapshot (and kernel profiling counters)
 //   ./build/examples/enhancenet_cli train --synthetic eb --epochs 2 \
 //       --metrics-out=metrics.json --profile
+//
+//   # serving control plane: publish, hot-swap, and shadow a checkpoint
+//   # through serve::ModelRegistry (see DESIGN.md §11)
+//   ./build/examples/enhancenet_cli serve-smoke --synthetic eb \
+//       --checkpoint /tmp/model.encp --requests 8 --pool 2
 
 #include <cstdio>
 #include <cstring>
@@ -36,6 +41,7 @@
 #include "obs/metrics.h"
 #include "runtime/context.h"
 #include "serve/inference_session.h"
+#include "serve/model_registry.h"
 #include "train/trainer.h"
 
 using namespace enhancenet;
@@ -81,13 +87,15 @@ Args ParseArgs(int argc, char** argv) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: enhancenet_cli <train|predict> [flags]\n"
+      "usage: enhancenet_cli <train|predict|serve-smoke> [flags]\n"
       "  --synthetic eb|la|us     use a built-in synthetic dataset, or\n"
       "  --series PATH --distances PATH --channels C   load CSV data\n"
       "  --model NAME             any of the model-zoo names (default D-DA-GRNN)\n"
       "  --epochs E               training epochs (default 3)\n"
       "  --checkpoint PATH        weights file to save (train) / load (predict)\n"
       "  --out PATH               forecast CSV (predict; default forecast.csv)\n"
+      "  --requests R             serve-smoke request count (default 8)\n"
+      "  --pool P                 sessions per published version (default 2)\n"
       "  --metrics-out PATH       write a JSON metrics snapshot on exit\n"
       "  --profile                record tensor-kernel profiling counters\n");
   return 2;
@@ -141,11 +149,32 @@ data::CtsData LoadData(const Args& args, bool* ok) {
   return std::move(result.value);
 }
 
+// The serving identity of this run: everything ModelRegistry::Publish needs
+// to stage a version of the trained model.
+serve::ModelSpec BuildSpec(const std::string& model_name,
+                           const data::CtsData& dataset,
+                           const Tensor& adjacency,
+                           const models::ModelSizing& sizing,
+                           const std::string& checkpoint) {
+  serve::ModelSpec spec;
+  spec.model_name = model_name;
+  spec.num_entities = dataset.num_entities();
+  spec.in_channels = dataset.num_channels();
+  spec.target_channel = dataset.target_channel;
+  spec.adjacency = adjacency;
+  spec.sizing = sizing;
+  spec.checkpoint_path = checkpoint;
+  return spec;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv);
-  if (args.command != "train" && args.command != "predict") return Usage();
+  if (args.command != "train" && args.command != "predict" &&
+      args.command != "serve-smoke") {
+    return Usage();
+  }
   if (args.flags.count("profile")) runtime::SetProfilingEnabled(true);
 
   bool ok = false;
@@ -196,7 +225,15 @@ int main(int argc, char** argv) {
     const train::TrainResult result = trainer.Train(train, val, rng);
     std::printf("best val MAE %.3f (epoch %d)\n", result.best_val_mae,
                 result.best_epoch);
-    const Status saved = io::SaveCheckpoint(checkpoint, *model);
+    // The metadata header records what the file was trained as, so a later
+    // Publish with a mismatched spec fails naming the file's own identity.
+    io::CheckpointMeta meta;
+    meta.model_name = model_name;
+    meta.num_entities = dataset.num_entities();
+    meta.in_channels = dataset.num_channels();
+    meta.history = sizing.history;
+    meta.horizon = sizing.horizon;
+    const Status saved = io::SaveCheckpoint(checkpoint, *model, meta);
     if (!saved.ok()) {
       std::fprintf(stderr, "checkpoint save failed: %s\n",
                    saved.ToString().c_str());
@@ -204,24 +241,21 @@ int main(int argc, char** argv) {
     }
     std::printf("weights saved to %s\n", checkpoint.c_str());
 
-    // Serve smoke through the inference subsystem: reload the checkpoint we
-    // just wrote and serve the most recent test window. Besides exercising
-    // the save->load->serve path end to end, it means a train-only run's
-    // metrics snapshot also carries the serve latency histograms.
-    serve::SessionConfig sc;
-    sc.model_name = model_name;
-    sc.num_entities = dataset.num_entities();
-    sc.in_channels = dataset.num_channels();
-    sc.target_channel = dataset.target_channel;
-    sc.adjacency = adjacency;
-    sc.sizing = sizing;
-    sc.checkpoint_path = checkpoint;
-    std::unique_ptr<serve::InferenceSession> session;
-    const Status created =
-        serve::InferenceSession::Create(sc, scaler, &session);
-    if (!created.ok()) {
-      std::fprintf(stderr, "serve smoke failed: %s\n",
-                   created.ToString().c_str());
+    // Serve smoke through the serving control plane: publish the checkpoint
+    // we just wrote as version 1 and serve the most recent test window
+    // through the registry. Besides exercising save -> publish -> serve end
+    // to end, it means a train-only run's metrics snapshot also carries the
+    // serve.model.<name>.* and serve.session.* streams.
+    serve::ModelRegistry registry;
+    serve::PublishOptions po;
+    po.pool_size = 1;  // smoke needs one session, not a serving fleet
+    const Status published = registry.Publish(
+        model_name, /*version=*/1,
+        BuildSpec(model_name, dataset, adjacency, sizing, checkpoint), scaler,
+        po);
+    if (!published.ok()) {
+      std::fprintf(stderr, "serve smoke publish failed: %s\n",
+                   published.ToString().c_str());
       return 1;
     }
     data::WindowDataset test(scaled, dataset.series, dataset.target_channel,
@@ -232,38 +266,37 @@ int main(int argc, char** argv) {
       request.history = batch.x;    // [1, N, H, C], already z-scored
       request.scaled_input = true;
       serve::PredictResponse response;
-      const Status served = session->Predict(request, &response);
+      const Status served = registry.Predict(model_name, request, &response);
       if (!served.ok()) {
         std::fprintf(stderr, "serve smoke predict failed: %s\n",
                      served.ToString().c_str());
         return 1;
       }
-      std::printf("serve smoke: latest test window served in %.2f ms\n",
-                  response.latency_ms);
+      std::printf(
+          "serve smoke: latest test window served by '%s' v%lld in %.2f ms\n",
+          model_name.c_str(), (long long)response.model_version,
+          response.latency_ms);
     }
     return FinishWithMetrics(args, 0);
   }
 
-  // predict: serve the checkpoint through the inference subsystem. All
-  // failure modes (unknown model, missing/mismatched checkpoint, malformed
-  // windows) surface as Status instead of aborting.
-  serve::SessionConfig sc;
-  sc.model_name = model_name;
-  sc.num_entities = dataset.num_entities();
-  sc.in_channels = dataset.num_channels();
-  sc.target_channel = dataset.target_channel;
-  sc.adjacency = adjacency;
-  sc.sizing = sizing;
-  sc.checkpoint_path = checkpoint;
-  std::unique_ptr<serve::InferenceSession> session;
-  const Status created = serve::InferenceSession::Create(sc, scaler, &session);
-  if (!created.ok()) {
-    std::fprintf(stderr, "serving session failed: %s\n",
-                 created.ToString().c_str());
+  // predict and serve-smoke both go through the serving control plane:
+  // publish the checkpoint as version 1 of the model under its zoo name,
+  // then route every request via ModelRegistry::Predict. All failure modes
+  // (unknown model, missing or mismatched checkpoint, malformed windows)
+  // surface as Status naming the model and version instead of aborting.
+  serve::ModelRegistry registry;
+  serve::PublishOptions po;
+  po.pool_size = args.GetInt("pool", 2);
+  const serve::ModelSpec spec =
+      BuildSpec(model_name, dataset, adjacency, sizing, checkpoint);
+  const Status published =
+      registry.Publish(model_name, /*version=*/1, spec, scaler, po);
+  if (!published.ok()) {
+    std::fprintf(stderr, "publish failed: %s\n",
+                 published.ToString().c_str());
     return 1;
   }
-  std::printf("serving %s: %lld parameters\n", model_name.c_str(),
-              (long long)session->model().NumParameters());
 
   data::WindowDataset test(scaled, dataset.series, dataset.target_channel,
                            splits.val_end, splits.total, 12, 12, 1);
@@ -271,37 +304,110 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "test split has no full windows\n");
     return 1;
   }
-  const data::Batch batch = test.MakeBatch({test.num_windows() - 1});
-  serve::PredictRequest request;
-  request.history = batch.x;     // [1, N, H, C], already z-scored
-  request.scaled_input = true;   // forecast comes back in real units
-  serve::PredictResponse response;
-  const Status served = session->Predict(request, &response);
-  if (!served.ok()) {
-    std::fprintf(stderr, "predict failed: %s\n", served.ToString().c_str());
-    return 1;
-  }
-  const Tensor pred =
-      response.forecast.Reshape({dataset.num_entities(), 12});
 
-  const std::string out = args.Get("out", "forecast.csv");
-  const Status written = io::WriteForecastCsv(out, pred);
-  if (!written.ok()) {
-    std::fprintf(stderr, "forecast write failed: %s\n",
-                 written.ToString().c_str());
+  if (args.command == "predict") {
+    const data::Batch batch = test.MakeBatch({test.num_windows() - 1});
+    serve::PredictRequest request;
+    request.history = batch.x;     // [1, N, H, C], already z-scored
+    request.scaled_input = true;   // forecast comes back in real units
+    serve::PredictResponse response;
+    const Status served = registry.Predict(model_name, request, &response);
+    if (!served.ok()) {
+      std::fprintf(stderr, "predict failed: %s\n", served.ToString().c_str());
+      return 1;
+    }
+    std::printf("served by '%s' v%lld in %.2f ms\n", model_name.c_str(),
+                (long long)response.model_version, response.latency_ms);
+    const Tensor pred =
+        response.forecast.Reshape({dataset.num_entities(), 12});
+
+    const std::string out = args.Get("out", "forecast.csv");
+    const Status written = io::WriteForecastCsv(out, pred);
+    if (!written.ok()) {
+      std::fprintf(stderr, "forecast write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("12-step forecast for the most recent window written to %s\n",
+                out.c_str());
+    // Also report the errors against the ground truth of that window.
+    train::MetricAccumulator acc(12);
+    acc.Add(pred.Reshape({1, dataset.num_entities(), 12}), batch.y_raw);
+    std::printf("window MAE %.3f  RMSE %.3f  MAPE %.2f%%\n",
+                acc.Overall().mae, acc.Overall().rmse, acc.Overall().mape);
+    return FinishWithMetrics(args, 0);
+  }
+
+  // serve-smoke: a scripted pass over the registry's control plane —
+  // serve a burst of requests on v1, hot-swap to v2 under the same
+  // checkpoint, stage v3 as a shadow on mirrored traffic, then promote it.
+  const int requests = args.GetInt("requests", 8);
+  serve::PredictResponse response;
+  for (int i = 0; i < requests; ++i) {
+    const data::Batch batch =
+        test.MakeBatch({i % test.num_windows()});
+    serve::PredictRequest request;
+    request.history = batch.x;
+    request.scaled_input = true;
+    const Status served = registry.Predict(model_name, request, &response);
+    if (!served.ok()) {
+      std::fprintf(stderr, "serve-smoke predict failed: %s\n",
+                   served.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("served %d request(s) on v%lld\n", requests,
+              (long long)response.model_version);
+
+  const Status swapped =
+      registry.Publish(model_name, /*version=*/2, spec, scaler, po);
+  if (!swapped.ok()) {
+    std::fprintf(stderr, "hot-swap publish failed: %s\n",
+                 swapped.ToString().c_str());
     return 1;
   }
-  std::printf("12-step forecast for the most recent window written to %s\n",
-              out.c_str());
-  // Also report the errors against the ground truth of that window.
-  train::MetricAccumulator acc(12);
-  acc.Add(pred.Reshape({1, dataset.num_entities(), 12}), batch.y_raw);
-  std::printf("window MAE %.3f  RMSE %.3f  MAPE %.2f%%\n",
-              acc.Overall().mae, acc.Overall().rmse, acc.Overall().mape);
-  const serve::Stats stats = session->stats();
-  std::printf("serve stats: %lld window(s), %lld forward(s), "
-              "latency %.2f ms\n",
-              (long long)stats.windows, (long long)stats.forwards,
-              response.latency_ms);
+  const Status shadowed =
+      registry.PublishShadow(model_name, /*version=*/3, spec, scaler, po);
+  if (!shadowed.ok()) {
+    std::fprintf(stderr, "shadow publish failed: %s\n",
+                 shadowed.ToString().c_str());
+    return 1;
+  }
+  for (int i = 0; i < requests; ++i) {
+    const data::Batch batch = test.MakeBatch({i % test.num_windows()});
+    serve::PredictRequest request;
+    request.history = batch.x;
+    request.scaled_input = true;
+    const Status served = registry.Predict(model_name, request, &response);
+    if (!served.ok()) {
+      std::fprintf(stderr, "serve-smoke predict failed: %s\n",
+                   served.ToString().c_str());
+      return 1;
+    }
+  }
+  const obs::Histogram* delta = obs::Registry::Global().GetHistogram(
+      "serve.model." + model_name + ".shadow.delta", obs::DeltaBuckets());
+  std::printf(
+      "served %d request(s) on v%lld with v3 shadowing: "
+      "mean |delta| max %.3g over %lld mirrored request(s)\n",
+      requests, (long long)response.model_version, delta->Max(),
+      (long long)delta->Count());
+
+  const Status promoted = registry.Promote(model_name);
+  if (!promoted.ok()) {
+    std::fprintf(stderr, "promote failed: %s\n", promoted.ToString().c_str());
+    return 1;
+  }
+  serve::ModelInfo info;
+  const Status inspected = registry.Info(model_name, &info);
+  if (!inspected.ok()) {
+    std::fprintf(stderr, "info failed: %s\n", inspected.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "promoted shadow: '%s' active v%lld, pool %d, %lld swap(s), "
+      "%lld version(s) draining\n",
+      model_name.c_str(), (long long)info.active_version, info.pool_size,
+      (long long)info.swaps, (long long)info.draining);
   return FinishWithMetrics(args, 0);
 }

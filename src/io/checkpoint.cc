@@ -14,7 +14,9 @@ namespace io {
 namespace {
 
 constexpr char kMagic[4] = {'E', 'N', 'C', 'P'};
-constexpr uint32_t kVersion = 1;
+/// v1: no metadata block. v2 (current): uint8 has_meta + optional metadata
+/// between the version word and the parameter count.
+constexpr uint32_t kVersion = 2;
 
 template <typename T>
 void WritePod(std::ofstream& file, T value) {
@@ -27,9 +29,53 @@ bool ReadPod(std::ifstream& file, T* value) {
   return file.good();
 }
 
-}  // namespace
+/// Reads magic, version, and (for v2) the metadata block, leaving the stream
+/// positioned at the parameter count. Shared by ReadCheckpointMeta and
+/// LoadCheckpoint so the two can never disagree on the wire format.
+Status ReadHeader(std::ifstream& file, const std::string& path,
+                  CheckpointMeta* meta) {
+  char magic[4];
+  file.read(magic, sizeof(magic));
+  if (!file.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not an EnhanceNet checkpoint");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(file, &version) || version < 1 || version > kVersion) {
+    return Status::InvalidArgument(path + ": unsupported checkpoint version");
+  }
+  *meta = CheckpointMeta();
+  if (version == 1) return Status::Ok();  // v1: parameters follow directly
+  uint8_t has_meta = 0;
+  if (!ReadPod(file, &has_meta) || has_meta > 1) {
+    return Status::InvalidArgument(path + ": truncated header");
+  }
+  if (has_meta == 0) return Status::Ok();
+  uint32_t name_len = 0;
+  if (!ReadPod(file, &name_len) || name_len > 4096) {
+    return Status::InvalidArgument(path + ": corrupt model name in header");
+  }
+  std::string name(name_len, '\0');
+  file.read(name.data(), name_len);
+  if (!file.good()) {
+    return Status::InvalidArgument(path + ": truncated header");
+  }
+  int64_t fields[4];
+  for (int64_t& field : fields) {
+    if (!ReadPod(file, &field) || field < 0) {
+      return Status::InvalidArgument(path + ": corrupt sizing in header");
+    }
+  }
+  meta->present = true;
+  meta->model_name = std::move(name);
+  meta->num_entities = fields[0];
+  meta->in_channels = fields[1];
+  meta->history = fields[2];
+  meta->horizon = fields[3];
+  return Status::Ok();
+}
 
-Status SaveCheckpoint(const std::string& path, const nn::Module& module) {
+Status SaveCheckpointImpl(const std::string& path, const nn::Module& module,
+                          const CheckpointMeta* meta) {
   // Crash safety: the final file must never exist in a partially-written
   // state, so everything is written to <path>.tmp and renamed into place
   // only after every byte landed. A crash at any point leaves either no
@@ -44,6 +90,16 @@ Status SaveCheckpoint(const std::string& path, const nn::Module& module) {
     const auto named = module.NamedParameters();
     file.write(kMagic, sizeof(kMagic));
     WritePod(file, kVersion);
+    WritePod(file, static_cast<uint8_t>(meta != nullptr ? 1 : 0));
+    if (meta != nullptr) {
+      WritePod(file, static_cast<uint32_t>(meta->model_name.size()));
+      file.write(meta->model_name.data(),
+                 static_cast<std::streamsize>(meta->model_name.size()));
+      WritePod(file, meta->num_entities);
+      WritePod(file, meta->in_channels);
+      WritePod(file, meta->history);
+      WritePod(file, meta->horizon);
+    }
     WritePod(file, static_cast<uint64_t>(named.size()));
     for (const auto& [name, param] : named) {
       WritePod(file, static_cast<uint32_t>(name.size()));
@@ -68,6 +124,28 @@ Status SaveCheckpoint(const std::string& path, const nn::Module& module) {
   return Status::Ok();
 }
 
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path, const nn::Module& module) {
+  return SaveCheckpointImpl(path, module, nullptr);
+}
+
+Status SaveCheckpoint(const std::string& path, const nn::Module& module,
+                      const CheckpointMeta& meta) {
+  return SaveCheckpointImpl(path, module, &meta);
+}
+
+Status ReadCheckpointMeta(const std::string& path, CheckpointMeta* meta) {
+  if (meta == nullptr) {
+    return Status::InvalidArgument("meta is null");
+  }
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::NotFound("cannot open " + path);
+  }
+  return ReadHeader(file, path, meta);
+}
+
 Status LoadCheckpoint(const std::string& path, nn::Module* module) {
   if (module == nullptr) {
     return Status::InvalidArgument("module is null");
@@ -76,15 +154,8 @@ Status LoadCheckpoint(const std::string& path, nn::Module* module) {
   if (!file.is_open()) {
     return Status::NotFound("cannot open " + path);
   }
-  char magic[4];
-  file.read(magic, sizeof(magic));
-  if (!file.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument(path + ": not an EnhanceNet checkpoint");
-  }
-  uint32_t version = 0;
-  if (!ReadPod(file, &version) || version != kVersion) {
-    return Status::InvalidArgument(path + ": unsupported checkpoint version");
-  }
+  CheckpointMeta meta;
+  ENHANCENET_RETURN_IF_ERROR(ReadHeader(file, path, &meta));
   uint64_t count = 0;
   if (!ReadPod(file, &count)) {
     return Status::InvalidArgument(path + ": truncated header");

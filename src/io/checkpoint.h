@@ -1,6 +1,7 @@
 #ifndef ENHANCENET_IO_CHECKPOINT_H_
 #define ENHANCENET_IO_CHECKPOINT_H_
 
+#include <cstdint>
 #include <string>
 
 #include "common/status.h"
@@ -9,18 +10,38 @@
 namespace enhancenet {
 namespace io {
 
+/// Identity of the model a checkpoint was saved from. Written into the
+/// checkpoint header (format v2) so a serving control plane can reject a
+/// spec/file mismatch with a precise error *before* staging the weights,
+/// instead of surfacing as a parameter-shape mismatch mid-load.
+struct CheckpointMeta {
+  /// False for files without a metadata block (all v1 checkpoints, and v2
+  /// files written through the meta-less SaveCheckpoint overload).
+  bool present = false;
+  std::string model_name;
+  int64_t num_entities = 0;
+  int64_t in_channels = 0;
+  int64_t history = 0;
+  int64_t horizon = 0;
+};
+
 /// Binary weight checkpoints.
 ///
 /// Format (little-endian):
-///   magic "ENCP", uint32 version (1), uint64 parameter count, then per
-///   parameter: uint32 name length, name bytes, uint32 rank, int64 dims[],
-///   float32 data[].
+///   magic "ENCP", uint32 version (2), uint8 has_meta,
+///   [if has_meta: uint32 name length, name bytes, int64 num_entities,
+///    int64 in_channels, int64 history, int64 horizon],
+///   uint64 parameter count, then per parameter: uint32 name length, name
+///   bytes, uint32 rank, int64 dims[], float32 data[].
+///
+/// Version 1 files (no metadata block) remain fully loadable; only writing
+/// moved to version 2.
 ///
 /// Loading matches parameters by hierarchical name and CHECKs nothing — all
 /// mismatches (missing file, unknown/missing names, shape conflicts) are
 /// reported through Status so callers can recover. Typical round trip:
 ///
-///   io::SaveCheckpoint("model.encp", *model);
+///   io::SaveCheckpoint("model.encp", *model, meta);
 ///   ...
 ///   auto fresh = models::MakeModel(...same config & seed...);
 ///   io::LoadCheckpoint("model.encp", fresh.get());
@@ -32,6 +53,16 @@ namespace io {
 /// name/shape check passed, so a failed load leaves the parameters bitwise
 /// untouched.
 Status SaveCheckpoint(const std::string& path, const nn::Module& module);
+
+/// Saves with a metadata block identifying the source model; `meta.present`
+/// is ignored (writing a meta implies presence).
+Status SaveCheckpoint(const std::string& path, const nn::Module& module,
+                      const CheckpointMeta& meta);
+
+/// Reads only the header of a checkpoint: cheap (no parameter payloads are
+/// touched) and safe to call on files of either version. For v1 files and
+/// meta-less v2 files, returns OK with `meta->present == false`.
+Status ReadCheckpointMeta(const std::string& path, CheckpointMeta* meta);
 
 /// Restores every parameter of `module` from the checkpoint. The checkpoint
 /// must contain exactly the module's parameter names with matching shapes.

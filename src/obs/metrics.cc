@@ -102,6 +102,14 @@ const std::vector<double>& OccupancyBuckets() {
   return buckets;
 }
 
+const std::vector<double>& DeltaBuckets() {
+  // First bound 0.0 so bitwise-identical shadow predictions land in their
+  // own bucket; the rest spans float noise (1e-6) up to real divergence.
+  static const std::vector<double> buckets = {
+      0.0, 1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+  return buckets;
+}
+
 Registry& Registry::Global() {
   // Leaked intentionally: instrumented threads may outlive static teardown.
   static Registry* registry = new Registry();

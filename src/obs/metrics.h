@@ -94,6 +94,11 @@ const std::vector<double>& LatencyBucketsMs();
 /// Default bucket bounds for micro-batch occupancy histograms.
 const std::vector<double>& OccupancyBuckets();
 
+/// Default bucket bounds for shadow-mode prediction-delta histograms
+/// (mean |primary - shadow| per request): 0 (bitwise identical), then
+/// roughly one decade per bucket from float noise to gross divergence.
+const std::vector<double>& DeltaBuckets();
+
 /// Lock-striped name -> metric map. Metrics are created on first request and
 /// never destroyed (stable pointers). The same name may exist independently
 /// as a counter, a gauge, and a histogram; exporters keep the kinds apart.

@@ -12,58 +12,100 @@ namespace serve {
 
 namespace {
 
-runtime::RuntimeContext::Options SessionContextOptions(bool private_exec) {
-  runtime::RuntimeContext::Options options;
-  options.private_allocator = true;
-  options.private_exec = private_exec;
-  return options;
+runtime::RuntimeContext::Options SessionContextOptions(
+    const SessionOptions& options) {
+  runtime::RuntimeContext::Options o;
+  // A registry-provided allocator stages the whole version pool on one
+  // allocator; otherwise the session gets a private one.
+  o.allocator = options.allocator;
+  o.private_allocator = options.allocator == nullptr;
+  o.private_exec = options.topk >= 0;
+  return o;
+}
+
+/// Rejects a checkpoint whose metadata header names a different model or
+/// sizing than the spec. Files without metadata (v1, or saved without meta)
+/// fall through to the per-parameter checks in LoadCheckpoint.
+Status CheckCheckpointMeta(const ModelSpec& spec) {
+  io::CheckpointMeta meta;
+  ENHANCENET_RETURN_IF_ERROR(
+      io::ReadCheckpointMeta(spec.checkpoint_path, &meta));
+  if (!meta.present) return Status::Ok();
+  const auto describe = [](const std::string& name, int64_t n, int64_t c,
+                           int64_t h, int64_t f) {
+    return "'" + name + "' (N=" + std::to_string(n) +
+           ", C=" + std::to_string(c) + ", H=" + std::to_string(h) +
+           ", F=" + std::to_string(f) + ")";
+  };
+  if (meta.model_name != spec.model_name ||
+      meta.num_entities != spec.num_entities ||
+      meta.in_channels != spec.in_channels ||
+      meta.history != spec.sizing.history ||
+      meta.horizon != spec.sizing.horizon) {
+    return Status::FailedPrecondition(
+        "checkpoint " + spec.checkpoint_path + " was saved from model " +
+        describe(meta.model_name, meta.num_entities, meta.in_channels,
+                 meta.history, meta.horizon) +
+        " but the spec declares " +
+        describe(spec.model_name, spec.num_entities, spec.in_channels,
+                 spec.sizing.history, spec.sizing.horizon));
+  }
+  return Status::Ok();
 }
 
 }  // namespace
 
-Status InferenceSession::Create(const SessionConfig& config,
+Status InferenceSession::Create(const ModelSpec& spec,
+                                const SessionOptions& options,
                                 const data::StandardScaler& scaler,
                                 std::unique_ptr<InferenceSession>* out) {
   if (out == nullptr) {
     return Status::InvalidArgument("InferenceSession::Create: out is null");
   }
-  if (scaler.num_channels() != config.in_channels) {
+  if (scaler.num_channels() != spec.in_channels) {
     return Status::InvalidArgument(
         "scaler fitted on " + std::to_string(scaler.num_channels()) +
-        " channels but the session config declares " +
-        std::to_string(config.in_channels));
+        " channels but the spec declares " +
+        std::to_string(spec.in_channels));
   }
-  if (config.target_channel < 0 ||
-      config.target_channel >= config.in_channels) {
+  if (spec.target_channel < 0 || spec.target_channel >= spec.in_channels) {
     return Status::InvalidArgument(
-        "target_channel " + std::to_string(config.target_channel) +
-        " out of range [0, " + std::to_string(config.in_channels) + ")");
+        "target_channel " + std::to_string(spec.target_channel) +
+        " out of range [0, " + std::to_string(spec.in_channels) + ")");
   }
-  Rng rng(config.seed);
+  // Metadata precheck runs before the model is even built, so a
+  // misconfigured spec fails with the file's own identity instead of a
+  // parameter-shape mismatch mid-load.
+  if (!spec.checkpoint_path.empty()) {
+    ENHANCENET_RETURN_IF_ERROR(CheckCheckpointMeta(spec));
+  }
+  Rng rng(options.seed);
   std::unique_ptr<models::ForecastingModel> model;
   ENHANCENET_RETURN_IF_ERROR(models::TryMakeModel(
-      config.model_name, config.num_entities, config.in_channels,
-      config.adjacency, config.sizing, rng, &model));
-  if (!config.checkpoint_path.empty()) {
+      spec.model_name, spec.num_entities, spec.in_channels, spec.adjacency,
+      spec.sizing, rng, &model));
+  if (!spec.checkpoint_path.empty()) {
     ENHANCENET_RETURN_IF_ERROR(
-        io::LoadCheckpoint(config.checkpoint_path, model.get()));
+        io::LoadCheckpoint(spec.checkpoint_path, model.get()));
   }
   model->SetTraining(false);
-  out->reset(new InferenceSession(config, std::move(model), scaler));
+  out->reset(new InferenceSession(spec, options, std::move(model), scaler));
   return Status::Ok();
 }
 
 InferenceSession::InferenceSession(
-    SessionConfig config, std::unique_ptr<models::ForecastingModel> model,
+    ModelSpec spec, SessionOptions options,
+    std::unique_ptr<models::ForecastingModel> model,
     const data::StandardScaler& scaler)
-    : config_(std::move(config)),
+    : spec_(std::move(spec)),
+      options_(std::move(options)),
       model_(std::move(model)),
       scaler_(scaler),
       metrics_(ServeMetrics::Create("serve.session",
                                     /*with_occupancy=*/false)),
-      context_(SessionContextOptions(config_.topk >= 0)) {
-  if (config_.topk >= 0) {
-    context_.exec().topk.store(config_.topk, std::memory_order_relaxed);
+      context_(SessionContextOptions(options_)) {
+  if (options_.topk >= 0) {
+    context_.exec().topk.store(options_.topk, std::memory_order_relaxed);
   }
 }
 
@@ -77,14 +119,14 @@ Status InferenceSession::Validate(const Tensor& history) const {
   const int64_t n = history.size(offset);
   const int64_t h = history.size(offset + 1);
   const int64_t c = history.size(offset + 2);
-  if (n != config_.num_entities || h != model_->history() ||
-      c != config_.in_channels) {
+  if (n != spec_.num_entities || h != model_->history() ||
+      c != spec_.in_channels) {
     return Status::InvalidArgument(
         "history shape " + ShapeToString(history.shape()) +
         " does not match the session's model (expected N=" +
-        std::to_string(config_.num_entities) +
+        std::to_string(spec_.num_entities) +
         ", H=" + std::to_string(model_->history()) +
-        ", C=" + std::to_string(config_.in_channels) + ")");
+        ", C=" + std::to_string(spec_.in_channels) + ")");
   }
   const float* p = history.data();
   for (int64_t i = 0; i < history.numel(); ++i) {
@@ -107,7 +149,7 @@ Tensor InferenceSession::ScaleWindow(const Tensor& history) const {
 }
 
 Tensor InferenceSession::UnscaleForecast(const Tensor& forecast) const {
-  return scaler_.InverseTarget(forecast, config_.target_channel);
+  return scaler_.InverseTarget(forecast, spec_.target_channel);
 }
 
 Status InferenceSession::Predict(const PredictRequest& request,
@@ -130,8 +172,8 @@ Status InferenceSession::Predict(const PredictRequest& request,
   Tensor x = request.scaled_input ? request.history
                                   : ScaleWindow(request.history);
   if (single) {
-    x = x.Reshape({1, config_.num_entities, model_->history(),
-                   config_.in_channels});
+    x = x.Reshape({1, spec_.num_entities, model_->history(),
+                   spec_.in_channels});
   }
 
   Tensor pred;
@@ -139,12 +181,12 @@ Status InferenceSession::Predict(const PredictRequest& request,
     // Eval-mode forward never draws from the Rng, so a throwaway local one
     // keeps Predict safely re-entrant across threads.
     autograd::NoGradGuard no_grad;
-    Rng rng(config_.seed);
+    Rng rng(options_.seed);
     pred = model_->Predict(x, rng).data();  // [B, N, F]
   }
   if (!request.scaled_output) pred = UnscaleForecast(pred);
   response->forecast =
-      single ? pred.Reshape({config_.num_entities, model_->horizon()}) : pred;
+      single ? pred.Reshape({spec_.num_entities, model_->horizon()}) : pred;
   response->latency_ms = timer.ElapsedMillis();
 
   metrics_.windows->Add(batch);

@@ -14,10 +14,12 @@
 namespace enhancenet {
 namespace serve {
 
-/// Everything needed to reconstruct a trained model for serving: the factory
-/// name and sizing it was trained with, the (optional) checkpoint holding
-/// its weights, and the scaler fitted on its training split.
-struct SessionConfig {
+/// What the registry versions: everything needed to reconstruct a trained
+/// model for serving — the factory name and sizing it was trained with and
+/// the checkpoint holding its weights. Two ModelSpecs with the same fields
+/// serve bitwise-identical predictions; per-session runtime knobs live in
+/// SessionOptions instead.
+struct ModelSpec {
   std::string model_name = "D-GRNN";
   int64_t num_entities = 0;
   int64_t in_channels = 1;
@@ -28,8 +30,15 @@ struct SessionConfig {
   Tensor adjacency;
   models::ModelSizing sizing;
   /// Binary weight checkpoint (io::SaveCheckpoint). Empty serves the
-  /// freshly-initialized weights — useful in tests only.
+  /// freshly-initialized weights — useful in tests only. When the file
+  /// carries a metadata header (io::CheckpointMeta), Create rejects any
+  /// model-name/sizing mismatch against this spec before touching weights.
   std::string checkpoint_path;
+};
+
+/// Per-session runtime knobs: everything that changes *how* a spec is
+/// served without changing *what* it predicts.
+struct SessionOptions {
   /// Seed for weight initialization before the checkpoint overwrites it.
   /// Irrelevant to predictions when a checkpoint is loaded.
   uint64_t seed = 2024;
@@ -39,6 +48,36 @@ struct SessionConfig {
   /// gives the session a private ExecConfig so the knob never leaks into
   /// other sessions or the trainer.
   int topk = -1;
+  /// Micro-batching policy, consumed by ModelRegistry (a bare
+  /// InferenceSession ignores these three): when enabled, single-window
+  /// Predicts through the registry coalesce into batched forwards.
+  bool micro_batching = false;
+  int64_t max_batch_size = 8;
+  double max_wait_ms = 2.0;
+  /// Allocator for the session's private RuntimeContext. Null (default)
+  /// creates a fresh private allocator; the registry passes one shared
+  /// per-version allocator to every session of a pool so the whole
+  /// version's tensor storage is staged — and released on retire —
+  /// together.
+  std::shared_ptr<TensorAllocator> allocator;
+};
+
+/// DEPRECATED aliasing shim for the pre-registry API, kept for one release:
+/// the flat config that predates the ModelSpec/SessionOptions split. Field
+/// access is source-compatible with the old struct (`config.model_name`,
+/// `config.seed`, ...); new code should construct ModelSpec and
+/// SessionOptions directly.
+struct SessionConfig : ModelSpec {
+  uint64_t seed = 2024;
+  int topk = -1;
+
+  const ModelSpec& spec() const { return *this; }
+  SessionOptions options() const {
+    SessionOptions o;
+    o.seed = seed;
+    o.topk = topk;
+    return o;
+  }
 };
 
 /// One forecasting request.
@@ -62,6 +101,9 @@ struct PredictResponse {
   /// Wall-clock time spent inside Predict, including validation and
   /// (de)scaling.
   double latency_ms = 0.0;
+  /// Version that served the request when routed through a ModelRegistry;
+  /// -1 for direct session calls.
+  int64_t model_version = -1;
 };
 
 /// A thread-safe serving handle owning a model, its weights, and the scaler
@@ -84,10 +126,20 @@ struct PredictResponse {
 class InferenceSession {
  public:
   /// Builds the model, loads the checkpoint (if any), and switches to eval
-  /// mode. On failure `*out` is untouched.
-  static Status Create(const SessionConfig& config,
+  /// mode. If the checkpoint carries a metadata header, a spec mismatch
+  /// (model name, entity/channel counts, history/horizon) is rejected with
+  /// a precise FailedPrecondition before any weight is read. On failure
+  /// `*out` is untouched.
+  static Status Create(const ModelSpec& spec, const SessionOptions& options,
                        const data::StandardScaler& scaler,
                        std::unique_ptr<InferenceSession>* out);
+
+  /// DEPRECATED: pre-split entry point, forwards to the primary overload.
+  static Status Create(const SessionConfig& config,
+                       const data::StandardScaler& scaler,
+                       std::unique_ptr<InferenceSession>* out) {
+    return Create(config.spec(), config.options(), scaler, out);
+  }
 
   virtual ~InferenceSession() = default;
 
@@ -111,16 +163,17 @@ class InferenceSession {
   Stats stats() const;
 
   const models::ForecastingModel& model() const { return *model_; }
+  const ModelSpec& spec() const { return spec_; }
 
   /// The session's private runtime context: its own allocator (so two
   /// sessions never contend on a free-list mutex, and a session never
   /// shares pooled blocks with the trainer) and its own workspace arena.
-  /// Exec config is shared with the default context unless the config set
+  /// Exec config is shared with the default context unless the options set
   /// a session-local topk.
   runtime::RuntimeContext& context() const { return context_; }
 
-  int64_t num_entities() const { return config_.num_entities; }
-  int64_t in_channels() const { return config_.in_channels; }
+  int64_t num_entities() const { return spec_.num_entities; }
+  int64_t in_channels() const { return spec_.in_channels; }
   int64_t history() const { return model_->history(); }
   int64_t horizon() const { return model_->horizon(); }
 
@@ -128,19 +181,20 @@ class InferenceSession {
   /// Protected so test doubles (e.g. a failing-forward session for
   /// poisoned-batch coverage) can subclass; production code goes through
   /// Create().
-  InferenceSession(SessionConfig config,
+  InferenceSession(ModelSpec spec, SessionOptions options,
                    std::unique_ptr<models::ForecastingModel> model,
                    const data::StandardScaler& scaler);
 
  private:
-  SessionConfig config_;
+  ModelSpec spec_;
+  SessionOptions options_;
   std::unique_ptr<models::ForecastingModel> model_;
   data::StandardScaler scaler_;
   ServeMetrics metrics_;
   /// Bound inside Predict. Mutable because binding a context is an
   /// implementation detail of the logically-const forward; RuntimeContext
   /// itself is safe to bind from many threads at once. Constructed with a
-  /// private exec config when the session config pins a topk.
+  /// private exec config when the session options pin a topk.
   mutable runtime::RuntimeContext context_;
 };
 

@@ -1,0 +1,183 @@
+#ifndef ENHANCENET_SERVE_MODEL_REGISTRY_H_
+#define ENHANCENET_SERVE_MODEL_REGISTRY_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/inference_session.h"
+#include "serve/micro_batcher.h"
+
+namespace enhancenet {
+namespace serve {
+
+/// How a version is staged: session-pool sizing plus the per-session
+/// runtime knobs (seed, topk, micro-batching) applied to every pool member.
+struct PublishOptions {
+  SessionOptions session;
+  /// Number of InferenceSessions fronting the version. Each holds its own
+  /// copy of the weights (forwards never share mutable state), and all of
+  /// them draw tensor storage from one per-version allocator, so the whole
+  /// version's memory retires as a unit. Clamped to >= 1.
+  int pool_size = 2;
+};
+
+/// Control-plane snapshot of one published model (see ModelRegistry::Info).
+struct ModelInfo {
+  int64_t active_version = -1;
+  int64_t shadow_version = -1;  ///< -1 when no shadow is staged
+  int pool_size = 0;
+  int64_t swaps = 0;     ///< completed hot-swaps (publishes replacing a live version)
+  int64_t draining = 0;  ///< retired versions still serving in-flight requests
+};
+
+/// The serving front door: N named models, each at an explicit version,
+/// each fronted by a pool of InferenceSessions, with atomic hot-swap under
+/// live traffic and optional shadow (canary) comparison of a second
+/// version on mirrored traffic.
+///
+/// Swap protocol: Publish stages the new version completely off to the
+/// side — fresh sessions, fresh weights via the transactional
+/// io::LoadCheckpoint, one fresh per-version TensorAllocator shared by the
+/// pool's RuntimeContexts — and only then flips the model's active
+/// shared_ptr under the model mutex. Requests hold a shared_ptr to the
+/// version that was active when they arrived, so in-flight requests drain
+/// on the old version while every request arriving after Publish returns
+/// routes to the new one; no request is ever failed or torn by a swap.
+/// When the last in-flight request releases the retired version, its
+/// sessions, RuntimeContexts, and allocator are destroyed with it — the
+/// drained version holds no memory beyond what live responses still
+/// reference.
+///
+/// Shadow mode: PublishShadow stages a second version that receives every
+/// request the active version serves (mirrored synchronously after the
+/// primary response is produced). The registry records the mean absolute
+/// prediction delta per request into a histogram for canary comparison;
+/// shadow failures are counted, never surfaced to callers. Promote flips
+/// the shadow into the active slot (the canary graduates), ClearShadow
+/// discards it.
+///
+/// Metrics, all in obs::Registry::Global() under `serve.model.<name>.`:
+///   .version          gauge      active version (0 before first publish)
+///   .swaps            counter    publishes that replaced a live version
+///   .requests         counter    Predict calls routed to this model
+///   .errors           counter    Predict calls that returned non-OK
+///   .pool.size        gauge      sessions in the active pool
+///   .pool.occupancy   histogram  in-flight requests on arrival
+///   .draining         gauge      retired versions still draining
+///   .shadow.version   gauge      staged shadow version (0 when none)
+///   .shadow.requests  counter    mirrored requests
+///   .shadow.errors    counter    mirrored requests that failed or
+///                                returned a mismatched shape
+///   .shadow.delta     histogram  mean |primary - shadow| per request
+///
+/// Thread safety: Publish/PublishShadow/Promote/ClearShadow/Predict/Info
+/// may all be called concurrently from any number of threads. Model
+/// entries are created on first Publish and never removed, so per-model
+/// metric handles are stable for the registry's lifetime. Two registries
+/// publishing the same model name share metric streams (the normal fleet
+/// view) — tests reset the registry for exact counts, as with ServeMetrics.
+class ModelRegistry {
+ public:
+  ModelRegistry();
+  // Defined out of line where the private Model type is complete.
+  ~ModelRegistry();
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Stages `spec` as `version` of `name` and atomically makes it the
+  /// active version. The previous active version (if any) drains and
+  /// retires. Fails — leaving current traffic untouched — when the
+  /// checkpoint is missing/mismatched (the error names the model and
+  /// version) or the spec is inconsistent. `version` must be >= 1; it is
+  /// an external label (rollback by republishing an old spec under a new
+  /// or old number is allowed).
+  Status Publish(const std::string& name, int64_t version,
+                 const ModelSpec& spec, const data::StandardScaler& scaler,
+                 const PublishOptions& options = PublishOptions());
+
+  /// Stages `spec` as a shadow version receiving mirrored traffic. The
+  /// model must already have an active version. Replaces any previous
+  /// shadow (which drains like a retired active).
+  Status PublishShadow(const std::string& name, int64_t version,
+                       const ModelSpec& spec,
+                       const data::StandardScaler& scaler,
+                       const PublishOptions& options = PublishOptions());
+
+  /// Atomically swaps the staged shadow into the active slot; the old
+  /// active drains. FailedPrecondition when no shadow is staged.
+  Status Promote(const std::string& name);
+
+  /// Drops the staged shadow, if any (idempotent). NotFound for unknown
+  /// models.
+  Status ClearShadow(const std::string& name);
+
+  /// Routes one request through the active version's pool (or its
+  /// micro-batcher for single windows when the version was published with
+  /// micro_batching). On success `response->model_version` records the
+  /// serving version; errors are annotated with the model name and
+  /// version. Mirrors the request to the shadow when one is staged.
+  Status Predict(const std::string& name, const PredictRequest& request,
+                 PredictResponse* response);
+
+  /// Control-plane snapshot; NotFound for unknown models.
+  Status Info(const std::string& name, ModelInfo* info) const;
+
+  /// Names with at least one published version, sorted.
+  std::vector<std::string> ModelNames() const;
+
+  /// The active version's per-version allocator (null for unknown models).
+  /// Test seam: holding the returned shared_ptr keeps the *allocator
+  /// object* (and its tensor.alloc.* accounting) inspectable without
+  /// keeping the version alive, so tests can assert a retired version
+  /// released every byte after drain.
+  std::shared_ptr<TensorAllocator> ActiveAllocatorForTest(
+      const std::string& name) const;
+
+ private:
+  /// One staged version: the swap unit. Alive while it is the active or
+  /// shadow version of a model, or while any in-flight request holds it.
+  struct Version {
+    int64_t version = 0;
+    /// Shared by every pool session's RuntimeContext; dies with the
+    /// version (late frees from still-live response tensors degrade to
+    /// plain delete[], see TensorAllocator).
+    std::shared_ptr<TensorAllocator> allocator;
+    std::vector<std::unique_ptr<InferenceSession>> pool;
+    /// Present when published with micro_batching; coalesces single-window
+    /// requests into batched forwards on pool[0]. Declared after `pool` so
+    /// it is destroyed before the session it borrows.
+    std::unique_ptr<MicroBatcher> batcher;
+    std::atomic<int64_t> cursor{0};    ///< round-robin session picker
+    std::atomic<int64_t> inflight{0};  ///< requests currently inside Serve
+
+    Status Serve(const PredictRequest& request, PredictResponse* response);
+  };
+
+  struct Metrics;
+  struct Model;
+
+  Model* FindModel(const std::string& name) const;
+  Model* GetOrCreateModel(const std::string& name);
+  std::string PublishedNamesForError() const;
+  Status BuildVersion(const std::string& name, int64_t version,
+                      const ModelSpec& spec,
+                      const data::StandardScaler& scaler,
+                      const PublishOptions& options,
+                      std::shared_ptr<Version>* out) const;
+  void MirrorToShadow(Model* model, const std::shared_ptr<Version>& shadow,
+                      const PredictRequest& request,
+                      const PredictResponse& primary);
+
+  mutable std::mutex mu_;  ///< guards models_ (the map, not the entries)
+  std::map<std::string, std::unique_ptr<Model>> models_;
+};
+
+}  // namespace serve
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_SERVE_MODEL_REGISTRY_H_

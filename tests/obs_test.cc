@@ -333,6 +333,15 @@ TEST_F(ObsTest, CliTrainRunEmitsParseableMetricsSnapshot) {
   EXPECT_EQ(ExtractCounter(json, "serve.session.forwards"), 1);
   EXPECT_EQ(SumHistogramBuckets(json, "serve.session.latency_ms"), 1);
 
+  // The smoke goes through the serving control plane: the model was
+  // published to a ModelRegistry as version 1 under its zoo name, so the
+  // per-model metric family is in the snapshot (gauges print as integers).
+  EXPECT_EQ(ExtractCounter(json, "serve.model.D-GRNN.version"), 1) << json;
+  EXPECT_EQ(ExtractCounter(json, "serve.model.D-GRNN.requests"), 1);
+  EXPECT_EQ(ExtractCounter(json, "serve.model.D-GRNN.errors"), 0);
+  EXPECT_EQ(SumHistogramBuckets(json, "serve.model.D-GRNN.pool.occupancy"),
+            1);
+
   // Trainer epoch timing histogram carries one sample per epoch.
   EXPECT_EQ(SumHistogramBuckets(json, "train.epoch_ms"), 2);
 

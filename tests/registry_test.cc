@@ -1,0 +1,564 @@
+// serve::ModelRegistry: versioned publish, atomic hot-swap under live
+// traffic, session pools, shadow-mode mirroring, and the per-model
+// serve.model.<name>.* metric family (DESIGN.md §11).
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "graph/adjacency.h"
+#include "gtest/gtest.h"
+#include "io/checkpoint.h"
+#include "obs/metrics.h"
+#include "serve/inference_session.h"
+#include "serve/model_registry.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace enhancenet {
+namespace {
+
+constexpr int64_t kEntities = 8;
+constexpr int64_t kHistory = 12;
+constexpr int64_t kHorizon = 12;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+models::ModelSizing TinySizing() {
+  models::ModelSizing sizing;
+  sizing.rnn_hidden = 8;
+  sizing.rnn_hidden_dfgn = 6;
+  sizing.tcn_channels = 6;
+  sizing.tcn_channels_dfgn = 4;
+  sizing.skip_channels = 6;
+  sizing.end_channels = 8;
+  sizing.memory_dim = 6;
+  sizing.dfgn_hidden1 = 6;
+  sizing.dfgn_hidden2 = 3;
+  return sizing;
+}
+
+/// Fixture: two D-GRNN checkpoints (A and B) with distinct weights, both
+/// carrying metadata, plus the reference forecast each one produces for a
+/// fixed request window — the oracle for bitwise routing checks.
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::Registry::Global().ResetForTest();
+    data_ = data::MakeEbLike(kEntities, 2, /*seed=*/5);
+    adjacency_ = graph::GaussianKernelAdjacency(data_.distances);
+    scaler_.Fit(data_.series, 0, data_.num_steps() * 7 / 10);
+
+    ckpt_a_ = TempPath("registry_a.encp");
+    ckpt_b_ = TempPath("registry_b.encp");
+    SaveDistinctCheckpoint(ckpt_a_, /*noise_seed=*/12);
+    SaveDistinctCheckpoint(ckpt_b_, /*noise_seed=*/77);
+
+    window_ = RawWindow(100);
+    reference_a_ = DirectForecast(ckpt_a_);
+    reference_b_ = DirectForecast(ckpt_b_);
+    // The two checkpoints must actually disagree, or the routing and
+    // shadow-delta assertions below are vacuous.
+    ASSERT_FALSE(ops::AllClose(reference_a_, reference_b_, 1e-6f, 1e-6f));
+  }
+
+  void TearDown() override {
+    std::remove(ckpt_a_.c_str());
+    std::remove(ckpt_b_.c_str());
+  }
+
+  void SaveDistinctCheckpoint(const std::string& path, uint64_t noise_seed) {
+    Rng rng(11);
+    auto model = models::MakeModel("D-GRNN", kEntities, 1, adjacency_,
+                                   TinySizing(), rng);
+    Rng noise(noise_seed);
+    for (auto& p : model->Parameters()) {
+      ops::AxpyInPlace(0.1f, Tensor::Randn(p.shape(), noise),
+                       &p.mutable_data());
+    }
+    io::CheckpointMeta meta;
+    meta.model_name = "D-GRNN";
+    meta.num_entities = kEntities;
+    meta.in_channels = 1;
+    meta.history = kHistory;
+    meta.horizon = kHorizon;
+    ASSERT_TRUE(io::SaveCheckpoint(path, *model, meta).ok());
+  }
+
+  serve::ModelSpec Spec(const std::string& checkpoint) const {
+    serve::ModelSpec spec;
+    spec.model_name = "D-GRNN";
+    spec.num_entities = kEntities;
+    spec.in_channels = 1;
+    spec.target_channel = 0;
+    spec.adjacency = adjacency_;
+    spec.sizing = TinySizing();
+    spec.checkpoint_path = checkpoint;
+    return spec;
+  }
+
+  /// A raw (unscaled) [N, H, C] history window ending at absolute time `t`.
+  Tensor RawWindow(int64_t t) const {
+    Tensor window(Shape{kEntities, kHistory, 1});
+    for (int64_t i = 0; i < kEntities; ++i) {
+      for (int64_t h = 0; h < kHistory; ++h) {
+        window.at({i, h, 0}) = data_.series.at({i, t - kHistory + 1 + h, 0});
+      }
+    }
+    return window;
+  }
+
+  /// The fixture window served by a standalone session on `checkpoint` —
+  /// what any registry route must reproduce bitwise.
+  Tensor DirectForecast(const std::string& checkpoint) const {
+    std::unique_ptr<serve::InferenceSession> session;
+    const Status created = serve::InferenceSession::Create(
+        Spec(checkpoint), serve::SessionOptions(), scaler_, &session);
+    EXPECT_TRUE(created.ok()) << created.ToString();
+    serve::PredictRequest request;
+    request.history = window_;
+    serve::PredictResponse response;
+    EXPECT_TRUE(session->Predict(request, &response).ok());
+    return response.forecast;
+  }
+
+  static bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+    if (a.shape() != b.shape()) return false;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+      if (a.data()[i] != b.data()[i]) return false;
+    }
+    return true;
+  }
+
+  data::CtsData data_;
+  Tensor adjacency_;
+  data::StandardScaler scaler_;
+  std::string ckpt_a_;
+  std::string ckpt_b_;
+  Tensor window_;
+  Tensor reference_a_;
+  Tensor reference_b_;
+};
+
+// ---------------------------------------------------------------------------
+// Publish + Predict basics
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryTest, PublishAndPredictMatchesDirectSession) {
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(
+      registry.Publish("traffic", 1, Spec(ckpt_a_), scaler_).ok());
+
+  serve::PredictRequest request;
+  request.history = window_;
+  serve::PredictResponse response;
+  const Status served = registry.Predict("traffic", request, &response);
+  ASSERT_TRUE(served.ok()) << served.ToString();
+  EXPECT_EQ(response.model_version, 1);
+  EXPECT_TRUE(BitwiseEqual(response.forecast, reference_a_));
+
+  serve::ModelInfo info;
+  ASSERT_TRUE(registry.Info("traffic", &info).ok());
+  EXPECT_EQ(info.active_version, 1);
+  EXPECT_EQ(info.shadow_version, -1);
+  EXPECT_EQ(info.pool_size, 2);
+  EXPECT_EQ(info.swaps, 0);
+  EXPECT_EQ(info.draining, 0);
+
+  obs::Registry& obs = obs::Registry::Global();
+  EXPECT_EQ(obs.GetGauge("serve.model.traffic.version")->Get(), 1.0);
+  EXPECT_EQ(obs.GetGauge("serve.model.traffic.pool.size")->Get(), 2.0);
+  EXPECT_EQ(obs.GetCounter("serve.model.traffic.requests")->Get(), 1);
+  EXPECT_EQ(obs.GetCounter("serve.model.traffic.errors")->Get(), 0);
+}
+
+TEST_F(RegistryTest, PoolRoundRobinStaysBitwiseIdentical) {
+  serve::ModelRegistry registry;
+  serve::PublishOptions po;
+  po.pool_size = 3;
+  ASSERT_TRUE(
+      registry.Publish("traffic", 1, Spec(ckpt_a_), scaler_, po).ok());
+  // More requests than pool members: every session must serve the same
+  // bits, so callers cannot observe which pool slot they landed on.
+  for (int i = 0; i < 7; ++i) {
+    serve::PredictRequest request;
+    request.history = window_;
+    serve::PredictResponse response;
+    ASSERT_TRUE(registry.Predict("traffic", request, &response).ok());
+    EXPECT_TRUE(BitwiseEqual(response.forecast, reference_a_)) << i;
+  }
+}
+
+TEST_F(RegistryTest, PredictUnknownModelIsNotFoundListingPublished) {
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish("m1", 1, Spec(ckpt_a_), scaler_).ok());
+  serve::PredictRequest request;
+  request.history = window_;
+  serve::PredictResponse response;
+  const Status served = registry.Predict("m2", request, &response);
+  EXPECT_EQ(served.code(), StatusCode::kNotFound);
+  EXPECT_NE(served.message().find("'m2'"), std::string::npos)
+      << served.ToString();
+  EXPECT_NE(served.message().find("'m1'"), std::string::npos)
+      << served.ToString();
+}
+
+TEST_F(RegistryTest, PublishRejectsSpecCheckpointMismatch) {
+  serve::ModelRegistry registry;
+  serve::ModelSpec wrong = Spec(ckpt_a_);
+  wrong.model_name = "GRNN";  // checkpoint metadata says D-GRNN
+  const Status published = registry.Publish("traffic", 1, wrong, scaler_);
+  EXPECT_EQ(published.code(), StatusCode::kFailedPrecondition);
+  // The error names the model and version being published plus the file's
+  // own identity.
+  EXPECT_NE(published.message().find("model 'traffic' v1"), std::string::npos)
+      << published.ToString();
+  EXPECT_NE(published.message().find("was saved from model 'D-GRNN'"),
+            std::string::npos)
+      << published.ToString();
+
+  // The failed publish staged nothing: the name was never registered.
+  serve::PredictRequest request;
+  request.history = window_;
+  serve::PredictResponse response;
+  EXPECT_EQ(registry.Predict("traffic", request, &response).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RegistryTest, PublishRejectsNonPositiveVersion) {
+  serve::ModelRegistry registry;
+  EXPECT_EQ(registry.Publish("traffic", 0, Spec(ckpt_a_), scaler_).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Publish("traffic", -3, Spec(ckpt_a_), scaler_).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(RegistryTest, FailedRepublishLeavesActiveVersionServing) {
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish("traffic", 1, Spec(ckpt_a_), scaler_).ok());
+  // Bad re-publish: missing checkpoint. Staging fails before any flip.
+  EXPECT_FALSE(
+      registry.Publish("traffic", 2, Spec("/nonexistent/x.encp"), scaler_)
+          .ok());
+  serve::PredictRequest request;
+  request.history = window_;
+  serve::PredictResponse response;
+  ASSERT_TRUE(registry.Predict("traffic", request, &response).ok());
+  EXPECT_EQ(response.model_version, 1);
+  EXPECT_TRUE(BitwiseEqual(response.forecast, reference_a_));
+}
+
+// ---------------------------------------------------------------------------
+// Hot swap
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryTest, SwapRoutesNewTrafficToNewVersion) {
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish("traffic", 1, Spec(ckpt_a_), scaler_).ok());
+  ASSERT_TRUE(registry.Publish("traffic", 2, Spec(ckpt_b_), scaler_).ok());
+
+  serve::PredictRequest request;
+  request.history = window_;
+  serve::PredictResponse response;
+  ASSERT_TRUE(registry.Predict("traffic", request, &response).ok());
+  EXPECT_EQ(response.model_version, 2);
+  EXPECT_TRUE(BitwiseEqual(response.forecast, reference_b_));
+
+  serve::ModelInfo info;
+  ASSERT_TRUE(registry.Info("traffic", &info).ok());
+  EXPECT_EQ(info.active_version, 2);
+  EXPECT_EQ(info.swaps, 1);
+  EXPECT_EQ(obs::Registry::Global()
+                .GetCounter("serve.model.traffic.swaps")
+                ->Get(),
+            1);
+  EXPECT_EQ(
+      obs::Registry::Global().GetGauge("serve.model.traffic.version")->Get(),
+      2.0);
+}
+
+TEST_F(RegistryTest, HundredSwapsUnderConcurrentTraffic) {
+  // The acceptance gate: 4 threads of continuous traffic across 100
+  // back-to-back hot-swaps. Zero failed requests, and every response is
+  // bitwise correct for the version that reports having served it.
+  serve::ModelRegistry registry;
+  serve::PublishOptions po;
+  po.pool_size = 1;  // swap cost dominates; one session per version
+  ASSERT_TRUE(
+      registry.Publish("traffic", 1, Spec(ckpt_a_), scaler_, po).ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kSwaps = 100;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> served{0};
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      serve::PredictRequest request;
+      request.history = window_;
+      while (!stop.load(std::memory_order_relaxed)) {
+        serve::PredictResponse response;
+        if (!registry.Predict("traffic", request, &response).ok()) {
+          ++failures[static_cast<size_t>(t)];
+          continue;
+        }
+        // Odd versions were published from checkpoint A, even from B; the
+        // response must match the forecast of whichever version served it.
+        const Tensor& expect =
+            response.model_version % 2 == 1 ? reference_a_ : reference_b_;
+        if (!BitwiseEqual(response.forecast, expect)) {
+          ++failures[static_cast<size_t>(t)];
+          continue;
+        }
+        served.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  serve::PredictRequest probe;
+  probe.history = window_;
+  for (int64_t v = 2; v <= kSwaps + 1; ++v) {
+    const Status swapped = registry.Publish(
+        "traffic", v, Spec(v % 2 == 1 ? ckpt_a_ : ckpt_b_), scaler_, po);
+    ASSERT_TRUE(swapped.ok()) << swapped.ToString();
+    // Publish has returned, so the very next request must be served by the
+    // new version — never by the one it replaced.
+    serve::PredictResponse response;
+    ASSERT_TRUE(registry.Predict("traffic", probe, &response).ok());
+    ASSERT_EQ(response.model_version, v);
+    ASSERT_TRUE(BitwiseEqual(
+        response.forecast, v % 2 == 1 ? reference_a_ : reference_b_));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& worker : workers) worker.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], 0) << "worker " << t << " saw a failed or torn "
+                              << "request during the swap storm";
+  }
+  EXPECT_GT(served.load(), 0);
+
+  serve::ModelInfo info;
+  ASSERT_TRUE(registry.Info("traffic", &info).ok());
+  EXPECT_EQ(info.active_version, kSwaps + 1);
+  EXPECT_EQ(info.swaps, kSwaps);
+  // With the workers joined and every old version drained, nothing is left
+  // retiring.
+  EXPECT_EQ(info.draining, 0);
+
+  // Every request (worker + probe) was counted and observed exactly once in
+  // the occupancy histogram.
+  obs::Registry& obs = obs::Registry::Global();
+  const int64_t requests =
+      obs.GetCounter("serve.model.traffic.requests")->Get();
+  EXPECT_EQ(requests, served.load() + kSwaps);
+  EXPECT_EQ(obs.GetHistogram("serve.model.traffic.pool.occupancy",
+                             obs::OccupancyBuckets())
+                ->Count(),
+            requests);
+  EXPECT_EQ(obs.GetCounter("serve.model.traffic.errors")->Get(), 0);
+}
+
+TEST_F(RegistryTest, RetiredVersionDrainsAndReleasesAllocator) {
+  serve::ModelRegistry registry;
+  serve::PublishOptions po;
+  po.pool_size = 1;
+  ASSERT_TRUE(
+      registry.Publish("traffic", 1, Spec(ckpt_a_), scaler_, po).ok());
+
+  // The test seam hands out the per-version allocator without keeping the
+  // version alive: the shared_ptr keeps the accounting object inspectable
+  // after the Version that owned it is destroyed.
+  std::shared_ptr<TensorAllocator> v1_alloc =
+      registry.ActiveAllocatorForTest("traffic");
+  ASSERT_NE(v1_alloc, nullptr);
+
+  {
+    serve::PredictRequest request;
+    request.history = window_;
+    serve::PredictResponse response;
+    ASSERT_TRUE(registry.Predict("traffic", request, &response).ok());
+    EXPECT_GT(v1_alloc->GetStats().bytes_outstanding, 0)
+        << "the response tensor must come from the version's allocator";
+  }
+  // Response dropped: v1's allocator holds no live storage, only cache.
+  EXPECT_EQ(v1_alloc->GetStats().bytes_outstanding, 0);
+
+  ASSERT_TRUE(
+      registry.Publish("traffic", 2, Spec(ckpt_b_), scaler_, po).ok());
+  // No request was in flight, so v1 retired and was destroyed by the swap:
+  // its sessions and RuntimeContexts are gone and the only remaining
+  // reference to the allocator is the one this test holds.
+  EXPECT_EQ(v1_alloc.use_count(), 1);
+  EXPECT_EQ(v1_alloc->GetStats().bytes_outstanding, 0);
+
+  serve::ModelInfo info;
+  ASSERT_TRUE(registry.Info("traffic", &info).ok());
+  EXPECT_EQ(info.draining, 0);
+  EXPECT_EQ(
+      obs::Registry::Global().GetGauge("serve.model.traffic.draining")->Get(),
+      0.0);
+
+  // The new version serves from its own, different allocator.
+  std::shared_ptr<TensorAllocator> v2_alloc =
+      registry.ActiveAllocatorForTest("traffic");
+  ASSERT_NE(v2_alloc, nullptr);
+  EXPECT_NE(v2_alloc.get(), v1_alloc.get());
+}
+
+// ---------------------------------------------------------------------------
+// Shadow mode
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryTest, ShadowRecordsDeltaHistograms) {
+  serve::ModelRegistry registry;
+  obs::Registry& obs = obs::Registry::Global();
+
+  // m1: shadow differs from active -> every mirrored request records a
+  // strictly positive mean |delta|.
+  ASSERT_TRUE(registry.Publish("m1", 1, Spec(ckpt_a_), scaler_).ok());
+  ASSERT_TRUE(registry.PublishShadow("m1", 2, Spec(ckpt_b_), scaler_).ok());
+  constexpr int kRequests = 3;
+  for (int i = 0; i < kRequests; ++i) {
+    serve::PredictRequest request;
+    request.history = window_;
+    serve::PredictResponse response;
+    ASSERT_TRUE(registry.Predict("m1", request, &response).ok());
+    // The caller always gets the active version's forecast, never the
+    // shadow's.
+    EXPECT_EQ(response.model_version, 1);
+    EXPECT_TRUE(BitwiseEqual(response.forecast, reference_a_));
+  }
+  obs::Histogram* delta_m1 =
+      obs.GetHistogram("serve.model.m1.shadow.delta", obs::DeltaBuckets());
+  EXPECT_EQ(delta_m1->Count(), kRequests);
+  EXPECT_GT(delta_m1->Sum(), 0.0);
+  EXPECT_GT(delta_m1->Min(), 0.0);
+  EXPECT_EQ(obs.GetCounter("serve.model.m1.shadow.requests")->Get(),
+            kRequests);
+  EXPECT_EQ(obs.GetCounter("serve.model.m1.shadow.errors")->Get(), 0);
+  EXPECT_EQ(obs.GetGauge("serve.model.m1.shadow.version")->Get(), 2.0);
+
+  // m2: shadow is the same checkpoint -> deterministic eval forwards give
+  // bitwise-identical predictions, so every delta is exactly zero.
+  ASSERT_TRUE(registry.Publish("m2", 1, Spec(ckpt_a_), scaler_).ok());
+  ASSERT_TRUE(registry.PublishShadow("m2", 2, Spec(ckpt_a_), scaler_).ok());
+  for (int i = 0; i < 2; ++i) {
+    serve::PredictRequest request;
+    request.history = window_;
+    serve::PredictResponse response;
+    ASSERT_TRUE(registry.Predict("m2", request, &response).ok());
+  }
+  obs::Histogram* delta_m2 =
+      obs.GetHistogram("serve.model.m2.shadow.delta", obs::DeltaBuckets());
+  EXPECT_EQ(delta_m2->Count(), 2);
+  EXPECT_EQ(delta_m2->Sum(), 0.0);
+  EXPECT_EQ(delta_m2->Max(), 0.0);
+}
+
+TEST_F(RegistryTest, ShadowRequiresActiveVersion) {
+  serve::ModelRegistry registry;
+  EXPECT_EQ(
+      registry.PublishShadow("traffic", 1, Spec(ckpt_a_), scaler_).code(),
+      StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RegistryTest, PromoteSwapsShadowIntoActive) {
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish("traffic", 1, Spec(ckpt_a_), scaler_).ok());
+  ASSERT_TRUE(
+      registry.PublishShadow("traffic", 2, Spec(ckpt_b_), scaler_).ok());
+  ASSERT_TRUE(registry.Promote("traffic").ok());
+
+  serve::PredictRequest request;
+  request.history = window_;
+  serve::PredictResponse response;
+  ASSERT_TRUE(registry.Predict("traffic", request, &response).ok());
+  EXPECT_EQ(response.model_version, 2);
+  EXPECT_TRUE(BitwiseEqual(response.forecast, reference_b_));
+
+  serve::ModelInfo info;
+  ASSERT_TRUE(registry.Info("traffic", &info).ok());
+  EXPECT_EQ(info.active_version, 2);
+  EXPECT_EQ(info.shadow_version, -1);
+  EXPECT_EQ(info.swaps, 1);
+  EXPECT_EQ(
+      obs::Registry::Global()
+          .GetGauge("serve.model.traffic.shadow.version")
+          ->Get(),
+      0.0);
+
+  // Promoting again has nothing staged.
+  EXPECT_EQ(registry.Promote("traffic").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RegistryTest, ClearShadowStopsMirroring) {
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(registry.Publish("traffic", 1, Spec(ckpt_a_), scaler_).ok());
+  ASSERT_TRUE(
+      registry.PublishShadow("traffic", 2, Spec(ckpt_b_), scaler_).ok());
+  ASSERT_TRUE(registry.ClearShadow("traffic").ok());
+  ASSERT_TRUE(registry.ClearShadow("traffic").ok());  // idempotent
+
+  serve::PredictRequest request;
+  request.history = window_;
+  serve::PredictResponse response;
+  ASSERT_TRUE(registry.Predict("traffic", request, &response).ok());
+  EXPECT_EQ(obs::Registry::Global()
+                .GetCounter("serve.model.traffic.shadow.requests")
+                ->Get(),
+            0);
+  serve::ModelInfo info;
+  ASSERT_TRUE(registry.Info("traffic", &info).ok());
+  EXPECT_EQ(info.shadow_version, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Micro-batching through the registry
+// ---------------------------------------------------------------------------
+
+TEST_F(RegistryTest, MicroBatchingThroughRegistryStaysBitwiseCorrect) {
+  serve::ModelRegistry registry;
+  serve::PublishOptions po;
+  po.pool_size = 1;
+  po.session.micro_batching = true;
+  po.session.max_batch_size = 4;
+  po.session.max_wait_ms = 2000.0;  // generous so the threads coalesce
+  ASSERT_TRUE(
+      registry.Publish("traffic", 1, Spec(ckpt_a_), scaler_, po).ok());
+
+  constexpr int kThreads = 4;
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      serve::PredictRequest request;
+      request.history = window_;
+      serve::PredictResponse response;
+      if (!registry.Predict("traffic", request, &response).ok() ||
+          response.model_version != 1 ||
+          !BitwiseEqual(response.forecast, reference_a_)) {
+        ++failures[static_cast<size_t>(t)];
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0);
+
+  obs::Registry& obs = obs::Registry::Global();
+  EXPECT_EQ(obs.GetCounter("serve.model.traffic.requests")->Get(), kThreads);
+  // The batcher coalesced: fewer forwards than windows served.
+  obs::Histogram* occupancy = obs.GetHistogram(
+      "serve.batcher.batch_occupancy", obs::OccupancyBuckets());
+  EXPECT_GE(occupancy->Count(), 1);
+  EXPECT_EQ(static_cast<int64_t>(occupancy->Sum()), kThreads);
+}
+
+}  // namespace
+}  // namespace enhancenet

@@ -65,28 +65,39 @@ class ServeTest : public ::testing::Test {
                        &p.mutable_data());
     }
     checkpoint_path_ = TempPath("serve_model.encp");
-    ASSERT_TRUE(io::SaveCheckpoint(checkpoint_path_, *model_).ok());
+    io::CheckpointMeta meta;
+    meta.model_name = "D-GRNN";
+    meta.num_entities = kEntities;
+    meta.in_channels = 1;
+    meta.history = kHistory;
+    meta.horizon = kHorizon;
+    ASSERT_TRUE(io::SaveCheckpoint(checkpoint_path_, *model_, meta).ok());
   }
 
   void TearDown() override { std::remove(checkpoint_path_.c_str()); }
 
-  serve::SessionConfig Config() const {
-    serve::SessionConfig config;
-    config.model_name = "D-GRNN";
-    config.num_entities = kEntities;
-    config.in_channels = 1;
-    config.target_channel = 0;
-    config.adjacency = adjacency_;
-    config.sizing = TinySizing();
-    config.checkpoint_path = checkpoint_path_;
-    config.seed = 999;  // different from the training seed on purpose
-    return config;
+  serve::ModelSpec Spec() const {
+    serve::ModelSpec spec;
+    spec.model_name = "D-GRNN";
+    spec.num_entities = kEntities;
+    spec.in_channels = 1;
+    spec.target_channel = 0;
+    spec.adjacency = adjacency_;
+    spec.sizing = TinySizing();
+    spec.checkpoint_path = checkpoint_path_;
+    return spec;
+  }
+
+  serve::SessionOptions Options() const {
+    serve::SessionOptions options;
+    options.seed = 999;  // different from the training seed on purpose
+    return options;
   }
 
   std::unique_ptr<serve::InferenceSession> MakeSession() {
     std::unique_ptr<serve::InferenceSession> session;
     const Status status =
-        serve::InferenceSession::Create(Config(), scaler_, &session);
+        serve::InferenceSession::Create(Spec(), Options(), scaler_, &session);
     EXPECT_TRUE(status.ok()) << status.ToString();
     return session;
   }
@@ -184,47 +195,83 @@ TEST_F(ServeTest, BatchedRequestMatchesSingleRequests) {
 // ---------------------------------------------------------------------------
 
 TEST_F(ServeTest, UnknownModelNameIsStatusNotAbort) {
-  serve::SessionConfig config = Config();
-  config.model_name = "D-GRNN-TYPO";
+  serve::ModelSpec spec = Spec();
+  spec.model_name = "D-GRNN-TYPO";
+  spec.checkpoint_path.clear();  // fail on the name, not the meta check
   std::unique_ptr<serve::InferenceSession> session;
   const Status status =
-      serve::InferenceSession::Create(config, scaler_, &session);
+      serve::InferenceSession::Create(spec, Options(), scaler_, &session);
   EXPECT_EQ(status.code(), StatusCode::kNotFound);
   EXPECT_NE(status.message().find("D-GRNN-TYPO"), std::string::npos);
   EXPECT_EQ(session, nullptr);
 }
 
 TEST_F(ServeTest, MissingCheckpointIsStatus) {
-  serve::SessionConfig config = Config();
-  config.checkpoint_path = "/nonexistent/never.encp";
+  serve::ModelSpec spec = Spec();
+  spec.checkpoint_path = "/nonexistent/never.encp";
   std::unique_ptr<serve::InferenceSession> session;
-  EXPECT_EQ(serve::InferenceSession::Create(config, scaler_, &session).code(),
+  EXPECT_EQ(serve::InferenceSession::Create(spec, Options(), scaler_,
+                                            &session)
+                .code(),
             StatusCode::kNotFound);
 }
 
 TEST_F(ServeTest, WrongArchitectureCheckpointIsStatus) {
-  serve::SessionConfig config = Config();
-  config.model_name = "GRNN";  // checkpoint was saved from D-GRNN
+  serve::ModelSpec spec = Spec();
+  spec.model_name = "GRNN";  // checkpoint was saved from D-GRNN
   std::unique_ptr<serve::InferenceSession> session;
-  EXPECT_EQ(serve::InferenceSession::Create(config, scaler_, &session).code(),
-            StatusCode::kFailedPrecondition);
+  const Status status =
+      serve::InferenceSession::Create(spec, Options(), scaler_, &session);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  // The metadata precheck names the file's own identity, so the error
+  // reports the mismatch before any parameter shapes are compared.
+  EXPECT_NE(status.message().find("was saved from model 'D-GRNN'"),
+            std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("'GRNN'"), std::string::npos);
 }
 
 TEST_F(ServeTest, GraphModelWithoutAdjacencyIsStatus) {
-  serve::SessionConfig config = Config();
-  config.adjacency = Tensor();
-  config.checkpoint_path.clear();
+  serve::ModelSpec spec = Spec();
+  spec.adjacency = Tensor();
+  spec.checkpoint_path.clear();
   std::unique_ptr<serve::InferenceSession> session;
-  EXPECT_EQ(serve::InferenceSession::Create(config, scaler_, &session).code(),
+  EXPECT_EQ(serve::InferenceSession::Create(spec, Options(), scaler_,
+                                            &session)
+                .code(),
             StatusCode::kInvalidArgument);
 }
 
 TEST_F(ServeTest, BadTargetChannelIsStatus) {
-  serve::SessionConfig config = Config();
-  config.target_channel = 7;
+  serve::ModelSpec spec = Spec();
+  spec.target_channel = 7;
   std::unique_ptr<serve::InferenceSession> session;
-  EXPECT_EQ(serve::InferenceSession::Create(config, scaler_, &session).code(),
+  EXPECT_EQ(serve::InferenceSession::Create(spec, Options(), scaler_,
+                                            &session)
+                .code(),
             StatusCode::kInvalidArgument);
+}
+
+// The deprecated SessionConfig shim (spec + options in one struct) keeps
+// old call sites compiling for one release and must serve identically.
+TEST_F(ServeTest, DeprecatedSessionConfigShimStillServes) {
+  serve::SessionConfig config;
+  static_cast<serve::ModelSpec&>(config) = Spec();
+  config.seed = 999;
+  std::unique_ptr<serve::InferenceSession> session;
+  const Status status =
+      serve::InferenceSession::Create(config, scaler_, &session);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+
+  auto reference = MakeSession();
+  serve::PredictRequest request;
+  request.history = RawWindow(85);
+  serve::PredictResponse via_shim, via_spec;
+  ASSERT_TRUE(session->Predict(request, &via_shim).ok());
+  ASSERT_TRUE(reference->Predict(request, &via_spec).ok());
+  for (int64_t i = 0; i < via_spec.forecast.numel(); ++i) {
+    EXPECT_EQ(via_shim.forecast.data()[i], via_spec.forecast.data()[i]);
+  }
 }
 
 TEST_F(ServeTest, WrongRankIsRejected) {
@@ -533,10 +580,11 @@ TEST_F(ServeTest, MicroBatcherFullBatchRecordsOccupancyAndLatency) {
 /// case a real model hits on e.g. resource exhaustion.
 class FailingSession : public serve::InferenceSession {
  public:
-  FailingSession(serve::SessionConfig config,
+  FailingSession(serve::ModelSpec spec, serve::SessionOptions options,
                  std::unique_ptr<models::ForecastingModel> model,
                  const data::StandardScaler& scaler)
-      : InferenceSession(std::move(config), std::move(model), scaler) {}
+      : InferenceSession(std::move(spec), std::move(options),
+                         std::move(model), scaler) {}
 
   Status Predict(const serve::PredictRequest&,
                  serve::PredictResponse*) const override {
@@ -545,11 +593,10 @@ class FailingSession : public serve::InferenceSession {
 };
 
 TEST_F(ServeTest, MicroBatcherPoisonedBatchCountsForwardErrors) {
-  serve::SessionConfig config = Config();
   Rng rng(21);
   auto model = models::MakeModel("D-GRNN", kEntities, 1, adjacency_,
                                  TinySizing(), rng);
-  FailingSession session(config, std::move(model), scaler_);
+  FailingSession session(Spec(), Options(), std::move(model), scaler_);
 
   serve::MicroBatcherConfig bc;
   bc.max_batch_size = 2;
