@@ -1,0 +1,354 @@
+// Open-loop SLO benchmark for the micro-batcher (PR: deadline-aware
+// batching).
+//
+// Replays one Poisson arrival trace — pre-generated from a fixed seed, so
+// every policy sees the identical offered load — against the MicroBatcher
+// under each flush policy:
+//
+//   * fixed_wait: the legacy policy (leader sleeps max_wait_ms, then
+//     flushes whatever joined);
+//   * deadline:   the leader flushes when the tightest enqueued latency
+//     budget is nearly spent (reserving the EWMA forward time), with the
+//     adaptive batch ceiling on.
+//
+// The generator is open-loop: requests fire at their scheduled arrival
+// times regardless of how the server is doing, and each latency is measured
+// from the *scheduled* arrival — a client thread that falls behind charges
+// its queueing delay to the request instead of silently throttling the
+// offered rate (closed-loop benches hide overload exactly when it matters).
+//
+// Reported per policy: latency percentiles, throughput, windows/s completed
+// within the SLO, deadline-miss rate, batch occupancy, flush-reason counts,
+// and fresh allocations per request after warmup (the request path claims
+// zero in steady state). bench/run_bench_serve.sh runs this and records
+// BENCH_serve.json at the repo root.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "data/synthetic.h"
+#include "graph/adjacency.h"
+#include "obs/metrics.h"
+#include "runtime/allocator.h"
+#include "runtime/context.h"
+#include "runtime/env.h"
+#include "serve/inference_session.h"
+#include "serve/micro_batcher.h"
+
+namespace enhancenet {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr int64_t kEntities = 24;
+constexpr int64_t kHistory = 12;
+constexpr const char* kModel = "D-GRNN";
+
+models::ModelSizing ServeSizing() {
+  models::ModelSizing sizing;
+  sizing.rnn_hidden = 16;
+  sizing.rnn_hidden_dfgn = 8;
+  return sizing;
+}
+
+struct TraceConfig {
+  int64_t requests = 0;     // timed requests in the trace
+  int64_t warmup = 0;       // untimed requests before the trace
+  // Open-loop client threads. Must cover offered_rate x worst-case latency
+  // outstanding requests, or the generator degenerates to closed-loop and
+  // charges its own lateness to the server.
+  int clients = 12;
+  double slo_ms = 0.0;      // latency budget every request carries
+  double utilization = 0.8; // offered rate as a fraction of 1/forward_time
+};
+
+struct PolicyResult {
+  std::string name;
+  std::vector<double> latencies_ms;  // scheduled arrival -> completion
+  double wall_seconds = 0.0;
+  serve::Stats stats;
+  int64_t fresh_allocs = 0;  // allocator pool misses + oversize, post-warmup
+  double allocator_hit_rate = 0.0;
+  double final_reserve_ms = 0.0;
+  double final_ceiling = 0.0;
+};
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+/// Exponential inter-arrival gaps (a Poisson process) with the given mean,
+/// from the repo Rng so the trace is identical across policies and runs.
+std::vector<double> PoissonOffsetsMs(int64_t count, double mean_gap_ms,
+                                     Rng& rng) {
+  std::vector<double> offsets(static_cast<size_t>(count));
+  double t = 0.0;
+  for (auto& offset : offsets) {
+    // Uniform() is in [0, 1); flip so the log argument stays positive.
+    t += -mean_gap_ms * std::log(1.0 - rng.Uniform());
+    offset = t;
+  }
+  return offsets;
+}
+
+/// Replays the trace against a fresh session + batcher built for `config`.
+/// The registry is reset first so serve::Stats snapshots are absolute.
+PolicyResult RunPolicy(const std::string& name,
+                       const serve::ModelSpec& spec,
+                       const data::StandardScaler& scaler,
+                       const serve::MicroBatcherConfig& batcher_config,
+                       const TraceConfig& trace, const Tensor& window,
+                       const std::vector<double>& offsets_ms) {
+  obs::Registry::Global().ResetForTest();
+
+  serve::SessionOptions options;
+  options.seed = 99;
+  // One shard: client threads are fresh per policy run, and per-thread
+  // shard pinning would count cross-shard lookups as misses (an allocator
+  // geometry artifact, not a serving allocation).
+  options.allocator = std::make_shared<TensorAllocator>(
+      /*export_metrics=*/false, /*num_shards=*/1);
+  std::unique_ptr<serve::InferenceSession> session;
+  const Status created =
+      serve::InferenceSession::Create(spec, options, scaler, &session);
+  ENHANCENET_CHECK(created.ok()) << created.ToString();
+  serve::MicroBatcher batcher(session.get(), batcher_config);
+
+  const auto serve_one = [&](double* latency_ms) {
+    serve::PredictRequest request;
+    request.history = window;
+    request.deadline_ms = trace.slo_ms;
+    serve::PredictResponse response;
+    const Status status = batcher.Predict(request, &response);
+    ENHANCENET_CHECK(status.ok()) << status.ToString();
+    if (latency_ms != nullptr) *latency_ms = response.latency_ms;
+  };
+
+  // Warm the weight caches, workspace free lists, and the forward-time
+  // EWMA before anything is measured.
+  for (int64_t i = 0; i < trace.warmup; ++i) serve_one(nullptr);
+  session->context().allocator().ResetStats();
+  const serve::Stats warm = batcher.stats();
+
+  PolicyResult result;
+  result.name = name;
+  result.latencies_ms.assign(offsets_ms.size(), 0.0);
+
+  std::atomic<size_t> next{0};
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(trace.clients));
+  for (int c = 0; c < trace.clients; ++c) {
+    clients.emplace_back([&] {
+      while (true) {
+        const size_t i = next.fetch_add(1);
+        if (i >= offsets_ms.size()) return;
+        const Clock::time_point scheduled =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            offsets_ms[i]));
+        std::this_thread::sleep_until(scheduled);
+        serve_one(nullptr);
+        result.latencies_ms[i] =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      scheduled)
+                .count();
+      }
+    });
+  }
+  for (auto& client : clients) client.join();
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  result.stats = batcher.stats();
+  const AllocatorStats allocs = session->context().allocator().GetStats();
+  result.fresh_allocs = allocs.pool_misses + allocs.oversize;
+  result.allocator_hit_rate = allocs.HitRate();
+  obs::Registry& registry = obs::Registry::Global();
+  result.final_reserve_ms =
+      registry.GetGauge("serve.batcher.deadline.reserve_ms")->Get();
+  result.final_ceiling =
+      registry.GetGauge("serve.batcher.deadline.ceiling")->Get();
+  // The warmup requests also went through the batcher; diff them out so
+  // every rate below divides trace-only quantities.
+  result.stats.windows -= warm.windows;
+  result.stats.forwards -= warm.forwards;
+  result.stats.latency_count -= warm.latency_count;
+  result.stats.total_latency_ms -= warm.total_latency_ms;
+  result.stats.deadline_miss -= warm.deadline_miss;
+  result.stats.flush_budget -= warm.flush_budget;
+  result.stats.flush_full -= warm.flush_full;
+  return result;
+}
+
+void PrintPolicyJson(const PolicyResult& result, const TraceConfig& trace,
+                     bool last) {
+  std::vector<double> sorted = result.latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  int64_t within_slo = 0;
+  for (const double ms : sorted) {
+    if (ms <= trace.slo_ms) ++within_slo;
+  }
+  const double n = static_cast<double>(sorted.size());
+  const double wall = result.wall_seconds > 0.0 ? result.wall_seconds : 1.0;
+  std::printf("    \"%s\": {\n", result.name.c_str());
+  std::printf("      \"p50_ms\": %.3f,\n", Percentile(sorted, 0.50));
+  std::printf("      \"p90_ms\": %.3f,\n", Percentile(sorted, 0.90));
+  std::printf("      \"p99_ms\": %.3f,\n", Percentile(sorted, 0.99));
+  std::printf("      \"max_ms\": %.3f,\n", sorted.empty() ? 0.0 : sorted.back());
+  std::printf("      \"windows_per_s\": %.1f,\n", n / wall);
+  std::printf("      \"windows_per_s_at_slo\": %.1f,\n",
+              static_cast<double>(within_slo) / wall);
+  // Open-loop definition, applied uniformly: a request misses when its
+  // scheduled-arrival-to-completion latency exceeds the SLO. (The batcher's
+  // own miss counter only runs under the deadline policy — fixed-wait
+  // carries no budget — so it cannot compare the two.)
+  std::printf("      \"slo_miss_rate\": %.4f,\n",
+              n > 0.0 ? (n - static_cast<double>(within_slo)) / n : 0.0);
+  std::printf("      \"batcher_miss_count\": %lld,\n",
+              static_cast<long long>(result.stats.deadline_miss));
+  std::printf("      \"mean_batch_occupancy\": %.2f,\n",
+              result.stats.mean_batch_occupancy());
+  std::printf("      \"forwards\": %lld,\n",
+              static_cast<long long>(result.stats.forwards));
+  std::printf("      \"flush_budget\": %lld,\n",
+              static_cast<long long>(result.stats.flush_budget));
+  std::printf("      \"flush_full\": %lld,\n",
+              static_cast<long long>(result.stats.flush_full));
+  std::printf("      \"allocs_per_request\": %.4f,\n",
+              n > 0.0 ? static_cast<double>(result.fresh_allocs) / n : 0.0);
+  std::printf("      \"allocator_hit_rate\": %.4f,\n",
+              result.allocator_hit_rate);
+  std::printf("      \"reserve_ms\": %.3f,\n", result.final_reserve_ms);
+  std::printf("      \"adaptive_ceiling\": %.0f\n", result.final_ceiling);
+  std::printf("    }%s\n", last ? "" : ",");
+}
+
+int Run() {
+  const bench::Mode mode = bench::ModeFromEnv();
+  TraceConfig trace;
+  switch (mode) {
+    case bench::Mode::kQuick:
+      trace.requests = 80;
+      trace.warmup = 8;
+      break;
+    case bench::Mode::kDefault:
+      trace.requests = 600;
+      trace.warmup = 24;
+      break;
+    case bench::Mode::kFull:
+      trace.requests = 3000;
+      trace.warmup = 48;
+      break;
+  }
+  // The SLO under test: ENHANCENET_SLO_MS when set (the same knob the
+  // batcher itself honors), 25 ms otherwise.
+  const double env_slo = runtime::EnvSloMs();
+  trace.slo_ms = env_slo > 0.0 ? env_slo : 25.0;
+
+  data::CtsData data = data::MakeEbLike(kEntities, 2, /*seed=*/7);
+  data::StandardScaler scaler;
+  scaler.Fit(data.series, 0, data.num_steps() * 7 / 10);
+
+  serve::ModelSpec spec;
+  spec.model_name = kModel;
+  spec.num_entities = kEntities;
+  spec.in_channels = 1;
+  spec.adjacency = graph::GaussianKernelAdjacency(data.distances);
+  spec.sizing = ServeSizing();
+
+  Tensor window(Shape{kEntities, kHistory, 1});
+  const int64_t t_end = data.num_steps() - 1;
+  for (int64_t i = 0; i < kEntities; ++i) {
+    for (int64_t h = 0; h < kHistory; ++h) {
+      window.at({i, h, 0}) =
+          data.series.at({i, t_end - kHistory + 1 + h, 0});
+    }
+  }
+
+  // Calibrate the offered rate off this machine's single-request forward
+  // time, so the trace lands at the same relative load everywhere.
+  double forward_ms = 0.0;
+  {
+    std::unique_ptr<serve::InferenceSession> probe;
+    serve::SessionOptions options;
+    options.seed = 99;
+    const Status created =
+        serve::InferenceSession::Create(spec, options, scaler, &probe);
+    ENHANCENET_CHECK(created.ok()) << created.ToString();
+    serve::PredictRequest request;
+    request.history = window;
+    constexpr int kProbes = 8;
+    for (int i = 0; i < kProbes; ++i) {
+      serve::PredictResponse response;
+      ENHANCENET_CHECK(probe->Predict(request, &response).ok());
+      if (i >= kProbes / 2) forward_ms += response.latency_ms;
+    }
+    forward_ms /= kProbes - kProbes / 2;
+  }
+  const double mean_gap_ms = forward_ms / trace.utilization;
+
+  Rng rng(20240809);
+  const std::vector<double> offsets =
+      PoissonOffsetsMs(trace.requests, mean_gap_ms, rng);
+
+  serve::MicroBatcherConfig fixed;
+  fixed.max_batch_size = 8;
+  fixed.max_wait_ms = 2.0;
+  fixed.deadline_aware = false;
+
+  serve::MicroBatcherConfig deadline;
+  deadline.max_batch_size = 8;
+  deadline.max_wait_ms = 2.0;
+  deadline.deadline_aware = true;
+  deadline.slo_ms = trace.slo_ms;
+  deadline.adaptive_ceiling = true;
+
+  const PolicyResult fixed_result = RunPolicy(
+      "fixed_wait", spec, scaler, fixed, trace, window, offsets);
+  const PolicyResult deadline_result = RunPolicy(
+      "deadline", spec, scaler, deadline, trace, window, offsets);
+
+  std::printf("{\n");
+  std::printf("  \"bench\": \"serve\",\n");
+  std::printf("  \"mode\": \"%s\",\n", bench::ModeName(mode));
+  std::printf("  \"model\": \"%s\",\n", kModel);
+  std::printf("  \"entities\": %lld,\n", static_cast<long long>(kEntities));
+  std::printf("  \"slo_ms\": %.1f,\n", trace.slo_ms);
+  std::printf("  \"requests\": %lld,\n",
+              static_cast<long long>(trace.requests));
+  std::printf("  \"clients\": %d,\n", trace.clients);
+  std::printf("  \"single_forward_ms\": %.3f,\n", forward_ms);
+  std::printf("  \"offered_rps\": %.1f,\n", 1000.0 / mean_gap_ms);
+  std::printf("  \"policies\": {\n");
+  PrintPolicyJson(fixed_result, trace, /*last=*/false);
+  PrintPolicyJson(deadline_result, trace, /*last=*/true);
+  std::printf("  }\n");
+  std::printf("}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace enhancenet
+
+int main() {
+  const int rc = enhancenet::Run();
+  enhancenet::bench::MaybeExportMetrics();
+  return rc;
+}

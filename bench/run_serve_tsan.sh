@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Runs the serving data-plane suite (ctest -L serve) under ThreadSanitizer.
+# The micro-batcher's leader/follower protocol — per-batch condition
+# variables, deadline tightening by late joiners, the closed-batch retire
+# handshake, EWMA reserve/ceiling updates under the batcher mutex — is
+# exactly the kind of claim TSan can falsify, so this is the verification
+# step for the deadline-batching threading story.
+#
+# Usage:
+#   bench/run_serve_tsan.sh                 # build build-tsan/ and run
+#   TSAN_BUILD_DIR=/tmp/tsan bench/run_serve_tsan.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DENHANCENET_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target serve_test
+ctest --test-dir "$BUILD_DIR" -L serve --output-on-failure
+
+echo "serve suite clean under ThreadSanitizer"

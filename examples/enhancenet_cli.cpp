@@ -61,6 +61,10 @@ struct Args {
     const auto it = flags.find(key);
     return it == flags.end() ? fallback : std::atoi(it->second.c_str());
   }
+  double GetDouble(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
 };
 
 // Accepts `--key value`, `--key=value`, and bare boolean flags (`--profile`,
@@ -96,6 +100,9 @@ int Usage() {
       "  --out PATH               forecast CSV (predict; default forecast.csv)\n"
       "  --requests R             serve-smoke request count (default 8)\n"
       "  --pool P                 sessions per published version (default 2)\n"
+      "  --slo-ms MS              serve-smoke: route requests through the\n"
+      "                           deadline-aware micro-batcher with an MS ms\n"
+      "                           per-request budget (or set ENHANCENET_SLO_MS)\n"
       "  --metrics-out PATH       write a JSON metrics snapshot on exit\n"
       "  --profile                record tensor-kernel profiling counters\n");
   return 2;
@@ -288,6 +295,15 @@ int main(int argc, char** argv) {
   serve::ModelRegistry registry;
   serve::PublishOptions po;
   po.pool_size = args.GetInt("pool", 2);
+  // --slo-ms publishes with deadline-aware micro-batching: serve-smoke
+  // requests go through the batcher as single [N,H,C] windows carrying a
+  // per-request budget instead of straight to a session.
+  const double slo_ms = args.GetDouble("slo-ms", 0.0);
+  if (slo_ms > 0.0) {
+    po.session.micro_batching = true;
+    po.session.deadline_batching = true;
+    po.session.slo_ms = slo_ms;
+  }
   const serve::ModelSpec spec =
       BuildSpec(model_name, dataset, adjacency, sizing, checkpoint);
   const Status published =
@@ -349,6 +365,12 @@ int main(int argc, char** argv) {
     serve::PredictRequest request;
     request.history = batch.x;
     request.scaled_input = true;
+    if (slo_ms > 0.0) {
+      // Single windows route through the deadline micro-batcher.
+      request.history = batch.x.Reshape(
+          {batch.x.size(1), batch.x.size(2), batch.x.size(3)});
+      request.deadline_ms = slo_ms;
+    }
     const Status served = registry.Predict(model_name, request, &response);
     if (!served.ok()) {
       std::fprintf(stderr, "serve-smoke predict failed: %s\n",
@@ -358,6 +380,27 @@ int main(int argc, char** argv) {
   }
   std::printf("served %d request(s) on v%lld\n", requests,
               (long long)response.model_version);
+  if (slo_ms > 0.0) {
+    obs::Registry& obs_registry = obs::Registry::Global();
+    const obs::Histogram* occupancy = obs_registry.GetHistogram(
+        "serve.batcher.batch_occupancy", obs::OccupancyBuckets());
+    std::printf(
+        "deadline batching at %.1f ms SLO: %lld miss(es), "
+        "%lld budget / %lld fill flush(es), mean occupancy %.2f, "
+        "reserve %.2f ms\n",
+        slo_ms,
+        (long long)obs_registry.GetCounter("serve.batcher.deadline.miss")
+            ->Get(),
+        (long long)obs_registry
+            .GetCounter("serve.batcher.deadline.flush_budget")
+            ->Get(),
+        (long long)obs_registry.GetCounter("serve.batcher.deadline.flush_full")
+            ->Get(),
+        occupancy->Count() == 0 ? 0.0
+                                : occupancy->Sum() /
+                                      static_cast<double>(occupancy->Count()),
+        obs_registry.GetGauge("serve.batcher.deadline.reserve_ms")->Get());
+  }
 
   const Status swapped =
       registry.Publish(model_name, /*version=*/2, spec, scaler, po);
@@ -378,6 +421,11 @@ int main(int argc, char** argv) {
     serve::PredictRequest request;
     request.history = batch.x;
     request.scaled_input = true;
+    if (slo_ms > 0.0) {
+      request.history = batch.x.Reshape(
+          {batch.x.size(1), batch.x.size(2), batch.x.size(3)});
+      request.deadline_ms = slo_ms;
+    }
     const Status served = registry.Predict(model_name, request, &response);
     if (!served.ok()) {
       std::fprintf(stderr, "serve-smoke predict failed: %s\n",

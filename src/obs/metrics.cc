@@ -110,6 +110,13 @@ const std::vector<double>& DeltaBuckets() {
   return buckets;
 }
 
+const std::vector<double>& SlackBucketsMs() {
+  static const std::vector<double> buckets = {
+      -1000.0, -100.0, -10.0, -1.0, 0.0,  0.5,   1.0,   2.5,
+      5.0,     10.0,   25.0,  50.0, 100.0, 250.0, 1000.0};
+  return buckets;
+}
+
 Registry& Registry::Global() {
   // Leaked intentionally: instrumented threads may outlive static teardown.
   static Registry* registry = new Registry();

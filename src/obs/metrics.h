@@ -99,6 +99,12 @@ const std::vector<double>& OccupancyBuckets();
 /// roughly one decade per bucket from float noise to gross divergence.
 const std::vector<double>& DeltaBuckets();
 
+/// Deadline-slack buckets (ms) for `serve.batcher.deadline.slack_ms`:
+/// slack = budget − realized latency, so the negative bounds size *how
+/// late* deadline misses were and the positive ones the headroom left at
+/// completion.
+const std::vector<double>& SlackBucketsMs();
+
 /// Lock-striped name -> metric map. Metrics are created on first request and
 /// never destroyed (stable pointers). The same name may exist independently
 /// as a counter, a gauge, and a histogram; exporters keep the kinds apart.

@@ -64,6 +64,17 @@ int ParseTopK() {
   return static_cast<int>(v);
 }
 
+double ParseSloMs() {
+  const char* value = std::getenv("ENHANCENET_SLO_MS");
+  if (value == nullptr || value[0] == '\0') return 0.0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  ENHANCENET_CHECK(end != value && *end == '\0' && v > 0.0 && v <= 1e7)
+      << "ENHANCENET_SLO_MS must be a number in (0, 1e7] (got '" << value
+      << "')";
+  return v;
+}
+
 }  // namespace
 
 int EnvNumThreads() {
@@ -93,6 +104,11 @@ bool EnvProfiling() {
 
 int EnvTopK() {
   static const int value = ParseTopK();
+  return value;
+}
+
+double EnvSloMs() {
+  static const double value = ParseSloMs();
   return value;
 }
 

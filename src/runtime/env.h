@@ -43,6 +43,14 @@ bool EnvProfiling();
 /// [0, 2^24) (column indices are float-encoded, see DESIGN.md §10).
 int EnvTopK();
 
+/// ENHANCENET_SLO_MS: process-wide default latency budget (milliseconds)
+/// for deadline-aware micro-batching. Requests that carry no explicit
+/// `PredictRequest::deadline_ms` — and batchers whose `slo_ms` option is
+/// unset — inherit it. 0.0 (default, unset) means "no process-wide SLO":
+/// the batcher falls back to its `max_wait_ms` as the budget. Set values
+/// must parse as a number in (0, 1e7].
+double EnvSloMs();
+
 /// ENHANCENET_QUICK: benchmark quick mode (fewer shapes). Default off.
 /// Unlike the library variables above, re-parsed on every call (tests and
 /// harness scripts toggle it at runtime).

@@ -49,11 +49,20 @@ struct SessionOptions {
   /// other sessions or the trainer.
   int topk = -1;
   /// Micro-batching policy, consumed by ModelRegistry (a bare
-  /// InferenceSession ignores these three): when enabled, single-window
-  /// Predicts through the registry coalesce into batched forwards.
+  /// InferenceSession ignores these): when enabled, single-window Predicts
+  /// through the registry coalesce into batched forwards.
   bool micro_batching = false;
   int64_t max_batch_size = 8;
   double max_wait_ms = 2.0;
+  /// Deadline-aware flush (default): the batch leader launches when the
+  /// tightest enqueued latency budget is nearly spent, instead of sleeping
+  /// a fixed max_wait_ms. false restores the legacy fixed-wait policy.
+  bool deadline_batching = true;
+  /// Default per-request latency budget (ms) for requests without an
+  /// explicit PredictRequest::deadline_ms. <= 0 inherits ENHANCENET_SLO_MS;
+  /// when that is unset too, max_wait_ms doubles as the budget (which makes
+  /// the deadline policy a drop-in for fixed-wait configs).
+  double slo_ms = 0.0;
   /// Allocator for the session's private RuntimeContext. Null (default)
   /// creates a fresh private allocator; the registry passes one shared
   /// per-version allocator to every session of a pool so the whole
@@ -91,6 +100,13 @@ struct PredictRequest {
   /// When true, the forecast is returned in scaled units instead of being
   /// passed through the scaler's inverse transform.
   bool scaled_output = false;
+  /// Optional latency budget in milliseconds, consumed by the deadline-aware
+  /// MicroBatcher: the batch this request joins flushes early enough
+  /// (reserving the observed forward time) for the request to complete
+  /// within the budget, and completions past it count as deadline misses.
+  /// <= 0 means "no explicit deadline" — the batcher's configured slo_ms /
+  /// max_wait_ms budget applies. Ignored by direct InferenceSession calls.
+  double deadline_ms = 0.0;
 };
 
 /// A served forecast.

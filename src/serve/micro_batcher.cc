@@ -1,13 +1,33 @@
 #include "serve/micro_batcher.h"
 
-#include <chrono>
+#include <algorithm>
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "runtime/env.h"
+#include "runtime/workspace.h"
 #include "tensor/tensor_ops.h"
 
 namespace enhancenet {
 namespace serve {
+namespace {
+
+// Smoothing for the forward-time reserve and the occupancy EWMA: heavy
+// enough on history to ride out one slow forward, light enough to track a
+// model hot-swap within a few batches.
+constexpr double kEwmaAlpha = 0.25;
+
+// Flushing exactly at deadline − reserve lands completions right on the
+// deadline, where scheduler noise coin-flips them into misses; reserving a
+// margin over the EWMA trades a sliver of coalescing time for slack.
+constexpr double kReserveMargin = 1.25;
+
+std::chrono::steady_clock::duration MillisToDuration(double ms) {
+  return std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(std::max(0.0, ms)));
+}
+
+}  // namespace
 
 MicroBatcher::MicroBatcher(const InferenceSession* session,
                            const MicroBatcherConfig& config)
@@ -16,30 +36,84 @@ MicroBatcher::MicroBatcher(const InferenceSession* session,
       metrics_(ServeMetrics::Create("serve.batcher", /*with_occupancy=*/true)) {
   if (config_.max_batch_size < 1) config_.max_batch_size = 1;
   if (config_.max_wait_ms < 0.0) config_.max_wait_ms = 0.0;
+  // Budget resolution order: per-request deadline_ms > config slo_ms >
+  // ENHANCENET_SLO_MS > max_wait_ms. The env fallback is resolved once here
+  // so Predict never consults the environment.
+  if (config_.deadline_aware && config_.slo_ms <= 0.0) {
+    config_.slo_ms = runtime::EnvSloMs();
+  }
+  ceiling_ = config_.max_batch_size;
+  metrics_.ceiling->Set(static_cast<double>(ceiling_));
+}
+
+void MicroBatcher::LeaderWait(std::unique_lock<std::mutex>& lock,
+                              const std::shared_ptr<Batch>& batch) {
+  const auto launchable = [&] {
+    return batch->closed ||
+           static_cast<int64_t>(batch->inputs.size()) >= ceiling_;
+  };
+  if (!config_.deadline_aware) {
+    batch->cv.wait_for(
+        lock, std::chrono::duration<double, std::milli>(config_.max_wait_ms),
+        launchable);
+    return;
+  }
+  // The flush target is recomputed every wakeup: a follower joining with a
+  // tighter deadline lowers batch->deadline and notifies, so the target only
+  // ever moves earlier.
+  while (!launchable()) {
+    const Clock::time_point flush_at =
+        batch->deadline - MillisToDuration(kReserveMargin * reserve_ms_);
+    if (Clock::now() >= flush_at) break;
+    batch->cv.wait_until(lock, flush_at);
+  }
 }
 
 void MicroBatcher::RunBatch(const std::shared_ptr<Batch>& batch) {
+  // Bound so the staging buffer, output slices, and forward temporaries all
+  // draw from the session's pooled context.
+  runtime::RuntimeContext::Bind bind(session_->context());
   const int64_t n = session_->num_entities();
+  const int64_t h = session_->history();
+  const int64_t c = session_->in_channels();
+  const int64_t f = session_->horizon();
   const int64_t b = static_cast<int64_t>(batch->inputs.size());
-  std::vector<Tensor> lifted;
-  lifted.reserve(batch->inputs.size());
-  for (const Tensor& window : batch->inputs) {
-    lifted.push_back(
-        window.Reshape({1, n, session_->history(), session_->in_channels()}));
-  }
+
   PredictRequest batched;
-  batched.history = ops::Concat(lifted, 0);  // [B,N,H,C]
   batched.scaled_input = true;
   batched.scaled_output = true;
+  if (b == 1) {
+    // Single-member batch: the session handles [N,H,C] directly; skip the
+    // staging copy (bitwise-identical — same kernels on the same values).
+    batched.history = batch->inputs[0];
+  } else {
+    runtime::Workspace& workspace = session_->context().workspace();
+    Tensor staging = Tensor::WithStorage(
+        workspace.Acquire(b * n * h * c), {b, n, h, c});
+    std::vector<Tensor> lifted;
+    lifted.reserve(batch->inputs.size());
+    for (const Tensor& window : batch->inputs) {
+      lifted.push_back(window.Reshape({1, n, h, c}));
+    }
+    ops::ConcatInto(lifted, 0, &staging);
+    batched.history = std::move(staging);
+  }
   PredictResponse response;
   const Status status = session_->Predict(batched, &response);
 
   std::vector<Tensor> outputs;
   if (status.ok()) {
     outputs.reserve(batch->inputs.size());
-    for (int64_t i = 0; i < b; ++i) {
-      outputs.push_back(ops::Slice(response.forecast, 0, i, 1)
-                            .Reshape({n, session_->horizon()}));
+    if (b == 1) {
+      outputs.push_back(response.forecast);  // already [N,F]
+    } else {
+      runtime::Workspace& workspace = session_->context().workspace();
+      for (int64_t i = 0; i < b; ++i) {
+        Tensor slice =
+            Tensor::WithStorage(workspace.Acquire(n * f), {1, n, f});
+        ops::SliceInto(response.forecast, 0, i, 1, &slice);
+        outputs.push_back(slice.Reshape({n, f}));
+      }
     }
   }
   metrics_.forwards->Add();
@@ -47,11 +121,61 @@ void MicroBatcher::RunBatch(const std::shared_ptr<Batch>& batch) {
   if (!status.ok()) metrics_.forward_errors->Add();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (status.ok()) {
+      // The reserve follows the *batched* forward latency (the time a
+      // flushing batch still needs), seeded by the first observation.
+      reserve_ms_ = reserve_ms_ <= 0.0
+                        ? response.latency_ms
+                        : kEwmaAlpha * response.latency_ms +
+                              (1.0 - kEwmaAlpha) * reserve_ms_;
+      metrics_.reserve_ms->Set(reserve_ms_);
+    }
+    UpdateCeilingLocked(b);
     batch->outputs = std::move(outputs);
     batch->status = status;
     batch->done = true;
   }
-  cv_.notify_all();
+  batch->cv.notify_all();
+}
+
+void MicroBatcher::UpdateCeilingLocked(int64_t occupancy) {
+  if (!config_.deadline_aware || !config_.adaptive_ceiling) return;
+  occupancy_ewma_ =
+      occupancy_ewma_ <= 0.0
+          ? static_cast<double>(occupancy)
+          : kEwmaAlpha * static_cast<double>(occupancy) +
+                (1.0 - kEwmaAlpha) * occupancy_ewma_;
+  if (occupancy >= ceiling_) {
+    // Demand filled the ceiling: open headroom aggressively.
+    ceiling_ = std::min(ceiling_ * 2, config_.max_batch_size);
+  } else if (ceiling_ > 1 && occupancy_ewma_ * 2.0 < ceiling_) {
+    // Sustained occupancy well under the ceiling: shrink so light traffic
+    // flushes on fill instead of burning its budget waiting.
+    ceiling_ = std::max<int64_t>(ceiling_ / 2, 1);
+  }
+  metrics_.ceiling->Set(static_cast<double>(ceiling_));
+}
+
+Status MicroBatcher::FinishRequest(const Batch& batch, size_t index,
+                                   const PredictRequest& request,
+                                   double latency_ms, double budget_ms,
+                                   PredictResponse* response) {
+  // Latency is observed on failure too — otherwise p99 under partial
+  // failure only sees the requests that got lucky.
+  metrics_.latency_ms->Observe(latency_ms);
+  if (budget_ms > 0.0) {
+    const double slack_ms = budget_ms - latency_ms;
+    metrics_.slack_ms->Observe(slack_ms);
+    if (slack_ms < 0.0) metrics_.deadline_miss->Add();
+  }
+  if (!batch.status.ok()) return batch.status;
+
+  Tensor forecast = batch.outputs[index];
+  if (!request.scaled_output) forecast = session_->UnscaleForecast(forecast);
+  response->forecast = std::move(forecast);
+  response->latency_ms = latency_ms;
+  metrics_.windows->Add();
+  return Status::Ok();
 }
 
 Status MicroBatcher::Predict(const PredictRequest& request,
@@ -60,6 +184,7 @@ Status MicroBatcher::Predict(const PredictRequest& request,
     return Status::InvalidArgument("Predict: response is null");
   }
   Stopwatch timer;
+  const Clock::time_point arrival = Clock::now();
   if (request.history.dim() != 3) {
     metrics_.rejected->Add();
     return Status::InvalidArgument(
@@ -72,60 +197,90 @@ Status MicroBatcher::Predict(const PredictRequest& request,
     metrics_.rejected->Add();
     return valid;
   }
+  // Bound for the whole request so scaling/unscaling temporaries recycle
+  // through the session's pooled allocator (RunBatch re-binds for the
+  // leader; Bind nests fine).
+  runtime::RuntimeContext::Bind bind(session_->context());
   // Scale outside the batch so a batch is always homogeneous (scaled in,
   // scaled out) regardless of each member's request flags.
-  Tensor scaled =
-      request.scaled_input ? request.history : session_->ScaleWindow(request.history);
+  Tensor scaled = request.scaled_input ? request.history
+                                       : session_->ScaleWindow(request.history);
+
+  // Effective budget; 0 in fixed-wait mode means "no deadline accounting".
+  double budget_ms = 0.0;
+  if (config_.deadline_aware) {
+    budget_ms = request.deadline_ms > 0.0
+                    ? request.deadline_ms
+                    : (config_.slo_ms > 0.0 ? config_.slo_ms
+                                            : config_.max_wait_ms);
+  }
+  const Clock::time_point deadline = arrival + MillisToDuration(budget_ms);
+
+  // Fast path: with a ceiling of one there is nothing to coalesce — run the
+  // request as its own batch without ever touching the open-batch state.
+  if (config_.max_batch_size == 1) {
+    auto batch = std::make_shared<Batch>();
+    batch->deadline = deadline;
+    batch->inputs.push_back(std::move(scaled));
+    metrics_.flush_full->Add();
+    RunBatch(batch);
+    return FinishRequest(*batch, 0, request, timer.ElapsedMillis(), budget_ms,
+                         response);
+  }
 
   std::shared_ptr<Batch> batch;
   size_t index = 0;
   bool leader = false;
   {
     std::unique_lock<std::mutex> lock(mu_);
-    if (open_batch_ == nullptr) {
+    // A retired (closed) batch never takes joiners: a late arrival opens
+    // the next batch instead of racing the leader that is flushing this
+    // one.
+    if (open_batch_ == nullptr || open_batch_->closed) {
       batch = std::make_shared<Batch>();
+      batch->deadline = deadline;
+      batch->inputs.reserve(static_cast<size_t>(config_.max_batch_size));
       open_batch_ = batch;
       leader = true;
     } else {
       batch = open_batch_;
+      if (deadline < batch->deadline) {
+        // Tighter budget than anything enqueued: pull the flush target
+        // earlier and wake the leader to re-aim its wait.
+        batch->deadline = deadline;
+        batch->cv.notify_all();
+      }
     }
     batch->inputs.push_back(std::move(scaled));
     index = batch->inputs.size() - 1;
-    const bool full =
-        static_cast<int64_t>(batch->inputs.size()) >= config_.max_batch_size;
-    if (leader) {
-      // Wait for followers until the batch fills or the deadline passes,
-      // then take the batch out of circulation and run it.
-      cv_.wait_for(
-          lock, std::chrono::duration<double, std::milli>(config_.max_wait_ms),
-          [&] {
-            return static_cast<int64_t>(batch->inputs.size()) >=
-                   config_.max_batch_size;
-          });
-      batch->closed = true;
-      if (open_batch_ == batch) open_batch_ = nullptr;
-    } else if (full) {
+    if (!leader &&
+        static_cast<int64_t>(batch->inputs.size()) >= ceiling_) {
       // This join filled the batch: retire it and wake the leader early.
       batch->closed = true;
       open_batch_ = nullptr;
-      cv_.notify_all();
+      batch->cv.notify_all();
+    }
+    if (leader) {
+      LeaderWait(lock, batch);
+      const bool filled = batch->closed || static_cast<int64_t>(
+                                               batch->inputs.size()) >= ceiling_;
+      if (!batch->closed) {
+        batch->closed = true;
+        if (open_batch_ == batch) open_batch_ = nullptr;
+      }
+      (filled ? metrics_.flush_full : metrics_.flush_budget)->Add();
     }
   }
-  if (leader) RunBatch(batch);
-  {
+  if (leader) {
+    // The leader runs the forward itself and set batch->done under mu_ in
+    // RunBatch — no need to re-lock and wait on a flag it just published.
+    RunBatch(batch);
+  } else {
     std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [&] { return batch->done; });
+    batch->cv.wait(lock, [&] { return batch->done; });
   }
-  if (!batch->status.ok()) return batch->status;
-
-  Tensor forecast = batch->outputs[index];
-  if (!request.scaled_output) forecast = session_->UnscaleForecast(forecast);
-  response->forecast = std::move(forecast);
-  response->latency_ms = timer.ElapsedMillis();
-
-  metrics_.windows->Add();
-  metrics_.latency_ms->Observe(response->latency_ms);
-  return Status::Ok();
+  return FinishRequest(*batch, index, request, timer.ElapsedMillis(),
+                       budget_ms, response);
 }
 
 Stats MicroBatcher::stats() const { return metrics_.Snapshot(); }

@@ -1,6 +1,7 @@
 #ifndef ENHANCENET_SERVE_MICRO_BATCHER_H_
 #define ENHANCENET_SERVE_MICRO_BATCHER_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <memory>
 #include <mutex>
@@ -13,10 +14,27 @@ namespace enhancenet {
 namespace serve {
 
 struct MicroBatcherConfig {
-  /// A batch is launched as soon as this many windows have joined it.
+  /// Hard cap on windows coalesced into one forward; also the upper bound
+  /// of the adaptive ceiling.
   int64_t max_batch_size = 8;
-  /// ... or once the first (leader) request has waited this long.
+  /// Fixed-wait policy: how long the leader holds the batch open. Under the
+  /// deadline policy this is only the fallback budget for requests with no
+  /// deadline_ms when slo_ms is unset too.
   double max_wait_ms = 2.0;
+  /// Deadline-aware flush (default): the leader launches the batch when the
+  /// *tightest* enqueued budget is nearly spent — reserving the observed
+  /// batched-forward time — instead of sleeping a fixed max_wait_ms. false
+  /// restores the legacy fixed-wait policy.
+  bool deadline_aware = true;
+  /// Default per-request latency budget (ms) for requests carrying no
+  /// explicit PredictRequest::deadline_ms. <= 0 resolves ENHANCENET_SLO_MS
+  /// at construction; when that is unset too, max_wait_ms doubles as the
+  /// budget.
+  double slo_ms = 0.0;
+  /// Deadline policy only: grow/shrink the effective batch ceiling within
+  /// [1, max_batch_size] from realized occupancy, so light traffic flushes
+  /// at small batches instead of waiting for joiners that never come.
+  bool adaptive_ceiling = true;
 };
 
 /// Coalesces concurrent single-window Predict calls into one batched model
@@ -26,15 +44,30 @@ struct MicroBatcherConfig {
 /// over all N entities; stacking B concurrent requests into one [B,N,H,C]
 /// forward amortizes filter generation and keeps the tiled GEMM kernels
 /// (which already fan out over the ParallelFor pool) working on larger
-/// operands. Policy: the first request to arrive becomes the batch *leader*
-/// and waits up to `max_wait_ms` for followers; the batch launches early the
-/// moment it reaches `max_batch_size`. Followers block until the leader
-/// distributes their slice of the batched forecast.
+/// operands.
+///
+/// Policy: the first request to arrive becomes the batch *leader*; later
+/// requests join until the batch reaches the (adaptive) ceiling, which
+/// retires it early. Under the deadline policy every request carries an
+/// absolute deadline (arrival + budget, where the budget is the request's
+/// deadline_ms, else slo_ms / ENHANCENET_SLO_MS, else max_wait_ms) and the
+/// leader launches when the earliest member deadline minus the reserved
+/// forward time (an EWMA of the session's observed batched forward latency)
+/// arrives. A follower joining with a tighter deadline wakes the leader so
+/// the flush target only ever moves earlier. Under the legacy fixed-wait
+/// policy the leader instead sleeps up to max_wait_ms.
+///
+/// Batch assembly is allocation-free in steady state: the [B,N,H,C] staging
+/// buffer and the per-member output slices come from the session's
+/// runtime::Workspace via Tensor::WithStorage + ops::ConcatInto/SliceInto,
+/// and the whole request path runs bound to the session's RuntimeContext so
+/// scaling temporaries recycle through the session's pooled allocator.
 ///
 /// Requests failing validation are rejected individually before joining a
-/// batch, so one malformed request can never poison its neighbours.
-/// Thread-safe; Predict blocks the calling thread (at most
-/// max_wait_ms + one forward).
+/// batch, so one malformed request can never poison its neighbours. A
+/// retired (closed) batch never accepts joiners — a late arrival starts the
+/// next batch instead. Thread-safe; Predict blocks the calling thread (at
+/// most its budget + one forward).
 class MicroBatcher {
  public:
   /// `session` is borrowed and must outlive the batcher.
@@ -48,29 +81,58 @@ class MicroBatcher {
   /// Metrics snapshot: `windows`/`forwards` is the realized mean batch
   /// occupancy, latencies are per request (queueing included). Backed by
   /// the process registry under the "serve.batcher." prefix, including a
-  /// `serve.batcher.batch_occupancy` histogram observed once per forward.
+  /// `serve.batcher.batch_occupancy` histogram observed once per forward
+  /// and the `serve.batcher.deadline.*` family (see stats.h).
   Stats stats() const;
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   /// One in-flight coalesced batch; lives on the heap so late followers can
-  /// keep a reference after the batcher moves on to the next batch.
+  /// keep a reference after the batcher moves on to the next batch. Each
+  /// batch owns its condition variable so fill/deadline notifications and
+  /// done-waits never wake members of unrelated batches.
   struct Batch {
     std::vector<Tensor> inputs;    // scaled [N,H,C] windows, joining order
     std::vector<Tensor> outputs;   // scaled [N,F] forecasts, same order
     Status status;                 // forward outcome, shared by all members
-    bool closed = false;           // no longer accepting joiners
+    bool closed = false;           // retired: joins go to the next batch
     bool done = false;             // outputs/status are final
+    Clock::time_point deadline;    // earliest member deadline (flush target)
+    std::condition_variable cv;    // leader wait + follower done-wait
   };
+
+  /// Leader-side wait (mu_ held): until the batch fills/closes, the
+  /// deadline minus the forward-time reserve arrives (deadline policy), or
+  /// max_wait_ms elapses (fixed-wait policy).
+  void LeaderWait(std::unique_lock<std::mutex>& lock,
+                  const std::shared_ptr<Batch>& batch);
 
   /// Runs the batched forward for `batch` and publishes the results.
   void RunBatch(const std::shared_ptr<Batch>& batch);
+
+  /// Folds a realized occupancy into the adaptive ceiling (mu_ held).
+  void UpdateCeilingLocked(int64_t occupancy);
+
+  /// Per-request accounting + response assembly after the batch is done.
+  /// `budget_ms` <= 0 means the request ran without a deadline (fixed-wait
+  /// policy) and skips slack/miss accounting.
+  Status FinishRequest(const Batch& batch, size_t index,
+                       const PredictRequest& request, double latency_ms,
+                       double budget_ms, PredictResponse* response);
 
   const InferenceSession* session_;
   MicroBatcherConfig config_;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
   std::shared_ptr<Batch> open_batch_;
+  /// Adaptive batch ceiling in [1, max_batch_size] (guarded by mu_).
+  int64_t ceiling_;
+  /// EWMA of realized batch occupancy, drives ceiling_ (guarded by mu_).
+  double occupancy_ewma_ = 0.0;
+  /// EWMA of the batched forward latency, reserved out of every budget
+  /// (guarded by mu_). 0 until the first successful forward seeds it.
+  double reserve_ms_ = 0.0;
   ServeMetrics metrics_;
 };
 

@@ -164,6 +164,8 @@ Status ModelRegistry::BuildVersion(const std::string& name, int64_t version,
     MicroBatcherConfig bc;
     bc.max_batch_size = session_options.max_batch_size;
     bc.max_wait_ms = session_options.max_wait_ms;
+    bc.deadline_aware = session_options.deadline_batching;
+    bc.slo_ms = session_options.slo_ms;
     fresh->batcher =
         std::make_unique<MicroBatcher>(fresh->pool.front().get(), bc);
   }

@@ -20,11 +20,19 @@ struct Stats {
   int64_t rejected = 0;           // requests failing validation
   int64_t forwards = 0;           // batched model forward passes executed
   int64_t forward_errors = 0;     // forwards that returned a non-OK status
+  int64_t latency_count = 0;      // latency observations (success + failure)
   double total_latency_ms = 0.0;  // summed per-request wall latency
   double max_latency_ms = 0.0;
+  int64_t deadline_miss = 0;      // requests completing after their budget
+  int64_t flush_budget = 0;       // batches flushed because a budget ran out
+  int64_t flush_full = 0;         // batches flushed because they filled
 
+  /// Mean over *observed* latencies: failed requests observe latency too,
+  /// so this divides by latency_count, not windows.
   double mean_latency_ms() const {
-    return windows == 0 ? 0.0 : total_latency_ms / static_cast<double>(windows);
+    return latency_count == 0
+               ? 0.0
+               : total_latency_ms / static_cast<double>(latency_count);
   }
   double mean_batch_occupancy() const {
     return forwards == 0
@@ -40,6 +48,24 @@ struct Stats {
 ///   <prefix>.latency_ms                                          histogram
 ///   <prefix>.batch_occupancy             histogram (micro-batcher only)
 ///
+/// The micro-batcher additionally exports its deadline policy (see
+/// MicroBatcherConfig) under `<prefix>.deadline.`:
+///
+///   <prefix>.deadline.miss                counter: requests that completed
+///                                         after their latency budget
+///   <prefix>.deadline.flush_budget        counter: batches launched because
+///                                         the tightest budget was nearly
+///                                         spent
+///   <prefix>.deadline.flush_full          counter: batches launched because
+///                                         they reached the ceiling
+///   <prefix>.deadline.ceiling             gauge: current adaptive batch
+///                                         ceiling
+///   <prefix>.deadline.reserve_ms          gauge: EWMA of the batched
+///                                         forward time reserved out of each
+///                                         budget
+///   <prefix>.deadline.slack_ms            histogram: budget − realized
+///                                         latency (negative = miss)
+///
 /// InferenceSession uses prefix "serve.session", MicroBatcher
 /// "serve.batcher". Instances with the same prefix share metrics (the
 /// normal fleet view); tests that need exact counts reset the registry in
@@ -51,6 +77,13 @@ struct ServeMetrics {
   obs::Counter* forward_errors = nullptr;
   obs::Histogram* latency_ms = nullptr;
   obs::Histogram* batch_occupancy = nullptr;  // only set when requested
+  // Deadline-policy handles; only set alongside batch_occupancy.
+  obs::Counter* deadline_miss = nullptr;
+  obs::Counter* flush_budget = nullptr;
+  obs::Counter* flush_full = nullptr;
+  obs::Gauge* ceiling = nullptr;
+  obs::Gauge* reserve_ms = nullptr;
+  obs::Histogram* slack_ms = nullptr;
 
   static ServeMetrics Create(const std::string& prefix,
                              bool with_occupancy) {
@@ -65,6 +98,13 @@ struct ServeMetrics {
     if (with_occupancy) {
       m.batch_occupancy = registry.GetHistogram(prefix + ".batch_occupancy",
                                                 obs::OccupancyBuckets());
+      m.deadline_miss = registry.GetCounter(prefix + ".deadline.miss");
+      m.flush_budget = registry.GetCounter(prefix + ".deadline.flush_budget");
+      m.flush_full = registry.GetCounter(prefix + ".deadline.flush_full");
+      m.ceiling = registry.GetGauge(prefix + ".deadline.ceiling");
+      m.reserve_ms = registry.GetGauge(prefix + ".deadline.reserve_ms");
+      m.slack_ms = registry.GetHistogram(prefix + ".deadline.slack_ms",
+                                         obs::SlackBucketsMs());
     }
     return m;
   }
@@ -76,8 +116,12 @@ struct ServeMetrics {
     s.rejected = rejected->Get();
     s.forwards = forwards->Get();
     s.forward_errors = forward_errors->Get();
+    s.latency_count = latency_ms->Count();
     s.total_latency_ms = latency_ms->Sum();
     s.max_latency_ms = latency_ms->Max();
+    if (deadline_miss != nullptr) s.deadline_miss = deadline_miss->Get();
+    if (flush_budget != nullptr) s.flush_budget = flush_budget->Get();
+    if (flush_full != nullptr) s.flush_full = flush_full->Get();
     return s;
   }
 };

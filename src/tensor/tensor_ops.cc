@@ -862,30 +862,46 @@ Tensor Transpose2D(const Tensor& t) {
   return MaterializeTranspose2D(t);
 }
 
-Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+namespace {
+
+// Shared shape computation for Concat/ConcatInto: normalizes `axis` in
+// place, checks that all parts agree on every other dimension, and returns
+// the concatenated shape.
+Shape ConcatOutShape(const std::vector<Tensor>& parts, int64_t* axis) {
   ENHANCENET_CHECK(!parts.empty());
   const int64_t rank = parts[0].dim();
-  if (axis < 0) axis += rank;
-  ENHANCENET_CHECK(axis >= 0 && axis < rank);
+  if (*axis < 0) *axis += rank;
+  ENHANCENET_CHECK(*axis >= 0 && *axis < rank);
 
   Shape out_shape = parts[0].shape();
   int64_t axis_total = 0;
   for (const Tensor& p : parts) {
     ENHANCENET_CHECK_EQ(p.dim(), rank);
     for (int64_t d = 0; d < rank; ++d) {
-      if (d != axis) {
+      if (d != *axis) {
         ENHANCENET_CHECK_EQ(p.size(d), parts[0].size(d))
             << "concat dim " << d << " mismatch";
       }
     }
-    axis_total += p.size(axis);
+    axis_total += p.size(*axis);
   }
-  out_shape[static_cast<size_t>(axis)] = axis_total;
-  Tensor out = Tensor::Uninitialized(out_shape);
+  out_shape[static_cast<size_t>(*axis)] = axis_total;
+  return out_shape;
+}
+
+}  // namespace
+
+void ConcatInto(const std::vector<Tensor>& parts, int64_t axis, Tensor* out) {
+  ENHANCENET_CHECK(out != nullptr);
+  const Shape out_shape = ConcatOutShape(parts, &axis);
+  ENHANCENET_CHECK(out->shape() == out_shape)
+      << "ConcatInto: out has shape " << ShapeToString(out->shape())
+      << ", expected " << ShapeToString(out_shape);
+  const int64_t rank = parts[0].dim();
   if (runtime::ProfilingEnabled()) {
     OpsProfile& profile = OpsProfile::Get();
     profile.concat_calls->Add();
-    profile.concat_elements->Add(out.numel());
+    profile.concat_elements->Add(out->numel());
   }
 
   // outer = product of dims before axis; inner = product after.
@@ -896,8 +912,8 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
     inner *= out_shape[static_cast<size_t>(d)];
   }
 
-  float* po = out.data();
-  const int64_t out_row = axis_total * inner;
+  float* po = out->data();
+  const int64_t out_row = out_shape[static_cast<size_t>(axis)] * inner;
   int64_t axis_offset = 0;
   for (const Tensor& p : parts) {
     const int64_t p_axis = p.size(axis);
@@ -908,10 +924,17 @@ Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
     }
     axis_offset += p_axis;
   }
+}
+
+Tensor Concat(const std::vector<Tensor>& parts, int64_t axis) {
+  Tensor out = Tensor::Uninitialized(ConcatOutShape(parts, &axis));
+  ConcatInto(parts, axis, &out);
   return out;
 }
 
-Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t length) {
+void SliceInto(const Tensor& t, int64_t axis, int64_t start, int64_t length,
+               Tensor* out) {
+  ENHANCENET_CHECK(out != nullptr);
   const int64_t rank = t.dim();
   if (axis < 0) axis += rank;
   ENHANCENET_CHECK(axis >= 0 && axis < rank);
@@ -921,7 +944,9 @@ Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t length) {
 
   Shape out_shape = t.shape();
   out_shape[static_cast<size_t>(axis)] = length;
-  Tensor out = Tensor::Uninitialized(out_shape);
+  ENHANCENET_CHECK(out->shape() == out_shape)
+      << "SliceInto: out has shape " << ShapeToString(out->shape())
+      << ", expected " << ShapeToString(out_shape);
 
   int64_t outer = 1;
   for (int64_t d = 0; d < axis; ++d) outer *= t.size(d);
@@ -929,13 +954,26 @@ Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t length) {
   for (int64_t d = axis + 1; d < rank; ++d) inner *= t.size(d);
 
   const float* p = t.data();
-  float* po = out.data();
+  float* po = out->data();
   const int64_t in_row = t.size(axis) * inner;
   const int64_t out_row = length * inner;
   for (int64_t o = 0; o < outer; ++o) {
     std::copy(p + o * in_row + start * inner,
               p + o * in_row + (start + length) * inner, po + o * out_row);
   }
+}
+
+Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t length) {
+  const int64_t rank = t.dim();
+  if (axis < 0) axis += rank;
+  ENHANCENET_CHECK(axis >= 0 && axis < rank);
+  ENHANCENET_CHECK(start >= 0 && length >= 0 && start + length <= t.size(axis))
+      << "slice [" << start << ", " << start + length << ") of dim "
+      << t.size(axis);
+  Shape out_shape = t.shape();
+  out_shape[static_cast<size_t>(axis)] = length;
+  Tensor out = Tensor::Uninitialized(out_shape);
+  SliceInto(t, axis, start, length, &out);
   return out;
 }
 

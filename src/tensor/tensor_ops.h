@@ -99,8 +99,21 @@ Tensor Transpose2D(const Tensor& t);
 /// Concatenates along `axis`; all other dims must match.
 Tensor Concat(const std::vector<Tensor>& parts, int64_t axis);
 
+/// Concat into caller-provided storage (e.g. a runtime::Workspace block
+/// adopted via Tensor::WithStorage). `out` must already have the concat
+/// result shape; every element is overwritten. Numerically identical to
+/// Concat. The micro-batcher stages [B,N,H,C] forwards through this so
+/// steady-state serving never touches the allocator.
+void ConcatInto(const std::vector<Tensor>& parts, int64_t axis, Tensor* out);
+
 /// Takes elements [start, start+length) along `axis`.
 Tensor Slice(const Tensor& t, int64_t axis, int64_t start, int64_t length);
+
+/// Slice into caller-provided storage. `out` must already have the slice
+/// result shape; every element is overwritten. Numerically identical to
+/// Slice.
+void SliceInto(const Tensor& t, int64_t axis, int64_t start, int64_t length,
+               Tensor* out);
 
 /// Zero-pads `before`/`after` elements along `axis`.
 Tensor PadAxis(const Tensor& t, int64_t axis, int64_t before, int64_t after);

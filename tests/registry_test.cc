@@ -560,5 +560,53 @@ TEST_F(RegistryTest, MicroBatchingThroughRegistryStaysBitwiseCorrect) {
   EXPECT_EQ(static_cast<int64_t>(occupancy->Sum()), kThreads);
 }
 
+TEST_F(RegistryTest, DeadlineBatchingOptionsReachTheBatcher) {
+  // End-to-end plumbing: SessionOptions' deadline knobs configure the
+  // version's MicroBatcher, requests carry per-request deadlines, and the
+  // deadline metrics land in the registry — all with bitwise-correct
+  // routing.
+  serve::ModelRegistry registry;
+  serve::PublishOptions po;
+  po.pool_size = 1;
+  po.session.micro_batching = true;
+  po.session.max_batch_size = 4;
+  po.session.deadline_batching = true;
+  po.session.slo_ms = 2000.0;  // generous budget so the threads coalesce
+  ASSERT_TRUE(
+      registry.Publish("deadline", 1, Spec(ckpt_a_), scaler_, po).ok());
+
+  constexpr int kThreads = 4;
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      serve::PredictRequest request;
+      request.history = window_;
+      request.deadline_ms = 2000.0;
+      serve::PredictResponse response;
+      if (!registry.Predict("deadline", request, &response).ok() ||
+          response.model_version != 1 ||
+          !BitwiseEqual(response.forecast, reference_a_)) {
+        ++failures[static_cast<size_t>(t)];
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0);
+
+  obs::Registry& obs = obs::Registry::Global();
+  obs::Histogram* occupancy = obs.GetHistogram(
+      "serve.batcher.batch_occupancy", obs::OccupancyBuckets());
+  EXPECT_EQ(static_cast<int64_t>(occupancy->Sum()), kThreads);
+  // The adaptive ceiling gauge is live, every flush is attributed to
+  // budget or fill, and nobody missed a 2 s deadline on a tiny model.
+  EXPECT_GE(obs.GetGauge("serve.batcher.deadline.ceiling")->Get(), 1.0);
+  const int64_t flushes =
+      obs.GetCounter("serve.batcher.deadline.flush_full")->Get() +
+      obs.GetCounter("serve.batcher.deadline.flush_budget")->Get();
+  EXPECT_EQ(flushes, occupancy->Count());
+  EXPECT_EQ(obs.GetCounter("serve.batcher.deadline.miss")->Get(), 0);
+}
+
 }  // namespace
 }  // namespace enhancenet

@@ -80,6 +80,24 @@ TEST(RuntimeEnvDeathTest, MalformedBoolDies) {
       "ENHANCENET_FUSED must be one of");
 }
 
+TEST(RuntimeEnvDeathTest, MalformedSloMsDies) {
+  EXPECT_DEATH(
+      {
+        setenv("ENHANCENET_SLO_MS", "fast", /*overwrite=*/1);
+        runtime::EnvSloMs();
+      },
+      "ENHANCENET_SLO_MS must be a number");
+}
+
+TEST(RuntimeEnvDeathTest, NonPositiveSloMsDies) {
+  EXPECT_DEATH(
+      {
+        setenv("ENHANCENET_SLO_MS", "-5", /*overwrite=*/1);
+        runtime::EnvSloMs();
+      },
+      "ENHANCENET_SLO_MS must be a number in \\(0, 1e7\\]");
+}
+
 TEST(RuntimeEnvTest, DefaultsWhenUnset) {
   // The harness does not set ENHANCENET_* for tests, so the accessors see
   // unset variables and produce the documented defaults.
@@ -88,6 +106,7 @@ TEST(RuntimeEnvTest, DefaultsWhenUnset) {
   EXPECT_TRUE(runtime::EnvFusedKernels());
   EXPECT_TRUE(runtime::EnvEagerRelease());
   EXPECT_FALSE(runtime::EnvProfiling());
+  EXPECT_EQ(runtime::EnvSloMs(), 0.0);  // no process-wide SLO by default
   EXPECT_EQ(runtime::EnvMetricsOut(), nullptr);
 }
 

@@ -5,11 +5,13 @@
 
 #include "autograd/grad_mode.h"
 #include "autograd/ops.h"
+#include "common/stopwatch.h"
 #include "data/synthetic.h"
 #include "graph/adjacency.h"
 #include "gtest/gtest.h"
 #include "io/checkpoint.h"
 #include "obs/metrics.h"
+#include "runtime/workspace.h"
 #include "serve/inference_session.h"
 #include "serve/micro_batcher.h"
 #include "tensor/tensor_ops.h"
@@ -628,7 +630,9 @@ TEST_F(ServeTest, MicroBatcherPoisonedBatchCountsForwardErrors) {
   EXPECT_EQ(stats.forward_errors, stats.forwards);
 
   // Occupancy is still observed for failed forwards (capacity was spent),
-  // but no latency samples exist since no request completed.
+  // and so is latency: requests riding a failed forward observe their wall
+  // time too, otherwise p99 under partial failure only counts the lucky
+  // requests.
   obs::Registry& registry = obs::Registry::Global();
   obs::Histogram* occupancy = registry.GetHistogram(
       "serve.batcher.batch_occupancy", obs::OccupancyBuckets());
@@ -636,7 +640,262 @@ TEST_F(ServeTest, MicroBatcherPoisonedBatchCountsForwardErrors) {
       "serve.batcher.latency_ms", obs::LatencyBucketsMs());
   EXPECT_EQ(occupancy->Count(), stats.forwards);
   EXPECT_EQ(static_cast<int64_t>(occupancy->Sum()), kThreads);
-  EXPECT_EQ(latency->Count(), 0);
+  EXPECT_EQ(latency->Count(), kThreads);
+  EXPECT_EQ(stats.latency_count, kThreads);
+  EXPECT_GT(stats.mean_latency_ms(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-aware policy: budget-driven flush, fill-driven early flush, the
+// max_batch_size=1 fast path, miss accounting, and retired-batch isolation.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServeTest, MicroBatcherFlushesOnBudgetNotMaxWait) {
+  auto session = MakeSession();
+  serve::MicroBatcherConfig bc;
+  bc.max_batch_size = 8;
+  bc.max_wait_ms = 60000.0;  // fixed-wait policy would sleep a minute here
+  serve::MicroBatcher batcher(session.get(), bc);
+
+  serve::PredictRequest request;
+  request.history = RawWindow(75);
+  request.deadline_ms = 200.0;
+  serve::PredictResponse response;
+  Stopwatch timer;
+  ASSERT_TRUE(batcher.Predict(request, &response).ok());
+  // The leader flushed when the request's own budget ran out, not after
+  // max_wait_ms (bounds are generous to stay robust on loaded machines).
+  EXPECT_LT(timer.ElapsedMillis(), 30000.0);
+
+  const serve::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.windows, 1);
+  EXPECT_EQ(stats.forwards, 1);
+  EXPECT_EQ(stats.flush_budget, 1);
+  EXPECT_EQ(stats.flush_full, 0);
+}
+
+TEST_F(ServeTest, MicroBatcherDeadlinePolicyFlushesEarlyOnFill) {
+  auto session = MakeSession();
+  serve::MicroBatcherConfig bc;
+  bc.max_batch_size = 4;
+  bc.slo_ms = 60000.0;  // huge budget: only a full batch can flush fast
+  serve::MicroBatcher batcher(session.get(), bc);
+
+  constexpr int kThreads = 4;
+  std::vector<Tensor> windows;
+  std::vector<Tensor> references;
+  for (int t = 0; t < kThreads; ++t) {
+    windows.push_back(RawWindow(45 + 17 * t));
+    serve::PredictRequest request;
+    request.history = windows.back();
+    serve::PredictResponse response;
+    ASSERT_TRUE(session->Predict(request, &response).ok());
+    references.push_back(response.forecast);
+  }
+
+  std::vector<int> failures(kThreads, 0);
+  Stopwatch timer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      serve::PredictRequest request;
+      request.history = windows[static_cast<size_t>(t)];
+      serve::PredictResponse response;
+      if (!batcher.Predict(request, &response).ok()) {
+        ++failures[static_cast<size_t>(t)];
+        return;
+      }
+      // Bitwise parity batched vs unbatched under the deadline policy.
+      const Tensor& expect = references[static_cast<size_t>(t)];
+      for (int64_t i = 0; i < expect.numel(); ++i) {
+        if (response.forecast.data()[i] != expect.data()[i]) {
+          ++failures[static_cast<size_t>(t)];
+          return;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0);
+  // Filling the batch flushed it immediately — nobody burned the 60 s
+  // budget.
+  EXPECT_LT(timer.ElapsedMillis(), 30000.0);
+
+  const serve::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.windows, kThreads);
+  EXPECT_EQ(stats.forwards, 1);  // budget never expires, so one full batch
+  EXPECT_EQ(stats.flush_full, 1);
+  EXPECT_EQ(stats.flush_budget, 0);
+  EXPECT_EQ(stats.deadline_miss, 0);
+}
+
+TEST_F(ServeTest, MicroBatcherSizeOneFastPathMatchesDirect) {
+  auto session = MakeSession();
+  serve::MicroBatcherConfig bc;
+  bc.max_batch_size = 1;  // fast path: no coalescing state at all
+  bc.slo_ms = 60000.0;
+  serve::MicroBatcher batcher(session.get(), bc);
+
+  Stopwatch timer;
+  for (int r = 0; r < 3; ++r) {
+    const Tensor raw = RawWindow(70 + 5 * r);
+    serve::PredictRequest request;
+    request.history = raw;
+    serve::PredictResponse direct, via_batcher;
+    ASSERT_TRUE(session->Predict(request, &direct).ok());
+    ASSERT_TRUE(batcher.Predict(request, &via_batcher).ok());
+    for (int64_t i = 0; i < direct.forecast.numel(); ++i) {
+      ASSERT_EQ(via_batcher.forecast.data()[i], direct.forecast.data()[i]);
+    }
+  }
+  // The fast path never waits on a budget — three requests with a 60 s SLO
+  // complete in forward time.
+  EXPECT_LT(timer.ElapsedMillis(), 30000.0);
+
+  const serve::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.windows, 3);
+  EXPECT_EQ(stats.forwards, 3);
+  EXPECT_EQ(stats.flush_full, 3);
+  EXPECT_EQ(stats.flush_budget, 0);
+}
+
+TEST_F(ServeTest, MicroBatcherCountsDeadlineMisses) {
+  auto session = MakeSession();
+  serve::MicroBatcherConfig bc;
+  bc.max_batch_size = 4;
+  serve::MicroBatcher batcher(session.get(), bc);
+
+  serve::PredictRequest request;
+  request.history = RawWindow(65);
+  request.deadline_ms = 1e-4;  // no forward can beat a 100 ns budget
+  serve::PredictResponse response;
+  ASSERT_TRUE(batcher.Predict(request, &response).ok());
+
+  const serve::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.windows, 1);
+  EXPECT_EQ(stats.deadline_miss, 1);
+  obs::Histogram* slack = obs::Registry::Global().GetHistogram(
+      "serve.batcher.deadline.slack_ms", obs::SlackBucketsMs());
+  EXPECT_EQ(slack->Count(), 1);
+  EXPECT_LT(slack->Min(), 0.0);  // completed after the deadline
+}
+
+TEST_F(ServeTest, MicroBatcherRetiredBatchTakesNoJoiners) {
+  auto session = MakeSession();
+  serve::MicroBatcherConfig bc;
+  bc.max_batch_size = 3;
+  bc.slo_ms = 0.5;  // budgets expire constantly, so batches retire mid-race
+  serve::MicroBatcher batcher(session.get(), bc);
+
+  constexpr int kThreads = 4;
+  constexpr int kRequestsPerThread = 6;
+  std::vector<Tensor> windows;
+  std::vector<Tensor> references;
+  for (int t = 0; t < kThreads; ++t) {
+    windows.push_back(RawWindow(40 + 13 * t));
+    serve::PredictRequest request;
+    request.history = windows.back();
+    serve::PredictResponse response;
+    ASSERT_TRUE(session->Predict(request, &response).ok());
+    references.push_back(response.forecast);
+  }
+
+  // Retired batches must never hand a joiner someone else's slice (or no
+  // slice at all): every response bitwise-matches its own window's
+  // reference, and every request is served exactly once.
+  std::vector<int> failures(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRequestsPerThread; ++r) {
+        serve::PredictRequest request;
+        request.history = windows[static_cast<size_t>(t)];
+        serve::PredictResponse response;
+        if (!batcher.Predict(request, &response).ok()) {
+          ++failures[static_cast<size_t>(t)];
+          continue;
+        }
+        const Tensor& expect = references[static_cast<size_t>(t)];
+        for (int64_t i = 0; i < expect.numel(); ++i) {
+          if (response.forecast.data()[i] != expect.data()[i]) {
+            ++failures[static_cast<size_t>(t)];
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0);
+
+  const serve::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.windows, kThreads * kRequestsPerThread);
+  EXPECT_EQ(stats.latency_count, kThreads * kRequestsPerThread);
+  EXPECT_GE(stats.forwards, 1);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.forward_errors, 0);
+}
+
+TEST_F(ServeTest, MicroBatcherSteadyStateServesAllocationFree) {
+  // Single-shard allocator: the rounds below spawn a fresh client thread
+  // each time, and per-thread shard pinning would otherwise scatter the
+  // cached blocks across shards (a geometry artifact, not a serving alloc).
+  serve::SessionOptions options = Options();
+  options.allocator =
+      std::make_shared<TensorAllocator>(/*export_metrics=*/false,
+                                        /*num_shards=*/1);
+  std::unique_ptr<serve::InferenceSession> session;
+  ASSERT_TRUE(serve::InferenceSession::Create(Spec(), options, scaler_,
+                                              &session)
+                  .ok());
+  serve::MicroBatcherConfig bc;
+  // A 60 s budget with a ceiling of 2 makes every batch fill with exactly
+  // two members before it can flush: deterministic composition, so the
+  // staging/slicing path runs with the same shapes every round.
+  bc.max_batch_size = 2;
+  bc.slo_ms = 60000.0;
+  bc.adaptive_ceiling = false;
+  serve::MicroBatcher batcher(session.get(), bc);
+
+  const Tensor raw_a = RawWindow(88);
+  const Tensor raw_b = RawWindow(92);
+  const auto serve_round = [&] {
+    std::thread other([&] {
+      serve::PredictRequest request;
+      request.history = raw_a;
+      serve::PredictResponse response;
+      EXPECT_TRUE(batcher.Predict(request, &response).ok());
+    });
+    serve::PredictRequest request;
+    request.history = raw_b;
+    serve::PredictResponse response;
+    EXPECT_TRUE(batcher.Predict(request, &response).ok());
+    other.join();
+  };
+  // Warm the session pool and workspace free lists.
+  for (int r = 0; r < 3; ++r) serve_round();
+
+  TensorAllocator& allocator = session->context().allocator();
+  runtime::Workspace& workspace = session->context().workspace();
+  allocator.ResetStats();
+  const runtime::WorkspaceStats w0 = workspace.GetStats();
+  for (int r = 0; r < 5; ++r) serve_round();
+  const AllocatorStats a1 = allocator.GetStats();
+  const runtime::WorkspaceStats w1 = workspace.GetStats();
+
+  // The whole request path — scaling, [B,N,H,C] staging, forward, output
+  // slicing, unscaling — recycles pooled storage: zero fresh mallocs per
+  // request in steady state.
+  EXPECT_GT(a1.requests, 0);
+  EXPECT_EQ(a1.pool_misses, 0);
+  EXPECT_EQ(a1.oversize, 0);
+  EXPECT_EQ(a1.HitRate(), 1.0);
+  EXPECT_GT(w1.acquires, w0.acquires);  // staging/slices did go through it
+  EXPECT_EQ(w1.acquires - w1.hits, w0.acquires - w0.hits)
+      << "workspace took a fresh block in steady state";
+  const serve::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.windows, 16);
+  EXPECT_EQ(stats.forwards, 8);  // every batch filled with two members
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include "gtest/gtest.h"
+#include "runtime/workspace.h"
 #include "tensor/tensor_ops.h"
 #include "test_util.h"
 
@@ -332,6 +333,52 @@ TEST(TensorOpsTest, SliceThenConcatRestores) {
   Tensor left = ops::Slice(a, 1, 0, 2);
   Tensor right = ops::Slice(a, 1, 2, 3);
   ExpectTensorNear(ops::Concat({left, right}, 1), a, 0.0f);
+}
+
+TEST(TensorOpsTest, ConcatIntoMatchesConcat) {
+  Rng rng(17);
+  Tensor a = Tensor::Randn({2, 3, 4}, rng);
+  Tensor b = Tensor::Randn({5, 3, 4}, rng);
+  Tensor c = Tensor::Randn({1, 3, 4}, rng);
+  for (const int64_t axis : {int64_t{0}, int64_t{-3}}) {
+    const Tensor reference = ops::Concat({a, b, c}, axis);
+    // Pre-poison the destination: every element must be overwritten.
+    Tensor out = Tensor::Full(reference.shape(), -123.0f);
+    ops::ConcatInto({a, b, c}, axis, &out);
+    ExpectTensorNear(out, reference, 0.0f);
+  }
+  // Interior axis exercises the outer/inner copy loops.
+  Tensor d = Tensor::Randn({2, 5, 4}, rng);
+  const Tensor reference = ops::Concat({a, d}, 1);
+  Tensor out = Tensor::Full(reference.shape(), -123.0f);
+  ops::ConcatInto({a, d}, 1, &out);
+  ExpectTensorNear(out, reference, 0.0f);
+}
+
+TEST(TensorOpsTest, ConcatIntoWorkspaceStorage) {
+  // The serving staging pattern: concat directly into a pooled workspace
+  // block adopted via WithStorage — no allocator traffic, same values.
+  Rng rng(18);
+  Tensor a = Tensor::Randn({1, 2, 3, 2}, rng);
+  Tensor b = Tensor::Randn({1, 2, 3, 2}, rng);
+  runtime::Workspace workspace;
+  Tensor staged =
+      Tensor::WithStorage(workspace.Acquire(2 * 2 * 3 * 2), {2, 2, 3, 2});
+  ops::ConcatInto({a, b}, 0, &staged);
+  ExpectTensorNear(staged, ops::Concat({a, b}, 0), 0.0f);
+}
+
+TEST(TensorOpsTest, SliceIntoMatchesSlice) {
+  Rng rng(19);
+  Tensor a = Tensor::Randn({4, 5, 3}, rng);
+  const struct { int64_t axis, start, length; } cases[] = {
+      {0, 1, 2}, {1, 2, 3}, {-1, 0, 2}, {2, 1, 1}};
+  for (const auto& c : cases) {
+    const Tensor reference = ops::Slice(a, c.axis, c.start, c.length);
+    Tensor out = Tensor::Full(reference.shape(), -123.0f);
+    ops::SliceInto(a, c.axis, c.start, c.length, &out);
+    ExpectTensorNear(out, reference, 0.0f);
+  }
 }
 
 TEST(TensorOpsTest, PadAxisZeroFill) {
