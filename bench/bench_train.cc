@@ -1,14 +1,14 @@
 // Training-throughput benchmarks (PR: allocation-free training hot path).
 //
 // Measures the full training step — batch forward, masked-loss backward,
-// gradient clip, optimizer step — for an RNN and a D-GRNN config in two
-// configurations of the same binary:
+// gradient clip, optimizer step — for RNN, D-GRNN, TCN, and STGCN configs
+// in two configurations of the same binary:
 //  * baseline:  system allocator semantics (no block recycling), unfused
-//               cell/optimizer kernels, keep-everything backward — the
+//               cell/conv/optimizer kernels, keep-everything backward — the
 //               pre-PR hot path;
 //  * optimized: caching TensorAllocator + fused FusedGruCell/FusedLstmCell/
-//               GruCombine kernels + fused ParallelFor optimizer steps +
-//               eager backward release.
+//               GruCombine/FusedGatedConv kernels + GEMM bias epilogues +
+//               fused ParallelFor optimizer steps + eager backward release.
 // Both rows land in BENCH_train.json (via bench/run_bench_train.sh), so the
 // speedup and the steady-state allocation counts are recorded side by side
 // in one artifact. Allocator counters report allocations/step after warmup:
@@ -185,6 +185,18 @@ BENCHMARK_CAPTURE(BM_TrainStep, DGRNN_baseline, "D-GRNN", false)
 BENCHMARK_CAPTURE(BM_TrainStep, DGRNN_optimized, "D-GRNN", true)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_TrainStep, DGRNN_context, "D-GRNN", true, true)
+    ->Unit(benchmark::kMillisecond);
+// TCN-family rows (DESIGN.md §8): the optimized configuration additionally
+// routes the gated causal conv through FusedGatedConv (one stacked
+// gated-epilogue GEMM) and Linear through the kBias epilogue, so
+// baseline-vs-optimized is the fused-kernel speedup on top of the allocator.
+BENCHMARK_CAPTURE(BM_TrainStep, TCN_baseline, "TCN", false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TrainStep, TCN_optimized, "TCN", true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TrainStep, STGCN_baseline, "STGCN", false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_TrainStep, STGCN_optimized, "STGCN", true)
     ->Unit(benchmark::kMillisecond);
 
 // --- sparse top-k dynamic adjacency (DESIGN.md §10) -------------------------

@@ -8,7 +8,7 @@
 # reproducible from a single run.
 #
 # Usage:
-#   bench/run_bench_train.sh                    # RNN + D-GRNN, both configs
+#   bench/run_bench_train.sh            # RNN/D-GRNN/TCN/STGCN, both configs
 #   BENCHMARK_FILTER='DGRNN' bench/run_bench_train.sh
 #   BUILD_DIR=/tmp/build bench/run_bench_train.sh
 #   ENHANCENET_NUM_THREADS=1 bench/run_bench_train.sh   # serial kernels
@@ -62,7 +62,7 @@ def median_row(name):
     return plain[0] if plain else None
 
 context_overhead = {}
-for model in ("RNN", "DGRNN"):
+for model in ("RNN", "DGRNN", "TCN", "STGCN"):
     base = median_row(f"BM_TrainStep/{model}_baseline")
     opt = median_row(f"BM_TrainStep/{model}_optimized")
     ctx = median_row(f"BM_TrainStep/{model}_context")

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the fused-kernel suite (fused_test) plus the parallel tensor-op suite
+# (tensor_parallel_test) under ThreadSanitizer. The fused GEMM epilogues and
+# FusedGatedConv gather/scatter kernels claim every output element is written
+# exactly once by its owning ParallelFor chunk — the kind of claim TSan can
+# falsify — so this is the verification step for the fused-TCN PR's
+# threading story.
+#
+# Usage:
+#   bench/run_fused_tsan.sh                 # build build-tsan/ and run
+#   TSAN_BUILD_DIR=/tmp/tsan bench/run_fused_tsan.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DENHANCENET_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target fused_test --target tensor_parallel_test
+
+# Force a real parallel run: the thread-invariance tests exercise 8 threads
+# explicitly, and the rest of the suite inherits this count.
+ENHANCENET_NUM_THREADS=8 ctest --test-dir "$BUILD_DIR" \
+  -R '^(fused_test|tensor_parallel_test)$' --output-on-failure
+
+echo "fused suite clean under ThreadSanitizer"

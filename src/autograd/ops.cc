@@ -213,6 +213,23 @@ Variable MatMul(const Variable& a, const Variable& b) {
                     });
 }
 
+Variable MatMulBias(const Variable& a, const Variable& b,
+                    const Variable& bias) {
+  Tensor out = ops::Gemm(a.data(), b.data(), /*trans_a=*/false,
+                         /*trans_b=*/false, ops::GemmEpilogue::kBias,
+                         &bias.data());
+  return MakeResult(std::move(out), "matmul_bias", {a, b, bias},
+                    [a, b, bias](const Tensor& g) {
+                      if (a.requires_grad()) {
+                        a.AccumulateGrad(ops::Gemm(g, b.data(), false, true));
+                      }
+                      if (b.requires_grad()) {
+                        b.AccumulateGrad(ops::Gemm(a.data(), g, true, false));
+                      }
+                      AccumulateBroadcast(bias, g);
+                    });
+}
+
 Variable BatchMatMul(const Variable& a, const Variable& b) {
   Tensor out = ops::BatchMatMul(a.data(), b.data());
   return MakeResult(std::move(out), "bmm", {a, b}, [a, b](const Tensor& g) {
@@ -1233,6 +1250,303 @@ Variable SparseAdjacencyMatMul(const Variable& values, const SparseIndex& index,
             SparseApplyCsc(idx, values.data().data(), g.data(), channels,
                            dx.data());
           }
+          MaybeAccumulate(x, std::move(dx));
+        }
+      });
+}
+
+namespace {
+
+/// Resolved shapes of a fused gated conv call, shared by the two variants.
+struct GatedConvDims {
+  int64_t batch, n, t_in, c_in, t_out, half;
+};
+
+/// Gathers the K dilated tap windows of x [B,N,T,C] into the stacked GEMM
+/// operand: row (pair, t) holds taps k = 0..K-1 side by side,
+///   S[pair, t, k·C + c] = x[b, i, t + k·dilation − pad_left, c]
+/// (zero outside [0,T)). `by_entity` selects the pair ordering: false packs
+/// rows as (b·N + i) — matching x's own layout, for the shared-filter 2-D
+/// GEMM — true as (i·B + b), grouping each entity's rows contiguously for
+/// the per-entity BatchGemm. Pure per-pair gather: each (b, i) pair's rows
+/// are written entirely by the chunk that owns the pair.
+void GatherTapWindows(const float* px, int64_t batch, int64_t n_entities,
+                      int64_t t_in, int64_t c_in, int64_t t_out,
+                      int64_t kernel, int64_t dilation, int64_t pad_left,
+                      bool by_entity, float* ps) {
+  const int64_t kc = kernel * c_in;
+  ParallelFor(
+      0, batch * n_entities, RowGrain(t_out * kc),
+      [=](int64_t p0, int64_t p1) {
+        for (int64_t p = p0; p < p1; ++p) {
+          const int64_t b = by_entity ? p % batch : p / n_entities;
+          const int64_t i = by_entity ? p / batch : p % n_entities;
+          const float* src = px + (b * n_entities + i) * t_in * c_in;
+          float* dst = ps + p * t_out * kc;
+          for (int64_t t = 0; t < t_out; ++t) {
+            float* drow = dst + t * kc;
+            for (int64_t k = 0; k < kernel; ++k) {
+              const int64_t ts = t + k * dilation - pad_left;
+              if (ts >= 0 && ts < t_in) {
+                std::copy(src + ts * c_in, src + (ts + 1) * c_in,
+                          drow + k * c_in);
+              } else {
+                std::fill(drow + k * c_in, drow + (k + 1) * c_in, 0.0f);
+              }
+            }
+          }
+        }
+      });
+}
+
+/// Transpose of GatherTapWindows for the backward pass: accumulates the
+/// stacked-operand gradient dS back onto dx. Parallel over dx's own (b, i)
+/// pairs — every dx row is owned by one chunk, and within it taps accumulate
+/// in ascending (t, k) order, so the scatter is bitwise thread-invariant.
+void ScatterTapWindows(const float* pds, int64_t batch, int64_t n_entities,
+                       int64_t t_in, int64_t c_in, int64_t t_out,
+                       int64_t kernel, int64_t dilation, int64_t pad_left,
+                       bool by_entity, float* pdx) {
+  const int64_t kc = kernel * c_in;
+  ParallelFor(
+      0, batch * n_entities, RowGrain(t_in * c_in),
+      [=](int64_t q0, int64_t q1) {
+        for (int64_t q = q0; q < q1; ++q) {
+          const int64_t b = q / n_entities;
+          const int64_t i = q % n_entities;
+          const int64_t p = by_entity ? i * batch + b : q;
+          const float* srow = pds + p * t_out * kc;
+          float* dxrow = pdx + q * t_in * c_in;
+          std::fill(dxrow, dxrow + t_in * c_in, 0.0f);
+          for (int64_t t = 0; t < t_out; ++t) {
+            for (int64_t k = 0; k < kernel; ++k) {
+              const int64_t ts = t + k * dilation - pad_left;
+              if (ts < 0 || ts >= t_in) continue;
+              const float* s = srow + t * kc + k * c_in;
+              float* d = dxrow + ts * c_in;
+              for (int64_t c = 0; c < c_in; ++c) d[c] += s[c];
+            }
+          }
+        }
+      });
+}
+
+/// Single-pass gate backward: from upstream grad g [rows, C'] and the saved
+/// biased pre-activations [rows, 2C'], recomputes the gate values and emits
+/// the pre-activation gradient [rows, 2C']. With s_f/s_g the two halves and
+/// σ' = σ(s_g)(1−σ(s_g)):
+///   tanh⊙σ:  d s_f = g · σ(s_g) · (1 − tanh²(s_f)),  d s_g = g · tanh(s_f) · σ'
+///   GLU:     d s_f = g · σ(s_g),                      d s_g = g · s_f · σ'
+void GatedConvBackwardRows(ops::GemmEpilogue gate, const float* pg,
+                           const float* ppre, int64_t rows, int64_t half,
+                           float* pdpre) {
+  const bool glu = gate == ops::GemmEpilogue::kBiasGlu;
+  ParallelFor(0, rows, RowGrain(2 * half), [=](int64_t r0, int64_t r1) {
+    for (int64_t r = r0; r < r1; ++r) {
+      const float* grow = pg + r * half;
+      const float* prow = ppre + r * 2 * half;
+      float* drow = pdpre + r * 2 * half;
+      for (int64_t j = 0; j < half; ++j) {
+        const float sf = prow[j];
+        const float sg = prow[half + j];
+        const float gatev = StableSigmoid(sg);
+        const float gv = grow[j];
+        float fval;
+        if (glu) {
+          drow[j] = gv * gatev;
+          fval = sf;
+        } else {
+          const float tf = std::tanh(sf);
+          drow[j] = gv * (1.0f - tf * tf) * gatev;
+          fval = tf;
+        }
+        drow[half + j] = gv * fval * gatev * (1.0f - gatev);
+      }
+    }
+  });
+}
+
+/// Shape checks shared by the two fused gated conv variants.
+GatedConvDims CheckGatedConvDims(const Variable& x, int64_t kernel,
+                                 int64_t dilation, int64_t pad_left,
+                                 int64_t two_cp, ops::GemmEpilogue gate) {
+  ENHANCENET_CHECK(ops::IsGatedEpilogue(gate))
+      << "FusedGatedConv needs a gated epilogue";
+  ENHANCENET_CHECK_EQ(x.data().dim(), 4);
+  ENHANCENET_CHECK(kernel >= 1 && dilation >= 1 && pad_left >= 0);
+  ENHANCENET_CHECK_EQ(two_cp % 2, 0);
+  GatedConvDims d;
+  d.batch = x.size(0);
+  d.n = x.size(1);
+  d.t_in = x.size(2);
+  d.c_in = x.size(3);
+  d.t_out = d.t_in + pad_left - dilation * (kernel - 1);
+  ENHANCENET_CHECK_GE(d.t_out, 1)
+      << "gated conv receptive field " << dilation * (kernel - 1) + 1
+      << " exceeds padded input length " << d.t_in + pad_left;
+  d.half = two_cp / 2;
+  return d;
+}
+
+}  // namespace
+
+Variable FusedGatedConv(const Variable& x, const Variable& weight,
+                        const Variable& bias, int64_t kernel, int64_t dilation,
+                        int64_t pad_left, ops::GemmEpilogue gate) {
+  ENHANCENET_CHECK_EQ(weight.data().dim(), 2);
+  ENHANCENET_CHECK_EQ(bias.data().dim(), 1);
+  const int64_t two_cp = weight.size(1);
+  ENHANCENET_CHECK_EQ(bias.size(0), two_cp);
+  const GatedConvDims d =
+      CheckGatedConvDims(x, kernel, dilation, pad_left, two_cp, gate);
+  const int64_t kc = kernel * d.c_in;
+  ENHANCENET_CHECK_EQ(weight.size(0), kc)
+      << "FusedGatedConv weight rows must be kernel*channels";
+  const int64_t rows = d.batch * d.n * d.t_out;
+
+  const bool record = RecordsAny(x, weight, bias);
+  // The biased pre-activations are the only saved activation — allocator-
+  // backed when recorded (the backward closure outlives the forward),
+  // Workspace-backed otherwise.
+  Tensor preact = SparseStage(record, {rows, two_cp});
+  Tensor z;
+  {
+    Tensor stacked = WorkspaceTemp({rows, kc});
+    GatherTapWindows(x.data().data(), d.batch, d.n, d.t_in, d.c_in, d.t_out,
+                     kernel, dilation, pad_left, /*by_entity=*/false,
+                     stacked.data());
+    z = ops::Gemm(stacked, weight.data(), /*trans_a=*/false,
+                  /*trans_b=*/false, gate, &bias.data(), &preact);
+  }
+
+  return MakeResult(
+      z.Reshape({d.batch, d.n, d.t_out, d.half}), "fused_gated_conv",
+      {x, weight, bias},
+      [x, weight, bias, preact, gate, kernel, dilation, pad_left, d, kc,
+       rows](const Tensor& g) {
+        const int64_t two_cp = 2 * d.half;
+        Tensor dpre = WorkspaceTemp({rows, two_cp});
+        GatedConvBackwardRows(gate, g.data(), preact.data(), rows, d.half,
+                              dpre.data());
+        if (weight.requires_grad()) {
+          Tensor stacked = WorkspaceTemp({rows, kc});
+          GatherTapWindows(x.data().data(), d.batch, d.n, d.t_in, d.c_in,
+                           d.t_out, kernel, dilation, pad_left,
+                           /*by_entity=*/false, stacked.data());
+          MaybeAccumulate(weight, ops::Gemm(stacked, dpre, /*trans_a=*/true,
+                                            /*trans_b=*/false));
+        }
+        if (bias.requires_grad()) {
+          MaybeAccumulate(bias, ops::ReduceToShape(dpre, bias.shape()));
+        }
+        if (x.requires_grad()) {
+          const Tensor ds = ops::Gemm(dpre, weight.data(), /*trans_a=*/false,
+                                      /*trans_b=*/true);
+          Tensor dx = Tensor::Uninitialized(x.shape());
+          ScatterTapWindows(ds.data(), d.batch, d.n, d.t_in, d.c_in, d.t_out,
+                            kernel, dilation, pad_left, /*by_entity=*/false,
+                            dx.data());
+          MaybeAccumulate(x, std::move(dx));
+        }
+      });
+}
+
+namespace {
+
+/// z_e [N, B·T', C'] (entity-major) <-> out [B, N, T', C'] permutation;
+/// each (b, i) pair moves one contiguous T'·C' block, parallel over pairs.
+void UnfoldEntityRows(const float* pz, int64_t batch, int64_t n_entities,
+                      int64_t block, float* po) {
+  ParallelFor(0, batch * n_entities, RowGrain(block),
+              [=](int64_t q0, int64_t q1) {
+                for (int64_t q = q0; q < q1; ++q) {
+                  const int64_t b = q / n_entities;
+                  const int64_t i = q % n_entities;
+                  const float* src = pz + (i * batch + b) * block;
+                  std::copy(src, src + block, po + q * block);
+                }
+              });
+}
+
+/// Inverse of UnfoldEntityRows: regroups [B, N, T', C'] by entity.
+void FoldEntityRows(const float* po, int64_t batch, int64_t n_entities,
+                    int64_t block, float* pz) {
+  ParallelFor(0, batch * n_entities, RowGrain(block),
+              [=](int64_t p0, int64_t p1) {
+                for (int64_t p = p0; p < p1; ++p) {
+                  const int64_t i = p / batch;
+                  const int64_t b = p % batch;
+                  const float* src = po + (b * n_entities + i) * block;
+                  std::copy(src, src + block, pz + p * block);
+                }
+              });
+}
+
+}  // namespace
+
+Variable FusedGatedConvPerEntity(const Variable& x, const Variable& filters,
+                                 const Variable& bias, int64_t kernel,
+                                 int64_t dilation, int64_t pad_left,
+                                 ops::GemmEpilogue gate) {
+  ENHANCENET_CHECK_EQ(filters.data().dim(), 2);
+  ENHANCENET_CHECK_EQ(bias.data().dim(), 1);
+  const int64_t two_cp = bias.size(0);
+  const GatedConvDims d =
+      CheckGatedConvDims(x, kernel, dilation, pad_left, two_cp, gate);
+  const int64_t kc = kernel * d.c_in;
+  ENHANCENET_CHECK_EQ(filters.size(0), d.n);
+  ENHANCENET_CHECK_EQ(filters.size(1), kc * two_cp)
+      << "FusedGatedConvPerEntity filters must be [N, K*C*2C']";
+  const int64_t erows = d.batch * d.t_out;  // rows per entity slice
+  const int64_t rows = d.n * erows;
+
+  const bool record = RecordsAny(x, filters, bias);
+  // Dfgn::Generate emits tap-major, input-channel-minor flat filters, which
+  // is exactly the [N, K·C, 2C'] stacked layout — a zero-copy view.
+  const Tensor w_view = filters.data().Reshape({d.n, kc, two_cp});
+  Tensor preact = SparseStage(record, {d.n, erows, two_cp});
+  Tensor out = Tensor::Uninitialized({d.batch, d.n, d.t_out, d.half});
+  {
+    Tensor stacked = WorkspaceTemp({d.n, erows, kc});
+    GatherTapWindows(x.data().data(), d.batch, d.n, d.t_in, d.c_in, d.t_out,
+                     kernel, dilation, pad_left, /*by_entity=*/true,
+                     stacked.data());
+    const Tensor z_e =
+        ops::BatchGemm(stacked, w_view, /*trans_a=*/false, /*trans_b=*/false,
+                       gate, &bias.data(), &preact);
+    UnfoldEntityRows(z_e.data(), d.batch, d.n, d.t_out * d.half, out.data());
+  }
+
+  return MakeResult(
+      std::move(out), "fused_gated_conv_entity", {x, filters, bias},
+      [x, filters, bias, preact, gate, kernel, dilation, pad_left, d, kc,
+       erows, rows](const Tensor& g) {
+        const int64_t two_cp = 2 * d.half;
+        const Tensor w_view = filters.data().Reshape({d.n, kc, two_cp});
+        Tensor g_e = WorkspaceTemp({d.n, erows, d.half});
+        FoldEntityRows(g.data(), d.batch, d.n, d.t_out * d.half, g_e.data());
+        Tensor dpre = WorkspaceTemp({d.n, erows, two_cp});
+        GatedConvBackwardRows(gate, g_e.data(), preact.data(), rows, d.half,
+                              dpre.data());
+        if (filters.requires_grad()) {
+          Tensor stacked = WorkspaceTemp({d.n, erows, kc});
+          GatherTapWindows(x.data().data(), d.batch, d.n, d.t_in, d.c_in,
+                           d.t_out, kernel, dilation, pad_left,
+                           /*by_entity=*/true, stacked.data());
+          Tensor dw = ops::BatchGemm(stacked, dpre, /*trans_a=*/true,
+                                     /*trans_b=*/false);
+          MaybeAccumulate(filters, dw.Reshape(filters.shape()));
+        }
+        if (bias.requires_grad()) {
+          MaybeAccumulate(bias, ops::ReduceToShape(dpre, bias.shape()));
+        }
+        if (x.requires_grad()) {
+          const Tensor ds = ops::BatchGemm(dpre, w_view, /*trans_a=*/false,
+                                           /*trans_b=*/true);
+          Tensor dx = Tensor::Uninitialized(x.shape());
+          ScatterTapWindows(ds.data(), d.batch, d.n, d.t_in, d.c_in, d.t_out,
+                            kernel, dilation, pad_left, /*by_entity=*/true,
+                            dx.data());
           MaybeAccumulate(x, std::move(dx));
         }
       });

@@ -5,6 +5,7 @@
 
 #include "autograd/variable.h"
 #include "common/rng.h"
+#include "tensor/tensor_ops.h"
 
 namespace enhancenet {
 namespace autograd {
@@ -39,6 +40,15 @@ Variable MulScalar(const Variable& v, float s);
 Variable MatMul(const Variable& a, const Variable& b);
 /// C[B,M,N] = A[B,M,K] * B[B,K,N].
 Variable BatchMatMul(const Variable& a, const Variable& b);
+/// C[M,N] = A[M,K] * B[K,N] + bias[N], with the bias add folded into the
+/// GEMM's write-back loop (ops::GemmEpilogue::kBias) instead of a separate
+/// full-tensor Add pass. One graph node instead of two; forward values are
+/// bitwise identical to Add(MatMul(a, b), bias) and gradients match exactly
+/// (dA = g·Bᵀ, dB = Aᵀ·g, dbias = column-sum of g — the same kernels the
+/// unfused pair runs). nn::Linear routes through this when FusedKernels is
+/// enabled.
+Variable MatMulBias(const Variable& a, const Variable& b,
+                    const Variable& bias);
 
 // --- movement ----------------------------------------------------------------
 Variable Transpose(const Variable& v, int64_t d0, int64_t d1);
@@ -100,6 +110,45 @@ Variable GruCombine(const Variable& u, const Variable& h, const Variable& c);
 /// r itself is not exposed — callers only consume r through rh.
 void FusedGruGates(const Variable& gates, const Variable& h, Variable* rh,
                    Variable* u);
+
+// --- fused gated convolution (TCN / STGCN family) ----------------------------
+// Single-node replacements for the dilated-causal-conv + gate chains of
+// DESIGN.md Eq. 8. Instead of K tap GEMMs + Adds + bias Add + the
+// Slice/Tanh/Sigmoid/Mul gating tail (~4K graph nodes per layer call), the K
+// dilated tap windows of the input are gathered into one stacked
+// [rows, K·C] operand and multiplied against the pre-concatenated tap
+// weights in a single GEMM whose gated epilogue emits
+//   z = tanh(f) ⊙ σ(g)   (kBiasGatedTanhSigmoid)  or
+//   z = f ⊙ σ(g)         (kBiasGlu)
+// directly. The stacked operand, gradient scratch, and no-grad
+// pre-activations are staged through the bound RuntimeContext's Workspace;
+// only the biased pre-activations are saved for the single-pass backward,
+// which recomputes the gate values from them. Forward and backward
+// parallelise over (batch, entity) rows — each owned by one chunk — so
+// results are bitwise invariant across thread counts. See DESIGN.md §8.
+
+/// Shared-filter fused gated conv. x is [B,N,T,C]; `weight` [K·C, 2C'] holds
+/// the K tap kernels concatenated along dim 0 in tap order (tap k occupies
+/// rows [k·C, (k+1)·C)); `bias` is [2C']. Tap k of output step t reads input
+/// step t + k·dilation − pad_left (zero outside [0,T)), so
+/// pad_left = dilation·(K−1) reproduces the causal left-padded conv and
+/// pad_left = 0 the valid conv. Returns [B,N,T_out,C'] with
+/// T_out = T + pad_left − dilation·(K−1). `gate` must be one of the two
+/// gated epilogues.
+Variable FusedGatedConv(const Variable& x, const Variable& weight,
+                        const Variable& bias, int64_t kernel, int64_t dilation,
+                        int64_t pad_left, ops::GemmEpilogue gate);
+
+/// Per-entity (DFGN) fused gated conv: entity i uses its own filter bank.
+/// `filters` is [N, K·C·2C'] exactly as core::Dfgn::Generate emits it
+/// (k-major, input-channel-minor rows) — viewed as [N, K·C, 2C'] without a
+/// copy — and the stacked taps run through one BatchGemm over entities with
+/// the same gated epilogue. Shapes and semantics otherwise match
+/// FusedGatedConv.
+Variable FusedGatedConvPerEntity(const Variable& x, const Variable& filters,
+                                 const Variable& bias, int64_t kernel,
+                                 int64_t dilation, int64_t pad_left,
+                                 ops::GemmEpilogue gate);
 
 /// Fused graph-convolution mix for a 2-D adjacency: out[b,i,:] = Σ_j
 /// adj[i,j] · x[b,j,:] with adj [N,N] and x [B,N,C], computed directly in

@@ -43,6 +43,12 @@ struct TcnLayerConfig {
   /// The final layer of a stack feeds only the skip path; setting this false
   /// drops the (otherwise dead) residual projection.
   bool compute_residual = true;
+  /// Project only the last timestep through skip_proj_. The TCN head keeps
+  /// just t = T−1 of every layer's skip, so projecting all T timesteps is
+  /// O(T) wasted GEMM work; with this set the skip output is
+  /// [B,N,1,skip_channels]. Off by default for callers that consume the full
+  /// skip sequence.
+  bool skip_last_only = false;
 };
 
 /// One WaveNet-style block: dilated causal convolution with tanh/σ gating
@@ -55,7 +61,8 @@ class EnhanceTcnLayer : public nn::Module {
   struct Output {
     /// [B,N,T,in_channels]; undefined when config.compute_residual is false.
     autograd::Variable residual;
-    autograd::Variable skip;  // [B,N,T,skip_channels]
+    /// [B,N,T,skip_channels], or [B,N,1,skip_channels] with skip_last_only.
+    autograd::Variable skip;
   };
 
   /// `memory` is the shared entity memory bank; required iff use_dfgn.

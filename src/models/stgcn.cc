@@ -1,5 +1,6 @@
 #include "models/stgcn.h"
 
+#include "autograd/grad_mode.h"
 #include "autograd/ops.h"
 #include "common/logging.h"
 #include "core/enhance_tcn_layer.h"
@@ -81,6 +82,14 @@ ag::Variable Stgcn::TemporalGlu(const ag::Variable& x,
   const int64_t kernel = static_cast<int64_t>(taps.size());
   const int64_t t_out = time - kernel + 1;
   ENHANCENET_CHECK_GE(t_out, 1);
+
+  if (ag::FusedKernels::IsEnabled()) {
+    // Valid (unpadded) conv + GLU in one stacked gated-epilogue GEMM;
+    // ENHANCENET_FUSED=0 keeps the reference chain below.
+    return ag::FusedGatedConv(x, ag::Concat(taps, 0), bias, kernel,
+                              /*dilation=*/1, /*pad_left=*/0,
+                              ops::GemmEpilogue::kBiasGlu);
+  }
 
   ag::Variable conv;
   for (int64_t k = 0; k < kernel; ++k) {

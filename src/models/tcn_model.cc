@@ -75,6 +75,9 @@ TcnModel::TcnModel(const TcnModelConfig& config, Rng& rng) : config_(config) {
     layer.dfgn_hidden2 = config.dfgn_hidden2;
     layer.dropout = config.dropout;
     layer.compute_residual = l + 1 < config.dilations.size();
+    // The head below consumes only the final timestamp of the skip sum, so
+    // layers project just t = T−1 instead of all T timesteps.
+    layer.skip_last_only = true;
     layers_.push_back(
         std::make_unique<core::EnhanceTcnLayer>(layer, mem, rng));
     RegisterSubmodule("layer" + std::to_string(l), layers_.back().get());
@@ -136,8 +139,12 @@ ag::Variable TcnModel::Forward(const Tensor& x, const Tensor* /*teacher*/,
 
   // Head: features of the final timestamp (whose receptive field spans the
   // full history) -> ReLU -> FC -> ReLU -> FC -> all F horizons at once.
-  ag::Variable last = ag::Reshape(
-      ag::Slice(skip_sum, 2, time - 1, 1), {batch, n, config_.skip_channels});
+  // With skip_last_only the layers already emit [B,N,1,skip]; this reshape
+  // is then a copy-free relabel.
+  ag::Variable last = ag::Reshape(skip_sum.size(2) == 1
+                                      ? skip_sum
+                                      : ag::Slice(skip_sum, 2, time - 1, 1),
+                                  {batch, n, config_.skip_channels});
   ag::Variable head = ag::Relu(last);
   head = ag::Relu(end1_->Forward(head));
   return end2_->Forward(head);  // [B,N,F]

@@ -66,6 +66,17 @@ inline void For1D(int64_t n, int64_t grain, Body&& body) {
   ParallelFor(0, n, grain, std::forward<Body>(body));
 }
 
+// Numerically stable logistic sigmoid, shared by ops::Sigmoid and the GEMM
+// gate epilogues so fused and unfused paths are bitwise identical.
+inline float StableSigmoidScalar(float x) {
+  if (x >= 0) {
+    const float z = std::exp(-x);
+    return 1.0f / (1.0f + z);
+  }
+  const float z = std::exp(x);
+  return z / (1.0f + z);
+}
+
 // Strides (in elements) of a row-major tensor with the given shape.
 std::vector<int64_t> RowMajorStrides(const Shape& shape) {
   std::vector<int64_t> strides(shape.size(), 1);
@@ -243,6 +254,75 @@ constexpr int64_t kMCTiles = 16;
 // Products with at most this many flops (2*M*N*K) use SmallGemm.
 constexpr int64_t kSmallGemmFlops = 2 * 48 * 48 * 48;
 
+// Epilogue plumbing threaded through GemmDispatch/GemmTiled. All pointers are
+// slice-local (BatchGemm rebinds them per slice). For the gated kinds the
+// accumulation target is the [m, n] pre-activation buffer (`preact_store`
+// true when the caller wants it kept) and `z` is the separate [m, n/2]
+// output; for everything else the output tensor itself accumulates and `z`
+// is unused.
+struct EpilogueArgs {
+  GemmEpilogue kind = GemmEpilogue::kNone;
+  const float* bias = nullptr;  // [n] of the raw product
+  float* preact = nullptr;      // [m, n] pre-activation store, may be null
+  float* z = nullptr;           // [m, n/2] gated output
+  int64_t half = 0;             // n/2 for the gated kinds
+};
+
+// Applies a gated epilogue to rows [r0, r1): reads the completed accumulator
+// rows (leading dim n), writes z rows (leading dim n/2) and, when requested,
+// stores the biased pre-activations back into `preact` (which may alias
+// `acc` — reads of both halves happen before the writes for each column).
+// Elementwise per output element, so any row partition is bitwise safe.
+void ApplyGatedEpilogueRows(const EpilogueArgs& e, const float* acc, int64_t n,
+                            int64_t r0, int64_t r1) {
+  const int64_t half = e.half;
+  const bool glu = e.kind == GemmEpilogue::kBiasGlu;
+  for (int64_t r = r0; r < r1; ++r) {
+    const float* arow = acc + r * n;
+    float* zrow = e.z + r * half;
+    float* prow = e.preact ? e.preact + r * n : nullptr;
+    for (int64_t j = 0; j < half; ++j) {
+      const float sf = arow[j] + e.bias[j];
+      const float sg = arow[half + j] + e.bias[half + j];
+      if (prow) {
+        prow[j] = sf;
+        prow[half + j] = sg;
+      }
+      const float gate = StableSigmoidScalar(sg);
+      zrow[j] = (glu ? sf : std::tanh(sf)) * gate;
+    }
+  }
+}
+
+// Serial epilogue application over a whole [m, n] product — the SmallGemm
+// companion, called inside whatever chunk owns the slice.
+void ApplyEpilogueAllRows(const EpilogueArgs& e, float* c, int64_t m,
+                          int64_t n) {
+  if (e.half > 0) {
+    ApplyGatedEpilogueRows(e, c, n, 0, m);
+    return;
+  }
+  for (int64_t r = 0; r < m; ++r) {
+    float* crow = c + r * n;
+    float* prow = e.preact ? e.preact + r * n : nullptr;
+    for (int64_t j = 0; j < n; ++j) {
+      const float s = crow[j] + e.bias[j];
+      if (prow) prow[j] = s;
+      switch (e.kind) {
+        case GemmEpilogue::kBias:
+          crow[j] = s;
+          break;
+        case GemmEpilogue::kBiasTanh:
+          crow[j] = std::tanh(s);
+          break;
+        default:
+          crow[j] = StableSigmoidScalar(s);
+          break;
+      }
+    }
+  }
+}
+
 // Serial GEMM on raw pointers, accumulating C[M,N] += op(A) * op(B).
 // Physical layouts: a is (trans_a ? K x M : M x K) with leading dim lda;
 // b is (trans_b ? N x K : K x N) with leading dim ldb. Accumulation over K
@@ -373,16 +453,48 @@ typedef float VecNR __attribute__((vector_size(kNR * sizeof(float)),
 // kMR x kNR register-blocked micro-kernel: accumulates ap (kc x kMR packed)
 // times bp (kc x kNR packed) into C with edge guards. The accumulator block
 // (kMR vector registers) lives in registers across the whole K loop.
+//
+// When `bias` is non-null this is the final K block for the tile and the
+// non-gated epilogue `epi` is folded into the write-back: each element's
+// bias add + activation happen while the tile's row is a stack-held view of
+// hot cache lines, never as a separate pass. `bias` and `preact` are
+// tile-local (already offset to this tile's first column / element; preact
+// shares C's leading dimension). Gated epilogues never reach here — they
+// need both column halves and are applied per row tile by GemmTiled.
 void MicroKernel(int64_t kc, const float* ENHANCENET_RESTRICT ap,
                  const float* ENHANCENET_RESTRICT bp,
                  float* ENHANCENET_RESTRICT c, int64_t ldc, int64_t mr,
-                 int64_t nr) {
+                 int64_t nr, GemmEpilogue epi = GemmEpilogue::kNone,
+                 const float* ENHANCENET_RESTRICT bias = nullptr,
+                 float* ENHANCENET_RESTRICT preact = nullptr) {
   VecNR acc[kMR];
   for (int64_t r = 0; r < kMR; ++r) acc[r] = VecNR{};
   for (int64_t kk = 0; kk < kc; ++kk) {
     const float* ENHANCENET_RESTRICT av = ap + kk * kMR;
     const VecNR bv = *reinterpret_cast<const VecNR*>(bp + kk * kNR);
     for (int64_t r = 0; r < kMR; ++r) acc[r] += av[r] * bv;
+  }
+  if (bias != nullptr) {
+    for (int64_t r = 0; r < mr; ++r) {
+      float* crow = c + r * ldc;
+      float* prow = preact ? preact + r * ldc : nullptr;
+      for (int64_t j = 0; j < nr; ++j) {
+        const float s = crow[j] + acc[r][j] + bias[j];
+        if (prow) prow[j] = s;
+        switch (epi) {
+          case GemmEpilogue::kBias:
+            crow[j] = s;
+            break;
+          case GemmEpilogue::kBiasTanh:
+            crow[j] = std::tanh(s);
+            break;
+          default:
+            crow[j] = StableSigmoidScalar(s);
+            break;
+        }
+      }
+    }
+    return;
   }
   if (mr == kMR && nr == kNR) {
     for (int64_t r = 0; r < kMR; ++r) {
@@ -398,10 +510,15 @@ void MicroKernel(int64_t kc, const float* ENHANCENET_RESTRICT ap,
 }
 
 // Cache-tiled GEMM accumulating C[M,N] += op(A) * op(B); C must be dense
-// row-major with leading dimension n. Parallel over row tiles.
+// row-major with leading dimension n. Parallel over row tiles. A non-null
+// `epi` is applied exactly once per output element: non-gated kinds inside
+// the micro-kernel write-back of the final K block, gated kinds per row tile
+// once the final (K block, N block) iteration completes the full product row
+// — in both cases inside the For1D chunk that owns those rows, so the result
+// stays bitwise identical for any thread count.
 void GemmTiled(const float* a, int64_t lda, bool trans_a, const float* b,
                int64_t ldb, bool trans_b, float* c, int64_t m, int64_t k,
-               int64_t n) {
+               int64_t n, const EpilogueArgs* epi = nullptr) {
   const int64_t m_tiles = CeilDiv(m, kMR);
   const int64_t kc_max = std::min(k, kKC);
   const int64_t nc_max = std::min(n, kNC);
@@ -410,9 +527,12 @@ void GemmTiled(const float* a, int64_t lda, bool trans_a, const float* b,
 
   for (int64_t pc = 0; pc < k; pc += kKC) {
     const int64_t kc = std::min(kKC, k - pc);
+    const bool last_k = pc + kc == k;
     for (int64_t jc = 0; jc < n; jc += kNC) {
       const int64_t nc = std::min(kNC, n - jc);
       const int64_t n_tiles = CeilDiv(nc, kNR);
+      const bool micro_epi = epi && epi->half == 0 && last_k;
+      const bool gated_epi = epi && epi->half > 0 && last_k && jc + nc == n;
       PackBPanel(b, ldb, trans_b, jc, nc, pc, kc, bp_data);
       For1D(m_tiles, 1, [=](int64_t t0, int64_t t1) {
         // Each chunk packs at most kMCTiles row tiles of A at a time into
@@ -435,24 +555,37 @@ void GemmTiled(const float* a, int64_t lda, bool trans_a, const float* b,
             for (int64_t it = tb; it < te; ++it) {
               const int64_t i0 = it * kMR;
               const int64_t mr = std::min(kMR, m - i0);
-              MicroKernel(kc, ap_data + (it - tb) * kc * kMR, btile,
-                          c + i0 * n + j0, n, mr, nr);
+              if (micro_epi) {
+                MicroKernel(kc, ap_data + (it - tb) * kc * kMR, btile,
+                            c + i0 * n + j0, n, mr, nr, epi->kind,
+                            epi->bias + j0,
+                            epi->preact ? epi->preact + i0 * n + j0 : nullptr);
+              } else {
+                MicroKernel(kc, ap_data + (it - tb) * kc * kMR, btile,
+                            c + i0 * n + j0, n, mr, nr);
+              }
             }
           }
+        }
+        if (gated_epi) {
+          ApplyGatedEpilogueRows(*epi, c, n, t0 * kMR,
+                                 std::min(t1 * kMR, m));
         }
       });
     }
   }
 }
 
-// Size-based dispatch shared by Gemm and BatchGemm slices.
+// Size-based dispatch shared by Gemm and BatchGemm slices. Regime choice
+// depends on problem size only, never on the epilogue or thread count.
 void GemmDispatch(const float* a, int64_t lda, bool trans_a, const float* b,
                   int64_t ldb, bool trans_b, float* c, int64_t m, int64_t k,
-                  int64_t n) {
+                  int64_t n, const EpilogueArgs* epi = nullptr) {
   if (2 * m * k * n <= kSmallGemmFlops) {
     SmallGemm(a, lda, trans_a, b, ldb, trans_b, c, m, k, n);
+    if (epi) ApplyEpilogueAllRows(*epi, c, m, n);
   } else {
-    GemmTiled(a, lda, trans_a, b, ldb, trans_b, c, m, k, n);
+    GemmTiled(a, lda, trans_a, b, ldb, trans_b, c, m, k, n, epi);
   }
 }
 
@@ -609,15 +742,7 @@ Tensor Sign(const Tensor& t) {
 }
 
 Tensor Sigmoid(const Tensor& t) {
-  return Unary(t, [](float x) {
-    // Numerically stable in both tails.
-    if (x >= 0) {
-      const float z = std::exp(-x);
-      return 1.0f / (1.0f + z);
-    }
-    const float z = std::exp(x);
-    return z / (1.0f + z);
-  });
+  return Unary(t, [](float x) { return StableSigmoidScalar(x); });
 }
 
 Tensor Tanh(const Tensor& t) {
@@ -667,7 +792,46 @@ void AxpyInPlace(float alpha, const Tensor& x, Tensor* y) {
   });
 }
 
-Tensor Gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+namespace {
+
+// Acquires a recycled workspace block from the bound RuntimeContext and
+// wraps it as a dense tensor — scratch for gated epilogues when the caller
+// does not want the pre-activations kept.
+Tensor EpilogueScratch(const Shape& shape) {
+  int64_t numel = 1;
+  for (int64_t d : shape) numel *= d;
+  return Tensor::WithStorage(
+      runtime::RuntimeContext::Current().workspace().Acquire(numel), shape);
+}
+
+// Validates the epilogue operands against the product width n and fills the
+// non-accumulator fields of `e`. Returns true if an epilogue is active.
+bool CheckEpilogue(GemmEpilogue epilogue, const Tensor* bias, int64_t n,
+                   EpilogueArgs* e) {
+  if (epilogue == GemmEpilogue::kNone) return false;
+  ENHANCENET_CHECK(bias != nullptr) << "gemm epilogue requires a bias tensor";
+  ENHANCENET_CHECK(bias->dim() == 1 && bias->size(0) == n)
+      << "gemm epilogue bias must be [" << n << "], got "
+      << ShapeToString(bias->shape());
+  if (IsGatedEpilogue(epilogue)) {
+    ENHANCENET_CHECK_EQ(n % 2, 0)
+        << "gated gemm epilogue needs an even product width";
+    e->half = n / 2;
+  }
+  e->kind = epilogue;
+  e->bias = bias->data();
+  return true;
+}
+
+}  // namespace
+
+bool IsGatedEpilogue(GemmEpilogue epilogue) {
+  return epilogue == GemmEpilogue::kBiasGatedTanhSigmoid ||
+         epilogue == GemmEpilogue::kBiasGlu;
+}
+
+Tensor Gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
+            GemmEpilogue epilogue, const Tensor* bias, Tensor* preact) {
   ENHANCENET_CHECK_EQ(a.dim(), 2);
   ENHANCENET_CHECK_EQ(b.dim(), 2);
   const int64_t m = trans_a ? a.size(1) : a.size(0);
@@ -681,10 +845,41 @@ Tensor Gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
     profile.gemm_calls->Add();
     profile.gemm_flops->Add(2 * m * k * n);
   }
-  Tensor c(Shape{m, n});
+  EpilogueArgs e;
+  const bool has_epi = CheckEpilogue(epilogue, bias, n, &e);
+  if (!has_epi || e.half == 0) {
+    // The output tensor is the accumulator; any non-gated epilogue folds
+    // into its write-back.
+    if (preact != nullptr) {
+      ENHANCENET_CHECK(epilogue == GemmEpilogue::kBiasTanh ||
+                       epilogue == GemmEpilogue::kBiasSigmoid)
+          << "gemm preact is only produced by activation epilogues";
+      ENHANCENET_CHECK(preact->shape() == (Shape{m, n}))
+          << "gemm preact must be [" << m << ", " << n << "]";
+      e.preact = preact->data();
+    }
+    Tensor c(Shape{m, n});
+    GemmDispatch(a.data(), a.size(1), trans_a, b.data(), b.size(1), trans_b,
+                 c.data(), m, k, n, has_epi ? &e : nullptr);
+    return c;
+  }
+  // Gated: accumulate the full-width product into the pre-activation buffer
+  // (caller's, or workspace scratch), then gate into the half-width output.
+  Tensor acc;
+  if (preact != nullptr) {
+    ENHANCENET_CHECK(preact->shape() == (Shape{m, n}))
+        << "gemm preact must be [" << m << ", " << n << "]";
+    acc = *preact;
+    e.preact = acc.data();
+  } else {
+    acc = EpilogueScratch(Shape{m, n});
+  }
+  std::fill(acc.data(), acc.data() + acc.numel(), 0.0f);
+  Tensor z = Tensor::Uninitialized(Shape{m, e.half});
+  e.z = z.data();
   GemmDispatch(a.data(), a.size(1), trans_a, b.data(), b.size(1), trans_b,
-               c.data(), m, k, n);
-  return c;
+               acc.data(), m, k, n, &e);
+  return z;
 }
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -714,10 +909,23 @@ BatchGemmDims CheckBatchGemmDims(const Tensor& a, const Tensor& b, bool trans_a,
   return d;
 }
 
+// Slice-local epilogue view: advances the per-slice pointers of `base` to
+// batch index i (accumulator stride m*n, gated output stride m*n/2).
+EpilogueArgs SliceEpilogue(const EpilogueArgs& base, int64_t i, int64_t m,
+                           int64_t n) {
+  EpilogueArgs e = base;
+  if (e.preact) e.preact += i * m * n;
+  if (e.z) e.z += i * m * e.half;
+  return e;
+}
+
 // Runs the batched product into `pc`, which must point at batch*m*n ZEROED
-// floats — the inner kernels accumulate C += op(A)*op(B).
+// floats — the inner kernels accumulate C += op(A)*op(B). A non-null `epi`
+// holds batch-base pointers; each slice's epilogue is applied inside the
+// chunk that computes that slice.
 void BatchGemmIntoRaw(const Tensor& a, const Tensor& b, bool trans_a,
-                      bool trans_b, const BatchGemmDims& d, float* pc) {
+                      bool trans_b, const BatchGemmDims& d, float* pc,
+                      const EpilogueArgs* epi = nullptr) {
   const int64_t batch = d.batch;
   const int64_t m = d.m;
   const int64_t k = d.k;
@@ -742,8 +950,14 @@ void BatchGemmIntoRaw(const Tensor& a, const Tensor& b, bool trans_a,
     // Big slices: let the tiled kernel parallelize over rows inside each
     // slice (batch is often smaller than the thread count here).
     for (int64_t i = 0; i < batch; ++i) {
-      GemmTiled(pa + i * a_stride, lda, trans_a, pb + i * b_stride, ldb,
-                trans_b, pc + i * c_stride, m, k, n);
+      if (epi) {
+        const EpilogueArgs se = SliceEpilogue(*epi, i, m, n);
+        GemmTiled(pa + i * a_stride, lda, trans_a, pb + i * b_stride, ldb,
+                  trans_b, pc + i * c_stride, m, k, n, &se);
+      } else {
+        GemmTiled(pa + i * a_stride, lda, trans_a, pb + i * b_stride, ldb,
+                  trans_b, pc + i * c_stride, m, k, n);
+      }
     }
   } else {
     // Small slices (the per-entity filter banks): parallelize over the batch
@@ -754,6 +968,10 @@ void BatchGemmIntoRaw(const Tensor& a, const Tensor& b, bool trans_a,
       for (int64_t i = b0; i < b1; ++i) {
         SmallGemm(pa + i * a_stride, lda, trans_a, pb + i * b_stride, ldb,
                   trans_b, pc + i * c_stride, m, k, n);
+        if (epi) {
+          const EpilogueArgs se = SliceEpilogue(*epi, i, m, n);
+          ApplyEpilogueAllRows(se, pc + i * c_stride, m, n);
+        }
       }
     });
   }
@@ -761,11 +979,39 @@ void BatchGemmIntoRaw(const Tensor& a, const Tensor& b, bool trans_a,
 
 }  // namespace
 
-Tensor BatchGemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+Tensor BatchGemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
+                 GemmEpilogue epilogue, const Tensor* bias, Tensor* preact) {
   const BatchGemmDims d = CheckBatchGemmDims(a, b, trans_a, trans_b);
-  Tensor c(Shape{d.batch, d.m, d.n});
-  BatchGemmIntoRaw(a, b, trans_a, trans_b, d, c.data());
-  return c;
+  EpilogueArgs e;
+  const bool has_epi = CheckEpilogue(epilogue, bias, d.n, &e);
+  if (!has_epi || e.half == 0) {
+    if (preact != nullptr) {
+      ENHANCENET_CHECK(epilogue == GemmEpilogue::kBiasTanh ||
+                       epilogue == GemmEpilogue::kBiasSigmoid)
+          << "bmm preact is only produced by activation epilogues";
+      ENHANCENET_CHECK(preact->shape() == (Shape{d.batch, d.m, d.n}))
+          << "bmm preact shape mismatch";
+      e.preact = preact->data();
+    }
+    Tensor c(Shape{d.batch, d.m, d.n});
+    BatchGemmIntoRaw(a, b, trans_a, trans_b, d, c.data(),
+                     has_epi ? &e : nullptr);
+    return c;
+  }
+  Tensor acc;
+  if (preact != nullptr) {
+    ENHANCENET_CHECK(preact->shape() == (Shape{d.batch, d.m, d.n}))
+        << "bmm preact shape mismatch";
+    acc = *preact;
+    e.preact = acc.data();
+  } else {
+    acc = EpilogueScratch(Shape{d.batch, d.m, d.n});
+  }
+  std::fill(acc.data(), acc.data() + acc.numel(), 0.0f);
+  Tensor z = Tensor::Uninitialized(Shape{d.batch, d.m, e.half});
+  e.z = z.data();
+  BatchGemmIntoRaw(a, b, trans_a, trans_b, d, acc.data(), &e);
+  return z;
 }
 
 Tensor BatchMatMul(const Tensor& a, const Tensor& b) {

@@ -62,16 +62,64 @@ void AxpyInPlace(float alpha, const Tensor& x, Tensor* y);
 // Linear algebra
 // ---------------------------------------------------------------------------
 
+/// Epilogue fused into a GEMM's write-back loop. The bias add and gate
+/// nonlinearities are applied to each output tile as its K-dimension
+/// accumulation completes — while the tile is still cache-hot — so none of
+/// them ever costs a separate full-tensor pass. With P = op(A)·op(B):
+///
+///   kNone                 C = P                         (the historical GEMM)
+///   kBias                 C = P + bias                  (affine layers)
+///   kBiasTanh             C = tanh(P + bias)
+///   kBiasSigmoid          C = σ(P + bias)
+///   kBiasGatedTanhSigmoid C = tanh(Pf+bf) ⊙ σ(Pg+bg)    (WaveNet gating)
+///   kBiasGlu              C = (Pf+bf) ⊙ σ(Pg+bg)        (GLU gating, STGCN)
+///
+/// The two gated epilogues split the product's N columns into halves
+/// (Pf = P[:, :N/2], Pg = P[:, N/2:]) and emit a half-width output. Bias is
+/// always [N] (the raw product width). Numerics match the composed unfused
+/// ops exactly: the bias add reproduces the suffix-broadcast Add and the
+/// sigmoid uses the same two-branch stable form as ops::Sigmoid, so every
+/// epilogue output is bitwise identical to its unfused chain — and, since
+/// each output element is written by the tile that owns it, bitwise
+/// invariant across thread counts.
+enum class GemmEpilogue {
+  kNone,
+  kBias,
+  kBiasTanh,
+  kBiasSigmoid,
+  kBiasGatedTanhSigmoid,
+  kBiasGlu,
+};
+
+/// True for the epilogues that gate the product's column halves into a
+/// half-width output.
+bool IsGatedEpilogue(GemmEpilogue epilogue);
+
 /// General 2-D matrix product with optional operand transposes:
-///   C = op(A) * op(B), op(X) = X or Xᵀ.
-Tensor Gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b);
+///   C = epilogue(op(A) * op(B) + bias), op(X) = X or Xᵀ.
+///
+/// With the default kNone epilogue `bias`/`preact` are ignored and this is
+/// the historical C = op(A)·op(B). Otherwise `bias` must be a rank-1 tensor
+/// of the product width N. For the activation epilogues, a non-null `preact`
+/// (shape [M, N]) additionally receives the pre-activation P + bias — the
+/// tensor a fused backward needs to recompute the gate values. Gated
+/// epilogues with preact == nullptr stage the accumulator in the bound
+/// RuntimeContext's Workspace instead, so the no-grad path allocates
+/// nothing.
+Tensor Gemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
+            GemmEpilogue epilogue = GemmEpilogue::kNone,
+            const Tensor* bias = nullptr, Tensor* preact = nullptr);
 
 /// C[M,N] = A[M,K] * B[K,N].
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
 /// Batched 3-D matrix product with optional transposes of the trailing two
-/// dims: C[i] = op(A[i]) * op(B[i]) for each leading index i.
-Tensor BatchGemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b);
+/// dims: C[i] = op(A[i]) * op(B[i]) for each leading index i. Epilogue
+/// semantics match Gemm, applied per slice inside the slice's own compute
+/// chunk (`bias` is shared across slices; `preact` is [B, M, N]).
+Tensor BatchGemm(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b,
+                 GemmEpilogue epilogue = GemmEpilogue::kNone,
+                 const Tensor* bias = nullptr, Tensor* preact = nullptr);
 
 /// C[B,M,N] = A[B,M,K] * B[B,K,N].
 Tensor BatchMatMul(const Tensor& a, const Tensor& b);

@@ -1,5 +1,7 @@
+#include <array>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -8,8 +10,15 @@
 #include "autograd/ops.h"
 #include "autograd/variable.h"
 #include "common/rng.h"
+#include "core/enhance_tcn_layer.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "graph/adjacency.h"
+#include "models/model_factory.h"
 #include "nn/gru.h"
+#include "optim/optimizer.h"
 #include "runtime/allocator.h"
+#include "runtime/parallel.h"
 #include "tensor/tensor.h"
 #include "tensor/tensor_ops.h"
 
@@ -27,6 +36,14 @@ float MaxAbsDiff(const Tensor& a, const Tensor& b) {
     max_diff = std::max(max_diff, std::abs(a.data()[i] - b.data()[i]));
   }
   return max_diff;
+}
+
+float MaxAbs(const Tensor& t) {
+  float max_abs = 0.0f;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    max_abs = std::max(max_abs, std::abs(t.data()[i]));
+  }
+  return max_abs;
 }
 
 /// RAII toggle so a failing assertion can't leave the process-global fused
@@ -338,6 +355,553 @@ TEST(EagerBackwardReleaseTest, BoundsPeakMemoryOnGruRollout) {
   const int64_t peak_release = peak_of_backward(true);
   EXPECT_LT(peak_release, peak_keep)
       << "release=" << peak_release << " keep=" << peak_keep;
+}
+
+// --- GEMM epilogues (DESIGN.md §8) --------------------------------------
+
+/// MatMul result with the bias row added in the same per-element order the
+/// epilogue uses: (accumulated product) + bias[j].
+Tensor MatMulPlusBias(const Tensor& a, const Tensor& b, const Tensor& bias) {
+  Tensor full = ops::MatMul(a, b);
+  const int64_t m = full.size(0);
+  const int64_t n = full.size(1);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      full.data()[i * n + j] += bias.data()[j];
+    }
+  }
+  return full;
+}
+
+// kBias folds the bias add into the GEMM write-back. The accumulation order
+// is unchanged (bias is added after the final K-block partial, exactly where
+// the separate Add pass would run), so the claim is bitwise equality — in
+// both the SmallGemm regime and the tiled regime.
+TEST(GemmEpilogueTest, BiasMatchesMatMulAddBitwise) {
+  Rng rng(31);
+  const std::array<std::array<int64_t, 3>, 2> shapes = {
+      {{5, 4, 7}, {96, 72, 130}}};  // small-dispatch and tiled-dispatch
+  for (const auto& s : shapes) {
+    const int64_t m = s[0], k = s[1], n = s[2];
+    const Tensor a = Tensor::Randn({m, k}, rng);
+    const Tensor b = Tensor::Randn({k, n}, rng);
+    const Tensor bias = Tensor::Randn({n}, rng);
+    const Tensor fused =
+        ops::Gemm(a, b, false, false, ops::GemmEpilogue::kBias, &bias);
+    const Tensor reference = MatMulPlusBias(a, b, bias);
+    EXPECT_EQ(MaxAbsDiff(fused, reference), 0.0f) << "m=" << m << " n=" << n;
+  }
+}
+
+// kBiasTanh / kBiasSigmoid apply the activation to the bitwise-identical
+// pre-activation with the same scalar functions ops::Tanh / ops::Sigmoid
+// use, so these too are exact.
+TEST(GemmEpilogueTest, TanhAndSigmoidMatchComposedOps) {
+  Rng rng(37);
+  const std::array<std::array<int64_t, 3>, 2> shapes = {
+      {{6, 5, 9}, {80, 64, 96}}};
+  for (const auto& s : shapes) {
+    const int64_t m = s[0], k = s[1], n = s[2];
+    const Tensor a = Tensor::Randn({m, k}, rng);
+    const Tensor b = Tensor::Randn({k, n}, rng);
+    const Tensor bias = Tensor::Randn({n}, rng);
+    const Tensor pre = MatMulPlusBias(a, b, bias);
+
+    const Tensor tanh_fused =
+        ops::Gemm(a, b, false, false, ops::GemmEpilogue::kBiasTanh, &bias);
+    EXPECT_EQ(MaxAbsDiff(tanh_fused, ops::Tanh(pre)), 0.0f) << "tanh m=" << m;
+
+    const Tensor sig_fused =
+        ops::Gemm(a, b, false, false, ops::GemmEpilogue::kBiasSigmoid, &bias);
+    EXPECT_EQ(MaxAbsDiff(sig_fused, ops::Sigmoid(pre)), 0.0f)
+        << "sigmoid m=" << m;
+  }
+}
+
+/// Checks one gated epilogue (tanh·σ or GLU) against a composed reference:
+/// z is half-width, preact carries the full-width post-bias pre-activations.
+void ExpectGatedGemmMatches(int64_t m, int64_t k, int64_t n, bool glu,
+                            Rng& rng) {
+  const int64_t half = n / 2;
+  const Tensor a = Tensor::Randn({m, k}, rng);
+  const Tensor b = Tensor::Randn({k, n}, rng);
+  const Tensor bias = Tensor::Randn({n}, rng);
+  Tensor preact = Tensor::Uninitialized({m, n});
+  const Tensor z = ops::Gemm(
+      a, b, false, false,
+      glu ? ops::GemmEpilogue::kBiasGlu
+          : ops::GemmEpilogue::kBiasGatedTanhSigmoid,
+      &bias, &preact);
+  ASSERT_EQ(z.size(0), m);
+  ASSERT_EQ(z.size(1), half);
+
+  const Tensor pre_ref = MatMulPlusBias(a, b, bias);
+  EXPECT_EQ(MaxAbsDiff(preact, pre_ref), 0.0f) << "saved pre-activations";
+  const Tensor sig = ops::Sigmoid(pre_ref);  // same StableSigmoid scalar
+  Tensor z_ref = Tensor::Uninitialized({m, half});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < half; ++j) {
+      const float sf = pre_ref.data()[i * n + j];
+      z_ref.data()[i * half + j] =
+          (glu ? sf : std::tanh(sf)) * sig.data()[i * n + half + j];
+    }
+  }
+  EXPECT_EQ(MaxAbsDiff(z, z_ref), 0.0f) << "gated output";
+}
+
+TEST(GemmEpilogueTest, GatedTanhSigmoidMatchesComposedOps) {
+  Rng rng(41);
+  ExpectGatedGemmMatches(6, 4, 10, /*glu=*/false, rng);  // SmallGemm path
+  // Tiled path spanning two N panels (n > kNC) and two K blocks (k > kKC),
+  // so the "apply once at the final (pc, jc)" bookkeeping is exercised.
+  ExpectGatedGemmMatches(96, 300, 520, /*glu=*/false, rng);
+}
+
+TEST(GemmEpilogueTest, GluMatchesComposedOps) {
+  Rng rng(43);
+  ExpectGatedGemmMatches(7, 5, 8, /*glu=*/true, rng);
+  ExpectGatedGemmMatches(64, 80, 192, /*glu=*/true, rng);
+}
+
+TEST(GemmEpilogueTest, BatchGemmGatedMatchesPerSliceChain) {
+  Rng rng(47);
+  // Small slices take the all-slices-in-one-For1D path; the bigger case
+  // takes the per-slice tiled path.
+  const std::array<std::array<int64_t, 4>, 2> shapes = {
+      {{5, 6, 4, 8}, {2, 64, 64, 96}}};  // {batch, m, k, n}
+  for (const auto& s : shapes) {
+    const int64_t batch = s[0], m = s[1], k = s[2], n = s[3];
+    const int64_t half = n / 2;
+    const Tensor a = Tensor::Randn({batch, m, k}, rng);
+    const Tensor b = Tensor::Randn({batch, k, n}, rng);
+    const Tensor bias = Tensor::Randn({n}, rng);
+    Tensor preact = Tensor::Uninitialized({batch, m, n});
+    const Tensor z =
+        ops::BatchGemm(a, b, false, false,
+                       ops::GemmEpilogue::kBiasGatedTanhSigmoid, &bias,
+                       &preact);
+    ASSERT_EQ(z.size(2), half);
+    for (int64_t s_idx = 0; s_idx < batch; ++s_idx) {
+      const Tensor a_s = ops::Slice(a, 0, s_idx, 1).Reshape({m, k});
+      const Tensor b_s = ops::Slice(b, 0, s_idx, 1).Reshape({k, n});
+      const Tensor pre_ref = MatMulPlusBias(a_s, b_s, bias);
+      const Tensor sig = ops::Sigmoid(pre_ref);
+      EXPECT_EQ(MaxAbsDiff(ops::Slice(preact, 0, s_idx, 1).Reshape({m, n}),
+                           pre_ref),
+                0.0f)
+          << "slice " << s_idx << " preact";
+      const Tensor z_s = ops::Slice(z, 0, s_idx, 1).Reshape({m, half});
+      Tensor z_ref = Tensor::Uninitialized({m, half});
+      for (int64_t i = 0; i < m; ++i) {
+        for (int64_t j = 0; j < half; ++j) {
+          z_ref.data()[i * half + j] = std::tanh(pre_ref.data()[i * n + j]) *
+                                       sig.data()[i * n + half + j];
+        }
+      }
+      EXPECT_EQ(MaxAbsDiff(z_s, z_ref), 0.0f) << "slice " << s_idx << " z";
+    }
+  }
+}
+
+TEST(MatMulBiasTest, ForwardAndGradMatchMatMulAddChain) {
+  Rng rng(53);
+  const Tensor a0 = Tensor::Randn({9, 6}, rng);
+  const Tensor w0 = Tensor::Randn({6, 7}, rng);
+  const Tensor bias0 = Tensor::Randn({7}, rng);
+  const Tensor upstream = Tensor::Randn({9, 7}, rng);
+
+  auto run = [&](bool fused) {
+    ag::Variable a = ag::Variable::Leaf(a0.Clone(), /*requires_grad=*/true);
+    ag::Variable w = ag::Variable::Leaf(w0.Clone(), /*requires_grad=*/true);
+    ag::Variable bias =
+        ag::Variable::Leaf(bias0.Clone(), /*requires_grad=*/true);
+    ag::Variable out = fused ? ag::MatMulBias(a, w, bias)
+                             : ag::Add(ag::MatMul(a, w), bias);
+    ag::Variable loss = ag::SumAll(
+        ag::Mul(out, ag::Variable::Leaf(upstream.Clone(), false)));
+    loss.Backward();
+    return std::vector<Tensor>{out.data().Clone(), a.grad().Clone(),
+                               w.grad().Clone(), bias.grad().Clone()};
+  };
+
+  std::vector<Tensor> fused = run(true);
+  std::vector<Tensor> reference = run(false);
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_LE(MaxAbsDiff(fused[i], reference[i]), kGradTol) << "tensor " << i;
+  }
+}
+
+// --- fused gated convolution --------------------------------------------
+
+/// The unfused reference chain for a dilated conv + gating, mirroring
+/// EnhanceTcnLayer (tanh·σ, causal left pad) and Stgcn::TemporalGlu
+/// (GLU, valid conv) exactly.
+ag::Variable ReferenceGatedConv(const ag::Variable& x,
+                                const std::vector<ag::Variable>& taps,
+                                const ag::Variable& bias, int64_t dilation,
+                                int64_t pad_left, bool glu) {
+  const int64_t batch = x.size(0);
+  const int64_t n = x.size(1);
+  const int64_t time = x.size(2);
+  const int64_t c_in = x.size(3);
+  const int64_t kernel = static_cast<int64_t>(taps.size());
+  const int64_t t_out = time + pad_left - dilation * (kernel - 1);
+  const int64_t half = taps[0].size(1) / 2;
+  ag::Variable padded = pad_left > 0 ? ag::PadAxis(x, 2, pad_left, 0) : x;
+  ag::Variable conv;
+  for (int64_t k = 0; k < kernel; ++k) {
+    ag::Variable tap_in = ag::Slice(padded, 2, k * dilation, t_out);
+    ag::Variable flat = ag::Reshape(tap_in, {batch * n * t_out, c_in});
+    ag::Variable term = ag::MatMul(flat, taps[static_cast<size_t>(k)]);
+    conv = (k == 0) ? term : ag::Add(conv, term);
+  }
+  conv = ag::Add(conv, bias);
+  ag::Variable a = ag::Slice(conv, -1, 0, half);
+  ag::Variable b = ag::Slice(conv, -1, half, half);
+  ag::Variable z = glu ? ag::Mul(a, ag::Sigmoid(b))
+                       : ag::Mul(ag::Tanh(a), ag::Sigmoid(b));
+  return ag::Reshape(z, {batch, n, t_out, half});
+}
+
+/// Runs the fused-vs-reference comparison for shared-filter FusedGatedConv
+/// and checks forward + every input gradient to kGradTol.
+void ExpectFusedGatedConvMatches(int64_t kernel, int64_t dilation,
+                                 int64_t pad_left, bool glu, uint64_t seed) {
+  Rng rng(seed);
+  const int64_t batch = 2, n = 3, time = 8, c_in = 4, half = 5;
+  const int64_t t_out = time + pad_left - dilation * (kernel - 1);
+  const Tensor x0 = Tensor::Randn({batch, n, time, c_in}, rng);
+  std::vector<Tensor> taps0;
+  for (int64_t k = 0; k < kernel; ++k) {
+    taps0.push_back(Tensor::Randn({c_in, 2 * half}, rng));
+  }
+  const Tensor bias0 = Tensor::Randn({2 * half}, rng);
+  const Tensor upstream = Tensor::Randn({batch, n, t_out, half}, rng);
+
+  auto run = [&](bool fused) {
+    ag::Variable x = ag::Variable::Leaf(x0.Clone(), /*requires_grad=*/true);
+    std::vector<ag::Variable> taps;
+    for (const Tensor& t : taps0) {
+      taps.push_back(ag::Variable::Leaf(t.Clone(), /*requires_grad=*/true));
+    }
+    ag::Variable bias =
+        ag::Variable::Leaf(bias0.Clone(), /*requires_grad=*/true);
+    ag::Variable out =
+        fused ? ag::FusedGatedConv(
+                    x, ag::Concat(taps, 0), bias, kernel, dilation, pad_left,
+                    glu ? ops::GemmEpilogue::kBiasGlu
+                        : ops::GemmEpilogue::kBiasGatedTanhSigmoid)
+              : ReferenceGatedConv(x, taps, bias, dilation, pad_left, glu);
+    ag::Variable loss = ag::SumAll(
+        ag::Mul(out, ag::Variable::Leaf(upstream.Clone(), false)));
+    loss.Backward();
+    std::vector<Tensor> result{out.data().Clone(), x.grad().Clone(),
+                               bias.grad().Clone()};
+    for (const ag::Variable& t : taps) result.push_back(t.grad().Clone());
+    return result;
+  };
+
+  std::vector<Tensor> fused = run(true);
+  std::vector<Tensor> reference = run(false);
+  ASSERT_EQ(fused.size(), reference.size());
+  EXPECT_LE(MaxAbsDiff(fused[0], reference[0]), kGradTol) << "forward";
+  for (size_t i = 1; i < fused.size(); ++i) {
+    // Gradients accumulate over the stacked K·C columns in a different order
+    // than the K separate per-tap GEMMs, so the bound is 1e-6 *relative* to
+    // the gradient's magnitude.
+    EXPECT_LE(MaxAbsDiff(fused[i], reference[i]),
+              kGradTol * std::max(1.0f, MaxAbs(reference[i])))
+        << "tensor " << i;
+  }
+}
+
+TEST(FusedGatedConvTest, CausalTanhSigmoidMatchesUnfusedChain) {
+  // The EnhanceTcnLayer configuration: K=2, d=2, left pad keeps T.
+  ExpectFusedGatedConvMatches(/*kernel=*/2, /*dilation=*/2, /*pad_left=*/2,
+                              /*glu=*/false, /*seed=*/59);
+}
+
+TEST(FusedGatedConvTest, ValidGluMatchesUnfusedChain) {
+  // The Stgcn::TemporalGlu configuration: K=3, unpadded, T shrinks by K-1.
+  ExpectFusedGatedConvMatches(/*kernel=*/3, /*dilation=*/1, /*pad_left=*/0,
+                              /*glu=*/true, /*seed=*/61);
+}
+
+TEST(FusedGatedConvPerEntityTest, MatchesBatchMatMulChain) {
+  Rng rng(67);
+  const int64_t batch = 2, n = 3, time = 6, c_in = 3, half = 4;
+  const int64_t kernel = 2, dilation = 1;
+  const int64_t pad_left = dilation * (kernel - 1);
+  const Tensor x0 = Tensor::Randn({batch, n, time, c_in}, rng);
+  // DFGN layout: per entity, taps flattened k-major / c-minor.
+  const Tensor filters0 =
+      Tensor::Randn({n, kernel * c_in * 2 * half}, rng);
+  const Tensor bias0 = Tensor::Randn({2 * half}, rng);
+  const Tensor upstream = Tensor::Randn({batch, n, time, half}, rng);
+
+  auto run = [&](bool fused) {
+    ag::Variable x = ag::Variable::Leaf(x0.Clone(), /*requires_grad=*/true);
+    ag::Variable filters =
+        ag::Variable::Leaf(filters0.Clone(), /*requires_grad=*/true);
+    ag::Variable bias =
+        ag::Variable::Leaf(bias0.Clone(), /*requires_grad=*/true);
+    ag::Variable out;
+    if (fused) {
+      out = ag::FusedGatedConvPerEntity(
+          x, filters, bias, kernel, dilation, pad_left,
+          ops::GemmEpilogue::kBiasGatedTanhSigmoid);
+    } else {
+      // EnhanceTcnLayer's unfused DFGN branch, verbatim.
+      std::vector<ag::Variable> taps;
+      for (int64_t k = 0; k < kernel; ++k) {
+        taps.push_back(ag::Reshape(
+            ag::Slice(filters, -1, k * c_in * 2 * half, c_in * 2 * half),
+            {n, c_in, 2 * half}));
+      }
+      ag::Variable padded = ag::PadAxis(x, 2, pad_left, 0);
+      ag::Variable conv;
+      for (int64_t k = 0; k < kernel; ++k) {
+        ag::Variable tap_in = ag::Slice(padded, 2, k * dilation, time);
+        ag::Variable by_entity =
+            ag::Reshape(ag::Transpose(tap_in, 0, 1), {n, batch * time, c_in});
+        ag::Variable mixed = ag::BatchMatMul(by_entity, taps[k]);
+        ag::Variable term = ag::Transpose(
+            ag::Reshape(mixed, {n, batch, time, 2 * half}), 0, 1);
+        conv = (k == 0) ? term : ag::Add(conv, term);
+      }
+      conv = ag::Add(conv, bias);
+      ag::Variable f = ag::Slice(conv, -1, 0, half);
+      ag::Variable g = ag::Slice(conv, -1, half, half);
+      out = ag::Mul(ag::Tanh(f), ag::Sigmoid(g));
+    }
+    ag::Variable loss = ag::SumAll(
+        ag::Mul(out, ag::Variable::Leaf(upstream.Clone(), false)));
+    loss.Backward();
+    return std::vector<Tensor>{out.data().Clone(), x.grad().Clone(),
+                               filters.grad().Clone(), bias.grad().Clone()};
+  };
+
+  std::vector<Tensor> fused = run(true);
+  std::vector<Tensor> reference = run(false);
+  EXPECT_LE(MaxAbsDiff(fused[0], reference[0]), kGradTol) << "forward";
+  EXPECT_LE(MaxAbsDiff(fused[1], reference[1]), kGradTol) << "d x";
+  EXPECT_LE(MaxAbsDiff(fused[2], reference[2]), kGradTol) << "d filters";
+  EXPECT_LE(MaxAbsDiff(fused[3], reference[3]), kGradTol) << "d bias";
+}
+
+// --- layer wiring (ENHANCENET_FUSED toggle) -----------------------------
+
+core::TcnLayerConfig SmallTcnLayerConfig() {
+  core::TcnLayerConfig config;
+  config.num_entities = 3;
+  config.in_channels = 4;
+  config.conv_channels = 5;
+  config.skip_channels = 6;
+  config.kernel_size = 2;
+  config.dilation = 2;
+  config.dropout = 0.0f;  // determinism across the toggle
+  return config;
+}
+
+TEST(FusedTcnWiringTest, TcnLayerAgreesAcrossToggle) {
+  Rng rng(71);
+  core::EnhanceTcnLayer layer(SmallTcnLayerConfig(), nullptr, rng);
+  const Tensor x0 = Tensor::Randn({2, 3, 8, 4}, rng);
+  Rng fwd_rng(5);
+
+  auto run = [&](bool fused) {
+    FusedScope scope(fused);
+    ag::Variable x = ag::Variable::Leaf(x0.Clone(), /*requires_grad=*/true);
+    core::EnhanceTcnLayer::Output out = layer.Forward(x, {}, fwd_rng);
+    ag::Variable loss = ag::Add(ag::MeanAll(ag::Square(out.skip)),
+                                ag::MeanAll(ag::Square(out.residual)));
+    for (auto& p : layer.Parameters()) p.ZeroGrad();
+    loss.Backward();
+    std::vector<Tensor> result{out.skip.data().Clone(),
+                               out.residual.data().Clone(), x.grad().Clone()};
+    for (const auto& p : layer.Parameters()) result.push_back(p.grad().Clone());
+    return result;
+  };
+
+  std::vector<Tensor> fused = run(true);
+  std::vector<Tensor> reference = run(false);
+  ASSERT_EQ(fused.size(), reference.size());
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_LE(MaxAbsDiff(fused[i], reference[i]), kGradTol) << "tensor " << i;
+  }
+}
+
+TEST(FusedTcnWiringTest, DfgnLayerAgreesAcrossToggle) {
+  Rng rng(73);
+  core::TcnLayerConfig config = SmallTcnLayerConfig();
+  config.use_dfgn = true;
+  ag::Variable memory =
+      ag::Variable::Leaf(Tensor::Randn({config.num_entities, 8}, rng),
+                         /*requires_grad=*/true);
+  core::EnhanceTcnLayer layer(config, &memory, rng);
+  const Tensor x0 = Tensor::Randn({2, 3, 8, 4}, rng);
+  Rng fwd_rng(5);
+
+  auto run = [&](bool fused) {
+    FusedScope scope(fused);
+    ag::Variable x = ag::Variable::Leaf(x0.Clone(), /*requires_grad=*/true);
+    core::EnhanceTcnLayer::Output out = layer.Forward(x, {}, fwd_rng);
+    ag::Variable loss = ag::Add(ag::MeanAll(ag::Square(out.skip)),
+                                ag::MeanAll(ag::Square(out.residual)));
+    for (auto& p : layer.Parameters()) p.ZeroGrad();
+    memory.ZeroGrad();
+    loss.Backward();
+    std::vector<Tensor> result{out.skip.data().Clone(),
+                               out.residual.data().Clone(), x.grad().Clone(),
+                               memory.grad().Clone()};
+    for (const auto& p : layer.Parameters()) result.push_back(p.grad().Clone());
+    return result;
+  };
+
+  std::vector<Tensor> fused = run(true);
+  std::vector<Tensor> reference = run(false);
+  ASSERT_EQ(fused.size(), reference.size());
+  for (size_t i = 0; i < fused.size(); ++i) {
+    EXPECT_LE(MaxAbsDiff(fused[i], reference[i]), kGradTol) << "tensor " << i;
+  }
+}
+
+// The satellite bugfix: projecting only t = T−1 through skip_proj_ must give
+// exactly the last timestep of the full-sequence projection.
+TEST(FusedTcnWiringTest, SkipLastOnlyMatchesLastTimestepOfFullProjection) {
+  auto make = [](bool last_only) {
+    core::TcnLayerConfig config = SmallTcnLayerConfig();
+    config.skip_last_only = last_only;
+    Rng rng(79);  // identical init for both layers
+    return std::make_unique<core::EnhanceTcnLayer>(config, nullptr, rng);
+  };
+  std::unique_ptr<core::EnhanceTcnLayer> full = make(false);
+  std::unique_ptr<core::EnhanceTcnLayer> last = make(true);
+  Rng data_rng(83);
+  const int64_t time = 8;
+  const Tensor x0 = Tensor::Randn({2, 3, time, 4}, data_rng);
+  Rng r_full(5), r_last(5);
+  const ag::Variable x = ag::Variable::Leaf(x0, /*requires_grad=*/false);
+  const Tensor skip_full = full->Forward(x, {}, r_full).skip.data();
+  const Tensor skip_last = last->Forward(x, {}, r_last).skip.data();
+  ASSERT_EQ(skip_last.size(2), 1);
+  EXPECT_LE(MaxAbsDiff(ops::Slice(skip_full, 2, time - 1, 1), skip_last),
+            kGradTol);
+}
+
+// --- determinism across thread counts -----------------------------------
+
+// Every element of every fused output (and gradient) is computed by its
+// owning For1D chunk, so the results must be bit-identical whether the pool
+// has 1 worker or 8.
+TEST(FusedThreadInvarianceTest, GatedConvAndEpilogueGemmBitwise) {
+  Rng rng(89);
+  const int64_t batch = 4, n = 6, time = 16, c_in = 8, half = 12;
+  const int64_t kernel = 2, dilation = 2;
+  const int64_t pad_left = dilation * (kernel - 1);
+  const Tensor x0 = Tensor::Randn({batch, n, time, c_in}, rng);
+  const Tensor w0 = Tensor::Randn({kernel * c_in, 2 * half}, rng);
+  const Tensor bias0 = Tensor::Randn({2 * half}, rng);
+  const Tensor upstream = Tensor::Randn({batch, n, time, half}, rng);
+  // A tiled-regime Linear-style GEMM rides along so the non-gated epilogue
+  // write-back is covered too.
+  const Tensor a0 = Tensor::Randn({200, 96}, rng);
+  const Tensor lw0 = Tensor::Randn({96, 144}, rng);
+  const Tensor lb0 = Tensor::Randn({144}, rng);
+  const Tensor lup = Tensor::Randn({200, 144}, rng);
+
+  auto run = [&](int threads) {
+    SetNumThreads(threads);
+    ag::Variable x = ag::Variable::Leaf(x0.Clone(), /*requires_grad=*/true);
+    ag::Variable w = ag::Variable::Leaf(w0.Clone(), /*requires_grad=*/true);
+    ag::Variable bias =
+        ag::Variable::Leaf(bias0.Clone(), /*requires_grad=*/true);
+    ag::Variable out = ag::FusedGatedConv(
+        x, w, bias, kernel, dilation, pad_left,
+        ops::GemmEpilogue::kBiasGatedTanhSigmoid);
+    ag::Variable loss = ag::SumAll(
+        ag::Mul(out, ag::Variable::Leaf(upstream.Clone(), false)));
+    loss.Backward();
+
+    ag::Variable a = ag::Variable::Leaf(a0.Clone(), /*requires_grad=*/true);
+    ag::Variable lw = ag::Variable::Leaf(lw0.Clone(), /*requires_grad=*/true);
+    ag::Variable lb = ag::Variable::Leaf(lb0.Clone(), /*requires_grad=*/true);
+    ag::Variable y = ag::MatMulBias(a, lw, lb);
+    ag::Variable loss2 =
+        ag::SumAll(ag::Mul(y, ag::Variable::Leaf(lup.Clone(), false)));
+    loss2.Backward();
+    return std::vector<Tensor>{
+        out.data().Clone(), x.grad().Clone(),  w.grad().Clone(),
+        bias.grad().Clone(), y.data().Clone(), a.grad().Clone(),
+        lw.grad().Clone(),   lb.grad().Clone()};
+  };
+
+  const int prev_threads = GetNumThreads();
+  std::vector<Tensor> one = run(1);
+  std::vector<Tensor> eight = run(8);
+  SetNumThreads(prev_threads);
+  ASSERT_EQ(one.size(), eight.size());
+  for (size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(MaxAbsDiff(one[i], eight[i]), 0.0f) << "tensor " << i;
+  }
+}
+
+// --- allocation-free TCN training steps ---------------------------------
+
+// The perf acceptance gate's allocator half: after warmup, a full TCN train
+// step (fused gated conv + epilogue GEMMs + Adam) allocates nothing from the
+// heap — every tensor comes from the pool, every fusion temporary from the
+// Workspace.
+TEST(FusedTcnAllocatorTest, TcnTrainStepsAllocFreeAfterWarmup) {
+  TensorAllocator& allocator = TensorAllocator::Global();
+  const bool was_caching = allocator.caching_enabled();
+  allocator.set_caching_enabled(true);
+
+  const int64_t entities = 8;
+  data::CtsData data = data::MakeEbLike(entities, /*days=*/2, /*seed=*/7);
+  const int64_t train_end = data.num_steps() * 7 / 10;
+  data::StandardScaler scaler;
+  scaler.Fit(data.series, 0, train_end);
+  const Tensor scaled = scaler.Transform(data.series);
+  models::ModelSizing sizing;
+  sizing.tcn_channels = 8;
+  sizing.skip_channels = 8;
+  sizing.end_channels = 16;
+  sizing.dilations = {1, 2};
+  data::WindowDataset train(scaled, data.series, /*target_channel=*/0, 0,
+                            train_end, sizing.history, sizing.horizon);
+  Rng model_rng(11);
+  std::unique_ptr<models::ForecastingModel> model = models::MakeModel(
+      "TCN", entities, 1, graph::GaussianKernelAdjacency(data.distances),
+      sizing, model_rng);
+  model->SetTraining(true);
+  optim::Adam optimizer(model->Parameters(), 0.01f);
+  const data::Batch batch = train.MakeBatch({0, 3, 6, 9});
+  Rng rng(3);
+
+  auto step = [&] {
+    ag::Variable pred =
+        model->Forward(batch.x, &batch.y_scaled, /*teacher_prob=*/1.0f, rng);
+    ag::Variable loss = ag::MeanAll(ag::Abs(
+        ag::Sub(pred, ag::Variable::Leaf(batch.y_scaled, false))));
+    model->ZeroGrad();
+    loss.Backward();
+    optim::ClipGradNorm(optimizer.params(), 5.0f);
+    optimizer.Step();
+  };
+
+  for (int i = 0; i < 2; ++i) step();  // warmup populates pool + workspace
+  allocator.ResetStats();
+  for (int i = 0; i < 3; ++i) step();
+
+  const AllocatorStats stats = allocator.GetStats();
+  ASSERT_GT(stats.requests, 0);
+  EXPECT_GT(stats.pool_hits, 0);
+  EXPECT_EQ(stats.pool_misses + stats.oversize, 0)
+      << "steady-state TCN steps must be allocation-free: misses="
+      << stats.pool_misses << " oversize=" << stats.oversize;
+
+  allocator.set_caching_enabled(was_caching);
 }
 
 }  // namespace
