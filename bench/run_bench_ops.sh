@@ -75,11 +75,59 @@ for n in (208, 1024, 10240):
         print(f"adjacency apply {key}: dense {dense/1e3:.1f}us, "
               f"sparse {sparse/1e3:.1f}us -> {dense/sparse:.1f}x")
 
-if sweep:
-    doc["sparse_vs_dense"] = sweep
+def counter(name, key):
+    rows = [b for b in benchmarks
+            if b.get("run_name") == name and
+            b.get("aggregate_name") == "median"]
+    if not rows:
+        rows = [b for b in benchmarks if b["name"] == name]
+    return rows[0].get(key) if rows else None
+
+# Entity-sharded execution sweep (DESIGN.md §12): S-shard halo-exchange
+# apply vs the S=1 single-context placement of the same executor, up to
+# N = 102400 rows, plus the windowed O(N·k_cand) selection vs the O(N²)
+# full scan it replaces at fleet scale.
+sharded = {}
+for n in (10240, 102400):
+    k = 8
+    single = median_time(f"BM_SparseApplySharded/{n}/{k}/1")
+    if single is None:
+        continue
+    for s in (2, 4, 8):
+        row_name = f"BM_SparseApplySharded/{n}/{k}/{s}"
+        timed = median_time(row_name)
+        if timed is None:
+            continue
+        key = f"N{n}_k{k}_S{s}"
+        sharded[key] = {
+            "single_ns": single,
+            "sharded_ns": timed,
+            "ratio": single / timed,
+            "halo_entities": counter(row_name, "halo_entities"),
+        }
+        print(f"sharded apply {key}: single {single/1e3:.1f}us, "
+              f"S={s} {timed/1e3:.1f}us (ratio {single/timed:.2f}x, "
+              f"halo {counter(row_name, 'halo_entities')})")
+full_scan = median_time("BM_TopKSparsify/10240/16")
+windowed = median_time("BM_TopKSparsifyWindowed/10240/16/256")
+if full_scan is not None and windowed is not None:
+    sharded["selection_N10240_kcand256"] = {
+        "full_scan_ns": full_scan,
+        "windowed_ns": windowed,
+        "speedup": full_scan / windowed,
+    }
+    print(f"top-k selection N=10240: full scan {full_scan/1e6:.2f}ms, "
+          f"k_cand=256 window {windowed/1e6:.2f}ms "
+          f"-> {full_scan/windowed:.1f}x")
+
+if sweep or sharded:
+    if sweep:
+        doc["sparse_vs_dense"] = sweep
+    if sharded:
+        doc["sharded_vs_single"] = sharded
     with open(path, "w") as f:
         json.dump(doc, f, indent=1)
         f.write("\n")
-    print(f"recorded sparse_vs_dense in {path}")
+    print(f"recorded sweep keys in {path}")
 EOF
 fi

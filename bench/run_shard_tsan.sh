@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the entity-sharded execution suite (ctest -L shard) under
+# ThreadSanitizer. The sharded kernels layer two threading claims on top of
+# the sparse suite's: every shard's ParallelFor runs under that shard's own
+# bound RuntimeContext (private allocator, private workspace), and the
+# halo gathers plus slab merges never write another shard's rows. Both are
+# exactly the kind of claim TSan can falsify, so this is the verification
+# step for the sharding PR's threading story.
+#
+# Usage:
+#   bench/run_shard_tsan.sh                # build build-tsan/ and run
+#   TSAN_BUILD_DIR=/tmp/tsan bench/run_shard_tsan.sh
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${TSAN_BUILD_DIR:-$ROOT/build-tsan}"
+
+cmake -B "$BUILD_DIR" -S "$ROOT" -DENHANCENET_SANITIZE=thread \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j --target shard_test
+
+# Force a real parallel run: shard contexts slice this budget between
+# themselves, so 8 threads across up to 4 shards exercises both the
+# per-shard pools and the cross-shard sequencing.
+ENHANCENET_NUM_THREADS=8 ctest --test-dir "$BUILD_DIR" -L shard \
+  --output-on-failure
+
+echo "shard suite clean under ThreadSanitizer"

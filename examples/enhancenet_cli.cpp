@@ -103,6 +103,9 @@ int Usage() {
       "  --slo-ms MS              serve-smoke: route requests through the\n"
       "                           deadline-aware micro-batcher with an MS ms\n"
       "                           per-request budget (or set ENHANCENET_SLO_MS)\n"
+      "  --shards S               entity-sharded no-grad graph applies across\n"
+      "                           S per-shard runtime contexts (or set\n"
+      "                           ENHANCENET_SHARDS); 1 = single context\n"
       "  --metrics-out PATH       write a JSON metrics snapshot on exit\n"
       "  --profile                record tensor-kernel profiling counters\n");
   return 2;
@@ -183,6 +186,15 @@ int main(int argc, char** argv) {
     return Usage();
   }
   if (args.flags.count("profile")) runtime::SetProfilingEnabled(true);
+  // --shards S: entity-sharded execution (DESIGN.md §12). Applied to the
+  // process default context so train-time eval forwards shard too; sessions
+  // published below additionally pin it via SessionOptions so registry pools
+  // get private exec configs.
+  const int shards = args.GetInt("shards", -1);
+  if (shards >= 0) {
+    runtime::RuntimeContext::Current().exec().shards.store(
+        shards < 1 ? 1 : shards, std::memory_order_relaxed);
+  }
 
   bool ok = false;
   data::CtsData dataset = LoadData(args, &ok);
@@ -256,6 +268,7 @@ int main(int argc, char** argv) {
     serve::ModelRegistry registry;
     serve::PublishOptions po;
     po.pool_size = 1;  // smoke needs one session, not a serving fleet
+    po.session.shards = shards;
     const Status published = registry.Publish(
         model_name, /*version=*/1,
         BuildSpec(model_name, dataset, adjacency, sizing, checkpoint), scaler,
@@ -295,6 +308,7 @@ int main(int argc, char** argv) {
   serve::ModelRegistry registry;
   serve::PublishOptions po;
   po.pool_size = args.GetInt("pool", 2);
+  po.session.shards = shards;
   // --slo-ms publishes with deadline-aware micro-batching: serve-smoke
   // requests go through the batcher as single [N,H,C] windows carrying a
   // per-request budget instead of straight to a session.

@@ -830,8 +830,10 @@ Variable AdjacencyMatMul(const Variable& adj, const Variable& x) {
 
 namespace {
 
-/// Float-encoded indices are exact integers only below 2^24.
-constexpr int64_t kMaxFloatIndex = int64_t{1} << 24;
+/// int32 index storage caps the entry count (not the entity count) — far
+/// beyond any plan the allocator could hold, but CHECKed for honesty.
+constexpr int64_t kMaxInt32Index =
+    static_cast<int64_t>(std::numeric_limits<int32_t>::max());
 
 /// Storage for sparse-attention results: allocator-backed when the graph is
 /// recorded (the tensors outlive the op as node data / saved activations),
@@ -852,42 +854,41 @@ Tensor WorkspaceTemp(Shape shape) {
   return Tensor::WithStorage(ws.Acquire(numel), std::move(shape));
 }
 
-void BuildSparseTransposeImpl(SparseIndex* index, bool record) {
+void BuildSparseTransposeImpl(SparseIndex* index) {
   const int64_t rows = index->batch * index->n;
   const int64_t n = index->n;
   const int64_t nnz = index->nnz;
-  index->t_row_offsets = SparseStage(record, {rows + 1});
-  index->t_perm = SparseStage(record, {nnz});
-  const float* pc = index->cols.data();
-  const float* po = index->row_offsets.data();
-  float* pto = index->t_row_offsets.data();
-  float* ptp = index->t_perm.data();
+  index->t_row_offsets = AcquireIndexArray(rows + 1);
+  index->t_perm = AcquireIndexArray(nnz);
+  const int32_t* pc = index->cols.data();
+  const int32_t* po = index->row_offsets.data();
+  int32_t* pto = index->t_row_offsets.data();
+  int32_t* ptp = index->t_perm.data();
   // Deterministic counting sort over the entries, O(nnz) and serial: count
   // entries per target column, prefix-sum into offsets, then append entries
   // in their natural (source-row ascending) order. Transposed rows therefore
   // list their entries sorted by source row, independent of thread count.
-  std::fill(pto, pto + rows + 1, 0.0f);
+  std::fill(pto, pto + rows + 1, 0);
   for (int64_t r = 0; r < rows; ++r) {
     const int64_t batch_base = (r / n) * n;
-    const int64_t e0 = static_cast<int64_t>(po[r]);
-    const int64_t e1 = static_cast<int64_t>(po[r + 1]);
+    const int64_t e0 = po[r];
+    const int64_t e1 = po[r + 1];
     for (int64_t e = e0; e < e1; ++e) {
-      pto[batch_base + static_cast<int64_t>(pc[e]) + 1] += 1.0f;
+      pto[batch_base + pc[e] + 1] += 1;
     }
   }
   for (int64_t r = 0; r < rows; ++r) pto[r + 1] += pto[r];
-  Tensor cursor = WorkspaceTemp({rows});
-  float* pcur = cursor.data();
+  IntArray cursor = AcquireIndexArray(rows);
+  int32_t* pcur = cursor.data();
   std::copy(pto, pto + rows, pcur);
   for (int64_t r = 0; r < rows; ++r) {
     const int64_t batch_base = (r / n) * n;
-    const int64_t e0 = static_cast<int64_t>(po[r]);
-    const int64_t e1 = static_cast<int64_t>(po[r + 1]);
+    const int64_t e0 = po[r];
+    const int64_t e1 = po[r + 1];
     for (int64_t e = e0; e < e1; ++e) {
-      const int64_t tr = batch_base + static_cast<int64_t>(pc[e]);
-      const int64_t w = static_cast<int64_t>(pcur[tr]);
-      ptp[w] = static_cast<float>(e);
-      pcur[tr] = static_cast<float>(w + 1);
+      const int64_t tr = batch_base + pc[e];
+      ptp[pcur[tr]] = static_cast<int32_t>(e);
+      pcur[tr] += 1;
     }
   }
 }
@@ -901,8 +902,8 @@ int64_t SparseDegree(const SparseIndex& index) {
 void SparseApplyCsr(const SparseIndex& idx, const float* pv, const float* px,
                     int64_t channels, float* po) {
   const int64_t n = idx.n;
-  const float* pc = idx.cols.data();
-  const float* poff = idx.row_offsets.data();
+  const int32_t* pc = idx.cols.data();
+  const int32_t* poff = idx.row_offsets.data();
   ParallelFor(0, idx.batch * n, RowGrain(channels),
               [=](int64_t r0, int64_t r1) {
                 for (int64_t r = r0; r < r1; ++r) {
@@ -910,12 +911,11 @@ void SparseApplyCsr(const SparseIndex& idx, const float* pv, const float* px,
                   float* orow = po + r * channels;
                   std::fill(orow, orow + channels, 0.0f);
                   const float* xb = px + b * n * channels;
-                  const int64_t e0 = static_cast<int64_t>(poff[r]);
-                  const int64_t e1 = static_cast<int64_t>(poff[r + 1]);
+                  const int64_t e0 = poff[r];
+                  const int64_t e1 = poff[r + 1];
                   for (int64_t e = e0; e < e1; ++e) {
                     const float a = pv[e];
-                    const float* xrow =
-                        xb + static_cast<int64_t>(pc[e]) * channels;
+                    const float* xrow = xb + pc[e] * channels;
                     for (int64_t c = 0; c < channels; ++c) {
                       orow[c] += a * xrow[c];
                     }
@@ -931,8 +931,8 @@ void SparseApplyCsc(const SparseIndex& idx, const float* pv, const float* px,
                     int64_t channels, float* po) {
   const int64_t n = idx.n;
   const int64_t kk = SparseDegree(idx);
-  const float* ptoff = idx.t_row_offsets.data();
-  const float* ptp = idx.t_perm.data();
+  const int32_t* ptoff = idx.t_row_offsets.data();
+  const int32_t* ptp = idx.t_perm.data();
   ParallelFor(0, idx.batch * n, RowGrain(channels),
               [=](int64_t r0, int64_t r1) {
                 for (int64_t tr = r0; tr < r1; ++tr) {
@@ -940,10 +940,10 @@ void SparseApplyCsc(const SparseIndex& idx, const float* pv, const float* px,
                   float* orow = po + tr * channels;
                   std::fill(orow, orow + channels, 0.0f);
                   const float* xb = px + b * n * channels;
-                  const int64_t w0 = static_cast<int64_t>(ptoff[tr]);
-                  const int64_t w1 = static_cast<int64_t>(ptoff[tr + 1]);
+                  const int64_t w0 = ptoff[tr];
+                  const int64_t w1 = ptoff[tr + 1];
                   for (int64_t w = w0; w < w1; ++w) {
-                    const int64_t e = static_cast<int64_t>(ptp[w]);
+                    const int64_t e = ptp[w];
                     const int64_t src_row = e / kk;  // uniform degree
                     const float* xrow =
                         xb + (src_row % n) * channels;
@@ -963,8 +963,8 @@ void SparseValueGrad(const SparseIndex& idx, bool transpose_adj,
                      const float* pg, const float* px, int64_t channels,
                      float* pdv) {
   const int64_t n = idx.n;
-  const float* pc = idx.cols.data();
-  const float* poff = idx.row_offsets.data();
+  const int32_t* pc = idx.cols.data();
+  const int32_t* poff = idx.row_offsets.data();
   ParallelFor(0, idx.batch * n, RowGrain(channels),
               [=](int64_t r0, int64_t r1) {
                 for (int64_t r = r0; r < r1; ++r) {
@@ -972,10 +972,10 @@ void SparseValueGrad(const SparseIndex& idx, bool transpose_adj,
                   const int64_t i = r % n;
                   const float* gb = pg + b * n * channels;
                   const float* xb = px + b * n * channels;
-                  const int64_t e0 = static_cast<int64_t>(poff[r]);
-                  const int64_t e1 = static_cast<int64_t>(poff[r + 1]);
+                  const int64_t e0 = poff[r];
+                  const int64_t e1 = poff[r + 1];
                   for (int64_t e = e0; e < e1; ++e) {
-                    const int64_t j = static_cast<int64_t>(pc[e]);
+                    const int64_t j = pc[e];
                     const float* grow =
                         gb + (transpose_adj ? j : i) * channels;
                     const float* xrow =
@@ -992,10 +992,22 @@ void SparseValueGrad(const SparseIndex& idx, bool transpose_adj,
 
 }  // namespace
 
+IntArray AcquireIndexArray(int64_t numel) {
+  ENHANCENET_CHECK_GE(numel, 0);
+  ENHANCENET_CHECK_LE(numel, kMaxInt32Index);
+  // Always workspace-backed (recorded or not): index arrays are rebuilt every
+  // step, and the deleter parks safely even after the owning context retires.
+  runtime::Workspace& ws = runtime::RuntimeContext::Current().workspace();
+  IntArray out;
+  out.storage = ws.AcquireInts(numel);
+  out.numel = numel;
+  return out;
+}
+
 void BuildSparseTranspose(SparseIndex* index) {
   ENHANCENET_CHECK(index != nullptr);
   ENHANCENET_CHECK_GT(index->nnz, 0);
-  BuildSparseTransposeImpl(index, /*record=*/true);
+  BuildSparseTransposeImpl(index);
 }
 
 Variable AttentionProbs(const Variable& e_src, const Variable& e_dst) {
@@ -1050,8 +1062,8 @@ Variable TopKAttention(const Variable& e_src, const Variable& e_dst, int64_t k,
   const int64_t kk = std::min(k, n);
   const int64_t rows = batch * n;
   const int64_t nnz = rows * kk;
-  ENHANCENET_CHECK_LT(nnz, kMaxFloatIndex)
-      << "sparse adjacency too large for float-encoded indices";
+  ENHANCENET_CHECK_LT(nnz, kMaxInt32Index)
+      << "sparse adjacency too large for int32 indices";
   const bool record = GradMode::IsEnabled() &&
                       (e_src.requires_grad() || e_dst.requires_grad());
   Tensor values;
@@ -1062,33 +1074,33 @@ Variable TopKAttention(const Variable& e_src, const Variable& e_dst, int64_t k,
     ops::BatchMatMulInto(src, dst_t, &scores);
 
     values = SparseStage(record, {batch, n, kk});
-    index->cols = SparseStage(record, {batch, n, kk});
-    index->row_offsets = SparseStage(record, {rows + 1});
+    index->cols = AcquireIndexArray(nnz);
+    index->row_offsets = AcquireIndexArray(rows + 1);
     index->batch = batch;
     index->n = n;
     index->nnz = nnz;
 
     const float* ps = scores.data();
     float* pv = values.data();
-    float* pc = index->cols.data();
+    int32_t* pc = index->cols.data();
     ParallelFor(0, rows, RowGrain(n), [=](int64_t r0, int64_t r1) {
       for (int64_t r = r0; r < r1; ++r) {
         const float* srow = ps + r * n;
         float* vrow = pv + r * kk;
-        float* crow = pc + r * kk;
+        int32_t* crow = pc + r * kk;
         // Row-local selection: keep a kk-sized working set in the output
         // buffers and replace its minimum on a strictly greater score. The
         // strict compare keeps the earliest (lowest) column among ties.
         int64_t mn = 0;
         for (int64_t j = 0; j < kk; ++j) {
           vrow[j] = srow[j];
-          crow[j] = static_cast<float>(j);
+          crow[j] = static_cast<int32_t>(j);
           if (srow[j] < vrow[mn]) mn = j;
         }
         for (int64_t j = kk; j < n; ++j) {
           if (srow[j] > vrow[mn]) {
             vrow[mn] = srow[j];
-            crow[mn] = static_cast<float>(j);
+            crow[mn] = static_cast<int32_t>(j);
             mn = 0;
             for (int64_t s = 1; s < kk; ++s) {
               if (vrow[s] < vrow[mn]) mn = s;
@@ -1098,7 +1110,7 @@ Variable TopKAttention(const Variable& e_src, const Variable& e_dst, int64_t k,
         // Store selected columns ascending (insertion sort over kk entries)
         // so a k >= N row reproduces the dense softmax order bitwise.
         for (int64_t s = 1; s < kk; ++s) {
-          const float cv = crow[s];
+          const int32_t cv = crow[s];
           const float vv = vrow[s];
           int64_t t = s - 1;
           while (t >= 0 && crow[t] > cv) {
@@ -1129,11 +1141,11 @@ Variable TopKAttention(const Variable& e_src, const Variable& e_dst, int64_t k,
         for (int64_t s = 0; s < kk; ++s) vrow[s] *= inv;
       }
     });
-    float* po = index->row_offsets.data();
+    int32_t* po = index->row_offsets.data();
     for (int64_t r = 0; r <= rows; ++r) {
-      po[r] = static_cast<float>(r * kk);
+      po[r] = static_cast<int32_t>(r * kk);
     }
-    BuildSparseTransposeImpl(index, record);
+    BuildSparseTransposeImpl(index);
   }
   SparseIndex idx = *index;  // shared-handle copy for the closure
   Tensor y = values;
@@ -1143,7 +1155,7 @@ Variable TopKAttention(const Variable& e_src, const Variable& e_dst, int64_t k,
         const int64_t rows = batch * n;
         const float* pg = g.data();
         const float* py = y.data();
-        const float* pc = idx.cols.data();
+        const int32_t* pc = idx.cols.data();
         // Softmax backward restricted to the selected entries (the selection
         // itself is piecewise constant, so unselected scores get zero grad).
         Tensor dsel = Tensor::Uninitialized({batch, n, kk});
@@ -1173,8 +1185,7 @@ Variable TopKAttention(const Variable& e_src, const Variable& e_dst, int64_t k,
               const float* dstb = pdst + b * n * e;
               for (int64_t s = 0; s < kk; ++s) {
                 const float d = pd[r * kk + s];
-                const float* drow =
-                    dstb + static_cast<int64_t>(pc[r * kk + s]) * e;
+                const float* drow = dstb + pc[r * kk + s] * e;
                 for (int64_t c = 0; c < e; ++c) orow[c] += d * drow[c];
               }
             }
@@ -1186,8 +1197,8 @@ Variable TopKAttention(const Variable& e_src, const Variable& e_dst, int64_t k,
           // — gathered through the CSC half, one output row per chunk.
           Tensor de_dst = Tensor::Uninitialized(e_dst.shape());
           const float* psrc = e_src.data().data();
-          const float* ptoff = idx.t_row_offsets.data();
-          const float* ptp = idx.t_perm.data();
+          const int32_t* ptoff = idx.t_row_offsets.data();
+          const int32_t* ptp = idx.t_perm.data();
           float* pdd = de_dst.data();
           ParallelFor(0, rows, RowGrain(e), [=](int64_t r0, int64_t r1) {
             for (int64_t tr = r0; tr < r1; ++tr) {
@@ -1195,10 +1206,10 @@ Variable TopKAttention(const Variable& e_src, const Variable& e_dst, int64_t k,
               float* orow = pdd + tr * e;
               std::fill(orow, orow + e, 0.0f);
               const float* srcb = psrc + b * n * e;
-              const int64_t w0 = static_cast<int64_t>(ptoff[tr]);
-              const int64_t w1 = static_cast<int64_t>(ptoff[tr + 1]);
+              const int64_t w0 = ptoff[tr];
+              const int64_t w1 = ptoff[tr + 1];
               for (int64_t w = w0; w < w1; ++w) {
-                const int64_t entry = static_cast<int64_t>(ptp[w]);
+                const int64_t entry = ptp[w];
                 const float d = pd[entry];
                 const float* srow = srcb + ((entry / kk) % n) * e;
                 for (int64_t c = 0; c < e; ++c) orow[c] += d * srow[c];
@@ -1217,7 +1228,7 @@ Variable SparseAdjacencyMatMul(const Variable& values, const SparseIndex& index,
   ENHANCENET_CHECK_EQ(xt.size(0), index.batch);
   ENHANCENET_CHECK_EQ(xt.size(1), index.n);
   ENHANCENET_CHECK_EQ(values.numel(), index.nnz);
-  ENHANCENET_CHECK_EQ(index.t_perm.numel(), index.nnz)
+  ENHANCENET_CHECK_EQ(index.t_perm.numel, index.nnz)
       << "SparseAdjacencyMatMul needs the transpose half of the index";
   const int64_t channels = xt.size(2);
 

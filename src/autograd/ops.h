@@ -1,6 +1,8 @@
 #ifndef ENHANCENET_AUTOGRAD_OPS_H_
 #define ENHANCENET_AUTOGRAD_OPS_H_
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "autograd/variable.h"
@@ -159,24 +161,42 @@ Variable AdjacencyMatMul(const Variable& adj, const Variable& x);
 
 // --- sparse dynamic adjacency ------------------------------------------------
 // Kernels for the top-k sparsified DAMGN attention (DESIGN.md §10). A sparse
-// adjacency is a CSR-style triple (row offsets, column indices, values) whose
-// index pattern is shared — as plain Tensors, so the storage rides the bound
-// RuntimeContext's allocator / Workspace exactly like activations do.
+// adjacency is a CSR-style triple (row offsets, column indices, values); the
+// float values ride ordinary Tensors while the integer index arrays use
+// dedicated int32 storage drawn from the bound RuntimeContext's Workspace,
+// so both stay allocation-free in steady state.
 
-/// Shared index pattern of a CSR-style sparse adjacency. Indices and offsets
-/// are float-encoded (exact for integers < 2^24; builders CHECK the bound) so
-/// they live in ordinary Tensors. Rows have uniform degree kk = nnz/(batch·n)
-/// — row_offsets is the authoritative CSR iteration bound, the uniform degree
-/// is what lets kernels map a flat entry back to its source row in O(1).
-/// The transpose half (t_row_offsets / t_perm) groups the same entries by
-/// target column; it is built once per pattern with a deterministic counting
-/// sort so transposed applies and backward passes stay bitwise-reproducible
-/// under any thread count.
+/// A pooled int32 index buffer. Replaces the historical float-encoded index
+/// Tensors (exact only below 2^24): int32 represents every entity id and
+/// entry offset a 10^6-row plan produces. Storage comes from the bound
+/// context's Workspace int arena (AcquireIndexArray), so steady-state reuse
+/// is exact-numel pooled like float scratch.
+struct IntArray {
+  std::shared_ptr<int32_t[]> storage;
+  int64_t numel = 0;
+
+  int32_t* data() { return storage.get(); }
+  const int32_t* data() const { return storage.get(); }
+  bool defined() const { return storage != nullptr; }
+};
+
+/// int32 storage for `numel` entries from the bound context's Workspace.
+/// Contents are NOT initialized.
+IntArray AcquireIndexArray(int64_t numel);
+
+/// Shared index pattern of a CSR-style sparse adjacency, stored as int32
+/// end-to-end (see IntArray above). Rows have uniform degree
+/// kk = nnz/(batch·n) — row_offsets is the authoritative CSR iteration
+/// bound, the uniform degree is what lets kernels map a flat entry back to
+/// its source row in O(1). The transpose half (t_row_offsets / t_perm)
+/// groups the same entries by target column; it is built once per pattern
+/// with a deterministic counting sort so transposed applies and backward
+/// passes stay bitwise-reproducible under any thread count.
 struct SparseIndex {
-  Tensor cols;           ///< [batch, n, kk] neighbour column of each entry
-  Tensor row_offsets;    ///< [batch·n + 1] CSR row offsets
-  Tensor t_row_offsets;  ///< [batch·n + 1] CSC (transpose) offsets
-  Tensor t_perm;         ///< [nnz] flat entry indices grouped by column
+  IntArray cols;           ///< [batch·n·kk] neighbour column of each entry
+  IntArray row_offsets;    ///< [batch·n + 1] CSR row offsets
+  IntArray t_row_offsets;  ///< [batch·n + 1] CSC (transpose) offsets
+  IntArray t_perm;         ///< [nnz] flat entry indices grouped by column
   int64_t batch = 0;
   int64_t n = 0;
   int64_t nnz = 0;

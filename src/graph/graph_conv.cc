@@ -4,6 +4,7 @@
 #include "autograd/ops.h"
 #include "common/logging.h"
 #include "nn/init.h"
+#include "shard/executor.h"
 
 namespace enhancenet {
 namespace graph {
@@ -18,6 +19,16 @@ ag::Variable ApplyAdjacency(const ag::Variable& adj, const ag::Variable& x) {
   if (adj.data().dim() == 2) {
     ENHANCENET_CHECK_EQ(adj.size(0), n);
     ENHANCENET_CHECK_EQ(adj.size(1), n);
+    // Entity-sharded serving path (DESIGN.md §12): no-grad forwards with
+    // ExecConfig::shards > 1 run the apply shard-by-shard on per-shard
+    // contexts. Bitwise-identical to AdjacencyMatMul, so it nests inside the
+    // fused-path check below.
+    if (!ag::GradMode::IsEnabled() && ag::FusedKernels::IsEnabled()) {
+      if (auto executor = shard::EntityShardedExecutor::ForCurrentContext(n)) {
+        return ag::Variable::Leaf(executor->ApplyDense(adj.data(), x.data()),
+                                  /*requires_grad=*/false);
+      }
+    }
     // Fused path: A · X computed directly in [B,N,C] layout, one graph node.
     if (ag::FusedKernels::IsEnabled()) return ag::AdjacencyMatMul(adj, x);
     // [B,N,C] -> [N,B,C] -> [N, B*C];  A · X  -> back.

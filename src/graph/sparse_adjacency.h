@@ -25,6 +25,14 @@ struct SparseAdjacency {
 /// k entries per row dropped.
 SparseAdjacency TopKSparsify(const Tensor& dense, int64_t k);
 
+/// Windowed candidate-set selection: row i only scans the `k_cand`-wide
+/// contiguous column window centred on i (clamped to the matrix edge), so
+/// building the pattern costs O(N·k_cand) instead of O(N²). `k_cand >= n`
+/// scans every column in the same order as the overload above and is
+/// bitwise-identical to it; smaller windows trade recall at the row's
+/// periphery for the asymptotic win (DESIGN.md §12).
+SparseAdjacency TopKSparsify(const Tensor& dense, int64_t k, int64_t k_cand);
+
 /// y = A·x (transpose=false) or Aᵀ·x (transpose=true), x [B,N,C].
 autograd::Variable ApplySparseAdjacency(const SparseAdjacency& adj,
                                         const autograd::Variable& x,

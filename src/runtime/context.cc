@@ -16,7 +16,7 @@ RuntimeContext::RuntimeContext(DefaultTag)
           /*export_metrics=*/true, TensorAllocator::kDefaultShards)),
       exec_(std::make_shared<ExecConfig>(EnvNumThreads(), EnvFusedKernels(),
                                          EnvEagerRelease(), EnvProfiling(),
-                                         EnvTopK())),
+                                         EnvTopK(), EnvShards())),
       workspace_(std::make_unique<Workspace>()) {
   // Parsed eagerly (not on first Allocate) so an invalid ENHANCENET_ALLOCATOR
   // aborts as soon as anything touches the default context.
@@ -46,7 +46,8 @@ RuntimeContext::RuntimeContext(const Options& options)
         d.fused_kernels.load(std::memory_order_relaxed),
         d.eager_release.load(std::memory_order_relaxed),
         d.profiling.load(std::memory_order_relaxed),
-        d.topk.load(std::memory_order_relaxed));
+        d.topk.load(std::memory_order_relaxed),
+        d.shards.load(std::memory_order_relaxed));
   } else {
     exec_ = def.exec_;
   }
@@ -59,6 +60,18 @@ RuntimeContext& RuntimeContext::Default() {
   // storage, and their deleters must stay valid through process teardown.
   static RuntimeContext* context = new RuntimeContext(DefaultTag{});
   return *context;
+}
+
+std::shared_ptr<void> RuntimeContext::GetExtension(const void* key) const {
+  std::lock_guard<std::mutex> lock(extensions_mu_);
+  const auto it = extensions_.find(key);
+  return it == extensions_.end() ? nullptr : it->second;
+}
+
+void RuntimeContext::SetExtension(const void* key,
+                                  std::shared_ptr<void> value) {
+  std::lock_guard<std::mutex> lock(extensions_mu_);
+  extensions_[key] = std::move(value);
 }
 
 RuntimeContext& RuntimeContext::Current() {

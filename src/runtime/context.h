@@ -2,7 +2,9 @@
 #define ENHANCENET_RUNTIME_CONTEXT_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
+#include <mutex>
 
 #include "runtime/allocator.h"
 #include "runtime/workspace.h"
@@ -16,12 +18,14 @@ namespace runtime {
 /// readers sit on hot paths (one load per kernel call) and the toggles are
 /// control-plane knobs, not synchronization.
 struct ExecConfig {
-  ExecConfig(int threads, bool fused, bool eager, bool profile, int top_k = 0)
+  ExecConfig(int threads, bool fused, bool eager, bool profile, int top_k = 0,
+             int num_shards = 1)
       : num_threads(threads),
         fused_kernels(fused),
         eager_release(eager),
         profiling(profile),
-        topk(top_k) {}
+        topk(top_k),
+        shards(num_shards) {}
 
   std::atomic<int> num_threads;
   std::atomic<bool> fused_kernels;
@@ -31,6 +35,11 @@ struct ExecConfig {
   /// (bitwise-identical to the pre-sparse code path), k >= 1 keeps the k
   /// strongest attention neighbours per entity row (DESIGN.md §10).
   std::atomic<int> topk;
+  /// Entity-sharded execution (DESIGN.md §12): 1 = single-context path
+  /// (bitwise-identical to the pre-shard code), S >= 2 partitions the entity
+  /// dimension into S contiguous shards, each executing on its own
+  /// RuntimeContext with halo exchange for cross-shard neighbours.
+  std::atomic<int> shards;
 };
 
 /// An explicit bundle of the runtime state that used to live in process-wide
@@ -89,6 +98,15 @@ class RuntimeContext {
   /// The context bound to the calling thread, or Default() when none is.
   static RuntimeContext& Current();
 
+  /// Opaque per-context extension slot: lazily-built subsystem state whose
+  /// lifetime must match the context's (the entity-sharded executor parks
+  /// its per-shard contexts here, so a session's shard allocators retire as
+  /// a unit with the session's context). Keyed by an arbitrary stable
+  /// address (typically a function-local static tag in the owning library).
+  /// Get returns the stored value or null; Set overwrites. Thread-safe.
+  std::shared_ptr<void> GetExtension(const void* key) const;
+  void SetExtension(const void* key, std::shared_ptr<void> value);
+
   TensorAllocator& allocator() { return *allocator_; }
   const std::shared_ptr<TensorAllocator>& allocator_ptr() const {
     return allocator_;
@@ -119,6 +137,8 @@ class RuntimeContext {
   std::shared_ptr<TensorAllocator> allocator_;
   std::shared_ptr<ExecConfig> exec_;
   std::unique_ptr<Workspace> workspace_;
+  mutable std::mutex extensions_mu_;
+  std::map<const void*, std::shared_ptr<void>> extensions_;
 };
 
 /// Per-thread gradient-recording flag (default true). autograd::GradMode and

@@ -64,6 +64,17 @@ int ParseTopK() {
   return static_cast<int>(v);
 }
 
+int ParseShards() {
+  const char* value = std::getenv("ENHANCENET_SHARDS");
+  if (value == nullptr || value[0] == '\0') return 1;
+  char* end = nullptr;
+  const long v = std::strtol(value, &end, 10);
+  ENHANCENET_CHECK(end != value && *end == '\0' && v >= 1 && v <= 1024)
+      << "ENHANCENET_SHARDS must be an integer in [1, 1024] (got '" << value
+      << "')";
+  return static_cast<int>(v);
+}
+
 double ParseSloMs() {
   const char* value = std::getenv("ENHANCENET_SLO_MS");
   if (value == nullptr || value[0] == '\0') return 0.0;
@@ -104,6 +115,11 @@ bool EnvProfiling() {
 
 int EnvTopK() {
   static const int value = ParseTopK();
+  return value;
+}
+
+int EnvShards() {
+  static const int value = ParseShards();
   return value;
 }
 

@@ -43,6 +43,14 @@ bool EnvProfiling();
 /// [0, 2^24) (column indices are float-encoded, see DESIGN.md §10).
 int EnvTopK();
 
+/// ENHANCENET_SHARDS: entity-sharded execution (DESIGN.md §12). 1 (default)
+/// keeps the single-context path bitwise unchanged; S >= 2 partitions the
+/// entity graph into S contiguous shards, each bound to its own
+/// RuntimeContext (allocator, workspace, thread-pool slice) with halo
+/// exchange for cross-shard neighbours. Set values must parse as an integer
+/// in [1, 1024].
+int EnvShards();
+
 /// ENHANCENET_SLO_MS: process-wide default latency budget (milliseconds)
 /// for deadline-aware micro-batching. Requests that carry no explicit
 /// `PredictRequest::deadline_ms` — and batchers whose `slo_ms` option is

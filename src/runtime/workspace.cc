@@ -14,6 +14,7 @@ namespace runtime {
 struct Workspace::State {
   mutable std::mutex mu;
   std::unordered_map<int64_t, std::vector<float*>> free_lists;
+  std::unordered_map<int64_t, std::vector<int32_t*>> int_free_lists;
   WorkspaceStats stats;
   // Set by ~Workspace: blocks released afterwards are freed directly.
   std::atomic<bool> retired{false};
@@ -21,6 +22,9 @@ struct Workspace::State {
   ~State() {
     for (auto& [numel, blocks] : free_lists) {
       for (float* block : blocks) delete[] block;
+    }
+    for (auto& [numel, blocks] : int_free_lists) {
+      for (int32_t* block : blocks) delete[] block;
     }
   }
 };
@@ -63,17 +67,53 @@ std::shared_ptr<float[]> Workspace::Acquire(int64_t numel) {
   });
 }
 
+std::shared_ptr<int32_t[]> Workspace::AcquireInts(int64_t numel) {
+  ENHANCENET_CHECK_GE(numel, 0) << "negative workspace acquisition";
+  const int64_t count = std::max<int64_t>(numel, 1);
+  int32_t* block = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    ++state_->stats.acquires;
+    auto it = state_->int_free_lists.find(count);
+    if (it != state_->int_free_lists.end() && !it->second.empty()) {
+      block = it->second.back();
+      it->second.pop_back();
+      ++state_->stats.hits;
+      state_->stats.bytes_cached -=
+          count * static_cast<int64_t>(sizeof(int32_t));
+    }
+  }
+  if (block == nullptr) block = new int32_t[static_cast<size_t>(count)];
+  std::shared_ptr<State> state = state_;
+  return std::shared_ptr<int32_t[]>(block, [state, count](int32_t* p) {
+    if (state->retired.load(std::memory_order_relaxed)) {
+      delete[] p;
+      return;
+    }
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->int_free_lists[count].push_back(p);
+    state->stats.bytes_cached +=
+        count * static_cast<int64_t>(sizeof(int32_t));
+  });
+}
+
 void Workspace::Trim() {
   std::vector<float*> to_free;
+  std::vector<int32_t*> ints_to_free;
   {
     std::lock_guard<std::mutex> lock(state_->mu);
     for (auto& [numel, blocks] : state_->free_lists) {
       to_free.insert(to_free.end(), blocks.begin(), blocks.end());
       blocks.clear();
     }
+    for (auto& [numel, blocks] : state_->int_free_lists) {
+      ints_to_free.insert(ints_to_free.end(), blocks.begin(), blocks.end());
+      blocks.clear();
+    }
     state_->stats.bytes_cached = 0;
   }
   for (float* block : to_free) delete[] block;
+  for (int32_t* block : ints_to_free) delete[] block;
 }
 
 WorkspaceStats Workspace::GetStats() const {

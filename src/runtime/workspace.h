@@ -49,6 +49,12 @@ class Workspace {
   /// block). Contents are NOT initialized — recycled blocks hold stale data.
   std::shared_ptr<float[]> Acquire(int64_t numel);
 
+  /// int32 storage with the same pooling contract as Acquire. Backs the
+  /// sparse-adjacency index arrays (column ids, CSR/CSC offsets, transpose
+  /// permutations — DESIGN.md §10/§12), which are exact integers up to
+  /// INT32_MAX instead of the 2^24 float-encoding ceiling.
+  std::shared_ptr<int32_t[]> AcquireInts(int64_t numel);
+
   /// Frees every cached block. Outstanding blocks are unaffected.
   void Trim();
 

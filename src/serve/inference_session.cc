@@ -19,7 +19,7 @@ runtime::RuntimeContext::Options SessionContextOptions(
   // allocator; otherwise the session gets a private one.
   o.allocator = options.allocator;
   o.private_allocator = options.allocator == nullptr;
-  o.private_exec = options.topk >= 0;
+  o.private_exec = options.topk >= 0 || options.shards >= 0;
   return o;
 }
 
@@ -106,6 +106,10 @@ InferenceSession::InferenceSession(
       context_(SessionContextOptions(options_)) {
   if (options_.topk >= 0) {
     context_.exec().topk.store(options_.topk, std::memory_order_relaxed);
+  }
+  if (options_.shards >= 0) {
+    context_.exec().shards.store(std::max(options_.shards, 1),
+                                 std::memory_order_relaxed);
   }
 }
 

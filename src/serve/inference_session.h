@@ -48,6 +48,14 @@ struct SessionOptions {
   /// gives the session a private ExecConfig so the knob never leaks into
   /// other sessions or the trainer.
   int topk = -1;
+  /// Entity-sharded execution for this session (DESIGN.md §12): -1 inherits
+  /// the process-wide ENHANCENET_SHARDS, 1 forces the single-context path,
+  /// S >= 2 splits the graph applies across S per-shard RuntimeContexts
+  /// (each with its own allocator) parked on this session's context — the
+  /// whole set retires as a unit with the session. Like topk, a
+  /// non-negative value gives the session a private ExecConfig. Predictions
+  /// are bitwise-identical for every S.
+  int shards = -1;
   /// Micro-batching policy, consumed by ModelRegistry (a bare
   /// InferenceSession ignores these): when enabled, single-window Predicts
   /// through the registry coalesce into batched forwards.

@@ -1,0 +1,75 @@
+#ifndef ENHANCENET_SHARD_HALO_H_
+#define ENHANCENET_SHARD_HALO_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "autograd/ops.h"
+#include "shard/shard_plan.h"
+#include "tensor/tensor.h"
+
+namespace enhancenet {
+namespace shard {
+
+/// One shard's view of a sparse pattern: which external entities its rows
+/// reference, where each entry's operand row lives after the gather, and
+/// the gathered halo buffer itself.
+struct ShardHalo {
+  /// Sorted-unique entity ids this shard reads but does not own (union over
+  /// the batch — per-sample patterns may differ, the gather copies every
+  /// sample's row for each listed entity).
+  std::vector<int32_t> entities;
+  /// One slot per entry (CSR order) / per CSC position (transpose order)
+  /// owned by this shard: m >= 0 reads x[b, m, :] (an owned or same-slab
+  /// entity), m < 0 reads halo row ~m of the gathered buffer.
+  autograd::IntArray remap;
+  /// Slot base of each batch sample inside `remap` (size B+1): transpose
+  /// patterns have non-uniform per-row counts, so the bases are recorded
+  /// rather than derived.
+  std::vector<int64_t> slot_base;
+  /// [B, H, C] gathered external rows, H == entities.size(). Allocated by
+  /// Gather from whichever context is bound at the call (the executor binds
+  /// the shard's own context, putting the bytes on the shard's allocator).
+  Tensor buffer;
+};
+
+/// Builds and fills per-shard halos for a sparse top-k pattern
+/// (DESIGN.md §12). The exchange is what lets SparseAdjacencyMatMul run
+/// shard-local: after Gather, every operand row a shard's entries touch is
+/// reachable either in x directly (owned) or in the shard's halo buffer
+/// (external), and the per-row accumulation order is untouched — the
+/// sharded apply stays bitwise-identical to the single-context kernel.
+class HaloExchange {
+ public:
+  /// Derives each shard's external-entity list and entry remap from the
+  /// pattern. `transpose` selects the CSC half (t_row_offsets / t_perm):
+  /// there the operand of a position is the *source row* of its entry, not
+  /// its column. O(nnz log halo) per build; patterns change every step under
+  /// dynamic attention, so the build is paid per apply.
+  HaloExchange(const autograd::SparseIndex& index, const ShardPlan& plan,
+               bool transpose);
+
+  /// Gathers shard `s`'s external rows from x [B,N,C] into the shard's halo
+  /// buffer. Call with the shard's RuntimeContext bound so the buffer lands
+  /// on the shard's allocator.
+  void GatherShard(int s, const Tensor& x);
+
+  /// Publishes `shard.halo.entities` (gathered entity-rows, summed over
+  /// shards) and `shard.halo.bytes` (their storage) to the obs registry for
+  /// channels (C) wide rows. Call once per apply, after the gathers.
+  void PublishMetrics(int64_t batch, int64_t channels) const;
+
+  const ShardHalo& halo(int s) const { return halos_[s]; }
+  ShardHalo& halo(int s) { return halos_[s]; }
+
+  /// Total external entities across shards (the halo traffic in rows).
+  int64_t TotalHaloEntities() const;
+
+ private:
+  std::vector<ShardHalo> halos_;
+};
+
+}  // namespace shard
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_SHARD_HALO_H_

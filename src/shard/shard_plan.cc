@@ -1,0 +1,84 @@
+#include "shard/shard_plan.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace enhancenet {
+namespace shard {
+
+int ShardPlan::ShardOf(int64_t entity) const {
+  ENHANCENET_CHECK_GE(entity, 0);
+  ENHANCENET_CHECK_LT(entity, num_entities);
+  const auto it =
+      std::upper_bound(boundaries.begin(), boundaries.end(), entity);
+  return static_cast<int>(it - boundaries.begin()) - 1;
+}
+
+ShardPlan MakeContiguousPlan(int64_t num_entities, int num_shards) {
+  ENHANCENET_CHECK_GT(num_entities, 0);
+  const int64_t s =
+      std::clamp<int64_t>(num_shards, 1, num_entities);
+  ShardPlan plan;
+  plan.num_entities = num_entities;
+  plan.boundaries.resize(s + 1);
+  const int64_t base = num_entities / s;
+  const int64_t extra = num_entities % s;
+  plan.boundaries[0] = 0;
+  for (int64_t i = 0; i < s; ++i) {
+    plan.boundaries[i + 1] = plan.boundaries[i] + base + (i < extra ? 1 : 0);
+  }
+  return plan;
+}
+
+ShardPlan MakeEdgeCutPlan(const Tensor& adj, int num_shards) {
+  ENHANCENET_CHECK_EQ(adj.dim(), 2);
+  const int64_t n = adj.size(0);
+  ENHANCENET_CHECK_EQ(adj.size(1), n);
+  ShardPlan plan = MakeContiguousPlan(n, num_shards);
+  const int s = plan.num_shards();
+  if (s <= 1) return plan;
+
+  // cut[c] = Σ |adj[i,j]| over entries crossing the boundary between rows
+  // c-1 and c (i < c <= j or j < c <= i). Each entry (i,j), a = min, b = max,
+  // crosses every cut in (a, b]; accumulate with a difference array.
+  std::vector<double> diff(n + 2, 0.0);
+  const float* pa = adj.data();
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const float w = pa[i * n + j];
+      if (w == 0.0f || i == j) continue;
+      const int64_t a = std::min(i, j);
+      const int64_t b = std::max(i, j);
+      diff[a + 1] += std::fabs(w);
+      diff[b + 1] -= std::fabs(w);
+    }
+  }
+  std::vector<double> cut(n + 1, 0.0);
+  for (int64_t c = 1; c <= n; ++c) cut[c] = cut[c - 1] + diff[c];
+
+  // Slide each balanced cut point within a window to its cheapest position,
+  // left to right, keeping every shard non-empty.
+  const int64_t window = std::max<int64_t>(1, n / (4 * s));
+  for (int i = 1; i < s; ++i) {
+    const int64_t ideal = plan.boundaries[i];
+    const int64_t lo =
+        std::max(plan.boundaries[i - 1] + 1, ideal - window);
+    // Later cuts have not moved yet, so cap by the next balanced position.
+    const int64_t hi = std::min(plan.boundaries[i + 1] - 1, ideal + window);
+    int64_t best = ideal;
+    for (int64_t c = lo; c <= hi; ++c) {
+      if (cut[c] < cut[best] ||
+          (cut[c] == cut[best] &&
+           std::llabs(c - ideal) < std::llabs(best - ideal))) {
+        best = c;
+      }
+    }
+    plan.boundaries[i] = best;
+  }
+  return plan;
+}
+
+}  // namespace shard
+}  // namespace enhancenet

@@ -1,0 +1,51 @@
+#ifndef ENHANCENET_SHARD_SHARD_PLAN_H_
+#define ENHANCENET_SHARD_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace enhancenet {
+namespace shard {
+
+/// A partition of the entity axis [0, N) into S contiguous shards
+/// (DESIGN.md §12). Contiguity is load-bearing twice over: a shard's rows of
+/// any [B,N,C] signal form one memory slab per batch, and the CSR entry
+/// ranges of a shard's rows are contiguous per batch, so shard-local kernels
+/// iterate exactly the slices the single-context kernels iterate — the
+/// precondition for the bitwise-identity contract.
+struct ShardPlan {
+  int64_t num_entities = 0;
+  /// S+1 ascending cut points; boundaries[0] == 0, boundaries[S] == N.
+  std::vector<int64_t> boundaries;
+
+  int num_shards() const { return static_cast<int>(boundaries.size()) - 1; }
+  int64_t begin(int s) const { return boundaries[s]; }
+  int64_t end(int s) const { return boundaries[s + 1]; }
+  int64_t size(int s) const { return end(s) - begin(s); }
+  bool defined() const { return num_entities > 0 && boundaries.size() >= 2; }
+
+  /// Shard owning `entity` (0 <= entity < num_entities).
+  int ShardOf(int64_t entity) const;
+};
+
+/// Splits N entities into `num_shards` near-equal contiguous shards (sizes
+/// differ by at most one; the first N % S shards take the extra row).
+/// num_shards is clamped to [1, N].
+ShardPlan MakeContiguousPlan(int64_t num_entities, int num_shards);
+
+/// Contiguous plan whose cut points greedily minimize the static adjacency
+/// weight crossing shard boundaries. For each interior cut the total |w| of
+/// entries (i,j) with i and j on opposite sides is computed in O(nnz + N)
+/// via a difference array, then each cut slides inside a ±N/(4S) window
+/// around its balanced position to the cheapest crossing. `adj` is the
+/// static [N,N] adjacency (A, or A+B summed by the caller); the dynamic
+/// attention pattern is unknowable at plan time and handled by halo
+/// exchange instead.
+ShardPlan MakeEdgeCutPlan(const Tensor& adj, int num_shards);
+
+}  // namespace shard
+}  // namespace enhancenet
+
+#endif  // ENHANCENET_SHARD_SHARD_PLAN_H_

@@ -80,6 +80,24 @@ TEST(RuntimeEnvDeathTest, MalformedBoolDies) {
       "ENHANCENET_FUSED must be one of");
 }
 
+TEST(RuntimeEnvDeathTest, MalformedShardsDies) {
+  EXPECT_DEATH(
+      {
+        setenv("ENHANCENET_SHARDS", "many", /*overwrite=*/1);
+        runtime::EnvShards();
+      },
+      "ENHANCENET_SHARDS must be an integer in \\[1, 1024\\]");
+}
+
+TEST(RuntimeEnvDeathTest, OutOfRangeShardsDies) {
+  EXPECT_DEATH(
+      {
+        setenv("ENHANCENET_SHARDS", "0", /*overwrite=*/1);
+        runtime::EnvShards();
+      },
+      "ENHANCENET_SHARDS must be an integer in \\[1, 1024\\]");
+}
+
 TEST(RuntimeEnvDeathTest, MalformedSloMsDies) {
   EXPECT_DEATH(
       {
@@ -106,6 +124,7 @@ TEST(RuntimeEnvTest, DefaultsWhenUnset) {
   EXPECT_TRUE(runtime::EnvFusedKernels());
   EXPECT_TRUE(runtime::EnvEagerRelease());
   EXPECT_FALSE(runtime::EnvProfiling());
+  EXPECT_EQ(runtime::EnvShards(), 1);  // single-context execution by default
   EXPECT_EQ(runtime::EnvSloMs(), 0.0);  // no process-wide SLO by default
   EXPECT_EQ(runtime::EnvMetricsOut(), nullptr);
 }

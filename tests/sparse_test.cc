@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <numeric>
@@ -69,7 +70,7 @@ TEST(SparseTest, TopKSparsifyMatchesReferenceArgsort) {
   const graph::SparseAdjacency sparse = graph::TopKSparsify(dense, k);
   ASSERT_EQ(sparse.index.nnz, batch * n * k);
   const float* pv = sparse.values.data().data();
-  const float* pc = sparse.index.cols.data();
+  const int32_t* pc = sparse.index.cols.data();
   for (int64_t r = 0; r < batch * n; ++r) {
     const float* row = dense.data() + r * n;
     const std::vector<int64_t> want = ReferenceTopK(row, n, k);
@@ -80,12 +81,12 @@ TEST(SparseTest, TopKSparsifyMatchesReferenceArgsort) {
     }
   }
   // CSR offsets are uniform-degree, CSC is a permutation of all entries.
-  const float* po = sparse.index.row_offsets.data();
+  const int32_t* po = sparse.index.row_offsets.data();
   for (int64_t r = 0; r <= batch * n; ++r) {
     EXPECT_EQ(static_cast<int64_t>(po[r]), r * k);
   }
   std::vector<bool> seen(sparse.index.nnz, false);
-  const float* pt = sparse.index.t_perm.data();
+  const int32_t* pt = sparse.index.t_perm.data();
   for (int64_t e = 0; e < sparse.index.nnz; ++e) {
     const int64_t entry = static_cast<int64_t>(pt[e]);
     ASSERT_GE(entry, 0);
@@ -100,10 +101,114 @@ TEST(SparseTest, TopKSparsifyTieBreaksTowardLowestColumn) {
   const int64_t n = 6, k = 3;
   Tensor dense = Tensor::Full({n, n}, 0.5f);
   const graph::SparseAdjacency sparse = graph::TopKSparsify(dense, k);
-  const float* pc = sparse.index.cols.data();
+  const int32_t* pc = sparse.index.cols.data();
   for (int64_t r = 0; r < n; ++r) {
     for (int64_t s = 0; s < k; ++s) {
       EXPECT_EQ(static_cast<int64_t>(pc[r * k + s]), s) << "row " << r;
+    }
+  }
+}
+
+TEST(SparseTest, Int32IndexMatchesLegacyFloatEncodingAtSmallN) {
+  // PR 10 moved the index arrays from float-encoded columns (exact only
+  // below 2^24) to int32 storage. At small N, where the float encoding was
+  // exact, the new arrays must reproduce the legacy encoding bit-for-bit
+  // once cast back through float — i.e. the storage change alone must not
+  // perturb a single selected column, offset, or permutation slot.
+  Rng rng(71);
+  const int64_t batch = 2, n = 11, k = 4;
+  const Tensor dense = Tensor::Randn({batch, n, n}, rng);
+  const graph::SparseAdjacency sparse = graph::TopKSparsify(dense, k);
+
+  // Legacy reference: the float-encoded replace-the-minimum scan exactly as
+  // the float-index implementation ran it (float column slots throughout,
+  // including the ascending insertion sort's float compares).
+  const float* pa = dense.data();
+  for (int64_t r = 0; r < batch * n; ++r) {
+    const float* arow = pa + r * n;
+    std::vector<float> vrow(k), crow(k);
+    int64_t mn = 0;
+    for (int64_t j = 0; j < k; ++j) {
+      vrow[j] = arow[j];
+      crow[j] = static_cast<float>(j);
+      if (arow[j] < vrow[mn]) mn = j;
+    }
+    for (int64_t j = k; j < n; ++j) {
+      if (arow[j] > vrow[mn]) {
+        vrow[mn] = arow[j];
+        crow[mn] = static_cast<float>(j);
+        mn = 0;
+        for (int64_t s = 1; s < k; ++s) {
+          if (vrow[s] < vrow[mn]) mn = s;
+        }
+      }
+    }
+    for (int64_t s = 1; s < k; ++s) {
+      const float cv = crow[s];
+      const float vv = vrow[s];
+      int64_t t = s - 1;
+      while (t >= 0 && crow[t] > cv) {
+        crow[t + 1] = crow[t];
+        vrow[t + 1] = vrow[t];
+        --t;
+      }
+      crow[t + 1] = cv;
+      vrow[t + 1] = vv;
+    }
+    const int32_t* pc = sparse.index.cols.data();
+    const float* pv = sparse.values.data().data();
+    for (int64_t s = 0; s < k; ++s) {
+      EXPECT_EQ(static_cast<float>(pc[r * k + s]), crow[s])
+          << "row " << r << " slot " << s;
+      EXPECT_EQ(pv[r * k + s], vrow[s]);
+    }
+  }
+  // Offsets and the transpose permutation round-trip float exactly at this
+  // size (all values far below 2^24).
+  const int32_t* po = sparse.index.row_offsets.data();
+  for (int64_t r = 0; r <= batch * n; ++r) {
+    EXPECT_EQ(static_cast<int32_t>(static_cast<float>(po[r])), po[r]);
+  }
+  const int32_t* pt = sparse.index.t_perm.data();
+  for (int64_t e = 0; e < sparse.index.nnz; ++e) {
+    EXPECT_EQ(static_cast<int32_t>(static_cast<float>(pt[e])), pt[e]);
+  }
+}
+
+TEST(SparseTest, WindowedTopKFullWindowBitwiseMatchesFullScan) {
+  // k_cand = N degenerates the candidate window to the whole row, visiting
+  // columns in exactly the full-scan order — the selection, values, and
+  // transpose half must be bitwise-identical to the unwindowed overload.
+  Rng rng(83);
+  const int64_t batch = 2, n = 13, k = 5;
+  const Tensor dense = Tensor::Randn({batch, n, n}, rng);
+  const graph::SparseAdjacency full = graph::TopKSparsify(dense, k);
+  const graph::SparseAdjacency windowed = graph::TopKSparsify(dense, k, n);
+  ASSERT_EQ(full.index.nnz, windowed.index.nnz);
+  for (int64_t e = 0; e < full.index.nnz; ++e) {
+    ASSERT_EQ(full.index.cols.data()[e], windowed.index.cols.data()[e]);
+    ASSERT_EQ(full.values.data().data()[e], windowed.values.data().data()[e]);
+    ASSERT_EQ(full.index.t_perm.data()[e], windowed.index.t_perm.data()[e]);
+  }
+}
+
+TEST(SparseTest, WindowedTopKSelectsWithinWindow) {
+  // A small window must still pick the k best columns — but only among the
+  // window's candidates, centred on the row's own entity and clamped at the
+  // matrix edge.
+  Rng rng(89);
+  const int64_t n = 16, k = 2, k_cand = 6;
+  const Tensor dense = Tensor::Randn({n, n}, rng);
+  const graph::SparseAdjacency sparse = graph::TopKSparsify(dense, k, k_cand);
+  const int32_t* pc = sparse.index.cols.data();
+  const float* pv = sparse.values.data().data();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t lo = std::clamp<int64_t>(i - k_cand / 2, 0, n - k_cand);
+    const std::vector<int64_t> want =
+        ReferenceTopK(dense.data() + i * n + lo, k_cand, k);
+    for (int64_t s = 0; s < k; ++s) {
+      EXPECT_EQ(pc[i * k + s], lo + want[s]) << "row " << i << " slot " << s;
+      EXPECT_EQ(pv[i * k + s], dense.data()[i * n + lo + want[s]]);
     }
   }
 }
@@ -168,7 +273,7 @@ TEST(SparseTest, TopKAttentionFullKBitwiseMatchesDenseSoftmax) {
   for (int64_t i = 0; i < dense.numel(); ++i) {
     EXPECT_EQ(ps[i], pd[i]) << "element " << i;
   }
-  const float* pc = index.cols.data();
+  const int32_t* pc = index.cols.data();
   for (int64_t r = 0; r < batch * n; ++r) {
     for (int64_t s = 0; s < n; ++s) {
       EXPECT_EQ(static_cast<int64_t>(pc[r * n + s]), s);
@@ -193,10 +298,10 @@ TEST(SparseTest, TopKAttentionMatchesMaskedDenseReference) {
   sparse_loss.Backward();
 
   Tensor mask = Tensor::Full({batch, n, n}, -kInf);
-  const float* pc = index.cols.data();
+  const int32_t* pc = index.cols.data();
   for (int64_t r = 0; r < batch * n; ++r) {
     for (int64_t s = 0; s < k; ++s) {
-      mask.data()[r * n + static_cast<int64_t>(pc[r * k + s])] = 0.0f;
+      mask.data()[r * n + pc[r * k + s]] = 0.0f;
     }
   }
   ag::Variable e_src2 = ag::Variable::Leaf(src.Clone(), true);
@@ -311,7 +416,8 @@ TEST(SparseTest, BitwiseDeterministicAcrossThreadCounts) {
   const Tensor xin = Tensor::Randn({batch, n, c}, rng);
 
   struct Run {
-    Tensor cols, values, y, yt, dsrc, ddst, dx;
+    std::vector<int32_t> cols;
+    Tensor values, y, yt, dsrc, ddst, dx;
   };
   const auto run = [&](int threads) {
     SetNumThreads(threads);
@@ -324,7 +430,9 @@ TEST(SparseTest, BitwiseDeterministicAcrossThreadCounts) {
     ag::Variable yt =
         ag::SparseAdjacencyMatMul(values, index, x, /*transpose_adj=*/true);
     ag::Add(ag::SumAll(ag::Square(y)), ag::SumAll(ag::Square(yt))).Backward();
-    return Run{index.cols.Clone(), values.data().Clone(),
+    return Run{std::vector<int32_t>(index.cols.data(),
+                                    index.cols.data() + index.cols.numel),
+               values.data().Clone(),
                y.data().Clone(),   yt.data().Clone(),
                e_src.grad().Clone(), e_dst.grad().Clone(), x.grad().Clone()};
   };
@@ -341,7 +449,7 @@ TEST(SparseTest, BitwiseDeterministicAcrossThreadCounts) {
       ASSERT_EQ(a.data()[i], b.data()[i]) << what << " element " << i;
     }
   };
-  expect_bitwise(serial.cols, parallel.cols, "cols");
+  ASSERT_EQ(serial.cols, parallel.cols);
   expect_bitwise(serial.values, parallel.values, "values");
   expect_bitwise(serial.y, parallel.y, "y");
   expect_bitwise(serial.yt, parallel.yt, "yt");
